@@ -1,0 +1,80 @@
+//! E11 — the BG simulation (extension): overhead of simulating `n+1`
+//! processes on `m` simulators via safe agreement.
+//!
+//! Shape claims: steps scale with `n_sim × k` and shrink as simulators are
+//! added (parallel progress); backoffs appear only with ≥ 2 simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_core::bg::BgSimulation;
+use std::hint::black_box;
+
+fn run_to_completion(bg: &mut BgSimulation) -> u64 {
+    let m = bg.simulators();
+    let mut i = 0u64;
+    while !bg.all_done() && i < 5_000_000 {
+        bg.step((i % m as u64) as usize);
+        i += 1;
+    }
+    assert!(bg.all_done());
+    i
+}
+
+fn bg_completion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_bg_complete");
+    for (n_sim, k) in [(3usize, 1usize), (3, 4), (6, 2)] {
+        for m in [1usize, 2, 4] {
+            g.bench_function(
+                BenchmarkId::new(format!("n{n_sim}_k{k}"), format!("m{m}")),
+                |bch| {
+                    bch.iter(|| {
+                        let mut bg = BgSimulation::new(n_sim, k, m);
+                        black_box(run_to_completion(&mut bg))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn safe_agreement_micro(c: &mut Criterion) {
+    use iis_core::bg::SafeAgreement;
+    let mut g = c.benchmark_group("e11_safe_agreement");
+    for m in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, &m| {
+            bch.iter(|| {
+                let mut a: SafeAgreement<u64> = SafeAgreement::new(m);
+                a.propose_write(0, 7);
+                let saw2 = a.propose_snapshot(0);
+                a.propose_finish(0, saw2);
+                black_box(a.resolved().copied())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn report_step_table() {
+    eprintln!("\n[E11 report] BG steps to completion (round-robin driving):");
+    eprintln!("  {:>6} {:>3} {:>3} {:>9} {:>10} {:>9}", "n_sim", "k", "m", "steps", "proposals", "backoffs");
+    for (n_sim, k) in [(3usize, 2usize), (4, 2), (6, 1)] {
+        for m in [1usize, 2, 3] {
+            let mut bg = BgSimulation::new(n_sim, k, m);
+            run_to_completion(&mut bg);
+            let st = bg.stats();
+            eprintln!(
+                "  {:>6} {:>3} {:>3} {:>9} {:>10} {:>9}",
+                n_sim, k, m, st.steps, st.proposals, st.backoffs
+            );
+        }
+    }
+}
+
+fn all(c: &mut Criterion) {
+    report_step_table();
+    bg_completion(c);
+    safe_agreement_micro(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

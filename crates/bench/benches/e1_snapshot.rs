@@ -1,0 +1,97 @@
+//! E1 — Figure 1's substrate: atomic snapshot implementations.
+//!
+//! Compares the non-blocking double-collect scan against the wait-free
+//! embedded-scan (Afek et al.) implementation, solo and under write
+//! contention, across memory widths. Paper-shape claim: both complete; the
+//! wait-free scan pays a constant factor for update-embedded scans but its
+//! scan cost is bounded under contention, while double-collect scans degrade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_memory::{DoubleCollectSnapshot, EmbeddedScanSnapshot, SnapshotMemory};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn solo_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_solo_scan");
+    for n in [2usize, 4, 8, 16] {
+        let dc = DoubleCollectSnapshot::new(n, 0u64);
+        let es = EmbeddedScanSnapshot::new(n, 0u64);
+        for pid in 0..n {
+            dc.update(pid, pid as u64 + 1);
+            es.update(pid, pid as u64 + 1);
+        }
+        g.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, _| {
+            b.iter(|| black_box(dc.scan(0)))
+        });
+        g.bench_with_input(BenchmarkId::new("embedded_scan", n), &n, |b, _| {
+            b.iter(|| black_box(es.scan(0)))
+        });
+    }
+    g.finish();
+}
+
+fn solo_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_solo_update");
+    for n in [4usize, 16] {
+        let dc = DoubleCollectSnapshot::new(n, 0u64);
+        let es = EmbeddedScanSnapshot::new(n, 0u64);
+        let mut k = 0u64;
+        g.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, _| {
+            b.iter(|| {
+                k += 1;
+                dc.update(0, k);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("embedded_scan", n), &n, |b, _| {
+            b.iter(|| {
+                k += 1;
+                es.update(0, k); // embeds a scan: strictly more work
+            })
+        });
+    }
+    g.finish();
+}
+
+fn contended_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_contended_scan");
+    g.sample_size(20);
+    for n in [4usize] {
+        for (name, mem) in [
+            (
+                "double_collect",
+                Arc::new(DoubleCollectSnapshot::new(n, 0u64)) as Arc<dyn SnapshotMemory<u64>>,
+            ),
+            (
+                "embedded_scan",
+                Arc::new(EmbeddedScanSnapshot::new(n, 0u64)) as Arc<dyn SnapshotMemory<u64>>,
+            ),
+        ] {
+            let stop = Arc::new(AtomicBool::new(false));
+            let writers: Vec<_> = (1..n)
+                .map(|pid| {
+                    let mem = Arc::clone(&mem);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut k = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            k += 1;
+                            mem.update(pid, k);
+                        }
+                    })
+                })
+                .collect();
+            g.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| black_box(mem.scan_versioned(0)))
+            });
+            stop.store(true, Ordering::Relaxed);
+            for w in writers {
+                w.join().unwrap();
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, solo_scan, solo_update, contended_scan);
+criterion_main!(benches);

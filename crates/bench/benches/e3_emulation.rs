@@ -1,0 +1,119 @@
+//! E3 — **the main theorem** (§4, Figure 2): cost of emulating the k-shot
+//! atomic snapshot protocol in the IIS model.
+//!
+//! Measures wall-clock of complete deterministic emulations across process
+//! counts, shot counts and adversaries, and reports (once, to stderr) the
+//! memories-consumed-per-operation distribution — the shape behind the
+//! paper's "non-blocking but not bounded" remark: solo ops take 1 memory,
+//! contended ops take ≥ 2, adversarial interleavings stretch single ops
+//! further while the system as a whole always progresses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_bench::kshot::KShot;
+use iis_core::EmulatorMachine;
+use iis_sched::{IisMachine, IisRunner, IisSchedule, MachineStep, OrderedPartition};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn machines(n: usize, k: usize) -> Vec<EmulatorMachine<KShot>> {
+    (0..n)
+        .map(|pid| EmulatorMachine::new(pid, n, KShot::new(pid, k)))
+        .collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn emulation_to_completion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_emulation_complete");
+    let adversaries: [(&str, fn(usize) -> IisSchedule); 4] = [
+        ("lockstep", |n| IisSchedule::lockstep(n, 500)),
+        ("sequential", |n| IisSchedule::sequential(n, 500)),
+        ("rotating", |n| IisSchedule::rotating_leader(n, 500)),
+        ("laggard", |n| IisSchedule::laggard(n, 500)),
+    ];
+    for n in [2usize, 3, 4] {
+        for k in [1usize, 4] {
+            for (adv, make) in adversaries {
+                g.bench_function(BenchmarkId::new(format!("{adv}/n{n}"), k), |b| {
+                    b.iter(|| {
+                        let mut runner = IisRunner::new(machines(n, k));
+                        black_box(runner.run(make(n)))
+                    })
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+fn direct_vs_emulated(c: &mut Criterion) {
+    // ablation: the same protocol run directly on the simulated atomic
+    // model vs emulated over IIS — the emulation overhead factor
+    use iis_sched::{AtomicRunner, AtomicSchedule};
+    let mut g = c.benchmark_group("e3_direct_vs_emulated");
+    {
+        let n = 3usize;
+        let k = 4;
+        g.bench_function(BenchmarkId::new("direct_atomic", n), |b| {
+            b.iter(|| {
+                let ms: Vec<KShot> = (0..n).map(|pid| KShot::new(pid, k)).collect();
+                let mut runner = AtomicRunner::new(ms);
+                black_box(runner.run(AtomicSchedule::round_robin(n, 2 * k + 2)))
+            })
+        });
+        g.bench_function(BenchmarkId::new("emulated_iis", n), |b| {
+            b.iter(|| {
+                let mut runner = IisRunner::new(machines(n, k));
+                black_box(runner.run(IisSchedule::lockstep(n, 500)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn report_memories_per_op() {
+    eprintln!("\n[E3 report] memories consumed per emulated operation (n=3, k=6, random schedules):");
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut hist = std::collections::BTreeMap::<usize, usize>::new();
+    let mut max_seen = 0usize;
+    for _case in 0..100 {
+        let mut ems = machines(3, 6);
+        let mut values: Vec<_> = ems.iter_mut().map(|m| m.initial_value()).collect();
+        let mut live: Vec<usize> = (0..3).collect();
+        let mut round = 0;
+        while !live.is_empty() && round < 4000 {
+            let part = OrderedPartition::random(&live, &mut rng);
+            let mut views: Vec<(usize, _)> = Vec::new();
+            for block in part.blocks() {
+                for &p in block {
+                    views.push((p, values[p].clone()));
+                }
+                views.sort_by_key(|(p, _)| *p);
+                let snapshot = views.clone();
+                for &p in block {
+                    match ems[p].on_view(round, &snapshot) {
+                        MachineStep::Continue(v) => values[p] = v,
+                        MachineStep::Decide(_) => live.retain(|&q| q != p),
+                    }
+                }
+            }
+            round += 1;
+        }
+        for em in &ems {
+            for &m in &em.stats().memories_per_op {
+                *hist.entry(m).or_default() += 1;
+                max_seen = max_seen.max(m);
+            }
+        }
+    }
+    eprintln!("  histogram (memories -> ops): {hist:?}");
+    eprintln!("  max memories for a single op: {max_seen} (unbounded in the adversarial limit)");
+}
+
+fn all(c: &mut Criterion) {
+    report_memories_per_op();
+    emulation_to_completion(c);
+    direct_vs_emulated(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

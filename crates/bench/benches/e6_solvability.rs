@@ -1,0 +1,113 @@
+//! E6/E10 — Proposition 3.1's decision procedure and Lemma 3.1's bounds.
+//!
+//! Paper-shape claims: solvable tasks admit maps at small `b` (trivial at
+//! 0, one-shot IS at 1, ε-agreement at `⌈log₃ grid⌉`); consensus and k-set
+//! consensus admit none at any `b` (search refutes small `b`; Sperner
+//! certifies the rest — E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_core::solvability::{solve_at, solve_at_bounded, solve_at_with, SearchStrategy};
+use iis_core::bounded::minimal_rounds;
+use iis_tasks::library::{
+    approximate_agreement, consensus, k_set_consensus, one_shot_immediate_snapshot_task, trivial,
+};
+use std::hint::black_box;
+
+fn solvable_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_solvable");
+    g.sample_size(10);
+    let cases: Vec<(&str, iis_tasks::Task, usize)> = vec![
+        ("trivial_n2", trivial(2), 0),
+        ("one_shot_is_n1", one_shot_immediate_snapshot_task(1), 1),
+        ("one_shot_is_n2", one_shot_immediate_snapshot_task(2), 1),
+        ("eps_grid3", approximate_agreement(1, 3), 1),
+        ("eps_grid9", approximate_agreement(1, 9), 2),
+    ];
+    for (name, task, b) in &cases {
+        g.bench_function(BenchmarkId::new("find_map", *name), |bch| {
+            bch.iter(|| black_box(solve_at(task, *b)).is_some())
+        });
+    }
+    g.finish();
+}
+
+fn unsolvable_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_unsolvable");
+    g.sample_size(10);
+    let cases: Vec<(&str, iis_tasks::Task, usize)> = vec![
+        ("consensus_b1", consensus(1, &[0, 1]), 1),
+        ("consensus_b2", consensus(1, &[0, 1]), 2),
+        ("consensus_b3", consensus(1, &[0, 1]), 3),
+        ("3proc_consensus_b1", consensus(2, &[0, 1]), 1),
+        ("2set_b1", k_set_consensus(2, 2), 1),
+        ("eps9_at_b1", approximate_agreement(1, 9), 1),
+    ];
+    for (name, task, b) in &cases {
+        g.bench_function(BenchmarkId::new("refute_map", *name), |bch| {
+            bch.iter(|| assert!(black_box(solve_at(task, *b)).is_none()))
+        });
+    }
+    g.finish();
+}
+
+fn minimal_bound_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_minimal_rounds");
+    g.sample_size(10);
+    let t = approximate_agreement(1, 9);
+    g.bench_function("eps_grid9", |bch| {
+        bch.iter(|| {
+            let (b, _) = minimal_rounds(&t, 3).unwrap();
+            assert_eq!(b, 2);
+        })
+    });
+    g.finish();
+}
+
+fn strategy_ablation(c: &mut Criterion) {
+    // DESIGN.md §5 ablation: MAC vs plain chronological backtracking
+    let mut g = c.benchmark_group("e6_strategy_ablation");
+    g.sample_size(10);
+    let cases: Vec<(&str, iis_tasks::Task, usize)> = vec![
+        ("eps_grid3_b1", approximate_agreement(1, 3), 1),
+        ("consensus_b2_refute", consensus(1, &[0, 1]), 2),
+        ("one_shot_is_n1_b1", one_shot_immediate_snapshot_task(1), 1),
+    ];
+    for (name, task, b) in &cases {
+        g.bench_function(BenchmarkId::new("mac", *name), |bch| {
+            bch.iter(|| black_box(solve_at_with(task, *b, u64::MAX, SearchStrategy::Mac)))
+        });
+        g.bench_function(BenchmarkId::new("plain", *name), |bch| {
+            bch.iter(|| {
+                black_box(solve_at_with(
+                    task,
+                    *b,
+                    u64::MAX,
+                    SearchStrategy::PlainBacktracking,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn report_budgeted_hard_case() {
+    eprintln!("\n[E6 report] budgeted refutation of (3,2)-set consensus at b=2");
+    let t = k_set_consensus(2, 2);
+    let start = std::time::Instant::now();
+    let outcome = solve_at_bounded(&t, 2, 50_000);
+    eprintln!(
+        "  outcome after 50k nodes: {outcome:?} in {:?} (Sperner certifies impossibility for all b)",
+        start.elapsed()
+    );
+}
+
+fn all(c: &mut Criterion) {
+    report_budgeted_hard_case();
+    solvable_instances(c);
+    unsolvable_instances(c);
+    strategy_ablation(c);
+    minimal_bound_search(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E7 — the Sperner impossibility engine.
+//!
+//! Paper-shape claim (underlying \[7\]'s elementary k-set-consensus
+//! impossibility): every Sperner labeling of `SDS^b(sⁿ)` has an odd — hence
+//! nonzero — number of rainbow facets, so some execution decides `n+1`
+//! distinct values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_topology::sperner::{count_rainbow, labeling_from, validate_sperner, walk_to_rainbow};
+use iis_topology::{sds_iterated, Complex};
+use std::hint::black_box;
+
+fn rainbow_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_rainbow_count");
+    g.sample_size(20);
+    for (n, b) in [(2usize, 1usize), (2, 2), (3, 1)] {
+        let sub = sds_iterated(&Complex::standard_simplex(n), b);
+        let labels = labeling_from(&sub, |v| {
+            sub.carrier_of_vertex(v)
+                .iter()
+                .map(|u| sub.base().color(u))
+                .min()
+                .unwrap()
+        });
+        validate_sperner(&sub, &labels).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(format!("n{n}_b{b}")), |bch| {
+            bch.iter(|| {
+                let r = count_rainbow(black_box(&sub), black_box(&labels));
+                assert_eq!(r % 2, 1);
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+fn walk_vs_count(c: &mut Criterion) {
+    // ablation: the constructive door-walk vs full counting — the walk
+    // touches only the facets on its path
+    let mut g = c.benchmark_group("e7_walk_vs_count");
+    g.sample_size(20);
+    for (n, b) in [(2usize, 1usize), (2, 2)] {
+        let sub = sds_iterated(&Complex::standard_simplex(n), b);
+        let labels = labeling_from(&sub, |v| {
+            sub.carrier_of_vertex(v)
+                .iter()
+                .map(|u| sub.base().color(u))
+                .min()
+                .unwrap()
+        });
+        g.bench_function(BenchmarkId::new("count", format!("n{n}_b{b}")), |bch| {
+            bch.iter(|| black_box(count_rainbow(&sub, &labels)))
+        });
+        g.bench_function(BenchmarkId::new("walk", format!("n{n}_b{b}")), |bch| {
+            bch.iter(|| black_box(walk_to_rainbow(&sub, &labels)).is_some())
+        });
+    }
+    g.finish();
+}
+
+fn labeling_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_validate_labeling");
+    g.sample_size(20);
+    let sub = sds_iterated(&Complex::standard_simplex(2), 2);
+    let labels = labeling_from(&sub, |v| sub.complex().color(v));
+    g.bench_function("identity_n2_b2", |bch| {
+        bch.iter(|| validate_sperner(black_box(&sub), black_box(&labels)).unwrap())
+    });
+    g.finish();
+}
+
+#[allow(clippy::type_complexity)]
+fn report_parity_sweep() {
+    eprintln!("\n[E7 report] rainbow parity over labeling families on SDS^2(s²):");
+    let sub = sds_iterated(&Complex::standard_simplex(2), 2);
+    let families: [(&str, fn(&iis_topology::Subdivision, iis_topology::VertexId) -> iis_topology::Color); 3] = [
+        ("min-of-carrier", |s, v| {
+            s.carrier_of_vertex(v).iter().map(|u| s.base().color(u)).min().unwrap()
+        }),
+        ("max-of-carrier", |s, v| {
+            s.carrier_of_vertex(v).iter().map(|u| s.base().color(u)).max().unwrap()
+        }),
+        ("own-color", |s, v| s.complex().color(v)),
+    ];
+    for (name, f) in families {
+        let labels = labeling_from(&sub, |v| f(&sub, v));
+        let r = count_rainbow(&sub, &labels);
+        eprintln!("  {name:>15}: {r} rainbow facets (odd: {})", r % 2 == 1);
+    }
+}
+
+fn all(c: &mut Criterion) {
+    report_parity_sweep();
+    rainbow_counting(c);
+    walk_vs_count(c);
+    labeling_validation(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared fixtures for the benchmark harness (see `benches/`).
+
+pub mod kshot {
+    //! The k-shot counter protocol of Figure 1, reused across benches.
+
+    use iis_sched::AtomicMachine;
+
+    /// A k-shot atomic-snapshot machine: writes `(pid, round)` pairs
+    /// (encoded in a `u64`) and decides after `k` snapshots on the per-cell
+    /// round vector it saw last.
+    #[derive(Clone, Debug)]
+    pub struct KShot {
+        pid: usize,
+        k: usize,
+        sq: usize,
+    }
+
+    impl KShot {
+        /// A machine for process `pid` performing `k` write/snapshot rounds.
+        pub fn new(pid: usize, k: usize) -> Self {
+            KShot { pid, k, sq: 0 }
+        }
+    }
+
+    impl AtomicMachine for KShot {
+        type Value = u64;
+        type Output = Vec<u64>;
+
+        fn next_write(&mut self) -> u64 {
+            self.sq += 1;
+            ((self.pid as u64) << 32) | self.sq as u64
+        }
+
+        fn on_snapshot(&mut self, snap: &[Option<u64>]) -> Option<Vec<u64>> {
+            if self.sq >= self.k {
+                Some(
+                    snap.iter()
+                        .map(|c| c.map_or(0, |v| v & 0xffff_ffff))
+                        .collect(),
+                )
+            } else {
+                None
+            }
+        }
+    }
+}

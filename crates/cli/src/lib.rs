@@ -1,0 +1,522 @@
+//! Implementation of the `iis` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed arguments to an output
+//! string, so the whole surface is unit-testable; `main.rs` only does I/O.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use iis_core::bg::BgSimulation;
+use iis_core::protocol_complex::{check_lemma_3_2, check_lemma_3_3};
+use iis_core::solvability::{solve_at_bounded, BoundedOutcome};
+use iis_core::EmulatorMachine;
+use iis_sched::{AtomicMachine, IisRunner, IisSchedule};
+use iis_tasks::library;
+use iis_tasks::Task;
+use iis_topology::embedding::{embed_sds_tower, to_svg};
+use iis_topology::homology::Homology;
+use iis_topology::homology_z::IntegerHomology;
+use iis_topology::manifold::pseudomanifold_report;
+use iis_topology::{sds, Complex, Subdivision};
+use std::fmt::Write as _;
+
+/// A CLI usage or execution error, formatted for the terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+iis — wait-free computability toolbox (Borowsky–Gafni PODC'97)
+
+USAGE:
+  iis sds <n> <b> [--json] [--svg FILE]   build SDS^b(s^n); print stats
+  iis homology <n> <b>                    Z2 Betti numbers of SDS^b(s^n)
+  iis check-lemmas <n> <b>                verify Lemmas 3.2/3.3 by enumeration
+  iis solve <TASK> [--max-rounds B] [--budget NODES]
+                                          decide wait-free solvability
+  iis emulate <n> <k> [--adversary A] [--seed S]
+                                          emulate the k-shot protocol on IIS
+  iis bg <n_sim> <k> <m> [--crash SIM@STEP]
+                                          run the BG simulation
+
+TASK:
+  trivial:N | consensus:N | kset:N:K | renaming:N:M | eps:N:GRID | oneshot:N
+  (N = index, i.e. N+1 processes) or @FILE.json (a serialized task)
+
+ADVERSARY: lockstep | sequential | rotating | laggard | random (default)
+";
+
+/// Parses a task specifier (see [`USAGE`]).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the malformed specifier.
+pub fn parse_task(spec: &str) -> Result<Task, CliError> {
+    if let Some(path) = spec.strip_prefix('@') {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        return serde_json::from_str(&text).map_err(|e| err(format!("bad task file: {e}")));
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<usize, CliError> {
+        s.parse().map_err(|_| err(format!("bad number: {s}")))
+    };
+    match parts.as_slice() {
+        ["trivial", n] => Ok(library::trivial(num(n)?)),
+        ["consensus", n] => Ok(library::consensus(num(n)?, &[0, 1])),
+        ["kset", n, k] => Ok(library::k_set_consensus(num(n)?, num(k)?)),
+        ["renaming", n, m] => Ok(library::renaming(num(n)?, num(m)?)),
+        ["eps", n, grid] => Ok(library::approximate_agreement(num(n)?, num(grid)? as u64)),
+        ["oneshot", n] => Ok(library::one_shot_immediate_snapshot_task(num(n)?)),
+        _ => Err(err(format!("unknown task spec: {spec}"))),
+    }
+}
+
+fn parse_dims(args: &[String]) -> Result<(usize, usize), CliError> {
+    let n: usize = args
+        .first()
+        .ok_or_else(|| err("missing <n>"))?
+        .parse()
+        .map_err(|_| err("bad <n>"))?;
+    let b: usize = args
+        .get(1)
+        .ok_or_else(|| err("missing <b>"))?
+        .parse()
+        .map_err(|_| err("bad <b>"))?;
+    if n > 3 || b > 3 || (n >= 2 && b >= 3) || (n == 3 && b >= 2) {
+        return Err(err("keep n ≤ 3, b ≤ 3 and n·b small — counts explode"));
+    }
+    Ok((n, b))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn build_tower(n: usize, b: usize) -> (Complex, Vec<Subdivision>, Subdivision) {
+    let base = Complex::standard_simplex(n);
+    let mut levels = Vec::new();
+    let mut acc = Subdivision::identity(base.clone());
+    for _ in 0..b {
+        let next = sds(acc.complex());
+        levels.push(next.clone());
+        acc = acc.compose(&next);
+    }
+    (base, levels, acc)
+}
+
+/// `iis sds <n> <b> [--json] [--svg FILE]`
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments or I/O failure.
+pub fn cmd_sds(args: &[String]) -> Result<String, CliError> {
+    let (n, b) = parse_dims(args)?;
+    let (base, levels, acc) = build_tower(n, b);
+    acc.validate().map_err(|e| err(e.to_string()))?;
+    if args.iter().any(|a| a == "--json") {
+        return serde_json::to_string_pretty(&acc).map_err(|e| err(e.to_string()));
+    }
+    let mut out = String::new();
+    let c = acc.complex();
+    let _ = writeln!(out, "SDS^{b}(s^{n})");
+    let _ = writeln!(out, "  facets:   {}", c.num_facets());
+    let _ = writeln!(out, "  vertices: {}", c.num_vertices());
+    let _ = writeln!(out, "  f-vector: {:?}", c.f_vector());
+    let _ = writeln!(out, "  chromatic: {} · pure: {}", c.is_chromatic(), c.is_pure());
+    let report = pseudomanifold_report(c);
+    let _ = writeln!(
+        out,
+        "  pseudomanifold with boundary: {} ({} boundary / {} interior ridges)",
+        report.is_pseudomanifold(),
+        report.boundary_ridges,
+        report.interior_ridges
+    );
+    if let Some(path) = flag_value(args, "--svg") {
+        if n != 2 {
+            return Err(err("--svg needs n = 2"));
+        }
+        let emb = embed_sds_tower(&base, &levels);
+        std::fs::write(path, to_svg(&acc, &emb, 600.0))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let _ = writeln!(out, "  svg written to {path}");
+    }
+    Ok(out)
+}
+
+/// `iis homology <n> <b>`
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments.
+pub fn cmd_homology(args: &[String]) -> Result<String, CliError> {
+    let (n, b) = parse_dims(args)?;
+    let (_, _, acc) = build_tower(n, b);
+    let h = Homology::of(acc.complex());
+    let hz = IntegerHomology::of(acc.complex());
+    let hb = Homology::of(&acc.complex().boundary());
+    Ok(format!(
+        "SDS^{b}(s^{n}): Z2 Betti {:?} (hole-free: {})\n\
+         integral:   Betti {:?} (torsion-free: {})\n\
+         boundary:   Z2 Betti {:?}\n",
+        h.betti_numbers(),
+        h.is_hole_free_up_to(n),
+        hz.betti_numbers(),
+        hz.is_torsion_free(),
+        hb.betti_numbers()
+    ))
+}
+
+/// `iis check-lemmas <n> <b>`
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments.
+pub fn cmd_check_lemmas(args: &[String]) -> Result<String, CliError> {
+    let (n, b) = parse_dims(args)?;
+    let base = Complex::standard_simplex(n);
+    let mut out = String::new();
+    let (e32, _) = check_lemma_3_2(&base);
+    let _ = writeln!(
+        out,
+        "Lemma 3.2 ✓ one-shot IS complex = SDS(s^{n}) ({} facets)",
+        e32.complex().num_facets()
+    );
+    if b >= 1 {
+        let (e33, _) = check_lemma_3_3(&base, b);
+        let _ = writeln!(
+            out,
+            "Lemma 3.3 ✓ {b}-shot complex = SDS^{b}(s^{n}) ({} facets)",
+            e33.complex().num_facets()
+        );
+    }
+    Ok(out)
+}
+
+/// `iis solve <TASK> [--max-rounds B] [--budget NODES]`
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments.
+pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
+    let spec = args.first().ok_or_else(|| err("missing <TASK>"))?;
+    let task = parse_task(spec)?;
+    let max_rounds: usize = flag_value(args, "--max-rounds")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| err("bad --max-rounds"))?;
+    let budget: u64 = flag_value(args, "--budget")
+        .unwrap_or("1000000")
+        .parse()
+        .map_err(|_| err("bad --budget"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "task: {task}");
+    for b in 0..=max_rounds {
+        match solve_at_bounded(&task, b, budget) {
+            BoundedOutcome::Solvable(m) => {
+                let _ = writeln!(
+                    out,
+                    "b = {b}: SOLVABLE — decision map on {} vertices",
+                    m.map().len()
+                );
+                return Ok(out);
+            }
+            BoundedOutcome::Unsolvable => {
+                let _ = writeln!(out, "b = {b}: no decision map (exact)");
+            }
+            BoundedOutcome::Exhausted => {
+                let _ = writeln!(out, "b = {b}: undecided within {budget} nodes");
+            }
+        }
+    }
+    let _ = writeln!(out, "no decision map found up to b = {max_rounds}");
+    Ok(out)
+}
+
+/// The k-shot census machine used by `iis emulate`.
+struct Census {
+    pid: usize,
+    k: usize,
+    done: usize,
+}
+
+impl AtomicMachine for Census {
+    type Value = (usize, usize);
+    type Output = usize;
+    fn next_write(&mut self) -> (usize, usize) {
+        (self.pid, self.done + 1)
+    }
+    fn on_snapshot(&mut self, snap: &[Option<(usize, usize)>]) -> Option<usize> {
+        self.done += 1;
+        if self.done == self.k {
+            Some(snap.iter().flatten().count())
+        } else {
+            None
+        }
+    }
+}
+
+/// `iis emulate <n> <k> [--adversary A] [--seed S]`
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments or if the schedule generator is
+/// unknown.
+pub fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
+    let n: usize = args
+        .first()
+        .ok_or_else(|| err("missing <n>"))?
+        .parse()
+        .map_err(|_| err("bad <n>"))?;
+    let k: usize = args
+        .get(1)
+        .ok_or_else(|| err("missing <k>"))?
+        .parse()
+        .map_err(|_| err("bad <k>"))?;
+    if n == 0 || n > 8 || k == 0 || k > 64 {
+        return Err(err("need 1 ≤ n ≤ 8, 1 ≤ k ≤ 64"));
+    }
+    let adversary = flag_value(args, "--adversary").unwrap_or("random");
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| err("bad --seed"))?;
+    let budget = 64 * n * k + 64;
+    let schedule = match adversary {
+        "lockstep" => IisSchedule::lockstep(n, budget),
+        "sequential" => IisSchedule::sequential(n, budget),
+        "rotating" => IisSchedule::rotating_leader(n, budget),
+        "laggard" => IisSchedule::laggard(n, budget),
+        "random" => {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            IisSchedule::random(n, budget, &mut rng)
+        }
+        other => return Err(err(format!("unknown adversary: {other}"))),
+    };
+    let machines: Vec<EmulatorMachine<Census>> = (0..n)
+        .map(|pid| EmulatorMachine::new(pid, n, Census { pid, k, done: 0 }))
+        .collect();
+    let mut runner = IisRunner::new(machines);
+    let rounds = runner.run(schedule);
+    if !runner.is_quiescent() {
+        return Err(err("emulation did not finish within the schedule budget"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "emulated {k}-shot atomic snapshot protocol, {n} processes, adversary = {adversary}"
+    );
+    let _ = writeln!(out, "completed in {rounds} IIS memories");
+    for p in 0..n {
+        let _ = writeln!(out, "  P{p} saw {} processes", runner.output(p).expect("quiescent"));
+    }
+    Ok(out)
+}
+
+/// `iis bg <n_sim> <k> <m> [--crash SIM@STEP]`
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments.
+pub fn cmd_bg(args: &[String]) -> Result<String, CliError> {
+    let get = |i: usize, name: &str| -> Result<usize, CliError> {
+        args.get(i)
+            .ok_or_else(|| err(format!("missing <{name}>")))?
+            .parse()
+            .map_err(|_| err(format!("bad <{name}>")))
+    };
+    let (n_sim, k, m) = (get(0, "n_sim")?, get(1, "k")?, get(2, "m")?);
+    if n_sim == 0 || n_sim > 8 || k == 0 || k > 8 || m == 0 || m > 8 {
+        return Err(err("need 1 ≤ n_sim, k, m ≤ 8"));
+    }
+    let crash: Option<(usize, u64)> = match flag_value(args, "--crash") {
+        None => None,
+        Some(spec) => {
+            let (s, at) = spec
+                .split_once('@')
+                .ok_or_else(|| err("--crash wants SIM@STEP"))?;
+            Some((
+                s.parse().map_err(|_| err("bad simulator id"))?,
+                at.parse().map_err(|_| err("bad step"))?,
+            ))
+        }
+    };
+    let mut bg = BgSimulation::new(n_sim, k, m);
+    let mut i = 0u64;
+    while !bg.all_done() && i < 1_000_000 {
+        if let Some((s, at)) = crash {
+            if i == at {
+                bg.crash(s);
+            }
+        }
+        bg.step((i % m as u64) as usize);
+        i += 1;
+        if let Some((_, at)) = crash {
+            // after a crash the blocked process may never finish; stop once
+            // everyone else has decided
+            if i > at && bg.decisions().iter().filter(|d| d.is_some()).count() >= n_sim - 1 {
+                break;
+            }
+        }
+    }
+    let st = bg.stats();
+    let done = bg.decisions().iter().filter(|d| d.is_some()).count();
+    Ok(format!(
+        "BG simulation: {n_sim} simulated × {k}-shot on {m} simulators\n\
+         decided: {done}/{n_sim} · steps: {} · proposals: {} · backoffs: {} · blocked: {}\n",
+        st.steps,
+        st.proposals,
+        st.backoffs,
+        bg.blocked_processes()
+    ))
+}
+
+/// Dispatches a full argument vector (without the binary name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown commands or any command failure.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| err(USAGE))?;
+    match cmd.as_str() {
+        "sds" => cmd_sds(rest),
+        "homology" => cmd_homology(rest),
+        "check-lemmas" => cmd_check_lemmas(rest),
+        "solve" => cmd_solve(rest),
+        "emulate" => cmd_emulate(rest),
+        "bg" => cmd_bg(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command: {other}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn sds_stats() {
+        let out = cmd_sds(&argv("2 1")).unwrap();
+        assert!(out.contains("facets:   13"));
+        assert!(out.contains("pseudomanifold with boundary: true"));
+    }
+
+    #[test]
+    fn sds_json_parses_back() {
+        let out = cmd_sds(&argv("1 2 --json")).unwrap();
+        let sub: iis_topology::Subdivision = serde_json::from_str(&out).unwrap();
+        assert_eq!(sub.complex().num_facets(), 9);
+    }
+
+    #[test]
+    fn sds_svg_writes_file() {
+        let path = std::env::temp_dir().join("iis_cli_test.svg");
+        let mut args = argv("2 1 --svg");
+        args.push(path.to_str().unwrap().to_string());
+        let out = cmd_sds(&args).unwrap();
+        assert!(out.contains("svg written"));
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dims_guard() {
+        assert!(cmd_sds(&argv("3 3")).is_err());
+        assert!(cmd_sds(&argv("2")).is_err());
+        assert!(cmd_sds(&argv("x 1")).is_err());
+    }
+
+    #[test]
+    fn homology_output() {
+        let out = cmd_homology(&argv("2 1")).unwrap();
+        assert!(out.contains("hole-free: true"));
+        assert!(out.contains("torsion-free: true"));
+        assert!(out.contains("[1, 1]"));
+    }
+
+    #[test]
+    fn check_lemmas_output() {
+        let out = cmd_check_lemmas(&argv("2 1")).unwrap();
+        assert!(out.contains("Lemma 3.2 ✓"));
+        assert!(out.contains("Lemma 3.3 ✓"));
+    }
+
+    #[test]
+    fn solve_consensus_refuted() {
+        let out = cmd_solve(&argv("consensus:1 --max-rounds 2")).unwrap();
+        assert!(out.contains("b = 2: no decision map (exact)"));
+        assert!(out.contains("no decision map found"));
+    }
+
+    #[test]
+    fn solve_eps_solvable() {
+        let out = cmd_solve(&argv("eps:1:3")).unwrap();
+        assert!(out.contains("b = 1: SOLVABLE"));
+    }
+
+    #[test]
+    fn solve_task_from_file() {
+        let path = std::env::temp_dir().join("iis_cli_task.json");
+        let task = iis_tasks::library::trivial(1);
+        std::fs::write(&path, serde_json::to_string(&task).unwrap()).unwrap();
+        let out = cmd_solve(&[format!("@{}", path.display())]).unwrap();
+        assert!(out.contains("b = 0: SOLVABLE"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_task_errors() {
+        assert!(parse_task("nope").is_err());
+        assert!(parse_task("kset:x:1").is_err());
+        assert!(parse_task("@/definitely/missing.json").is_err());
+    }
+
+    #[test]
+    fn emulate_all_adversaries() {
+        for adv in ["lockstep", "sequential", "rotating", "laggard", "random"] {
+            let out = cmd_emulate(&argv(&format!("3 2 --adversary {adv}"))).unwrap();
+            assert!(out.contains("completed in"), "{adv}: {out}");
+        }
+        assert!(cmd_emulate(&argv("3 2 --adversary bogus")).is_err());
+        assert!(cmd_emulate(&argv("0 2")).is_err());
+    }
+
+    #[test]
+    fn bg_runs_and_crashes() {
+        let out = cmd_bg(&argv("3 1 2")).unwrap();
+        assert!(out.contains("decided: 3/3"));
+        let out = cmd_bg(&argv("3 1 2 --crash 0@1")).unwrap();
+        assert!(out.contains("decided:"));
+        assert!(cmd_bg(&argv("3 1")).is_err());
+        assert!(cmd_bg(&argv("3 1 2 --crash zz")).is_err());
+    }
+
+    #[test]
+    fn dispatch_routes() {
+        assert!(dispatch(&argv("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(&argv("nonsense")).is_err());
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&argv("homology 1 1")).is_ok());
+    }
+}

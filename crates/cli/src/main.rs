@@ -1,0 +1,12 @@
+//! The `iis` binary: argument I/O around [`iis_cli::dispatch`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match iis_cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

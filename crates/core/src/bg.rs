@@ -1,0 +1,524 @@
+//! The Borowsky–Gafni simulation (the "BG simulation") — the algorithmic
+//! lineage this paper seeded, included as the repository's extension
+//! feature.
+//!
+//! `m = k + 1` *simulators* jointly execute an `(n + 1)`-process k-shot
+//! full-information protocol so that at most `k` simulator crashes stall at
+//! most `k` simulated processes. The key primitive is **safe agreement**:
+//! agreement with a window (the *unsafe zone*) such that a crash inside the
+//! window may block the object forever, but a simulator is inside at most
+//! one window at a time — so `f` crashes block at most `f` simulated
+//! processes.
+//!
+//! The deterministic runner schedules simulator micro-steps explicitly
+//! (propose-write, propose-snapshot, propose-decide are separate steps, so
+//! adversarial crashes can land inside the unsafe zone). Simulated *writes*
+//! are propagated deterministically once their preceding snapshot resolves
+//! (the divergence between simulators — and hence everything safe
+//! agreement must referee — is in the *snapshots*).
+
+use iis_sched::AtomicMachine;
+use iis_sched::FullInfoAtomic;
+use iis_topology::Label;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The phases of one safe-agreement `propose` (the unsafe zone spans from
+/// after `WroteValue` until `Decided`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ProposePhase {
+    /// Wrote `(value, level = 1)`; next: snapshot the levels.
+    WroteValue,
+    /// Snapshot taken; `saw2` records whether some level-2 was observed.
+    Snapshotted {
+        /// Whether a level-2 entry was visible.
+        saw2: bool,
+    },
+}
+
+/// A multi-writer safe-agreement object over `m` simulators.
+///
+/// Levels: `⊥` (never proposed), `1` (in the unsafe zone), `2` (committed),
+/// `0` (backed off). The object is *resolved* once no simulator is at level
+/// 1 and some simulator is at level 2; the agreed value is the level-2
+/// value of the smallest simulator id.
+#[derive(Clone, Debug)]
+pub struct SafeAgreement<V> {
+    values: Vec<Option<V>>,
+    levels: Vec<u8>, // 0 = backed off, 1 = unsafe, 2 = committed, 255 = ⊥
+}
+
+impl<V: Clone> SafeAgreement<V> {
+    /// A fresh object for `m` simulators.
+    pub fn new(m: usize) -> Self {
+        SafeAgreement {
+            values: vec![None; m],
+            levels: vec![255; m],
+        }
+    }
+
+    /// `true` iff simulator `s` has started proposing.
+    pub fn has_proposed(&self, s: usize) -> bool {
+        self.levels[s] != 255
+    }
+
+    /// Step A of `propose`: publish the value and enter the unsafe zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` already proposed.
+    pub fn propose_write(&mut self, s: usize, v: V) {
+        assert!(!self.has_proposed(s), "safe agreement is one-shot per simulator");
+        self.values[s] = Some(v);
+        self.levels[s] = 1;
+    }
+
+    /// Step B of `propose`: snapshot the levels; returns whether a level-2
+    /// was visible (to be passed to [`SafeAgreement::propose_finish`]).
+    pub fn propose_snapshot(&self, _s: usize) -> bool {
+        self.levels.contains(&2)
+    }
+
+    /// Step C of `propose`: leave the unsafe zone — commit to level 2, or
+    /// back off to level 0 if a level-2 was seen in step B.
+    pub fn propose_finish(&mut self, s: usize, saw2: bool) {
+        debug_assert_eq!(self.levels[s], 1);
+        self.levels[s] = if saw2 { 0 } else { 2 };
+    }
+
+    /// The resolution state: `Some(value)` once no simulator is in the
+    /// unsafe zone and some simulator committed; `None` while unresolved.
+    pub fn resolved(&self) -> Option<&V> {
+        if self.levels.contains(&1) {
+            return None;
+        }
+        self.levels
+            .iter()
+            .position(|&l| l == 2)
+            .map(|s| self.values[s].as_ref().expect("level 2 implies value"))
+    }
+
+    /// `true` iff some simulator is currently inside the unsafe zone.
+    pub fn unsafe_zone_occupied(&self) -> bool {
+        self.levels.contains(&1)
+    }
+}
+
+/// What a simulator is in the middle of doing.
+#[derive(Clone, Debug)]
+enum SimulatorState {
+    Idle,
+    Proposing {
+        proc: usize,
+        step: usize,
+        phase: ProposePhase,
+    },
+}
+
+/// Aggregate statistics of a BG run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BgStats {
+    /// Simulator micro-steps executed.
+    pub steps: u64,
+    /// Safe-agreement proposals started.
+    pub proposals: u64,
+    /// Proposals that backed off (lost to a committed value).
+    pub backoffs: u64,
+}
+
+/// A deterministic BG simulation of the `(n+1)`-process k-shot
+/// full-information protocol (Figure 1) by `m` simulators.
+///
+/// Drive it by calling [`BgSimulation::step`] with simulator ids (any
+/// schedule); crash simulators with [`BgSimulation::crash`]. Simulated
+/// processes decide their final full-information views.
+///
+/// # Examples
+///
+/// ```
+/// use iis_core::bg::BgSimulation;
+///
+/// // 2 simulators run 3 simulated processes for 1 round each.
+/// let mut bg = BgSimulation::new(3, 1, 2);
+/// for step in 0..1000 {
+///     if bg.all_done() { break; }
+///     bg.step(step % 2);
+/// }
+/// assert_eq!(bg.decisions().iter().filter(|d| d.is_some()).count(), 3);
+/// ```
+pub struct BgSimulation {
+    n_sim: usize,
+    k: usize,
+    m: usize,
+    machines: Vec<FullInfoAtomic>,
+    /// #snapshots agreed-and-applied per simulated process.
+    progress: Vec<usize>,
+    /// Current (already determined) cell contents of the simulated memory.
+    cells: Vec<Option<Label>>,
+    decisions: Vec<Option<Label>>,
+    agreements: BTreeMap<(usize, usize), SafeAgreement<Vec<Option<Label>>>>,
+    sim_state: Vec<SimulatorState>,
+    cursor: Vec<usize>,
+    crashed: Vec<bool>,
+    stats: BgStats,
+}
+
+impl BgSimulation {
+    /// Creates a simulation of `n_sim` processes (inputs = their ids)
+    /// running `k` write/snapshot rounds, driven by `m` simulators.
+    pub fn new(n_sim: usize, k: usize, m: usize) -> Self {
+        let mut machines: Vec<FullInfoAtomic> = (0..n_sim)
+            .map(|p| FullInfoAtomic::new(p, Label::scalar(p as u64), k))
+            .collect();
+        // the first write of every simulated process is determined by its
+        // input alone; make it visible (simulators replicate determined
+        // writes without agreement)
+        let cells: Vec<Option<Label>> = machines.iter_mut().map(|mc| Some(mc.next_write())).collect();
+        BgSimulation {
+            n_sim,
+            k,
+            m,
+            machines,
+            progress: vec![0; n_sim],
+            cells,
+            decisions: vec![None; n_sim],
+            agreements: BTreeMap::new(),
+            sim_state: vec![SimulatorState::Idle; m],
+            cursor: (0..m).collect(),
+            crashed: vec![false; m],
+            stats: BgStats::default(),
+        }
+    }
+
+    /// Number of simulators.
+    pub fn simulators(&self) -> usize {
+        self.m
+    }
+
+    /// The simulated processes' decisions (final views) so far.
+    pub fn decisions(&self) -> &[Option<Label>] {
+        &self.decisions
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &BgStats {
+        &self.stats
+    }
+
+    /// `true` iff every simulated process has decided.
+    pub fn all_done(&self) -> bool {
+        self.decisions.iter().all(Option::is_some)
+    }
+
+    /// Number of simulated processes currently stalled by an occupied
+    /// unsafe zone (blocked until the occupying simulator finishes).
+    pub fn blocked_processes(&self) -> usize {
+        (0..self.n_sim)
+            .filter(|&p| {
+                self.decisions[p].is_none()
+                    && self
+                        .agreements
+                        .get(&(p, self.progress[p] + 1))
+                        .is_some_and(|a| a.unsafe_zone_occupied() && a.resolved().is_none())
+            })
+            .count()
+    }
+
+    /// Crashes simulator `s` (wherever it is — possibly inside an unsafe
+    /// zone, which then blocks one simulated process forever).
+    pub fn crash(&mut self, s: usize) {
+        self.crashed[s] = true;
+    }
+
+    /// `true` iff simulator `s` crashed.
+    pub fn is_crashed(&self, s: usize) -> bool {
+        self.crashed[s]
+    }
+
+    /// Executes one micro-step of simulator `s`. Returns `true` if the step
+    /// made progress (proposed, advanced, or applied a resolution).
+    pub fn step(&mut self, s: usize) -> bool {
+        if self.crashed[s] || self.all_done() {
+            return false;
+        }
+        self.stats.steps += 1;
+        match self.sim_state[s].clone() {
+            SimulatorState::Proposing { proc, step, phase } => {
+                let agr = self
+                    .agreements
+                    .get_mut(&(proc, step))
+                    .expect("agreement exists while proposing");
+                match phase {
+                    ProposePhase::WroteValue => {
+                        let saw2 = agr.propose_snapshot(s);
+                        self.sim_state[s] = SimulatorState::Proposing {
+                            proc,
+                            step,
+                            phase: ProposePhase::Snapshotted { saw2 },
+                        };
+                        true
+                    }
+                    ProposePhase::Snapshotted { saw2 } => {
+                        if saw2 {
+                            self.stats.backoffs += 1;
+                        }
+                        agr.propose_finish(s, saw2);
+                        self.sim_state[s] = SimulatorState::Idle;
+                        self.try_apply(proc, step);
+                        true
+                    }
+                }
+            }
+            SimulatorState::Idle => {
+                // round-robin over simulated processes from this simulator's
+                // cursor: apply a resolution, or start a proposal
+                for off in 0..self.n_sim {
+                    let p = (self.cursor[s] + off) % self.n_sim;
+                    if self.decisions[p].is_some() {
+                        continue;
+                    }
+                    let t = self.progress[p] + 1;
+                    if t > self.k {
+                        continue;
+                    }
+                    if self.try_apply(p, t) {
+                        self.cursor[s] = (p + 1) % self.n_sim;
+                        return true;
+                    }
+                    let agr = self
+                        .agreements
+                        .entry((p, t))
+                        .or_insert_with(|| SafeAgreement::new(self.m));
+                    if !agr.has_proposed(s) {
+                        // propose the current simulated memory as p's t-th
+                        // snapshot (step A: enter the unsafe zone)
+                        let proposal = self.cells.clone();
+                        let agr = self
+                            .agreements
+                            .get_mut(&(p, t))
+                            .expect("just inserted");
+                        agr.propose_write(s, proposal);
+                        self.stats.proposals += 1;
+                        self.sim_state[s] = SimulatorState::Proposing {
+                            proc: p,
+                            step: t,
+                            phase: ProposePhase::WroteValue,
+                        };
+                        self.cursor[s] = (p + 1) % self.n_sim;
+                        return true;
+                    }
+                    // already proposed and unresolved: move to next process
+                }
+                false
+            }
+        }
+    }
+
+    /// If agreement `(p, t)` is resolved and not yet applied, apply it:
+    /// feed the agreed snapshot to the simulated machine, advance progress,
+    /// propagate the determined next write (or record the decision).
+    fn try_apply(&mut self, p: usize, t: usize) -> bool {
+        if self.progress[p] + 1 != t || self.decisions[p].is_some() {
+            return false;
+        }
+        let Some(agr) = self.agreements.get(&(p, t)) else {
+            return false;
+        };
+        let Some(snapshot) = agr.resolved().cloned() else {
+            return false;
+        };
+        self.progress[p] = t;
+        match self.machines[p].on_snapshot(&snapshot) {
+            Some(decision) => {
+                self.decisions[p] = Some(decision);
+            }
+            None => {
+                self.cells[p] = Some(self.machines[p].next_write());
+            }
+        }
+        true
+    }
+
+    /// Runs a schedule of simulator ids until exhausted or all simulated
+    /// processes decided. Returns the number of steps executed.
+    pub fn run<I: IntoIterator<Item = usize>>(&mut self, schedule: I) -> u64 {
+        let before = self.stats.steps;
+        for s in schedule {
+            if self.all_done() {
+                break;
+            }
+            self.step(s);
+        }
+        self.stats.steps - before
+    }
+}
+
+impl fmt::Debug for BgSimulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BgSimulation")
+            .field("simulated", &self.n_sim)
+            .field("simulators", &self.m)
+            .field("progress", &self.progress)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_round_robin(bg: &mut BgSimulation, limit: u64) {
+        let m = bg.simulators();
+        let mut i = 0u64;
+        while !bg.all_done() && i < limit {
+            bg.step((i % m as u64) as usize);
+            i += 1;
+        }
+    }
+
+    #[test]
+    fn safe_agreement_solo_commits() {
+        let mut a: SafeAgreement<u32> = SafeAgreement::new(3);
+        a.propose_write(0, 42);
+        assert!(a.unsafe_zone_occupied());
+        assert_eq!(a.resolved(), None);
+        let saw2 = a.propose_snapshot(0);
+        assert!(!saw2);
+        a.propose_finish(0, saw2);
+        assert_eq!(a.resolved(), Some(&42));
+    }
+
+    #[test]
+    fn safe_agreement_second_proposer_backs_off() {
+        let mut a: SafeAgreement<u32> = SafeAgreement::new(2);
+        a.propose_write(0, 1);
+        let s0 = a.propose_snapshot(0);
+        a.propose_finish(0, s0);
+        a.propose_write(1, 2);
+        let s1 = a.propose_snapshot(1);
+        assert!(s1, "must see the committed level 2");
+        a.propose_finish(1, s1);
+        assert_eq!(a.resolved(), Some(&1), "agreement on the committed value");
+    }
+
+    #[test]
+    fn safe_agreement_concurrent_proposers_agree() {
+        // interleave: both write level 1, both snapshot (see no 2), both
+        // commit → resolution picks min id
+        let mut a: SafeAgreement<u32> = SafeAgreement::new(2);
+        a.propose_write(0, 10);
+        a.propose_write(1, 20);
+        let s0 = a.propose_snapshot(0);
+        let s1 = a.propose_snapshot(1);
+        a.propose_finish(0, s0);
+        assert_eq!(a.resolved(), None, "1 still in the unsafe zone");
+        a.propose_finish(1, s1);
+        assert_eq!(a.resolved(), Some(&10));
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot")]
+    fn safe_agreement_double_propose_panics() {
+        let mut a: SafeAgreement<u32> = SafeAgreement::new(2);
+        a.propose_write(0, 1);
+        a.propose_write(0, 2);
+    }
+
+    #[test]
+    fn bg_completes_without_crashes() {
+        for (n_sim, k, m) in [(3, 1, 2), (3, 2, 2), (4, 2, 3), (2, 3, 1)] {
+            let mut bg = BgSimulation::new(n_sim, k, m);
+            run_round_robin(&mut bg, 100_000);
+            assert!(bg.all_done(), "n={n_sim} k={k} m={m}");
+            for d in bg.decisions() {
+                assert!(d.as_ref().unwrap().as_view().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn bg_single_simulator_sees_sequential_execution() {
+        // one simulator: every snapshot it agrees is the deterministic
+        // current memory — the simulated run is a legal execution
+        let mut bg = BgSimulation::new(2, 2, 1);
+        run_round_robin(&mut bg, 10_000);
+        assert!(bg.all_done());
+    }
+
+    #[test]
+    fn bg_crash_outside_unsafe_zone_blocks_nothing() {
+        let mut bg = BgSimulation::new(3, 2, 3);
+        // let simulator 0 run a bit, crash it while Idle
+        bg.step(0);
+        bg.step(0); // finishes its propose (3 micro-steps: A,B,C → step does A then B then C across calls)
+        bg.step(0);
+        assert!(matches!(bg.sim_state[0], SimulatorState::Idle));
+        bg.crash(0);
+        let mut i = 0u64;
+        while !bg.all_done() && i < 100_000 {
+            bg.step(1 + (i % 2) as usize);
+            i += 1;
+        }
+        assert!(bg.all_done(), "crash outside the zone must not block");
+    }
+
+    #[test]
+    fn bg_crash_in_unsafe_zone_blocks_at_most_one() {
+        let mut bg = BgSimulation::new(3, 2, 2);
+        // simulator 0 does step A of its first proposal, then crashes
+        bg.step(0);
+        assert!(matches!(
+            bg.sim_state[0],
+            SimulatorState::Proposing {
+                phase: ProposePhase::WroteValue,
+                ..
+            }
+        ));
+        bg.crash(0);
+        let mut i = 0u64;
+        while i < 100_000 {
+            bg.step(1);
+            i += 1;
+            if bg.decisions().iter().filter(|d| d.is_some()).count() >= 2 {
+                break;
+            }
+        }
+        let done = bg.decisions().iter().filter(|d| d.is_some()).count();
+        assert!(done >= 2, "one crash blocks at most one simulated process");
+        assert!(bg.blocked_processes() <= 1);
+        assert!(!bg.all_done(), "the blocked process never finishes");
+    }
+
+    #[test]
+    fn bg_stats_accumulate() {
+        let mut bg = BgSimulation::new(2, 1, 2);
+        run_round_robin(&mut bg, 10_000);
+        let st = bg.stats();
+        assert!(st.steps > 0);
+        assert!(st.proposals >= 2);
+        assert!(!bg.is_crashed(0));
+        assert!(!format!("{bg:?}").is_empty());
+    }
+
+    #[test]
+    fn bg_simulated_views_are_consistent() {
+        // final views of a 1-shot run: everyone's view is the full set or a
+        // prefix-comparable subset (snapshots of a monotone memory)
+        let mut bg = BgSimulation::new(3, 1, 3);
+        run_round_robin(&mut bg, 100_000);
+        assert!(bg.all_done());
+        let views: Vec<Vec<(iis_topology::Color, Label)>> = bg
+            .decisions()
+            .iter()
+            .map(|d| d.as_ref().unwrap().as_view().unwrap())
+            .collect();
+        // pairwise containment-comparable participant sets
+        for a in &views {
+            for b in &views {
+                let pa: std::collections::BTreeSet<_> = a.iter().map(|(c, _)| *c).collect();
+                let pb: std::collections::BTreeSet<_> = b.iter().map(|(c, _)| *c).collect();
+                assert!(pa.is_subset(&pb) || pb.is_subset(&pa));
+            }
+        }
+    }
+}

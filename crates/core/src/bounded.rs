@@ -1,0 +1,119 @@
+//! Bounded wait-free solvability (Lemma 3.1).
+//!
+//! Lemma 3.1: a wait-free solvable task with finitely many inputs is
+//! *bounded* wait-free solvable — there is a bound `b` such that every
+//! process decides within `b` of its own steps. The proof is König's lemma
+//! on the tree of executions in which decided processes take no further
+//! steps: the tree is finitely branching, and an infinite path would be a
+//! non-deciding execution.
+//!
+//! In the IIS model the bound is explicit: a decision map on `SDS^b(I)`
+//! decides everyone in exactly `b` rounds. This module computes the
+//! *minimal* such `b` and exhibits the König bound concretely by measuring,
+//! over every execution, the deepest point at which some process decides.
+
+use crate::solvability::{solve_at, DecisionMap};
+use iis_tasks::Task;
+
+/// The minimal number of IIS rounds at which a decision map exists, searched
+/// up to `max_rounds`. This is the Lemma 3.1 bound for the IIS model,
+/// computed exactly.
+pub fn minimal_rounds(task: &Task, max_rounds: usize) -> Option<(usize, DecisionMap)> {
+    (0..=max_rounds).find_map(|b| solve_at(task, b).map(|m| (b, m)))
+}
+
+/// Measures the earliest round at which each process's decision is already
+/// *committed* under the given decision map: the smallest depth `d` such
+/// that every full `b`-round local state extending the process's `d`-round
+/// state maps to the same output. Returns the maximum over all states — the
+/// effective König bound of Lemma 3.1, which can be smaller than `b`.
+///
+/// The `d`-round prefix of a `b`-round view label is recovered by peeling
+/// the process's own entry out of the nested view `b − d` times (the
+/// full-information state is self-describing).
+pub fn effective_bound(task: &Task, decision: &DecisionMap) -> usize {
+    let _ = task;
+    let b = decision.rounds();
+    if b == 0 {
+        return 0;
+    }
+    let sub = decision.subdivision();
+    let map = decision.map();
+    let c = sub.complex();
+    // peel the own-color entry `times` times
+    let peel = |color: iis_topology::Color,
+                label: &iis_topology::Label,
+                times: usize|
+     -> iis_topology::Label {
+        let mut cur = label.clone();
+        for _ in 0..times {
+            let entries = cur.as_view().expect("full-information labels are views");
+            cur = entries
+                .into_iter()
+                .find(|(cc, _)| *cc == color)
+                .expect("self-inclusion")
+                .1;
+        }
+        cur
+    };
+    let mut worst = 0usize;
+    for d in (0..b).rev() {
+        // group b-round vertices by their d-round prefix; a group commits at
+        // depth d iff all members decide the same output vertex
+        use std::collections::HashMap;
+        let mut groups: HashMap<(iis_topology::Color, iis_topology::Label), Vec<_>> =
+            HashMap::new();
+        for v in c.vertex_ids() {
+            let color = c.color(v);
+            let prefix = peel(color, c.label(v), b - d);
+            groups.entry((color, prefix)).or_default().push(v);
+        }
+        let all_committed = groups.values().all(|vs| {
+            let mut decisions = vs.iter().map(|&v| map.image(v));
+            let first = decisions.next().unwrap();
+            decisions.all(|w| w == first)
+        });
+        if all_committed {
+            worst = d;
+        } else {
+            return worst.max(d + 1);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iis_tasks::library::{approximate_agreement, one_shot_immediate_snapshot_task, trivial};
+
+    #[test]
+    fn minimal_rounds_trivial_is_zero() {
+        let t = trivial(1);
+        let (b, m) = minimal_rounds(&t, 2).unwrap();
+        assert_eq!(b, 0);
+        assert_eq!(m.rounds(), 0);
+        assert_eq!(effective_bound(&t, &m), 0);
+    }
+
+    #[test]
+    fn minimal_rounds_one_shot_is_one() {
+        let t = one_shot_immediate_snapshot_task(1);
+        let (b, m) = minimal_rounds(&t, 2).unwrap();
+        assert_eq!(b, 1);
+        assert_eq!(effective_bound(&t, &m), 1);
+    }
+
+    #[test]
+    fn minimal_rounds_grid9_is_two() {
+        let t = approximate_agreement(1, 9);
+        let (b, _) = minimal_rounds(&t, 3).unwrap();
+        assert_eq!(b, 2);
+    }
+
+    #[test]
+    fn minimal_rounds_none_for_unsolvable() {
+        let t = iis_tasks::library::consensus(1, &[0, 1]);
+        assert!(minimal_rounds(&t, 2).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Running atomic-model protocols on **real concurrent** snapshot memory.
+//!
+//! Together with the other runners this completes the execution matrix for
+//! a single protocol artifact (an [`AtomicMachine`]):
+//!
+//! | substrate | deterministic | concurrent (threads) |
+//! |---|---|---|
+//! | atomic snapshot | `iis_sched::AtomicRunner` | [`run_atomic_concurrent`] |
+//! | iterated immediate snapshot | `EmulatorMachine` + `IisRunner` | [`crate::run_emulation_concurrent`] |
+//!
+//! The same protocol value runs unchanged in all four cells — the right
+//! column exercises the real wait-free memory objects of `iis-memory`, the
+//! bottom row exercises the paper's emulation theorem.
+
+use iis_memory::SnapshotMemory;
+use iis_sched::AtomicMachine;
+use std::sync::Arc;
+
+/// Runs one thread per machine against a shared snapshot memory until every
+/// machine decides. Each thread alternates `update` (its `next_write`) and
+/// `scan`, exactly as Figure 1 prescribes.
+///
+/// The memory must have one cell per machine, initialized to `None`.
+///
+/// # Panics
+///
+/// Panics if `memory.len() != machines.len()`, or if a worker thread
+/// panics.
+pub fn run_atomic_concurrent<M, S>(machines: Vec<M>, memory: Arc<S>) -> Vec<M::Output>
+where
+    M: AtomicMachine + Send + 'static,
+    M::Value: Send + Sync + 'static,
+    M::Output: Send + 'static,
+    S: SnapshotMemory<Option<M::Value>> + 'static,
+{
+    assert_eq!(
+        memory.len(),
+        machines.len(),
+        "one memory cell per machine"
+    );
+    let handles: Vec<_> = machines
+        .into_iter()
+        .enumerate()
+        .map(|(pid, mut machine)| {
+            let memory = Arc::clone(&memory);
+            std::thread::spawn(move || loop {
+                let value = machine.next_write();
+                memory.update(pid, Some(value));
+                let snapshot = memory.scan(pid);
+                if let Some(out) = machine.on_snapshot(&snapshot) {
+                    return out;
+                }
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("protocol thread panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{ApproxAgreement, Renaming};
+    use iis_memory::{DoubleCollectSnapshot, EmbeddedScanSnapshot};
+
+    #[test]
+    fn renaming_on_double_collect_memory() {
+        for _case in 0..30 {
+            let n = 4;
+            let machines: Vec<Renaming> = (0..n).map(|p| Renaming::new(p as u64 + 1)).collect();
+            let mem = Arc::new(DoubleCollectSnapshot::new(n, None));
+            let names = run_atomic_concurrent(machines, mem);
+            let mut uniq = names.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), n, "distinct names: {names:?}");
+            assert!(names.iter().all(|&nm| (1..=2 * (n - 1) + 1).contains(&nm)));
+        }
+    }
+
+    #[test]
+    fn renaming_on_wait_free_memory() {
+        for _case in 0..30 {
+            let n = 3;
+            let machines: Vec<Renaming> = (0..n).map(|p| Renaming::new(p as u64 * 7 + 3)).collect();
+            let mem = Arc::new(EmbeddedScanSnapshot::new(n, None));
+            let names = run_atomic_concurrent(machines, mem);
+            let mut uniq = names.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), n);
+        }
+    }
+
+    #[test]
+    fn approx_agreement_on_both_memories() {
+        for _case in 0..20 {
+            let rounds = 10;
+            let inputs = [0i64, 8, 8];
+            let machines: Vec<ApproxAgreement> = inputs
+                .iter()
+                .map(|&x| ApproxAgreement::new(x, rounds))
+                .collect();
+            let mem = Arc::new(DoubleCollectSnapshot::new(3, None));
+            let outs = run_atomic_concurrent(machines, mem);
+            let lo = *outs.iter().min().unwrap();
+            let hi = *outs.iter().max().unwrap();
+            assert!(lo >= 0 && hi <= 8 * ApproxAgreement::SCALE, "validity");
+            assert!(
+                hi - lo <= 8 * ApproxAgreement::SCALE / (1 << (rounds - 2)),
+                "convergence: spread {}",
+                hi - lo
+            );
+
+            let machines: Vec<ApproxAgreement> = inputs
+                .iter()
+                .map(|&x| ApproxAgreement::new(x, rounds))
+                .collect();
+            let mem = Arc::new(EmbeddedScanSnapshot::new(3, None));
+            let outs = run_atomic_concurrent(machines, mem);
+            let lo = *outs.iter().min().unwrap();
+            let hi = *outs.iter().max().unwrap();
+            assert!(lo >= 0 && hi <= 8 * ApproxAgreement::SCALE);
+            assert!(hi - lo <= 8 * ApproxAgreement::SCALE / (1 << (rounds - 2)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one memory cell per machine")]
+    fn size_mismatch_panics() {
+        let machines: Vec<Renaming> = vec![Renaming::new(1)];
+        let mem = Arc::new(DoubleCollectSnapshot::new(2, None));
+        let _ = run_atomic_concurrent(machines, mem);
+    }
+}

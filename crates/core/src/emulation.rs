@@ -1,0 +1,645 @@
+//! Emulation of atomic snapshot memory by iterated immediate snapshot
+//! memory — the paper's main theorem (§4, Figure 2).
+//!
+//! Any protocol written for the SWMR atomic snapshot model (an
+//! [`AtomicMachine`]) runs unchanged in the IIS model through
+//! [`EmulatorMachine`]. The emulator for process `Pᵢ` maintains the union
+//! `∪S` of all tuple-sets it has seen; to emulate the `sq`-th **write** of
+//! value `v` it submits `∪S ∪ {(i, sq, v)}` to successive one-shot memories
+//! until `(i, sq, v)` appears in the **intersection** `∩S` of the sets
+//! returned; to emulate a **snapshot** it does the same with the placeholder
+//! tuple `(i, sq, ⊥)` and, once the placeholder is in the intersection,
+//! returns for every cell `C_p` the value of the `(p, q, v)` tuple in `∩S`
+//! with the largest `q` (Figure 2's `SnapshotRead`).
+//!
+//! Claim 4.1 (once in everybody's intersection, forever in every later
+//! intersection), Corollary 4.1 (reads see preceding writes) and the
+//! containment of returned intersections make the emulated snapshots
+//! atomic; the emulation is *non-blocking* (progress is system-wide, a
+//! single emulated operation is not bounded) — exactly as the paper remarks
+//! at the end of §4.
+
+use iis_sched::{AtomicMachine, IisMachine, MachineStep};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A memory tuple of Figure 2: `(id, sequence-number, value-or-⊥)`.
+///
+/// `Write` tuples record "process `pid`, on its `sq`-th time around, wrote
+/// `v`"; `ReadMarker` is the placeholder for `pid`'s `sq`-th snapshot.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Tuple<V> {
+    /// The emulated process id.
+    pub pid: usize,
+    /// The emulated operation's sequence number (1-based).
+    pub sq: usize,
+    /// `Some(v)` for a write of `v`; `None` for a read placeholder `⊥`.
+    pub value: Option<V>,
+}
+
+impl<V> Tuple<V> {
+    /// A write tuple `(pid, sq, v)`.
+    pub fn write(pid: usize, sq: usize, v: V) -> Self {
+        Tuple {
+            pid,
+            sq,
+            value: Some(v),
+        }
+    }
+
+    /// A read placeholder `(pid, sq, ⊥)`.
+    pub fn marker(pid: usize, sq: usize) -> Self {
+        Tuple {
+            pid,
+            sq,
+            value: None,
+        }
+    }
+}
+
+/// The tuple-set values the emulator exchanges through the one-shot
+/// memories.
+pub type TupleSet<V> = BTreeSet<Tuple<V>>;
+
+/// Which emulated operation is in flight.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Mode<V> {
+    /// Waiting for `(pid, sq, v)` to enter the intersection.
+    Write { sq: usize, value: V },
+    /// Waiting for `(pid, sq, ⊥)` to enter the intersection.
+    Snapshot { sq: usize },
+    /// The inner machine decided.
+    Done,
+}
+
+/// Per-operation and aggregate counters for the benchmark harness.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EmulationStats {
+    /// One entry per completed emulated operation: how many one-shot
+    /// memories it consumed.
+    pub memories_per_op: Vec<usize>,
+    /// Total IIS rounds this emulator participated in.
+    pub rounds: usize,
+    /// Completed emulated writes.
+    pub writes_done: usize,
+    /// Completed emulated snapshots.
+    pub snapshots_done: usize,
+}
+
+impl EmulationStats {
+    /// The largest number of memories any single operation consumed.
+    pub fn max_memories_per_op(&self) -> usize {
+        self.memories_per_op.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs an [`AtomicMachine`] in the IIS model (Figure 2).
+///
+/// Implements [`IisMachine`] with tuple-set values, so it can be driven by
+/// the deterministic [`iis_sched::IisRunner`] under arbitrary schedules, or
+/// adapted onto the real concurrent IIS memory (see
+/// [`run_emulation_concurrent`]).
+pub struct EmulatorMachine<M: AtomicMachine> {
+    pid: usize,
+    n: usize,
+    inner: M,
+    mode: Mode<M::Value>,
+    known: TupleSet<M::Value>,
+    /// The round at which the current operation started (for stats).
+    op_started_round: usize,
+    stats: EmulationStats,
+    /// Snapshot history: `(sq, cells)` per completed emulated snapshot.
+    snapshots: Vec<(usize, Vec<Option<M::Value>>)>,
+}
+
+impl<M: AtomicMachine> EmulatorMachine<M>
+where
+    M::Value: Ord + Clone,
+{
+    /// Wraps `inner`, emulating it as process `pid` out of `n` (the
+    /// emulated memory has `n` cells).
+    pub fn new(pid: usize, n: usize, inner: M) -> Self {
+        EmulatorMachine {
+            pid,
+            n,
+            inner,
+            mode: Mode::Done, // replaced in initial_value
+            known: BTreeSet::new(),
+            op_started_round: 0,
+            stats: EmulationStats::default(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// The emulation statistics collected so far.
+    pub fn stats(&self) -> &EmulationStats {
+        &self.stats
+    }
+
+    /// The emulated snapshots this process has completed, each as
+    /// `(sq, cell values)`.
+    pub fn snapshot_history(&self) -> &[(usize, Vec<Option<M::Value>>)] {
+        &self.snapshots
+    }
+
+    /// The wrapped machine.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The emulated process id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    fn begin_write(&mut self) -> TupleSet<M::Value> {
+        let sq = self.stats.writes_done + 1;
+        let value = self.inner.next_write();
+        self.mode = Mode::Write {
+            sq,
+            value: value.clone(),
+        };
+        let mut submit = self.known.clone();
+        submit.insert(Tuple::write(self.pid, sq, value));
+        submit
+    }
+
+    fn begin_snapshot(&mut self) -> TupleSet<M::Value> {
+        let sq = self.stats.snapshots_done + 1;
+        self.mode = Mode::Snapshot { sq };
+        let mut submit = self.known.clone();
+        submit.insert(Tuple::marker(self.pid, sq));
+        submit
+    }
+
+    /// Reconstructs the snapshot contents from the intersection: for each
+    /// cell, the written value with the highest sequence number.
+    fn snapshot_from(inter: &TupleSet<M::Value>, cells: usize) -> Vec<Option<M::Value>> {
+        let mut snap: Vec<Option<(usize, M::Value)>> = vec![None; cells];
+        for t in inter {
+            if let Some(v) = &t.value {
+                if t.pid < cells {
+                    match &snap[t.pid] {
+                        Some((q, _)) if *q >= t.sq => {}
+                        _ => snap[t.pid] = Some((t.sq, v.clone())),
+                    }
+                }
+            }
+        }
+        snap.into_iter().map(|o| o.map(|(_, v)| v)).collect()
+    }
+}
+
+impl<M: AtomicMachine> IisMachine for EmulatorMachine<M>
+where
+    M::Value: Ord + Clone,
+{
+    type Value = TupleSet<M::Value>;
+    type Output = M::Output;
+
+    fn initial_value(&mut self) -> TupleSet<M::Value> {
+        self.begin_write()
+    }
+
+    fn on_view(
+        &mut self,
+        round: usize,
+        view: &[(usize, TupleSet<M::Value>)],
+    ) -> MachineStep<TupleSet<M::Value>, M::Output> {
+        self.stats.rounds += 1;
+        // ∩S and ∪S over the collection of sets returned
+        let first = view.first().expect("view includes self").1.clone();
+        let (inter, union) = view.iter().skip(1).fold(
+            (first.clone(), first),
+            |(mut inter, mut union), (_, s)| {
+                inter.retain(|t| s.contains(t));
+                union.extend(s.iter().cloned());
+                (inter, union)
+            },
+        );
+        self.known = union;
+        let cells = self.n;
+        match self.mode.clone() {
+            Mode::Write { sq, value } => {
+                let confirmed = inter.contains(&Tuple::write(self.pid, sq, value));
+                if confirmed {
+                    self.stats.writes_done += 1;
+                    self.stats
+                        .memories_per_op
+                        .push(round + 1 - self.op_started_round);
+                    self.op_started_round = round + 1;
+                    MachineStep::Continue(self.begin_snapshot())
+                } else {
+                    MachineStep::Continue(self.known.clone())
+                }
+            }
+            Mode::Snapshot { sq } => {
+                let confirmed = inter.contains(&Tuple::marker(self.pid, sq));
+                if confirmed {
+                    self.stats.snapshots_done += 1;
+                    self.stats
+                        .memories_per_op
+                        .push(round + 1 - self.op_started_round);
+                    self.op_started_round = round + 1;
+                    let snap = Self::snapshot_from(&inter, cells);
+                    self.snapshots.push((sq, snap.clone()));
+                    match self.inner.on_snapshot(&snap) {
+                        Some(out) => {
+                            self.mode = Mode::Done;
+                            MachineStep::Decide(out)
+                        }
+                        None => MachineStep::Continue(self.begin_write()),
+                    }
+                } else {
+                    MachineStep::Continue(self.known.clone())
+                }
+            }
+            Mode::Done => unreachable!("decided machines take no steps"),
+        }
+    }
+}
+
+impl<M: AtomicMachine> fmt::Debug for EmulatorMachine<M>
+where
+    M::Value: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EmulatorMachine")
+            .field("pid", &self.pid)
+            .field("rounds", &self.stats.rounds)
+            .field("writes_done", &self.stats.writes_done)
+            .field("snapshots_done", &self.stats.snapshots_done)
+            .finish()
+    }
+}
+
+/// The per-process result of [`run_emulation_concurrent`]: the decision,
+/// emulation statistics, and the snapshot history `(sq, cells)`.
+pub type EmulationResult<M> = (
+    Option<<M as AtomicMachine>::Output>,
+    EmulationStats,
+    Vec<(usize, Vec<Option<<M as AtomicMachine>::Value>>)>,
+);
+
+/// Runs a set of [`AtomicMachine`]s to completion over the **real
+/// concurrent** IIS memory (`iis-memory`), one OS thread per emulator.
+///
+/// Returns each process's decision together with its emulation stats and
+/// snapshot history. Panics in emulator threads propagate.
+///
+/// This is the "it actually runs" form of the main theorem: the same
+/// Figure 2 logic, driven by genuinely concurrent one-shot immediate
+/// snapshots instead of a schedule.
+pub fn run_emulation_concurrent<M>(machines: Vec<M>) -> Vec<EmulationResult<M>>
+where
+    M: AtomicMachine + Send + 'static,
+    M::Value: Ord + Clone + Send + Sync + 'static,
+    M::Output: Send + 'static,
+{
+    use iis_memory::IteratedImmediateSnapshot;
+    use std::sync::Arc;
+
+    let n = machines.len();
+    let iis: Arc<IteratedImmediateSnapshot<TupleSet<M::Value>>> =
+        Arc::new(IteratedImmediateSnapshot::new(n));
+    let mut handles = Vec::new();
+    for (pid, inner) in machines.into_iter().enumerate() {
+        let iis = Arc::clone(&iis);
+        handles.push(std::thread::spawn(move || {
+            let mut em = EmulatorMachine::new(pid, n, inner);
+            let mut value = em.initial_value();
+            let mut round = 0usize;
+            loop {
+                let view = iis.write_read(round, pid, value);
+                match em.on_view(round, &view) {
+                    MachineStep::Continue(v) => value = v,
+                    MachineStep::Decide(out) => {
+                        return (
+                            Some(out),
+                            em.stats().clone(),
+                            em.snapshot_history().to_vec(),
+                        );
+                    }
+                }
+                round += 1;
+            }
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("emulator thread panicked"))
+        .collect()
+}
+
+/// Validates that a collection of emulated snapshot histories is atomic:
+///
+/// 1. **comparability** — the per-writer max-sequence-number vectors of all
+///    snapshots are pairwise coordinatewise ordered;
+/// 2. **self-inclusion** — process `p`'s `sq`-th snapshot shows its own cell
+///    at sequence number ≥ `sq` (it snapshots after its own `sq`-th write,
+///    Corollary 4.1 applied to itself);
+/// 3. **per-process monotonicity** — later snapshots by the same process
+///    dominate earlier ones.
+///
+/// `histories[p]` is process `p`'s list of `(sq, cells)` snapshots where
+/// each cell is `(writer_sq)` extracted by the caller; here we take the raw
+/// cell values as sequence numbers computed by the emulator — so the caller
+/// passes vectors of per-cell sequence numbers (0 for `None`).
+///
+/// # Errors
+///
+/// Returns a description of the first violated condition.
+pub fn validate_snapshot_histories(histories: &[Vec<(usize, Vec<u64>)>]) -> Result<(), String> {
+    let mut all: Vec<(usize, usize, &Vec<u64>)> = Vec::new();
+    for (p, h) in histories.iter().enumerate() {
+        for (sq, cells) in h {
+            all.push((p, *sq, cells));
+        }
+    }
+    // 1. pairwise comparability
+    for i in 0..all.len() {
+        for j in i + 1..all.len() {
+            let (a, b) = (all[i].2, all[j].2);
+            if a.len() != b.len() {
+                return Err(format!(
+                    "snapshot width mismatch: {} vs {}",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            let le = a.iter().zip(b).all(|(x, y)| x <= y);
+            let ge = a.iter().zip(b).all(|(x, y)| x >= y);
+            if !le && !ge {
+                return Err(format!(
+                    "incomparable snapshots: P{} #{} vs P{} #{}",
+                    all[i].0, all[i].1, all[j].0, all[j].1
+                ));
+            }
+        }
+    }
+    // 2. self-inclusion, 3. monotonicity
+    for (p, h) in histories.iter().enumerate() {
+        let mut prev: Option<&Vec<u64>> = None;
+        for (sq, cells) in h {
+            if p < cells.len() && (cells[p] as usize) < *sq {
+                return Err(format!(
+                    "P{p} snapshot #{sq} misses its own write (cell shows {})",
+                    cells[p]
+                ));
+            }
+            if let Some(q) = prev {
+                if !q.iter().zip(cells).all(|(x, y)| x <= y) {
+                    return Err(format!("P{p} snapshot #{sq} went backwards"));
+                }
+            }
+            prev = Some(cells);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iis_sched::{IisRunner, IisSchedule, OrderedPartition};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// A k-shot counter machine: writes `(pid, sq)` pairs encoded as u64 and
+    /// decides on the vector of per-cell sequence numbers it saw last.
+    #[derive(Clone)]
+    struct KShot {
+        pid: usize,
+        k: usize,
+        sq: usize,
+    }
+
+    impl AtomicMachine for KShot {
+        type Value = u64; // encodes (pid << 16) | sq
+        type Output = Vec<u64>;
+        fn next_write(&mut self) -> u64 {
+            self.sq += 1;
+            ((self.pid as u64) << 16) | self.sq as u64
+        }
+        fn on_snapshot(&mut self, snap: &[Option<u64>]) -> Option<Vec<u64>> {
+            if self.sq >= self.k {
+                Some(snap.iter().map(|c| c.map_or(0, |v| v & 0xffff)).collect())
+            } else {
+                None
+            }
+        }
+    }
+
+    fn kshots(n: usize, k: usize) -> Vec<EmulatorMachine<KShot>> {
+        (0..n)
+            .map(|pid| EmulatorMachine::new(pid, n, KShot { pid, k, sq: 0 }))
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_emulation_completes_and_all_see_all() {
+        let n = 3;
+        let mut runner = IisRunner::new(kshots(n, 1));
+        // lockstep: each op needs 2 memories — the tuple reaches everyone's
+        // union in the first memory and everyone's intersection in the next
+        let rounds = runner.run(IisSchedule::lockstep(n, 10));
+        assert_eq!(rounds, 4);
+        for p in 0..n {
+            assert_eq!(runner.output(p), Some(&vec![1, 1, 1]));
+        }
+    }
+
+    #[test]
+    fn sequential_emulation_first_sees_only_self() {
+        let n = 2;
+        let mut runner = IisRunner::new(kshots(n, 1));
+        runner.run(IisSchedule::sequential(n, 10));
+        // P0 always first: sees only its own write at its snapshot? In the
+        // sequential partition P0 precedes P1 in every memory, so P0 cannot
+        // have P1's write in its intersection at snapshot time... but P1
+        // submitted its write to M0 too; P0's view of M0 excludes P1
+        // (P0 first). Intersection for P0 = its own set only.
+        assert_eq!(runner.output(0), Some(&vec![1, 0]));
+        assert_eq!(runner.output(1), Some(&vec![1, 1]));
+    }
+
+    #[test]
+    fn emulation_snapshots_are_atomic_under_random_schedules() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for n in [2usize, 3, 4] {
+            for _case in 0..40 {
+                let k = 1 + (n % 3);
+                let machines = kshots(n, k);
+                let mut runner = IisRunner::new(machines);
+                let mut rounds_used = 0;
+                while !runner.is_quiescent() && rounds_used < 500 {
+                    let pids: Vec<usize> = runner.active();
+                    let p = OrderedPartition::random(&pids, &mut rng);
+                    runner.step_round(&p);
+                    rounds_used += 1;
+                }
+                assert!(runner.is_quiescent(), "emulation must complete");
+                // extract snapshot histories by re-running? instead gather
+                // from outputs: we validate only final snapshots here —
+                // stronger history validation happens in integration tests.
+                let finals: Vec<Vec<u64>> = (0..n)
+                    .map(|p| runner.output(p).unwrap().clone())
+                    .collect();
+                // final snapshots must be pairwise comparable
+                let hist: Vec<Vec<(usize, Vec<u64>)>> =
+                    finals.iter().map(|f| vec![(1, f.clone())]).collect();
+                // skip self-inclusion index (sq numbering differs); check
+                // comparability only:
+                for i in 0..n {
+                    for j in i + 1..n {
+                        let (a, b) = (&finals[i], &finals[j]);
+                        let le = a.iter().zip(b).all(|(x, y)| x <= y);
+                        let ge = a.iter().zip(b).all(|(x, y)| x >= y);
+                        assert!(le || ge, "incomparable final snapshots");
+                    }
+                }
+                let _ = hist;
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_under_laggard_adversary() {
+        // the laggard never blocks others; everyone still finishes
+        let n = 3;
+        let mut runner = IisRunner::new(kshots(n, 2));
+        let rounds = runner.run(IisSchedule::laggard(n, 100));
+        assert!(rounds < 100, "emulation should complete");
+        assert!(runner.is_quiescent());
+    }
+
+    #[test]
+    fn crash_does_not_block_others() {
+        let n = 3;
+        let mut runner = IisRunner::new(kshots(n, 2));
+        runner.step_round(&OrderedPartition::simultaneous(0..n));
+        runner.crash(2);
+        let mut guard = 0;
+        while !runner.active().is_empty() && guard < 100 {
+            runner.step_round(&OrderedPartition::simultaneous(0..n));
+            guard += 1;
+        }
+        assert!(runner.output(0).is_some());
+        assert!(runner.output(1).is_some());
+        assert!(runner.output(2).is_none());
+    }
+
+    #[test]
+    fn stats_track_memories_per_op() {
+        let mut em = EmulatorMachine::new(0, 1, KShot { pid: 0, k: 1, sq: 0 });
+        let v0 = em.initial_value();
+        // solo view: only self
+        let step = em.on_view(0, &[(0, v0)]);
+        let v1 = match step {
+            MachineStep::Continue(v) => v,
+            _ => panic!("write phase first"),
+        };
+        assert_eq!(em.stats().writes_done, 1);
+        assert_eq!(em.stats().memories_per_op, vec![1]);
+        let step2 = em.on_view(1, &[(0, v1)]);
+        assert!(matches!(step2, MachineStep::Decide(_)));
+        assert_eq!(em.stats().snapshots_done, 1);
+        assert_eq!(em.stats().max_memories_per_op(), 1);
+    }
+
+    #[test]
+    fn snapshot_from_picks_highest_sq() {
+        let mut s: TupleSet<u64> = BTreeSet::new();
+        s.insert(Tuple::write(0, 1, 10));
+        s.insert(Tuple::write(0, 3, 30));
+        s.insert(Tuple::write(0, 2, 20));
+        s.insert(Tuple::marker(1, 1));
+        let snap = EmulatorMachine::<KShot>::snapshot_from(&s, 2);
+        assert_eq!(snap, vec![Some(30), None]);
+    }
+
+    #[test]
+    fn validate_snapshot_histories_catches_violations() {
+        // comparable, monotone, self-inclusive
+        let good = vec![
+            vec![(1, vec![1, 0]), (2, vec![2, 1])],
+            vec![(1, vec![1, 1])],
+        ];
+        validate_snapshot_histories(&good).unwrap();
+        // incomparable
+        let bad = vec![vec![(1, vec![1, 0])], vec![(1, vec![0, 1])]];
+        assert!(validate_snapshot_histories(&bad).is_err());
+        // missing own write
+        let bad2 = vec![vec![(1, vec![0, 0])]];
+        assert!(validate_snapshot_histories(&bad2).is_err());
+        // non-monotone
+        let bad3 = vec![vec![(1, vec![1, 1]), (2, vec![2, 0])]];
+        assert!(validate_snapshot_histories(&bad3).is_err());
+    }
+
+    #[test]
+    fn crash_inside_write_read_preserves_atomicity() {
+        // a process that crashes mid-WriteRead leaves its tuple set visible;
+        // survivors' emulated snapshots must still be atomic
+        let mut rng = StdRng::seed_from_u64(555);
+        for case in 0..40 {
+            let n = 3;
+            let mut runner = IisRunner::new(kshots(n, 2));
+            let victim = case % n;
+            let crash_round = case % 5;
+            let mut round = 0;
+            while !runner.is_quiescent() && round < 200 {
+                let active = runner.active();
+                let p = OrderedPartition::random(&active, &mut rng);
+                if round == crash_round && active.contains(&victim) {
+                    runner.step_round_with_failures(&p, &[victim]);
+                } else {
+                    runner.step_round(&p);
+                }
+                round += 1;
+            }
+            for p in 0..n {
+                if !runner.is_crashed(p) {
+                    assert!(runner.output(p).is_some(), "survivor {p} must finish");
+                }
+            }
+            let finals: Vec<&Vec<u64>> = runner.outputs().iter().flatten().collect();
+            for i in 0..finals.len() {
+                for j in i + 1..finals.len() {
+                    let (a, b) = (finals[i], finals[j]);
+                    let le = a.iter().zip(b).all(|(x, y)| x <= y);
+                    let ge = a.iter().zip(b).all(|(x, y)| x >= y);
+                    assert!(le || ge, "incomparable snapshots after mid-op crash");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_emulation_on_real_iis() {
+        for _round in 0..10 {
+            let n = 3;
+            let machines: Vec<KShot> = (0..n).map(|pid| KShot { pid, k: 2, sq: 0 }).collect();
+            let results = run_emulation_concurrent(machines);
+            assert_eq!(results.len(), n);
+            let histories: Vec<Vec<(usize, Vec<u64>)>> = results
+                .iter()
+                .map(|(_, _, h)| {
+                    h.iter()
+                        .map(|(sq, cells)| {
+                            (
+                                *sq,
+                                cells.iter().map(|c| c.map_or(0, |v| v & 0xffff)).collect(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            validate_snapshot_histories(&histories).unwrap();
+            for (out, stats, _) in &results {
+                assert!(out.is_some());
+                assert_eq!(stats.writes_done, 2);
+                assert_eq!(stats.snapshots_done, 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The core of the Borowsky–Gafni PODC'97 reproduction: everything the
+//! paper itself contributes, built on the `iis-topology`, `iis-memory`,
+//! `iis-sched` and `iis-tasks` substrates.
+//!
+//! - [`emulation`] — **the main theorem** (§4, Figure 2): run any atomic
+//!   snapshot protocol in the iterated immediate snapshot model, on a
+//!   deterministic schedule or on real threads;
+//! - [`protocol_complex`] — Lemmas 3.2/3.3 as executable checks: the
+//!   protocol complexes *are* the iterated standard chromatic subdivisions;
+//! - [`solvability`] — Proposition 3.1 as a complete decision procedure for
+//!   fixed round counts: find or refute decision maps `SDS^b(I) → O`;
+//! - [`bounded`] — Lemma 3.1: minimal and effective round bounds;
+//! - [`convergence`] — §5: Theorem 5.1 witnesses, chromatic simplex
+//!   agreement protocols, and the direct path-bisection convergence
+//!   algorithms;
+//! - [`bg`] — the BG simulation (safe agreement; `k+1` simulators running
+//!   `n+1` processes), the extension this line of work seeded.
+//!
+//! # Quickstart
+//!
+//! Decide wait-free solvability (Proposition 3.1 + the emulation theorem):
+//!
+//! ```
+//! use iis_core::solvability::solve_up_to;
+//! use iis_tasks::library::{consensus, approximate_agreement};
+//!
+//! // FLP: consensus has no decision map at any round count we try.
+//! let flp = solve_up_to(&consensus(1, &[0, 1]), 3);
+//! assert_eq!(flp.first_solvable(), None);
+//!
+//! // ε-agreement is solvable once the subdivision is fine enough.
+//! let eps = solve_up_to(&approximate_agreement(1, 3), 2);
+//! assert_eq!(eps.first_solvable(), Some(1));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bg;
+pub mod bounded;
+pub mod concurrent;
+pub mod convergence;
+pub mod emulation;
+pub mod protocol_complex;
+pub mod protocols;
+pub mod solvability;
+
+pub use concurrent::run_atomic_concurrent;
+pub use emulation::{run_emulation_concurrent, EmulationStats, EmulatorMachine, Tuple, TupleSet};
+pub use solvability::{
+    lift_decision_map, solve_at, solve_at_bounded, solve_at_with, solve_up_to, BoundedOutcome,
+    DecisionMap, DecisionProtocol, SearchStrategy, SolvabilityReport,
+};

@@ -1,0 +1,182 @@
+//! Protocol complexes and the structure lemmas (§3.6).
+//!
+//! Lemma 3.2: the one-shot immediate snapshot complex is the standard
+//! chromatic subdivision. Lemma 3.3: the `b`-shot complex is `SDS^b`. Both
+//! are checked here *constructively*: the complex produced by exhaustively
+//! executing the full-information protocol (via `iis-sched`) is compared —
+//! label-for-label and as a carrier-carrying subdivision — with the
+//! combinatorial construction (via `iis-topology`).
+
+use iis_sched::iis_protocol_complex;
+use iis_topology::{sds_iterated, Complex, Simplex, Subdivision};
+
+/// The `b`-round IIS protocol complex of an input complex, produced by
+/// exhaustive execution enumeration, *as a subdivision*: carriers are
+/// decoded from the view labels (the carrier of a view is the set of inputs
+/// it transitively mentions — the participating set the process observed).
+///
+/// # Panics
+///
+/// Panics if `input` is not chromatic or too large to enumerate.
+pub fn protocol_subdivision(input: &Complex, b: usize) -> Subdivision {
+    if b == 0 {
+        return Subdivision::identity(input.clone());
+    }
+    let complex = iis_protocol_complex(input, b);
+    let carriers: Vec<Simplex> = complex
+        .vertex_ids()
+        .map(|v| decode_carrier(input, complex.label(v)))
+        .collect();
+    Subdivision::from_parts(input.clone(), complex, carriers)
+}
+
+/// Decodes the carrier of a (possibly nested) view label: the base vertices
+/// whose inputs the view transitively mentions.
+fn decode_carrier(input: &Complex, label: &iis_topology::Label) -> Simplex {
+    match label.as_view() {
+        None => {
+            // a bare input label: find it among base vertices (any color)
+            Simplex::new(
+                input
+                    .vertex_ids()
+                    .filter(|&u| input.label(u) == label),
+            )
+        }
+        Some(entries) => {
+            let mut acc = Simplex::empty();
+            for (c, l) in entries {
+                // leaf entries are (color, input) pairs of base vertices
+                if let Some(u) = input.vertex_id(c, &l) {
+                    acc = acc.with(u);
+                } else {
+                    acc = acc.union(&decode_carrier(input, &l));
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// Checks Lemma 3.2 on an input complex: the 1-round execution-enumerated
+/// protocol complex equals the standard chromatic subdivision, both as
+/// labeled complexes and as validated subdivisions.
+///
+/// Returns the pair `(enumerated, constructed)` so callers can inspect.
+///
+/// # Panics
+///
+/// Panics (with an explanatory message) if the lemma fails — it cannot, but
+/// this function is the executable proof obligation.
+pub fn check_lemma_3_2(input: &Complex) -> (Subdivision, Subdivision) {
+    let enumerated = protocol_subdivision(input, 1);
+    let constructed = iis_topology::sds(input);
+    assert!(
+        enumerated.complex().same_labeled(constructed.complex()),
+        "Lemma 3.2 violated: execution enumeration disagrees with SDS"
+    );
+    enumerated.validate().expect("enumerated subdivision valid");
+    constructed
+        .validate()
+        .expect("constructed subdivision valid");
+    (enumerated, constructed)
+}
+
+/// Checks Lemma 3.3: the `b`-round protocol complex equals `SDS^b`.
+///
+/// # Panics
+///
+/// Panics if the lemma fails.
+pub fn check_lemma_3_3(input: &Complex, b: usize) -> (Subdivision, Subdivision) {
+    let enumerated = protocol_subdivision(input, b);
+    let constructed = sds_iterated(input, b);
+    assert!(
+        enumerated.complex().same_labeled(constructed.complex()),
+        "Lemma 3.3 violated: execution enumeration disagrees with SDS^b"
+    );
+    // carriers must agree vertex-by-vertex (same labels → comparable)
+    for v in enumerated.complex().vertex_ids() {
+        let w = constructed
+            .complex()
+            .vertex_id(
+                enumerated.complex().color(v),
+                enumerated.complex().label(v),
+            )
+            .expect("same_labeled");
+        assert_eq!(
+            enumerated.carrier_of_vertex(v),
+            constructed.carrier_of_vertex(w),
+            "carrier mismatch at {v}"
+        );
+    }
+    (enumerated, constructed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iis_topology::{Color, Label};
+
+    #[test]
+    fn lemma_3_2_two_processes() {
+        let (e, c) = check_lemma_3_2(&Complex::standard_simplex(1));
+        assert_eq!(e.complex().num_facets(), 3);
+        assert_eq!(c.complex().num_facets(), 3);
+    }
+
+    #[test]
+    fn lemma_3_2_three_processes() {
+        let (e, _) = check_lemma_3_2(&Complex::standard_simplex(2));
+        assert_eq!(e.complex().num_facets(), 13);
+    }
+
+    #[test]
+    fn lemma_3_2_four_processes() {
+        let (e, _) = check_lemma_3_2(&Complex::standard_simplex(3));
+        assert_eq!(e.complex().num_facets(), 75);
+    }
+
+    #[test]
+    fn lemma_3_3_two_rounds_two_processes() {
+        let (e, _) = check_lemma_3_3(&Complex::standard_simplex(1), 2);
+        assert_eq!(e.complex().num_facets(), 9);
+    }
+
+    #[test]
+    fn lemma_3_3_three_rounds_two_processes() {
+        let (e, _) = check_lemma_3_3(&Complex::standard_simplex(1), 3);
+        assert_eq!(e.complex().num_facets(), 27);
+    }
+
+    #[test]
+    fn lemma_3_3_two_rounds_three_processes() {
+        let (e, _) = check_lemma_3_3(&Complex::standard_simplex(2), 2);
+        assert_eq!(e.complex().num_facets(), 169);
+    }
+
+    #[test]
+    fn lemma_3_3_general_input_complex() {
+        // butterfly input: SDS^b over a multi-facet complex (the remark
+        // after Lemma 3.3: the b-shot complex of I is SDS^b(I))
+        let mut input = Complex::new();
+        let a = input.ensure_vertex(Color(0), Label::scalar(10));
+        let b2 = input.ensure_vertex(Color(1), Label::scalar(11));
+        let x = input.ensure_vertex(Color(2), Label::scalar(12));
+        let y = input.ensure_vertex(Color(2), Label::scalar(13));
+        input.add_facet([a, b2, x]);
+        input.add_facet([a, b2, y]);
+        let (e, _) = check_lemma_3_3(&input, 1);
+        assert_eq!(e.complex().num_facets(), 26);
+    }
+
+    #[test]
+    fn decode_carrier_depth_two() {
+        let input = Complex::standard_simplex(1);
+        let sub = protocol_subdivision(&input, 2);
+        for v in sub.complex().vertex_ids() {
+            let carrier = sub.carrier_of_vertex(v);
+            assert!(!carrier.is_empty());
+            assert!(input.contains_simplex(carrier));
+        }
+        sub.validate().unwrap();
+    }
+}

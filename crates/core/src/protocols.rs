@@ -1,0 +1,323 @@
+//! Ready-made atomic-snapshot protocols.
+//!
+//! The paper's intro motivates the characterization with two instance
+//! tasks: *set consensus* (impossible — see `iis-topology::sperner`) and
+//! *renaming* (solvable for `2n+1` names). This module implements the
+//! classic wait-free protocols for renaming and approximate agreement as
+//! [`AtomicMachine`]s, so each runs **both** directly on the atomic
+//! snapshot model and — through the paper's main theorem — unmodified on
+//! iterated immediate snapshots via [`crate::EmulatorMachine`]. The tests
+//! exercise both routes and check the outputs coincide in distribution of
+//! validity.
+
+use iis_sched::AtomicMachine;
+
+/// The classic wait-free `(2n+1)`-renaming protocol (Attiya et al. style).
+///
+/// Each process repeatedly writes `(id, proposal)`, snapshots, and decides
+/// its proposal if no other participant proposes the same name; otherwise
+/// it re-proposes the `r`-th smallest name not proposed by others, where
+/// `r` is the rank of its id among the participants it saw. With at most
+/// `n` other participants the decided names fall in `1..=2n+1` and are
+/// pairwise distinct.
+#[derive(Clone, Debug)]
+pub struct Renaming {
+    id: u64,
+    proposal: usize,
+    steps: u64,
+}
+
+impl Renaming {
+    /// A machine for the process with the given (distinct) id. The first
+    /// proposal is name 1.
+    pub fn new(id: u64) -> Self {
+        Renaming {
+            id,
+            proposal: 1,
+            steps: 0,
+        }
+    }
+
+    /// Write/snapshot iterations performed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl AtomicMachine for Renaming {
+    /// `(id, proposed name)`.
+    type Value = (u64, usize);
+    /// The decided name.
+    type Output = usize;
+
+    fn next_write(&mut self) -> (u64, usize) {
+        (self.id, self.proposal)
+    }
+
+    fn on_snapshot(&mut self, snap: &[Option<(u64, usize)>]) -> Option<usize> {
+        self.steps += 1;
+        let others: Vec<(u64, usize)> = snap
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|(id, _)| *id != self.id)
+            .collect();
+        let conflict = others.iter().any(|(_, p)| *p == self.proposal);
+        if !conflict {
+            return Some(self.proposal);
+        }
+        // rank of my id among all participant ids seen (1-based)
+        let mut ids: Vec<u64> = others.iter().map(|(id, _)| *id).collect();
+        ids.push(self.id);
+        ids.sort_unstable();
+        ids.dedup();
+        let rank = ids.iter().position(|&x| x == self.id).expect("own id") + 1;
+        // r-th smallest positive name not proposed by others
+        let taken: std::collections::BTreeSet<usize> =
+            others.iter().map(|(_, p)| *p).collect();
+        let mut free = (1..).filter(|name| !taken.contains(name));
+        self.proposal = free.nth(rank - 1).expect("infinite name space");
+        None
+    }
+}
+
+/// Wait-free approximate agreement by asynchronous-round midpoints.
+///
+/// Each process writes `(round, value)`, snapshots, and:
+/// - if it sees a strictly larger round, it *jumps*: adopts the midpoint of
+///   the values at the largest round seen;
+/// - otherwise it advances one round with the midpoint of the current
+///   round's values.
+///
+/// After `rounds` asynchronous rounds all decided values lie within the
+/// input range, and the spread contracts by half per round level. Values
+/// are integers scaled by [`ApproxAgreement::SCALE`] (fixed-point).
+#[derive(Clone, Debug)]
+pub struct ApproxAgreement {
+    round: usize,
+    value: i64,
+    rounds: usize,
+}
+
+impl ApproxAgreement {
+    /// Fixed-point scale: inputs of `new` are multiplied by this.
+    pub const SCALE: i64 = 1 << 20;
+
+    /// A machine starting at integer input `input`, running the given
+    /// number of asynchronous rounds.
+    pub fn new(input: i64, rounds: usize) -> Self {
+        ApproxAgreement {
+            round: 0,
+            value: input * Self::SCALE,
+            rounds,
+        }
+    }
+
+    /// The final value descaled to a float (for assertions/reporting).
+    pub fn descale(v: i64) -> f64 {
+        v as f64 / Self::SCALE as f64
+    }
+}
+
+impl AtomicMachine for ApproxAgreement {
+    /// `(round, scaled value)`.
+    type Value = (usize, i64);
+    /// The decided scaled value.
+    type Output = i64;
+
+    fn next_write(&mut self) -> (usize, i64) {
+        (self.round, self.value)
+    }
+
+    fn on_snapshot(&mut self, snap: &[Option<(usize, i64)>]) -> Option<i64> {
+        let entries: Vec<(usize, i64)> = snap.iter().flatten().copied().collect();
+        let rmax = entries
+            .iter()
+            .map(|(r, _)| *r)
+            .max()
+            .expect("own write is visible");
+        let at_max: Vec<i64> = entries
+            .iter()
+            .filter(|(r, _)| *r == rmax)
+            .map(|(_, v)| *v)
+            .collect();
+        let mid = (at_max.iter().min().unwrap() + at_max.iter().max().unwrap()) / 2;
+        if rmax > self.round {
+            // jump to the frontier
+            self.round = rmax;
+            self.value = mid;
+        } else {
+            self.round += 1;
+            self.value = mid;
+        }
+        if self.round >= self.rounds {
+            Some(self.value)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmulatorMachine;
+    use iis_sched::{AtomicRunner, AtomicSchedule, IisRunner, OrderedPartition};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn assert_valid_renaming(names: &[Option<usize>], n_others: usize) {
+        let decided: Vec<usize> = names.iter().flatten().copied().collect();
+        let mut uniq = decided.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), decided.len(), "names must be distinct: {decided:?}");
+        for &name in &decided {
+            assert!(
+                (1..=2 * n_others + 1).contains(&name),
+                "name {name} outside 1..=2n+1"
+            );
+        }
+    }
+
+    #[test]
+    fn renaming_direct_round_robin() {
+        for n in [2usize, 3, 4] {
+            let machines: Vec<Renaming> = (0..n).map(|p| Renaming::new(p as u64 + 10)).collect();
+            let mut runner = AtomicRunner::new(machines);
+            runner.run(AtomicSchedule::round_robin(n, 40));
+            assert!(runner.is_quiescent(), "renaming terminates");
+            assert_valid_renaming(runner.outputs(), n - 1);
+        }
+    }
+
+    #[test]
+    fn renaming_direct_random_schedules() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _case in 0..100 {
+            let n = 3;
+            let machines: Vec<Renaming> = (0..n).map(|p| Renaming::new(p as u64 + 1)).collect();
+            let mut runner = AtomicRunner::new(machines);
+            runner.run(AtomicSchedule::random(n, 600, &mut rng));
+            assert!(runner.is_quiescent(), "renaming terminates");
+            assert_valid_renaming(runner.outputs(), n - 1);
+        }
+    }
+
+    #[test]
+    fn renaming_with_crashes_still_valid() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for case in 0..50 {
+            let n = 3;
+            let machines: Vec<Renaming> = (0..n).map(|p| Renaming::new(p as u64 + 1)).collect();
+            let mut runner = AtomicRunner::new(machines);
+            runner.run(AtomicSchedule::random(n, 10, &mut rng));
+            runner.crash(case % n);
+            runner.run(AtomicSchedule::random(n, 600, &mut rng));
+            assert_valid_renaming(runner.outputs(), n - 1);
+        }
+    }
+
+    #[test]
+    fn renaming_emulated_over_iis() {
+        // the same protocol, unmodified, through the Figure 2 emulation
+        let mut rng = StdRng::seed_from_u64(10);
+        for _case in 0..30 {
+            let n = 3;
+            let machines: Vec<EmulatorMachine<Renaming>> = (0..n)
+                .map(|p| EmulatorMachine::new(p, n, Renaming::new(p as u64 + 1)))
+                .collect();
+            let mut runner = IisRunner::new(machines);
+            let mut guard = 0;
+            while !runner.is_quiescent() && guard < 1000 {
+                let part = OrderedPartition::random(&runner.active(), &mut rng);
+                runner.step_round(&part);
+                guard += 1;
+            }
+            assert!(runner.is_quiescent(), "emulated renaming terminates");
+            assert_valid_renaming(runner.outputs(), n - 1);
+        }
+    }
+
+    #[test]
+    fn renaming_solo_gets_name_one() {
+        let machines = vec![Renaming::new(5)];
+        let mut runner = AtomicRunner::new(machines);
+        runner.run(AtomicSchedule::round_robin(1, 4));
+        assert_eq!(runner.output(0), Some(&1));
+    }
+
+    fn spread(outs: &[Option<i64>]) -> i64 {
+        let vals: Vec<i64> = outs.iter().flatten().copied().collect();
+        vals.iter().max().unwrap() - vals.iter().min().unwrap()
+    }
+
+    #[test]
+    fn approx_agreement_direct_validity_and_convergence() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _case in 0..100 {
+            let rounds = 8;
+            let inputs = [0i64, 1, 1];
+            let machines: Vec<ApproxAgreement> = inputs
+                .iter()
+                .map(|&x| ApproxAgreement::new(x, rounds))
+                .collect();
+            let mut runner = AtomicRunner::new(machines);
+            runner.run(AtomicSchedule::random(3, 2000, &mut rng));
+            assert!(runner.is_quiescent());
+            for o in runner.outputs().iter().flatten() {
+                assert!(*o >= 0 && *o <= ApproxAgreement::SCALE, "validity");
+            }
+            assert!(
+                spread(runner.outputs()) <= ApproxAgreement::SCALE / (1 << (rounds - 2)),
+                "spread too large: {}",
+                spread(runner.outputs())
+            );
+        }
+    }
+
+    #[test]
+    fn approx_agreement_emulated_over_iis() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _case in 0..30 {
+            let rounds = 6;
+            let inputs = [0i64, 4];
+            let machines: Vec<EmulatorMachine<ApproxAgreement>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(p, &x)| EmulatorMachine::new(p, 2, ApproxAgreement::new(x, rounds)))
+                .collect();
+            let mut runner = IisRunner::new(machines);
+            let mut guard = 0;
+            while !runner.is_quiescent() && guard < 2000 {
+                let part = OrderedPartition::random(&runner.active(), &mut rng);
+                runner.step_round(&part);
+                guard += 1;
+            }
+            assert!(runner.is_quiescent());
+            for o in runner.outputs().iter().flatten() {
+                assert!(*o >= 0 && *o <= 4 * ApproxAgreement::SCALE);
+            }
+            assert!(spread(runner.outputs()) <= 4 * ApproxAgreement::SCALE / (1 << (rounds - 2)));
+        }
+    }
+
+    #[test]
+    fn approx_agreement_same_inputs_decide_input() {
+        let machines: Vec<ApproxAgreement> =
+            (0..3).map(|_| ApproxAgreement::new(2, 4)).collect();
+        let mut runner = AtomicRunner::new(machines);
+        runner.run(AtomicSchedule::round_robin(3, 20));
+        for o in runner.outputs().iter().flatten() {
+            assert_eq!(*o, 2 * ApproxAgreement::SCALE);
+        }
+    }
+
+    #[test]
+    fn approx_agreement_solo_keeps_input() {
+        let machines = vec![ApproxAgreement::new(7, 5)];
+        let mut runner = AtomicRunner::new(machines);
+        runner.run(AtomicSchedule::round_robin(1, 20));
+        assert_eq!(runner.output(0), Some(&(7 * ApproxAgreement::SCALE)));
+        assert!((ApproxAgreement::descale(7 * ApproxAgreement::SCALE) - 7.0).abs() < 1e-9);
+    }
+}

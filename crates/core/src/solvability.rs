@@ -1,0 +1,724 @@
+//! The wait-free solvability decision procedure — Proposition 3.1 made
+//! effective for a fixed number of rounds.
+//!
+//! A bounded-input task `T = (I, O, Δ)` is wait-free solvable in the IIS
+//! model iff for some `b` there is a color-preserving simplicial map
+//! `δ : SDS^b(I) → O` with `δ(s) ∈ Δ(carrier(s))` for every simplex `s`
+//! (Proposition 3.1); by the emulation theorem (§4) the same condition
+//! characterizes the atomic snapshot model. Solvability over *all* `b` is
+//! undecidable for three or more processes (\[9\]), so this module decides
+//! the fixed-`b` question exactly and sweeps `b = 0..=max`.
+//!
+//! The search is a finite CSP: one variable per vertex of `SDS^b(I)`
+//! (domain: output vertices of the same color allowed at the vertex's
+//! carrier), one constraint per simplex (the image must extend to a tuple
+//! in `Δ` of the simplex's carrier). We run generalized arc consistency to
+//! a fixpoint, then backtrack with propagation — complete for both
+//! solvable and unsolvable instances.
+
+use iis_tasks::Task;
+use iis_topology::{sds_iterated, SimplicialMap, Subdivision, VertexId};
+use std::fmt;
+
+/// A witness that a task is solvable in `b` IIS rounds: the decision map
+/// `δ : SDS^b(I) → O` together with the subdivision it lives on.
+#[derive(Clone, Debug)]
+pub struct DecisionMap {
+    b: usize,
+    subdivision: Subdivision,
+    map: SimplicialMap,
+}
+
+impl DecisionMap {
+    /// The number of IIS rounds.
+    pub fn rounds(&self) -> usize {
+        self.b
+    }
+
+    /// The subdivision `SDS^b(I)` the map is defined on.
+    pub fn subdivision(&self) -> &Subdivision {
+        &self.subdivision
+    }
+
+    /// The vertex map `δ`.
+    pub fn map(&self) -> &SimplicialMap {
+        &self.map
+    }
+}
+
+/// The outcome of sweeping `b = 0..=max_rounds`.
+#[derive(Debug)]
+pub struct SolvabilityReport {
+    task_name: String,
+    results: Vec<(usize, bool)>,
+    witness: Option<DecisionMap>,
+}
+
+impl SolvabilityReport {
+    /// The task's name.
+    pub fn task_name(&self) -> &str {
+        &self.task_name
+    }
+
+    /// Per-`b` verdicts, in increasing `b`.
+    pub fn results(&self) -> &[(usize, bool)] {
+        &self.results
+    }
+
+    /// The smallest `b` at which a decision map exists, if any was found.
+    pub fn first_solvable(&self) -> Option<usize> {
+        self.results.iter().find(|(_, ok)| *ok).map(|(b, _)| *b)
+    }
+
+    /// The decision map at `first_solvable`, if any.
+    pub fn witness(&self) -> Option<&DecisionMap> {
+        self.witness.as_ref()
+    }
+}
+
+impl fmt::Display for SolvabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.first_solvable() {
+            Some(b) => write!(f, "{}: solvable at b = {b}", self.task_name),
+            None => {
+                let max = self.results.last().map(|(b, _)| *b).unwrap_or(0);
+                write!(f, "{}: no decision map up to b = {max}", self.task_name)
+            }
+        }
+    }
+}
+
+/// Validates a decision map against Proposition 3.1's conditions:
+/// simpliciality, color preservation, and `δ(s) ∈ Δ(carrier(s))` for every
+/// simplex of the subdivision.
+///
+/// # Errors
+///
+/// Returns a description of the first violated condition.
+pub fn validate_decision_map(
+    task: &Task,
+    sub: &Subdivision,
+    map: &SimplicialMap,
+) -> Result<(), String> {
+    let c = sub.complex();
+    map.verify_simplicial(c, task.output())
+        .map_err(|e| format!("not simplicial: {e}"))?;
+    for v in c.vertex_ids() {
+        let w = map.image(v).ok_or_else(|| format!("vertex {v} unmapped"))?;
+        if c.color(v) != task.output().color(w) {
+            return Err(format!("vertex {v} changes color"));
+        }
+    }
+    for s in c.simplices() {
+        let carrier = sub.carrier_of_simplex(&s);
+        let image = map.image_simplex(&s);
+        if !task.allows(&carrier, &image) {
+            return Err(format!(
+                "simplex {s} (carrier {carrier}) decides {image} ∉ Δ(carrier)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Searches for a decision map on `SDS^b(I)`. Returns the witness if the
+/// task is solvable in exactly `b` IIS rounds, `None` if provably no map
+/// exists at this `b`.
+///
+/// Complete but potentially exponential on *unsolvable* instances whose
+/// contradiction is global (e.g. Sperner-parity obstructions at large `b`);
+/// use [`solve_at_bounded`] when a time budget matters, and the Sperner
+/// certificate (`iis-topology::sperner`) for all-`b` impossibility of set
+/// consensus.
+pub fn solve_at(task: &Task, b: usize) -> Option<DecisionMap> {
+    match solve_at_bounded(task, b, u64::MAX) {
+        BoundedOutcome::Solvable(m) => Some(*m),
+        BoundedOutcome::Unsolvable => None,
+        BoundedOutcome::Exhausted => unreachable!("unbounded budget"),
+    }
+}
+
+/// Outcome of a budgeted decision-map search.
+#[derive(Debug)]
+pub enum BoundedOutcome {
+    /// A decision map was found.
+    Solvable(Box<DecisionMap>),
+    /// The search space was exhausted: provably no map at this `b`.
+    Unsolvable,
+    /// The node budget ran out before the search completed.
+    Exhausted,
+}
+
+/// Like [`solve_at`] but giving up after exploring `max_nodes` backtracking
+/// nodes. `Unsolvable` and `Solvable` verdicts are exact; `Exhausted` means
+/// the budget was too small to decide.
+pub fn solve_at_bounded(task: &Task, b: usize, max_nodes: u64) -> BoundedOutcome {
+    solve_at_with(task, b, max_nodes, SearchStrategy::Mac)
+}
+
+/// The search algorithm used by the decision procedure — exposed for the
+/// ablation benchmark (DESIGN.md §5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchStrategy {
+    /// Maintaining (generalized) arc consistency during backtracking — the
+    /// default, and dramatically faster on refutations.
+    #[default]
+    Mac,
+    /// Chronological backtracking with constraint checks only — the naive
+    /// baseline.
+    PlainBacktracking,
+}
+
+/// [`solve_at_bounded`] with an explicit [`SearchStrategy`].
+pub fn solve_at_with(
+    task: &Task,
+    b: usize,
+    max_nodes: u64,
+    strategy: SearchStrategy,
+) -> BoundedOutcome {
+    let sub = sds_iterated(task.input(), b);
+    match search_map(task, &sub, max_nodes, strategy) {
+        Ok(Some(map)) => {
+            debug_assert!(validate_decision_map(task, &sub, &map).is_ok());
+            BoundedOutcome::Solvable(Box::new(DecisionMap {
+                b,
+                subdivision: sub,
+                map,
+            }))
+        }
+        Ok(None) => BoundedOutcome::Unsolvable,
+        Err(()) => BoundedOutcome::Exhausted,
+    }
+}
+
+/// Sweeps `b = 0..=max_rounds`, recording per-`b` solvability; stops the
+/// sweep at the first solvable `b` (larger `b` remain solvable by running
+/// the extra rounds obliviously).
+pub fn solve_up_to(task: &Task, max_rounds: usize) -> SolvabilityReport {
+    let mut results = Vec::new();
+    let mut witness = None;
+    for b in 0..=max_rounds {
+        match solve_at(task, b) {
+            Some(w) => {
+                results.push((b, true));
+                witness = Some(w);
+                break;
+            }
+            None => results.push((b, false)),
+        }
+    }
+    SolvabilityReport {
+        task_name: task.name().to_string(),
+        results,
+        witness,
+    }
+}
+
+/// One constraint: a simplex of the subdivision, compiled to its vertex
+/// list and the *allowed image tuples* (the restrictions of `Δ(carrier)` to
+/// the simplex's colors, aligned positionally with the vertex list).
+struct Constraint {
+    verts: Vec<VertexId>,
+    allowed: Vec<Vec<VertexId>>,
+}
+
+/// Lifts a decision map one round up: composes the canonical
+/// "forget-the-last-round" map `SDS^{b+1}(I) → SDS^b(I)`
+/// ([`iis_topology::sds_forget_map`]) with the witness — the constructive
+/// proof that solvability at `b` implies solvability at `b+1` (processes
+/// run one extra oblivious round).
+///
+/// The lifted map is re-validated in debug builds.
+pub fn lift_decision_map(task: &Task, dm: &DecisionMap) -> DecisionMap {
+    let (finer, coarser, forget) = iis_topology::sds_forget_map(task.input(), dm.rounds());
+    // translate the witness's subdivision vertex ids into `coarser`'s
+    // (labels are canonical, so the lookup is exact)
+    let translated = SimplicialMap::from_fn(coarser.complex(), |v| {
+        let w = dm
+            .subdivision()
+            .complex()
+            .vertex_id(coarser.complex().color(v), coarser.complex().label(v))
+            .expect("same construction, same labels");
+        dm.map().image(w).expect("decision map is total")
+    });
+    let lifted = forget.then(&translated);
+    debug_assert!(validate_decision_map(task, &finer, &lifted).is_ok());
+    DecisionMap {
+        b: dm.rounds() + 1,
+        subdivision: finer,
+        map: lifted,
+    }
+}
+
+/// An executable protocol induced by a [`DecisionMap`]: run the map's
+/// number of full-information IIS rounds, locate the resulting local state
+/// as a vertex of `SDS^b(I)`, and decide its image — the constructive half
+/// of Proposition 3.1 for *any* task.
+///
+/// The output is a vertex id of the task's output complex.
+///
+/// # Examples
+///
+/// ```
+/// use iis_core::solvability::{solve_at, DecisionProtocol};
+/// use iis_sched::{IisRunner, IisSchedule};
+/// use iis_tasks::library::approximate_agreement;
+/// use iis_topology::{Color, Label};
+/// use std::sync::Arc;
+///
+/// let task = approximate_agreement(1, 3);
+/// let witness = Arc::new(solve_at(&task, 1).expect("solvable at one round"));
+/// let machines = vec![
+///     DecisionProtocol::new(Color(0), Label::scalar(0), Arc::clone(&witness)),
+///     DecisionProtocol::new(Color(1), Label::scalar(3), Arc::clone(&witness)),
+/// ];
+/// let mut runner = IisRunner::new(machines);
+/// runner.run(IisSchedule::lockstep(2, 1));
+/// assert!(runner.output(0).is_some() && runner.output(1).is_some());
+/// ```
+pub struct DecisionProtocol {
+    color: iis_topology::Color,
+    state: iis_topology::Label,
+    witness: std::sync::Arc<DecisionMap>,
+}
+
+impl DecisionProtocol {
+    /// A machine for the process of the given color and input label.
+    pub fn new(
+        color: iis_topology::Color,
+        input: iis_topology::Label,
+        witness: std::sync::Arc<DecisionMap>,
+    ) -> Self {
+        DecisionProtocol {
+            color,
+            state: input,
+            witness,
+        }
+    }
+
+    fn decide(&self) -> VertexId {
+        let c = self.witness.subdivision().complex();
+        let v = c
+            .vertex_id(self.color, &self.state)
+            .expect("full-information state is a vertex of SDS^b(I)");
+        self.witness.map().image(v).expect("decision map is total")
+    }
+}
+
+impl iis_sched::IisMachine for DecisionProtocol {
+    type Value = iis_topology::Label;
+    type Output = VertexId;
+
+    fn initial_value(&mut self) -> iis_topology::Label {
+        self.state.clone()
+    }
+
+    fn on_view(
+        &mut self,
+        round: usize,
+        view: &[(usize, iis_topology::Label)],
+    ) -> iis_sched::MachineStep<iis_topology::Label, VertexId> {
+        if self.witness.rounds() == 0 {
+            return iis_sched::MachineStep::Decide(self.decide());
+        }
+        self.state = iis_topology::Label::view(
+            view.iter().map(|(p, l)| (iis_topology::Color(*p as u32), l)),
+        );
+        if round + 1 >= self.witness.rounds() {
+            iis_sched::MachineStep::Decide(self.decide())
+        } else {
+            iis_sched::MachineStep::Continue(self.state.clone())
+        }
+    }
+}
+
+/// The CSP engine: variables = subdivision vertices, constraints = simplex
+/// carriers with precompiled allowed tuples.
+struct Csp {
+    constraints: Vec<Constraint>,
+    /// For each vertex, the indices of constraints containing it.
+    containing: Vec<Vec<usize>>,
+}
+
+fn search_map(
+    task: &Task,
+    sub: &Subdivision,
+    max_nodes: u64,
+    strategy: SearchStrategy,
+) -> Result<Option<SimplicialMap>, ()> {
+    let c = sub.complex();
+    let nv = c.num_vertices();
+    // Compile constraints: for every simplex, the allowed image tuples.
+    // A color-preserving image of a simplex with distinct colors is a
+    // same-size tuple, and it extends to Δ(carrier) iff it equals the
+    // restriction of some allowed output tuple to the simplex's colors.
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for s in c.simplices() {
+        let verts: Vec<VertexId> = s.iter().collect();
+        let colors: Vec<_> = verts.iter().map(|&v| c.color(v)).collect();
+        let carrier = sub.carrier_of_simplex(&s);
+        let mut allowed: Vec<Vec<VertexId>> = Vec::new();
+        for so in task.delta(&carrier) {
+            let mut tuple = Vec::with_capacity(verts.len());
+            let mut ok = true;
+            for &col in &colors {
+                match so.iter().find(|&w| task.output().color(w) == col) {
+                    Some(w) => tuple.push(w),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                allowed.push(tuple);
+            }
+        }
+        allowed.sort();
+        allowed.dedup();
+        if allowed.is_empty() {
+            return Ok(None);
+        }
+        constraints.push(Constraint { verts, allowed });
+    }
+    let mut containing: Vec<Vec<usize>> = vec![Vec::new(); nv];
+    for (i, con) in constraints.iter().enumerate() {
+        for &v in &con.verts {
+            containing[v.index()].push(i);
+        }
+    }
+    // initial domains from the unary (vertex) constraints
+    let mut domains: Vec<Vec<VertexId>> = vec![Vec::new(); nv];
+    for con in &constraints {
+        if con.verts.len() == 1 {
+            let v = con.verts[0];
+            let mut dom: Vec<VertexId> = con.allowed.iter().map(|t| t[0]).collect();
+            dom.sort();
+            dom.dedup();
+            domains[v.index()] = dom;
+        }
+    }
+    if domains.iter().any(Vec::is_empty) {
+        return Ok(None);
+    }
+    let csp = Csp {
+        constraints,
+        containing,
+    };
+    let mut budget = max_nodes;
+    let assignment = match strategy {
+        SearchStrategy::Mac => {
+            if !csp.propagate(&mut domains, None) {
+                return Ok(None);
+            }
+            csp.backtrack(domains, &mut budget)?
+        }
+        SearchStrategy::PlainBacktracking => csp.backtrack_plain(&domains, &mut budget)?,
+    };
+    Ok(assignment.map(|a| {
+        SimplicialMap::from_pairs(
+            a.into_iter()
+                .enumerate()
+                .map(|(i, w)| (VertexId(i as u32), w)),
+        )
+    }))
+}
+
+impl Csp {
+    /// `true` iff some allowed tuple of constraint `ci` has `w` at `pos`
+    /// and every other position inside its vertex's current domain.
+    fn supported(&self, ci: usize, pos: usize, w: VertexId, domains: &[Vec<VertexId>]) -> bool {
+        let con = &self.constraints[ci];
+        con.allowed.iter().any(|tuple| {
+            tuple[pos] == w
+                && tuple.iter().enumerate().all(|(j, &x)| {
+                    j == pos || domains[con.verts[j].index()].contains(&x)
+                })
+        })
+    }
+
+    /// Generalized arc consistency to a fixpoint. Returns `false` on a
+    /// domain wipeout. `seed` restricts the initial queue to the
+    /// constraints containing one vertex (after an assignment).
+    fn propagate(&self, domains: &mut [Vec<VertexId>], seed: Option<VertexId>) -> bool {
+        let mut queue: Vec<usize> = match seed {
+            Some(v) => self.containing[v.index()].clone(),
+            None => (0..self.constraints.len()).collect(),
+        };
+        let mut in_queue = vec![false; self.constraints.len()];
+        for &i in &queue {
+            in_queue[i] = true;
+        }
+        while let Some(ci) = queue.pop() {
+            in_queue[ci] = false;
+            for (pos, &v) in self.constraints[ci].verts.iter().enumerate() {
+                let before = domains[v.index()].len();
+                let kept: Vec<VertexId> = domains[v.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&w| self.supported(ci, pos, w, domains))
+                    .collect();
+                if kept.is_empty() {
+                    return false;
+                }
+                if kept.len() < before {
+                    domains[v.index()] = kept;
+                    for &cj in &self.containing[v.index()] {
+                        if !in_queue[cj] {
+                            in_queue[cj] = true;
+                            queue.push(cj);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Chronological backtracking without propagation — the ablation
+    /// baseline. Checks each constraint as soon as all of its variables are
+    /// assigned.
+    fn backtrack_plain(
+        &self,
+        domains: &[Vec<VertexId>],
+        budget: &mut u64,
+    ) -> Result<Option<Vec<VertexId>>, ()> {
+        let n = domains.len();
+        // constraints indexed by their highest variable
+        let mut closing: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, con) in self.constraints.iter().enumerate() {
+            let hi = con.verts.iter().map(|v| v.index()).max().expect("non-empty");
+            closing[hi].push(ci);
+        }
+        let mut assignment: Vec<VertexId> = vec![VertexId(0); n];
+        fn rec(
+            csp: &Csp,
+            domains: &[Vec<VertexId>],
+            closing: &[Vec<usize>],
+            assignment: &mut Vec<VertexId>,
+            k: usize,
+            budget: &mut u64,
+        ) -> Result<bool, ()> {
+            if *budget == 0 {
+                return Err(());
+            }
+            *budget -= 1;
+            if k == domains.len() {
+                return Ok(true);
+            }
+            'cand: for &w in &domains[k] {
+                assignment[k] = w;
+                for &ci in &closing[k] {
+                    let con = &csp.constraints[ci];
+                    let tuple: Vec<VertexId> =
+                        con.verts.iter().map(|v| assignment[v.index()]).collect();
+                    if !con.allowed.contains(&tuple) {
+                        continue 'cand;
+                    }
+                }
+                if rec(csp, domains, closing, assignment, k + 1, budget)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        match rec(self, domains, &closing, &mut assignment, 0, budget)? {
+            true => Ok(Some(assignment)),
+            false => Ok(None),
+        }
+    }
+
+    /// Complete backtracking with propagation (MAC). Returns a full
+    /// assignment, `Ok(None)` if none exists, or `Err(())` when the node
+    /// budget runs out.
+    fn backtrack(
+        &self,
+        domains: Vec<Vec<VertexId>>,
+        budget: &mut u64,
+    ) -> Result<Option<Vec<VertexId>>, ()> {
+        if *budget == 0 {
+            return Err(());
+        }
+        *budget -= 1;
+        // pick the unassigned variable with the smallest domain > 1
+        let pick = domains
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.len() > 1)
+            .min_by_key(|(_, d)| d.len());
+        let Some((vi, _)) = pick else {
+            // all singleton: done
+            return Ok(Some(domains.into_iter().map(|d| d[0]).collect()));
+        };
+        let candidates = domains[vi].clone();
+        for w in candidates {
+            let mut next = domains.clone();
+            next[vi] = vec![w];
+            if self.propagate(&mut next, Some(VertexId(vi as u32))) {
+                if let Some(sol) = self.backtrack(next, budget)? {
+                    return Ok(Some(sol));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iis_tasks::library::{
+        approximate_agreement, chromatic_simplex_agreement, consensus, k_set_consensus,
+        one_shot_immediate_snapshot_task, renaming, trivial,
+    };
+
+    #[test]
+    fn trivial_task_solvable_at_zero() {
+        let t = trivial(2);
+        let report = solve_up_to(&t, 2);
+        assert_eq!(report.first_solvable(), Some(0));
+        let w = report.witness().unwrap();
+        validate_decision_map(&t, w.subdivision(), w.map()).unwrap();
+        assert!(!report.to_string().is_empty());
+        assert_eq!(report.task_name(), "trivial");
+    }
+
+    #[test]
+    fn binary_consensus_unsolvable_flp() {
+        let t = consensus(1, &[0, 1]);
+        let report = solve_up_to(&t, 3);
+        assert_eq!(report.first_solvable(), None, "FLP: consensus unsolvable");
+        assert_eq!(report.results().len(), 4);
+        assert!(report.witness().is_none());
+    }
+
+    #[test]
+    fn three_process_consensus_unsolvable() {
+        let t = consensus(2, &[0, 1]);
+        assert!(solve_at(&t, 0).is_none());
+        assert!(solve_at(&t, 1).is_none());
+    }
+
+    #[test]
+    fn two_set_consensus_three_procs_unsolvable() {
+        let t = k_set_consensus(2, 2);
+        assert!(solve_at(&t, 0).is_none());
+        assert!(
+            solve_at(&t, 1).is_none(),
+            "(3,2)-set consensus impossible (Sperner)"
+        );
+    }
+
+    #[test]
+    fn full_set_consensus_trivially_solvable() {
+        let t = k_set_consensus(2, 3);
+        let report = solve_up_to(&t, 1);
+        assert_eq!(report.first_solvable(), Some(0));
+    }
+
+    #[test]
+    fn one_set_consensus_two_procs_is_consensus() {
+        let t = k_set_consensus(1, 1);
+        assert!(solve_at(&t, 0).is_none());
+        assert!(solve_at(&t, 1).is_none());
+        assert!(solve_at(&t, 2).is_none());
+    }
+
+    #[test]
+    fn renaming_with_ids_solvable_immediately() {
+        let t = renaming(1, 3);
+        let report = solve_up_to(&t, 1);
+        assert_eq!(report.first_solvable(), Some(0));
+    }
+
+    #[test]
+    fn approximate_agreement_needs_rounds() {
+        // grid = 3 (ε = 1/3): one IIS round trisects the edge — solvable at 1
+        let t = approximate_agreement(1, 3);
+        let report = solve_up_to(&t, 2);
+        assert_eq!(report.first_solvable(), Some(1));
+        let w = report.witness().unwrap();
+        validate_decision_map(&t, w.subdivision(), w.map()).unwrap();
+    }
+
+    #[test]
+    fn approximate_agreement_grid9_needs_two_rounds() {
+        let t = approximate_agreement(1, 9);
+        assert!(solve_at(&t, 1).is_none(), "3 intervals can't cover grid 9");
+        assert!(solve_at(&t, 2).is_some(), "9 intervals cover grid 9");
+    }
+
+    #[test]
+    fn one_shot_is_task_solvable_at_one_round() {
+        let t = one_shot_immediate_snapshot_task(1);
+        let report = solve_up_to(&t, 1);
+        assert_eq!(report.first_solvable(), Some(1));
+    }
+
+    #[test]
+    fn one_shot_is_task_three_procs() {
+        let t = one_shot_immediate_snapshot_task(2);
+        assert!(solve_at(&t, 0).is_none(), "needs communication");
+        let w = solve_at(&t, 1).expect("identity map solves it");
+        validate_decision_map(&t, w.subdivision(), w.map()).unwrap();
+    }
+
+    #[test]
+    fn csass_over_sds_squared_needs_two_rounds() {
+        let sub = iis_topology::sds_iterated(&iis_topology::Complex::standard_simplex(1), 2);
+        let t = chromatic_simplex_agreement(&sub);
+        assert!(solve_at(&t, 1).is_none());
+        assert!(solve_at(&t, 2).is_some(), "Theorem 5.1 witness at b = 2");
+    }
+
+    #[test]
+    fn lifted_maps_stay_valid() {
+        // lift the ε-agreement witness twice and re-validate (release-mode
+        // safe: validate explicitly, not just via debug_assert)
+        let t = approximate_agreement(1, 3);
+        let w1 = solve_at(&t, 1).unwrap();
+        let w2 = lift_decision_map(&t, &w1);
+        assert_eq!(w2.rounds(), 2);
+        validate_decision_map(&t, w2.subdivision(), w2.map()).unwrap();
+        let w3 = lift_decision_map(&t, &w2);
+        assert_eq!(w3.rounds(), 3);
+        validate_decision_map(&t, w3.subdivision(), w3.map()).unwrap();
+    }
+
+    #[test]
+    fn strategies_agree() {
+        for (task, b) in [
+            (trivial(1), 0usize),
+            (approximate_agreement(1, 3), 1),
+            (consensus(1, &[0, 1]), 1),
+            (one_shot_immediate_snapshot_task(1), 1),
+        ] {
+            let mac = matches!(
+                solve_at_with(&task, b, u64::MAX, SearchStrategy::Mac),
+                BoundedOutcome::Solvable(_)
+            );
+            let plain = matches!(
+                solve_at_with(&task, b, u64::MAX, SearchStrategy::PlainBacktracking),
+                BoundedOutcome::Solvable(_)
+            );
+            assert_eq!(mac, plain, "strategies must agree on {} b={b}", task.name());
+        }
+    }
+
+    #[test]
+    fn lifted_trivial_map() {
+        let t = trivial(1);
+        let w0 = solve_at(&t, 0).unwrap();
+        let w1 = lift_decision_map(&t, &w0);
+        validate_decision_map(&t, w1.subdivision(), w1.map()).unwrap();
+    }
+
+    #[test]
+    fn decision_map_accessor_roundtrip() {
+        let t = trivial(1);
+        let w = solve_at(&t, 0).unwrap();
+        assert_eq!(w.rounds(), 0);
+        assert!(w.subdivision().complex().num_vertices() > 0);
+        assert!(!w.map().is_empty());
+    }
+}

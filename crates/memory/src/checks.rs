@@ -1,0 +1,346 @@
+//! Runtime property checkers for snapshot and immediate-snapshot outputs.
+//!
+//! These validators turn the model axioms of §3 into executable oracles used
+//! by the test suites and by the emulation harness: immediate-snapshot
+//! axioms (self-inclusion, containment, immediacy) and snapshot
+//! comparability (any two scans' version vectors are coordinatewise
+//! ordered).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A violation of the one-shot immediate snapshot axioms (§3.5).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IsAxiomError {
+    /// A view references process `observed` which has no recorded input.
+    UnknownParticipant {
+        /// The process whose view is faulty.
+        viewer: usize,
+        /// The referenced process.
+        observed: usize,
+    },
+    /// A view reports a value for `observed` different from its input.
+    WrongValue {
+        /// The process whose view is faulty.
+        viewer: usize,
+        /// The referenced process.
+        observed: usize,
+    },
+    /// Process `pid`'s own input is missing from its view.
+    SelfInclusion {
+        /// The offending process.
+        pid: usize,
+    },
+    /// Views of `a` and `b` are incomparable under set inclusion.
+    Containment {
+        /// First process.
+        a: usize,
+        /// Second process.
+        b: usize,
+    },
+    /// `a ∈ S_b` but `S_a ⊄ S_b`.
+    Immediacy {
+        /// The observed process.
+        a: usize,
+        /// The observer.
+        b: usize,
+    },
+}
+
+impl fmt::Display for IsAxiomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownParticipant { viewer, observed } => {
+                write!(f, "view of {viewer} contains non-participant {observed}")
+            }
+            Self::WrongValue { viewer, observed } => {
+                write!(f, "view of {viewer} has a wrong value for {observed}")
+            }
+            Self::SelfInclusion { pid } => write!(f, "view of {pid} misses its own input"),
+            Self::Containment { a, b } => write!(f, "views of {a} and {b} are incomparable"),
+            Self::Immediacy { a, b } => {
+                write!(f, "{a} visible to {b} but view of {a} not contained in view of {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsAxiomError {}
+
+/// Validates a set of one-shot immediate-snapshot outputs against §3.5's
+/// axioms.
+///
+/// `inputs[p]` is process `p`'s input (or `None` if `p` did not invoke the
+/// object); `outputs[p]` is its returned view (or `None` if it crashed
+/// before returning / did not participate). Axioms involving a crashed
+/// process's missing view are skipped — exactly the checkable fragment.
+///
+/// # Errors
+///
+/// Returns the first violated axiom.
+#[allow(clippy::needless_range_loop)]
+pub fn validate_immediate_snapshot<T: PartialEq>(
+    inputs: &[Option<T>],
+    outputs: &[Option<Vec<(usize, T)>>],
+) -> Result<(), IsAxiomError> {
+    let n = inputs.len();
+    assert_eq!(outputs.len(), n, "inputs and outputs must align");
+    // views as pid-sets, with value verification
+    let mut views: Vec<Option<BTreeSet<usize>>> = vec![None; n];
+    for (p, out) in outputs.iter().enumerate() {
+        let Some(view) = out else { continue };
+        let mut set = BTreeSet::new();
+        for (q, val) in view {
+            match &inputs[*q] {
+                None => {
+                    return Err(IsAxiomError::UnknownParticipant {
+                        viewer: p,
+                        observed: *q,
+                    })
+                }
+                Some(expected) if expected != val => {
+                    return Err(IsAxiomError::WrongValue {
+                        viewer: p,
+                        observed: *q,
+                    })
+                }
+                _ => {}
+            }
+            set.insert(*q);
+        }
+        if !set.contains(&p) {
+            return Err(IsAxiomError::SelfInclusion { pid: p });
+        }
+        views[p] = Some(set);
+    }
+    for a in 0..n {
+        let Some(sa) = &views[a] else { continue };
+        for b in a + 1..n {
+            let Some(sb) = &views[b] else { continue };
+            if !sa.is_subset(sb) && !sb.is_subset(sa) {
+                return Err(IsAxiomError::Containment { a, b });
+            }
+        }
+    }
+    for b in 0..n {
+        let Some(sb) = &views[b] else { continue };
+        for &a in sb {
+            if a == b {
+                continue;
+            }
+            if let Some(sa) = &views[a] {
+                if !sa.is_subset(sb) {
+                    return Err(IsAxiomError::Immediacy { a, b });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A violation of snapshot atomicity: two scans whose per-writer sequence
+/// vectors are incomparable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScanOrderError {
+    /// Index of the first scan in the slice passed to the validator.
+    pub first: usize,
+    /// Index of the second scan.
+    pub second: usize,
+}
+
+impl fmt::Display for ScanOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scans {} and {} have incomparable version vectors",
+            self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for ScanOrderError {}
+
+/// Validates that every pair of scans (as per-writer sequence-number
+/// vectors) is coordinatewise comparable — the linearizability witness for
+/// single-writer snapshot memories.
+///
+/// # Errors
+///
+/// Returns the first incomparable pair.
+///
+/// # Panics
+///
+/// Panics if the scans have differing lengths.
+pub fn validate_scan_comparability(scans: &[Vec<u64>]) -> Result<(), ScanOrderError> {
+    for i in 0..scans.len() {
+        for j in i + 1..scans.len() {
+            assert_eq!(scans[i].len(), scans[j].len(), "scan width mismatch");
+            let mut le = true;
+            let mut ge = true;
+            for (a, b) in scans[i].iter().zip(&scans[j]) {
+                le &= a <= b;
+                ge &= a >= b;
+            }
+            if !le && !ge {
+                return Err(ScanOrderError {
+                    first: i,
+                    second: j,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_nested_views_accepted() {
+        let inputs = vec![Some(10u32), Some(11), Some(12)];
+        let outputs = vec![
+            Some(vec![(0, 10)]),
+            Some(vec![(0, 10), (1, 11)]),
+            Some(vec![(0, 10), (1, 11), (2, 12)]),
+        ];
+        validate_immediate_snapshot(&inputs, &outputs).unwrap();
+    }
+
+    #[test]
+    fn concurrent_block_views_accepted() {
+        // all three in one concurrency class: everyone sees everyone
+        let inputs = vec![Some(1u8), Some(2), Some(3)];
+        let full = vec![(0, 1u8), (1, 2), (2, 3)];
+        let outputs = vec![Some(full.clone()), Some(full.clone()), Some(full)];
+        validate_immediate_snapshot(&inputs, &outputs).unwrap();
+    }
+
+    #[test]
+    fn self_inclusion_violation() {
+        let inputs = vec![Some(1u8), Some(2)];
+        let outputs = vec![Some(vec![(1, 2)]), None];
+        assert_eq!(
+            validate_immediate_snapshot(&inputs, &outputs),
+            Err(IsAxiomError::SelfInclusion { pid: 0 })
+        );
+    }
+
+    #[test]
+    fn containment_violation() {
+        let inputs = vec![Some(1u8), Some(2), Some(3)];
+        let outputs = vec![
+            Some(vec![(0, 1), (1, 2)]),
+            None,
+            Some(vec![(0, 1), (2, 3)]),
+        ];
+        assert_eq!(
+            validate_immediate_snapshot(&inputs, &outputs),
+            Err(IsAxiomError::Containment { a: 0, b: 2 })
+        );
+    }
+
+    #[test]
+    fn immediacy_violation() {
+        // 1 sees 0, but 0's view is bigger than 1's — immediate snapshots
+        // forbid this ("seen ⇒ already settled").
+        let inputs = vec![Some(1u8), Some(2)];
+        let outputs = vec![
+            Some(vec![(0, 1), (1, 2)]),
+            Some(vec![(0, 1), (1, 2)]),
+        ];
+        validate_immediate_snapshot(&inputs, &outputs).unwrap();
+        let bad = vec![
+            Some(vec![(0, 1), (1, 2)]),
+            Some(vec![(0, 1), (1, 2)]),
+        ];
+        // tweak: 1's view misses itself? That's self-inclusion. Build a real
+        // immediacy failure: 0 sees both; 1 sees only itself; then 1 ∈ S_0
+        // and S_1 ⊆ S_0 fine. Reverse: 0 sees only itself, 1 sees only {0,1}?
+        // then 0 ∈ S_1 and S_0 = {0} ⊆ S_1 fine. Immediacy needs ≥3 procs:
+        let _ = bad;
+        let inputs = vec![Some(1u8), Some(2), Some(3)];
+        let outputs = vec![
+            Some(vec![(0, 1), (1, 2), (2, 3)]),
+            Some(vec![(1, 2)]),
+            Some(vec![(0, 1), (1, 2), (2, 3)]),
+        ];
+        // 0 ∈ S_2 with S_0 = everything ⊆ S_2 fine; 0's view contains 1 and
+        // S_1={1} ⊆ S_0 fine — actually valid. Make 0 ∈ S_1 fail:
+        validate_immediate_snapshot(&inputs, &outputs).unwrap();
+        let outputs = vec![
+            Some(vec![(0, 1), (1, 2), (2, 3)]),
+            Some(vec![(0, 1), (1, 2)]),
+            Some(vec![(0, 1), (1, 2), (2, 3)]),
+        ];
+        // 0 ∈ S_1 but S_0 (all three) ⊄ S_1 ({0,1}) → immediacy violation
+        assert_eq!(
+            validate_immediate_snapshot(&inputs, &outputs),
+            Err(IsAxiomError::Immediacy { a: 0, b: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_participant_and_wrong_value() {
+        let inputs = vec![Some(1u8), None];
+        let outputs = vec![Some(vec![(0, 1), (1, 9)]), None];
+        assert_eq!(
+            validate_immediate_snapshot(&inputs, &outputs),
+            Err(IsAxiomError::UnknownParticipant {
+                viewer: 0,
+                observed: 1
+            })
+        );
+        let inputs = vec![Some(1u8), Some(2)];
+        let outputs = vec![Some(vec![(0, 1), (1, 9)]), None];
+        assert_eq!(
+            validate_immediate_snapshot(&inputs, &outputs),
+            Err(IsAxiomError::WrongValue {
+                viewer: 0,
+                observed: 1
+            })
+        );
+    }
+
+    #[test]
+    fn comparable_scans_accepted() {
+        let scans = vec![vec![0, 0], vec![1, 0], vec![1, 2], vec![1, 2]];
+        validate_scan_comparability(&scans).unwrap();
+    }
+
+    #[test]
+    fn incomparable_scans_rejected() {
+        let scans = vec![vec![1, 0], vec![0, 1]];
+        assert_eq!(
+            validate_scan_comparability(&scans),
+            Err(ScanOrderError {
+                first: 0,
+                second: 1
+            })
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(IsAxiomError::SelfInclusion { pid: 0 }),
+            Box::new(IsAxiomError::Containment { a: 0, b: 1 }),
+            Box::new(IsAxiomError::Immediacy { a: 0, b: 1 }),
+            Box::new(IsAxiomError::UnknownParticipant {
+                viewer: 0,
+                observed: 1,
+            }),
+            Box::new(IsAxiomError::WrongValue {
+                viewer: 0,
+                observed: 1,
+            }),
+            Box::new(ScanOrderError {
+                first: 0,
+                second: 1,
+            }),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

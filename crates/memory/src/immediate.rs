@@ -1,0 +1,451 @@
+//! One-shot immediate snapshot — the Borowsky–Gafni *participating set*
+//! algorithm (§3.4/§3.5, and \[8\] in the paper).
+//!
+//! Each process calls [`OneShotImmediateSnapshot::write_read`] exactly once
+//! with its input and receives a *view*: a set of `(pid, input)` pairs
+//! satisfying the three axioms of §3.5:
+//!
+//! 1. **self-inclusion** — `valᵢ ∈ Sᵢ`,
+//! 2. **containment** — `Sᵢ ⊆ Sⱼ` or `Sⱼ ⊆ Sᵢ`,
+//! 3. **immediacy** — `valᵢ ∈ Sⱼ ⇒ Sᵢ ⊆ Sⱼ`.
+//!
+//! The algorithm: levels start at `n+1`; a process repeatedly descends one
+//! level and collects everyone's level, returning the set of processes at or
+//! below its level once that set is at least as large as its level. At most
+//! `n+1` iterations, so the object is wait-free with `O(n²)` reads.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A one-shot immediate snapshot object for `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use iis_memory::OneShotImmediateSnapshot;
+/// let m = OneShotImmediateSnapshot::new(3);
+/// let view = m.write_read(1, "b");
+/// assert!(view.iter().any(|(pid, v)| *pid == 1 && *v == "b"));
+/// ```
+pub struct OneShotImmediateSnapshot<T> {
+    values: Vec<RwLock<Option<T>>>,
+    levels: Vec<AtomicUsize>,
+    done: Vec<AtomicBool>,
+}
+
+impl<T: Clone + Send + Sync> OneShotImmediateSnapshot<T> {
+    /// Creates an object for processes `0..n`. Levels start at `n + 1`
+    /// (meaning "not yet participating").
+    pub fn new(n: usize) -> Self {
+        OneShotImmediateSnapshot {
+            values: (0..n).map(|_| RwLock::new(None)).collect(),
+            levels: (0..n).map(|_| AtomicUsize::new(n + 1)).collect(),
+            done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the object serves zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The combined `WriteRead` operation: writes `value` as process `pid`'s
+    /// input and returns the immediate-snapshot view, as `(pid, input)`
+    /// pairs sorted by pid.
+    ///
+    /// Wait-free: completes within `n` level descents regardless of other
+    /// processes' speed or crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or if `pid` already invoked
+    /// `write_read` on this object (the object is one-shot).
+    pub fn write_read(&self, pid: usize, value: T) -> Vec<(usize, T)> {
+        self.write_read_with_stats(pid, value).0
+    }
+
+    /// Like [`OneShotImmediateSnapshot::write_read`], additionally returning
+    /// the number of level descents performed (1 = returned at level `n`,
+    /// i.e. saw everyone; `n` = descended to level 1, i.e. ran solo).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as `write_read`.
+    pub fn write_read_with_stats(&self, pid: usize, value: T) -> (Vec<(usize, T)>, usize) {
+        let n = self.len();
+        assert!(pid < n, "pid {pid} out of range");
+        assert!(
+            !self.done[pid].swap(true, Ordering::SeqCst),
+            "process {pid} invoked write_read twice on a one-shot object"
+        );
+        *self.values[pid].write() = Some(value);
+        let mut my_level = n + 1;
+        let mut descents = 0usize;
+        loop {
+            my_level -= 1;
+            descents += 1;
+            self.levels[pid].store(my_level, Ordering::SeqCst);
+            let snapshot: Vec<usize> = self
+                .levels
+                .iter()
+                .map(|l| l.load(Ordering::SeqCst))
+                .collect();
+            let below: Vec<usize> = (0..n).filter(|&j| snapshot[j] <= my_level).collect();
+            if below.len() >= my_level {
+                let view = below
+                    .into_iter()
+                    .map(|j| {
+                        let v = self.values[j]
+                            .read()
+                            .clone()
+                            .expect("level <= n implies value written");
+                        (j, v)
+                    })
+                    .collect();
+                return (view, descents);
+            }
+        }
+    }
+
+    /// `true` iff process `pid` has already invoked `write_read`.
+    pub fn has_participated(&self, pid: usize) -> bool {
+        self.done[pid].load(Ordering::SeqCst)
+    }
+}
+
+impl<T> fmt::Debug for OneShotImmediateSnapshot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OneShotImmediateSnapshot({} processes)", self.values.len())
+    }
+}
+
+/// The iterated immediate snapshot memory `M₀, M₁, …` (§3.5): an unbounded
+/// sequence of one-shot immediate snapshot objects, allocated on demand.
+///
+/// A process runs the IIS full-information protocol by `write_read`ing its
+/// state to memory 0, then feeding each output into the next memory.
+///
+/// # Examples
+///
+/// ```
+/// use iis_memory::IteratedImmediateSnapshot;
+/// let iis: IteratedImmediateSnapshot<u32> = IteratedImmediateSnapshot::new(2);
+/// let v0 = iis.write_read(0, 0, 10);
+/// let v1 = iis.write_read(1, 0, v0.len() as u32);
+/// assert!(!v1.is_empty());
+/// ```
+pub struct IteratedImmediateSnapshot<T> {
+    n: usize,
+    memories: RwLock<Vec<std::sync::Arc<OneShotImmediateSnapshot<T>>>>,
+}
+
+impl<T: Clone + Send + Sync> IteratedImmediateSnapshot<T> {
+    /// Creates an IIS memory array for processes `0..n`.
+    pub fn new(n: usize) -> Self {
+        IteratedImmediateSnapshot {
+            n,
+            memories: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the memory serves zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns memory `Mⱼ`, allocating `M₀ … Mⱼ` if needed.
+    pub fn memory(&self, j: usize) -> std::sync::Arc<OneShotImmediateSnapshot<T>> {
+        {
+            let g = self.memories.read();
+            if j < g.len() {
+                return std::sync::Arc::clone(&g[j]);
+            }
+        }
+        let mut g = self.memories.write();
+        while g.len() <= j {
+            g.push(std::sync::Arc::new(OneShotImmediateSnapshot::new(self.n)));
+        }
+        std::sync::Arc::clone(&g[j])
+    }
+
+    /// `write_read` on memory `Mⱼ` as process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or already used `Mⱼ`.
+    pub fn write_read(&self, j: usize, pid: usize, value: T) -> Vec<(usize, T)> {
+        self.memory(j).write_read(pid, value)
+    }
+
+    /// Number of memories allocated so far (high-water mark of `j + 1`).
+    pub fn allocated(&self) -> usize {
+        self.memories.read().len()
+    }
+}
+
+impl<T: Clone + Send + Sync> IteratedImmediateSnapshot<T> {
+    /// Creates a per-process cursor that walks the memories in order —
+    /// the natural handle for running the full-information protocol.
+    pub fn cursor(self: &std::sync::Arc<Self>, pid: usize) -> IisCursor<T> {
+        assert!(pid < self.n, "pid out of range");
+        IisCursor {
+            iis: std::sync::Arc::clone(self),
+            pid,
+            next: 0,
+        }
+    }
+}
+
+/// A per-process handle into an [`IteratedImmediateSnapshot`], tracking
+/// which memory the process uses next (`M₀`, then `M₁`, …).
+///
+/// # Examples
+///
+/// ```
+/// use iis_memory::IteratedImmediateSnapshot;
+/// use std::sync::Arc;
+///
+/// let iis: Arc<IteratedImmediateSnapshot<u64>> = Arc::new(IteratedImmediateSnapshot::new(2));
+/// let mut me = iis.cursor(0);
+/// let v0 = me.write_read(7);
+/// let v1 = me.write_read(v0.len() as u64);
+/// assert_eq!(me.rounds_done(), 2);
+/// assert!(!v1.is_empty());
+/// ```
+pub struct IisCursor<T> {
+    iis: std::sync::Arc<IteratedImmediateSnapshot<T>>,
+    pid: usize,
+    next: usize,
+}
+
+impl<T: Clone + Send + Sync> IisCursor<T> {
+    /// This cursor's process id.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// How many memories this process has used.
+    pub fn rounds_done(&self) -> usize {
+        self.next
+    }
+
+    /// `WriteRead` on the next memory in sequence.
+    pub fn write_read(&mut self, value: T) -> Vec<(usize, T)> {
+        let j = self.next;
+        self.next += 1;
+        self.iis.write_read(j, self.pid, value)
+    }
+}
+
+impl<T> fmt::Debug for IisCursor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IisCursor(P{}, next M{})", self.pid, self.next)
+    }
+}
+
+impl<T> fmt::Debug for IteratedImmediateSnapshot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IteratedImmediateSnapshot({} processes, {} memories)",
+            self.n,
+            self.memories.read().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::validate_immediate_snapshot;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_execution_sees_self_only() {
+        let m = OneShotImmediateSnapshot::new(3);
+        let view = m.write_read(2, 99u32);
+        assert_eq!(view, vec![(2, 99)]);
+        assert!(m.has_participated(2));
+        assert!(!m.has_participated(0));
+    }
+
+    #[test]
+    fn sequential_executions_nest() {
+        let m = OneShotImmediateSnapshot::new(3);
+        let v0 = m.write_read(0, 10u32);
+        let v1 = m.write_read(1, 11);
+        let v2 = m.write_read(2, 12);
+        assert_eq!(v0, vec![(0, 10)]);
+        assert_eq!(v1, vec![(0, 10), (1, 11)]);
+        assert_eq!(v2, vec![(0, 10), (1, 11), (2, 12)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot")]
+    fn double_invocation_panics() {
+        let m = OneShotImmediateSnapshot::new(2);
+        m.write_read(0, 1u32);
+        m.write_read(0, 2u32);
+    }
+
+    #[test]
+    fn axioms_hold_under_concurrency() {
+        for _round in 0..200 {
+            let n = 4;
+            let m = Arc::new(OneShotImmediateSnapshot::new(n));
+            let mut handles = Vec::new();
+            for pid in 0..n {
+                let m = Arc::clone(&m);
+                handles.push(std::thread::spawn(move || m.write_read(pid, pid as u32 * 10)));
+            }
+            let outputs: Vec<Option<Vec<(usize, u32)>>> =
+                handles.into_iter().map(|h| Some(h.join().unwrap())).collect();
+            let inputs: Vec<Option<u32>> = (0..n).map(|p| Some(p as u32 * 10)).collect();
+            validate_immediate_snapshot(&inputs, &outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn axioms_hold_with_partial_participation() {
+        for _round in 0..100 {
+            let n = 5;
+            let m = Arc::new(OneShotImmediateSnapshot::new(n));
+            let mut handles = Vec::new();
+            for pid in [0, 2, 4] {
+                let m = Arc::clone(&m);
+                handles.push((pid, std::thread::spawn(move || m.write_read(pid, pid as u32))));
+            }
+            let mut outputs: Vec<Option<Vec<(usize, u32)>>> = vec![None; n];
+            let mut inputs: Vec<Option<u32>> = vec![None; n];
+            for (pid, h) in handles {
+                outputs[pid] = Some(h.join().unwrap());
+                inputs[pid] = Some(pid as u32);
+            }
+            validate_immediate_snapshot(&inputs, &outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_count_level_descents() {
+        // solo: descends all the way to level 1 → n descents
+        let m = OneShotImmediateSnapshot::new(4);
+        let (view, descents) = m.write_read_with_stats(0, 1u8);
+        assert_eq!(view.len(), 1);
+        assert_eq!(descents, 4);
+        // last of a sequential run: stops immediately → 1 descent
+        let m = OneShotImmediateSnapshot::new(3);
+        m.write_read(0, 1u8);
+        m.write_read(1, 2u8);
+        let (view, descents) = m.write_read_with_stats(2, 3u8);
+        assert_eq!(view.len(), 3);
+        assert_eq!(descents, 1);
+    }
+
+    #[test]
+    fn iterated_allocates_lazily() {
+        let iis: IteratedImmediateSnapshot<u32> = IteratedImmediateSnapshot::new(2);
+        assert_eq!(iis.allocated(), 0);
+        iis.write_read(3, 0, 5);
+        assert_eq!(iis.allocated(), 4);
+        assert_eq!(iis.len(), 2);
+        assert!(!iis.is_empty());
+    }
+
+    #[test]
+    fn iterated_memories_are_independent() {
+        let iis: IteratedImmediateSnapshot<u32> = IteratedImmediateSnapshot::new(2);
+        let a = iis.write_read(0, 0, 1);
+        let b = iis.write_read(1, 0, 2);
+        assert_eq!(a, vec![(0, 1)]);
+        assert_eq!(b, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn iterated_full_information_rounds() {
+        // run 3 processes through 4 IIS rounds concurrently, view sizes are
+        // monotone in the containment sense per round
+        let n = 3;
+        let iis: Arc<IteratedImmediateSnapshot<u64>> = Arc::new(IteratedImmediateSnapshot::new(n));
+        let mut handles = Vec::new();
+        for pid in 0..n {
+            let iis = Arc::clone(&iis);
+            handles.push(std::thread::spawn(move || {
+                let mut state = pid as u64 + 1;
+                for j in 0..4 {
+                    let view = iis.write_read(j, pid, state);
+                    // fold the view into a new state deterministically
+                    state = view.iter().map(|(p, v)| (*p as u64 + 1) * v).sum();
+                }
+                state
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap() > 0);
+        }
+        assert_eq!(iis.allocated(), 4);
+    }
+
+    #[test]
+    fn debug_impls() {
+        assert!(!format!("{:?}", OneShotImmediateSnapshot::<u8>::new(2)).is_empty());
+        assert!(!format!("{:?}", IteratedImmediateSnapshot::<u8>::new(2)).is_empty());
+    }
+
+    #[test]
+    fn cursor_walks_memories_in_order() {
+        let iis: Arc<IteratedImmediateSnapshot<u64>> = Arc::new(IteratedImmediateSnapshot::new(2));
+        let mut c0 = iis.cursor(0);
+        let mut c1 = iis.cursor(1);
+        assert_eq!(c0.pid(), 0);
+        let v = c0.write_read(10);
+        assert_eq!(v, vec![(0, 10)]);
+        let v = c1.write_read(20);
+        assert_eq!(v, vec![(0, 10), (1, 20)]); // same memory M0
+        let v = c1.write_read(21);
+        assert_eq!(v, vec![(1, 21)]); // M1, fresh
+        assert_eq!(c0.rounds_done(), 1);
+        assert_eq!(c1.rounds_done(), 2);
+        assert!(!format!("{c0:?}").is_empty());
+    }
+
+    #[test]
+    fn cursors_run_full_information_concurrently() {
+        let n = 3;
+        let iis: Arc<IteratedImmediateSnapshot<u64>> = Arc::new(IteratedImmediateSnapshot::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let mut cur = iis.cursor(pid);
+                std::thread::spawn(move || {
+                    let mut state = pid as u64;
+                    for _ in 0..5 {
+                        let view = cur.write_read(state);
+                        state = view.iter().map(|(_, v)| v).sum();
+                    }
+                    state
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(iis.allocated(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "pid out of range")]
+    fn cursor_pid_bounds() {
+        let iis: Arc<IteratedImmediateSnapshot<u8>> = Arc::new(IteratedImmediateSnapshot::new(1));
+        let _ = iis.cursor(5);
+    }
+}

@@ -1,0 +1,44 @@
+//! Concurrent shared-memory substrate for the Borowsky–Gafni reproduction.
+//!
+//! Real threads-and-locks implementations of every memory object the paper
+//! assumes (§3):
+//!
+//! - [`SwmrRegister`], [`RegisterArray`] — single-writer multi-reader cells,
+//! - [`SnapshotMemory`] with [`DoubleCollectSnapshot`] (non-blocking) and
+//!   [`EmbeddedScanSnapshot`] (wait-free, Afek et al.) scans,
+//! - [`OneShotImmediateSnapshot`] — the Borowsky–Gafni participating-set
+//!   algorithm,
+//! - [`IteratedImmediateSnapshot`] — the IIS memory sequence `M₀, M₁, …`,
+//! - [`checks`] — executable oracles for the model axioms.
+//!
+//! Deterministic, schedule-driven counterparts of these objects live in
+//! `iis-sched`; this crate is the "it actually runs on threads" half.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iis_memory::OneShotImmediateSnapshot;
+//! use std::sync::Arc;
+//!
+//! let m = Arc::new(OneShotImmediateSnapshot::new(2));
+//! let h = {
+//!     let m = Arc::clone(&m);
+//!     std::thread::spawn(move || m.write_read(1, "world"))
+//! };
+//! let mine = m.write_read(0, "hello");
+//! let theirs = h.join().unwrap();
+//! // containment: one view includes the other
+//! assert!(mine.len() <= theirs.len() || theirs.len() <= mine.len());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod checks;
+mod immediate;
+mod register;
+mod snapshot;
+
+pub use immediate::{IisCursor, IteratedImmediateSnapshot, OneShotImmediateSnapshot};
+pub use register::{RegisterArray, SwmrRegister, Versioned};
+pub use snapshot::{DoubleCollectSnapshot, EmbeddedScanSnapshot, ScanStats, SnapshotMemory};

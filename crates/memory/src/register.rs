@@ -1,0 +1,239 @@
+//! Single-writer multi-reader (SWMR) atomic registers.
+//!
+//! The base objects of the paper's model (§3.1): each process `Pᵢ` owns a
+//! cell `Cᵢ` that only it writes and everyone reads. Atomicity is provided
+//! by a lock per register (readers/writer); versions (per-writer sequence
+//! numbers) are exposed because every snapshot algorithm built on top needs
+//! them.
+
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A value read from a register together with the writer's sequence number
+/// at the time of the write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Versioned<T> {
+    /// Number of writes performed to the register when this value was
+    /// current; 0 means the initial value.
+    pub seq: u64,
+    /// The value.
+    pub value: T,
+}
+
+/// A single-writer multi-reader atomic register.
+///
+/// Writes must be issued by a single designated writer; this is a protocol
+/// obligation, not enforced by the type (the register is shared via `&self`
+/// from many threads). Reads are atomic and return the latest completed
+/// write's value with its sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use iis_memory::SwmrRegister;
+/// let r = SwmrRegister::new(0u32);
+/// r.write(7);
+/// assert_eq!(r.read(), 7);
+/// assert_eq!(r.read_versioned().seq, 1);
+/// ```
+pub struct SwmrRegister<T> {
+    cell: RwLock<Versioned<T>>,
+    writes: AtomicU64,
+}
+
+impl<T: Clone> SwmrRegister<T> {
+    /// Creates a register holding `initial` (sequence number 0).
+    pub fn new(initial: T) -> Self {
+        SwmrRegister {
+            cell: RwLock::new(Versioned {
+                seq: 0,
+                value: initial,
+            }),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Writes a new value, incrementing the sequence number.
+    pub fn write(&self, value: T) {
+        let seq = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.cell.write() = Versioned { seq, value };
+    }
+
+    /// Reads the current value.
+    pub fn read(&self) -> T {
+        self.cell.read().value.clone()
+    }
+
+    /// Reads the current value together with its sequence number.
+    pub fn read_versioned(&self) -> Versioned<T> {
+        self.cell.read().clone()
+    }
+
+    /// Number of writes performed so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for SwmrRegister<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.read_versioned();
+        f.debug_struct("SwmrRegister")
+            .field("seq", &v.seq)
+            .field("value", &v.value)
+            .finish()
+    }
+}
+
+impl<T: Clone + Default> Default for SwmrRegister<T> {
+    fn default() -> Self {
+        SwmrRegister::new(T::default())
+    }
+}
+
+/// An array of SWMR registers, one per process — the memory `C₀ … Cₙ` of
+/// §3.1.
+///
+/// # Examples
+///
+/// ```
+/// use iis_memory::RegisterArray;
+/// let mem: RegisterArray<Option<u32>> = RegisterArray::new(3, None);
+/// mem.write(1, Some(42));
+/// assert_eq!(mem.collect(), vec![None, Some(42), None]);
+/// ```
+pub struct RegisterArray<T> {
+    cells: Vec<SwmrRegister<T>>,
+}
+
+impl<T: Clone> RegisterArray<T> {
+    /// Creates `n` registers, each holding `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        RegisterArray {
+            cells: (0..n).map(|_| SwmrRegister::new(initial.clone())).collect(),
+        }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` iff the array has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Writes `value` into process `pid`'s register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn write(&self, pid: usize, value: T) {
+        self.cells[pid].write(value);
+    }
+
+    /// Reads process `pid`'s register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn read(&self, pid: usize) -> T {
+        self.cells[pid].read()
+    }
+
+    /// Reads process `pid`'s register with its version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn read_versioned(&self, pid: usize) -> Versioned<T> {
+        self.cells[pid].read_versioned()
+    }
+
+    /// A *collect*: one read of every register, in index order. **Not** an
+    /// atomic snapshot — concurrent writes may interleave between the reads;
+    /// see the `snapshot` module for atomic scans built from collects.
+    pub fn collect(&self) -> Vec<T> {
+        self.cells.iter().map(|c| c.read()).collect()
+    }
+
+    /// A versioned collect (values with sequence numbers).
+    pub fn collect_versioned(&self) -> Vec<Versioned<T>> {
+        self.cells.iter().map(|c| c.read_versioned()).collect()
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for RegisterArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.cells.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_read_write() {
+        let r = SwmrRegister::new(5u32);
+        assert_eq!(r.read(), 5);
+        assert_eq!(r.read_versioned().seq, 0);
+        r.write(6);
+        r.write(7);
+        assert_eq!(r.read(), 7);
+        assert_eq!(r.read_versioned().seq, 2);
+        assert_eq!(r.write_count(), 2);
+    }
+
+    #[test]
+    fn register_default() {
+        let r: SwmrRegister<u32> = SwmrRegister::default();
+        assert_eq!(r.read(), 0);
+    }
+
+    #[test]
+    fn array_basics() {
+        let a: RegisterArray<u32> = RegisterArray::new(4, 0);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        a.write(2, 9);
+        assert_eq!(a.read(2), 9);
+        assert_eq!(a.collect(), vec![0, 0, 9, 0]);
+        let vs = a.collect_versioned();
+        assert_eq!(vs[2].seq, 1);
+        assert_eq!(vs[0].seq, 0);
+    }
+
+    #[test]
+    fn seq_numbers_monotone_under_concurrency() {
+        let r = Arc::new(SwmrRegister::new(0u64));
+        let writer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                for i in 1..=1000u64 {
+                    r.write(i);
+                }
+            })
+        };
+        let mut last = r.read_versioned();
+        for _ in 0..1000 {
+            let now = r.read_versioned();
+            assert!(now.seq >= last.seq, "sequence numbers went backwards");
+            assert_eq!(now.seq, now.value, "seq must track value here");
+            last = now;
+        }
+        writer.join().unwrap();
+        assert_eq!(r.read(), 1000);
+    }
+
+    #[test]
+    fn debug_impls_nonempty() {
+        let r = SwmrRegister::new(1u8);
+        assert!(!format!("{r:?}").is_empty());
+        let a: RegisterArray<u8> = RegisterArray::new(2, 0);
+        assert!(!format!("{a:?}").is_empty());
+    }
+}

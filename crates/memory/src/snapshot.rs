@@ -1,0 +1,334 @@
+//! Atomic snapshot objects over SWMR registers (§3.1, \[1\] in the paper).
+//!
+//! Two implementations of the same interface:
+//!
+//! - [`DoubleCollectSnapshot`] — the *non-blocking* scan: re-collect until
+//!   two successive collects agree. This is the "double collect until one
+//!   double collect succeeds" construction the paper compares its emulation
+//!   to at the end of §4: individual scans are not bounded, but the system
+//!   makes progress.
+//! - [`EmbeddedScanSnapshot`] — the *wait-free* scan of Afek et al.: every
+//!   update embeds the writer's own scan; a scanner that observes some
+//!   writer move twice borrows that writer's embedded scan.
+
+use crate::register::{RegisterArray, Versioned};
+use std::fmt;
+
+/// Statistics from a single scan, for the benchmark harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ScanStats {
+    /// Number of collects (full passes over the registers) performed.
+    pub collects: usize,
+    /// `true` if the result was borrowed from a writer's embedded scan
+    /// (always `false` for the double-collect implementation).
+    pub borrowed: bool,
+}
+
+/// Interface of an `(n+1)`-process single-writer atomic snapshot memory.
+///
+/// `update(i, v)` writes `v` to cell `Cᵢ`; `scan()` returns an atomic
+/// snapshot of all cells. Implementations must guarantee that scans are
+/// linearizable: the sequence-number vectors of any two scans are related
+/// coordinatewise (one dominates the other).
+pub trait SnapshotMemory<T: Clone>: Send + Sync {
+    /// Number of cells (= processes).
+    fn len(&self) -> usize;
+
+    /// `true` iff the memory has no cells.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes `value` into cell `pid`. Must only be called by process `pid`
+    /// (single-writer discipline).
+    fn update(&self, pid: usize, value: T);
+
+    /// Returns an atomic snapshot of all cells with per-cell sequence
+    /// numbers, plus scan statistics.
+    fn scan_versioned(&self, pid: usize) -> (Vec<Versioned<T>>, ScanStats);
+
+    /// Returns an atomic snapshot of all cells.
+    fn scan(&self, pid: usize) -> Vec<T> {
+        self.scan_versioned(pid)
+            .0
+            .into_iter()
+            .map(|v| v.value)
+            .collect()
+    }
+}
+
+/// The non-blocking double-collect snapshot.
+///
+/// A scan repeatedly collects all registers until two successive collects
+/// return identical sequence-number vectors; the common collect is then a
+/// valid atomic snapshot. Lock-free but not wait-free: a single scanner can
+/// be starved by perpetual writers, yet whenever a scan fails some update
+/// completed (system-wide progress) — precisely the *non-blocking* guarantee
+/// the paper's emulation is compared to (§4).
+///
+/// # Examples
+///
+/// ```
+/// use iis_memory::{DoubleCollectSnapshot, SnapshotMemory};
+/// let m = DoubleCollectSnapshot::new(3, 0u32);
+/// m.update(0, 10);
+/// m.update(2, 30);
+/// assert_eq!(m.scan(1), vec![10, 0, 30]);
+/// ```
+pub struct DoubleCollectSnapshot<T> {
+    cells: RegisterArray<T>,
+}
+
+impl<T: Clone + Send + Sync> DoubleCollectSnapshot<T> {
+    /// Creates a memory of `n` cells initialized to `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        DoubleCollectSnapshot {
+            cells: RegisterArray::new(n, initial),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> SnapshotMemory<T> for DoubleCollectSnapshot<T> {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn update(&self, pid: usize, value: T) {
+        self.cells.write(pid, value);
+    }
+
+    fn scan_versioned(&self, _pid: usize) -> (Vec<Versioned<T>>, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut prev = self.cells.collect_versioned();
+        stats.collects = 1;
+        loop {
+            let next = self.cells.collect_versioned();
+            stats.collects += 1;
+            let same = prev
+                .iter()
+                .zip(&next)
+                .all(|(a, b)| a.seq == b.seq);
+            if same {
+                return (next, stats);
+            }
+            prev = next;
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for DoubleCollectSnapshot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DoubleCollectSnapshot")
+            .field("cells", &self.cells)
+            .finish()
+    }
+}
+
+/// One cell of the wait-free snapshot: the value plus the writer's embedded
+/// scan at the time of writing.
+#[derive(Clone, Debug)]
+struct EmbeddedCell<T> {
+    value: T,
+    /// The writer's scan (with versions) taken inside the update that wrote
+    /// this cell; `None` for the initial value.
+    embedded: Option<Vec<Versioned<T>>>,
+}
+
+/// The wait-free snapshot of Afek, Attiya, Dolev, Gafni, Merritt & Shavit
+/// (\[1\] in the paper), unbounded-sequence-number variant.
+///
+/// `update` first performs a `scan` and stores it, *embedded*, together with
+/// the new value. A scanner double-collects; if it ever observes the same
+/// writer move twice, that writer's second embedded scan began after the
+/// scanner started, so the scanner may return ("borrow") it. After at most
+/// `n+1` failed double collects some writer has moved twice, hence scans are
+/// wait-free with O(n²) reads.
+pub struct EmbeddedScanSnapshot<T> {
+    cells: RegisterArray<EmbeddedCell<T>>,
+}
+
+impl<T: Clone + Send + Sync> EmbeddedScanSnapshot<T> {
+    /// Creates a memory of `n` cells initialized to `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        EmbeddedScanSnapshot {
+            cells: RegisterArray::new(
+                n,
+                EmbeddedCell {
+                    value: initial,
+                    embedded: None,
+                },
+            ),
+        }
+    }
+
+    fn strip(collect: &[Versioned<EmbeddedCell<T>>]) -> Vec<Versioned<T>> {
+        collect
+            .iter()
+            .map(|v| Versioned {
+                seq: v.seq,
+                value: v.value.value.clone(),
+            })
+            .collect()
+    }
+}
+
+impl<T: Clone + Send + Sync> SnapshotMemory<T> for EmbeddedScanSnapshot<T> {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn update(&self, pid: usize, value: T) {
+        let (view, _) = self.scan_versioned(pid);
+        self.cells.write(
+            pid,
+            EmbeddedCell {
+                value,
+                embedded: Some(view),
+            },
+        );
+    }
+
+    fn scan_versioned(&self, _pid: usize) -> (Vec<Versioned<T>>, ScanStats) {
+        let n = self.cells.len();
+        let mut stats = ScanStats::default();
+        let mut moved = vec![0usize; n];
+        let mut prev = self.cells.collect_versioned();
+        stats.collects = 1;
+        loop {
+            let next = self.cells.collect_versioned();
+            stats.collects += 1;
+            let mut clean = true;
+            for j in 0..n {
+                if prev[j].seq != next[j].seq {
+                    clean = false;
+                    moved[j] += 1;
+                    if moved[j] >= 2 {
+                        // `j` wrote twice during our scan: its latest embedded
+                        // scan started after ours did — borrow it.
+                        if let Some(view) = next[j].value.embedded.clone() {
+                            stats.borrowed = true;
+                            return (view, stats);
+                        }
+                    }
+                }
+            }
+            if clean {
+                return (Self::strip(&next), stats);
+            }
+            prev = next;
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + fmt::Debug> fmt::Debug for EmbeddedScanSnapshot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EmbeddedScanSnapshot({} cells)", self.cells.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::validate_scan_comparability;
+    use std::sync::Arc;
+
+    fn exercise_sequential<M: SnapshotMemory<u32>>(m: &M) {
+        m.update(0, 1);
+        m.update(1, 2);
+        assert_eq!(m.scan(0), vec![1, 2, 0]);
+        m.update(0, 3);
+        assert_eq!(m.scan(2), vec![3, 2, 0]);
+        let (v, stats) = m.scan_versioned(1);
+        assert_eq!(v[0].seq, 2);
+        assert!(stats.collects >= 2);
+    }
+
+    #[test]
+    fn double_collect_sequential() {
+        exercise_sequential(&DoubleCollectSnapshot::new(3, 0u32));
+    }
+
+    #[test]
+    fn embedded_scan_sequential() {
+        exercise_sequential(&EmbeddedScanSnapshot::new(3, 0u32));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let m = DoubleCollectSnapshot::new(3, 0u32);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        let e = EmbeddedScanSnapshot::new(0, 0u32);
+        assert!(e.is_empty());
+    }
+
+    fn concurrent_scans_are_comparable<M>(make: impl Fn() -> Arc<M>)
+    where
+        M: SnapshotMemory<u64> + 'static,
+    {
+        for _round in 0..20 {
+            let m = make();
+            let n = m.len();
+            let mut handles = Vec::new();
+            for pid in 0..n {
+                let m = Arc::clone(&m);
+                handles.push(std::thread::spawn(move || {
+                    let mut scans = Vec::new();
+                    for k in 0..50u64 {
+                        m.update(pid, k * n as u64 + pid as u64 + 1);
+                        let (v, _) = m.scan_versioned(pid);
+                        scans.push(v.iter().map(|x| x.seq).collect::<Vec<u64>>());
+                    }
+                    scans
+                }));
+            }
+            let all: Vec<Vec<u64>> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            validate_scan_comparability(&all).unwrap();
+        }
+    }
+
+    #[test]
+    fn double_collect_concurrent_comparable() {
+        concurrent_scans_are_comparable(|| Arc::new(DoubleCollectSnapshot::new(3, 0u64)));
+    }
+
+    #[test]
+    fn embedded_scan_concurrent_comparable() {
+        concurrent_scans_are_comparable(|| Arc::new(EmbeddedScanSnapshot::new(3, 0u64)));
+    }
+
+    #[test]
+    fn embedded_scan_borrow_path_exists() {
+        // Heavy write pressure should exercise the borrow path at least once
+        // in a while; we only assert the scan stays correct, and record
+        // whether borrowing happened (not guaranteed by the scheduler, so no
+        // hard assert on `borrowed`).
+        let m = Arc::new(EmbeddedScanSnapshot::new(2, 0u64));
+        let writer = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                for k in 1..=20_000u64 {
+                    m.update(0, k);
+                }
+            })
+        };
+        let mut borrowed_any = false;
+        for _ in 0..2_000 {
+            let (v, stats) = m.scan_versioned(1);
+            borrowed_any |= stats.borrowed;
+            assert_eq!(v.len(), 2);
+            assert_eq!(v[0].seq, v[0].value);
+        }
+        writer.join().unwrap();
+        let _ = borrowed_any;
+    }
+
+    #[test]
+    fn debug_impls() {
+        assert!(!format!("{:?}", DoubleCollectSnapshot::new(1, 0u8)).is_empty());
+        assert!(!format!("{:?}", EmbeddedScanSnapshot::new(1, 0u8)).is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic execution of protocols in the SWMR atomic snapshot model
+//! (§3.1).
+//!
+//! An execution is a sequence of process ids; a process's first appearance
+//! is a write, its second a snapshot, and so on alternating (the paper's
+//! convention for full-information executions). Single-threaded simulation
+//! makes every snapshot trivially atomic, so this runner is the *reference
+//! semantics* against which the IIS emulation (iis-core) is validated.
+
+use std::fmt;
+
+/// A per-process protocol state machine for the atomic snapshot model.
+///
+/// The runner alternates [`AtomicMachine::next_write`] and
+/// [`AtomicMachine::on_snapshot`] per scheduled appearance, as in Figure 1.
+pub trait AtomicMachine {
+    /// The values written to the cells.
+    type Value: Clone;
+    /// The decision value.
+    type Output;
+
+    /// Called on a write step: the value to write into this process's cell.
+    fn next_write(&mut self) -> Self::Value;
+
+    /// Called on a snapshot step with the current memory contents (cell
+    /// `j` is `None` until process `j` first writes). Returning `Some`
+    /// decides and stops the process.
+    fn on_snapshot(&mut self, snapshot: &[Option<Self::Value>]) -> Option<Self::Output>;
+}
+
+/// Which operation a process performs at its next appearance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Write,
+    Snapshot,
+}
+
+/// Drives [`AtomicMachine`]s through a schedule of process ids.
+///
+/// # Examples
+///
+/// ```
+/// use iis_sched::{AtomicMachine, AtomicRunner};
+///
+/// /// Writes its pid, then decides on the set of cells it saw.
+/// struct OneShot(usize);
+/// impl AtomicMachine for OneShot {
+///     type Value = usize;
+///     type Output = usize;
+///     fn next_write(&mut self) -> usize { self.0 }
+///     fn on_snapshot(&mut self, snap: &[Option<usize>]) -> Option<usize> {
+///         Some(snap.iter().flatten().count())
+///     }
+/// }
+///
+/// let mut r = AtomicRunner::new(vec![OneShot(0), OneShot(1)]);
+/// for pid in [0, 1, 1, 0] { r.step(pid); }
+/// assert_eq!(r.output(1), Some(&2)); // 1 snapshotted after both writes
+/// ```
+pub struct AtomicRunner<M: AtomicMachine> {
+    machines: Vec<M>,
+    memory: Vec<Option<M::Value>>,
+    phase: Vec<Phase>,
+    outputs: Vec<Option<M::Output>>,
+    crashed: Vec<bool>,
+    steps: u64,
+}
+
+impl<M: AtomicMachine> AtomicRunner<M> {
+    /// Creates a runner over one machine per process (pid = index); all
+    /// cells start empty.
+    pub fn new(machines: Vec<M>) -> Self {
+        let n = machines.len();
+        AtomicRunner {
+            machines,
+            memory: (0..n).map(|_| None).collect(),
+            phase: vec![Phase::Write; n],
+            outputs: (0..n).map(|_| None).collect(),
+            crashed: vec![false; n],
+            steps: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// `true` iff the runner has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Total steps executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Crashes `pid`: it ignores further scheduled appearances.
+    pub fn crash(&mut self, pid: usize) {
+        self.crashed[pid] = true;
+    }
+
+    /// `pid`'s decision, if decided.
+    pub fn output(&self, pid: usize) -> Option<&M::Output> {
+        self.outputs[pid].as_ref()
+    }
+
+    /// All decisions.
+    pub fn outputs(&self) -> &[Option<M::Output>] {
+        &self.outputs
+    }
+
+    /// Consumes the runner, returning the decisions.
+    pub fn into_outputs(self) -> Vec<Option<M::Output>> {
+        self.outputs
+    }
+
+    /// The current memory contents (cells of undecided writers included).
+    pub fn memory(&self) -> &[Option<M::Value>] {
+        &self.memory
+    }
+
+    /// `true` iff no process is alive and undecided.
+    pub fn is_quiescent(&self) -> bool {
+        (0..self.machines.len()).all(|p| self.crashed[p] || self.outputs[p].is_some())
+    }
+
+    /// Executes one appearance of `pid` (write or snapshot, alternating).
+    /// No-op (returning `false`) if `pid` has crashed or decided. Returns
+    /// `true` iff `pid` decided on this step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn step(&mut self, pid: usize) -> bool {
+        if self.crashed[pid] || self.outputs[pid].is_some() {
+            return false;
+        }
+        self.steps += 1;
+        match self.phase[pid] {
+            Phase::Write => {
+                let v = self.machines[pid].next_write();
+                self.memory[pid] = Some(v);
+                self.phase[pid] = Phase::Snapshot;
+                false
+            }
+            Phase::Snapshot => {
+                let decision = self.machines[pid].on_snapshot(&self.memory);
+                self.phase[pid] = Phase::Write;
+                match decision {
+                    Some(o) => {
+                        self.outputs[pid] = Some(o);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Runs a schedule of pids until exhausted or all processes decided or
+    /// crashed. Returns the number of steps actually executed (skipped
+    /// appearances of decided/crashed processes are not counted).
+    pub fn run<I: IntoIterator<Item = usize>>(&mut self, schedule: I) -> u64 {
+        let before = self.steps;
+        for pid in schedule {
+            if self.is_quiescent() {
+                break;
+            }
+            self.step(pid);
+        }
+        self.steps - before
+    }
+}
+
+impl<M: AtomicMachine> fmt::Debug for AtomicRunner<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicRunner")
+            .field("processes", &self.machines.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure-1 style: performs `k` write/snapshot rounds carrying a counter,
+    /// decides on the last snapshot's filled-cell count.
+    struct KShot {
+        pid: usize,
+        k: usize,
+        done: usize,
+    }
+
+    impl AtomicMachine for KShot {
+        type Value = (usize, usize); // (pid, round)
+        type Output = usize;
+        fn next_write(&mut self) -> (usize, usize) {
+            (self.pid, self.done)
+        }
+        fn on_snapshot(&mut self, snap: &[Option<(usize, usize)>]) -> Option<usize> {
+            self.done += 1;
+            if self.done == self.k {
+                Some(snap.iter().flatten().count())
+            } else {
+                None
+            }
+        }
+    }
+
+    fn kshots(n: usize, k: usize) -> Vec<KShot> {
+        (0..n).map(|pid| KShot { pid, k, done: 0 }).collect()
+    }
+
+    #[test]
+    fn solo_run_sees_only_self() {
+        let mut r = AtomicRunner::new(kshots(3, 2));
+        r.run([0, 0, 0, 0]);
+        assert_eq!(r.output(0), Some(&1));
+        assert_eq!(r.output(1), None);
+        assert_eq!(r.steps(), 4);
+    }
+
+    #[test]
+    fn interleaved_run() {
+        let mut r = AtomicRunner::new(kshots(2, 1));
+        // 0 writes, 1 writes, 0 snaps (sees both), 1 snaps (sees both)
+        r.run([0, 1, 0, 1]);
+        assert_eq!(r.output(0), Some(&2));
+        assert_eq!(r.output(1), Some(&2));
+        assert!(r.is_quiescent());
+    }
+
+    #[test]
+    fn crash_stops_steps() {
+        let mut r = AtomicRunner::new(kshots(2, 1));
+        r.step(0); // write
+        r.crash(0);
+        assert!(!r.step(0)); // ignored
+        r.run([1, 1]);
+        // 1 still sees 0's write (crash after write is visible)
+        assert_eq!(r.output(1), Some(&2));
+        assert_eq!(r.memory()[0], Some((0, 0)));
+    }
+
+    #[test]
+    fn run_stops_when_quiescent() {
+        let mut r = AtomicRunner::new(kshots(1, 1));
+        let executed = r.run(std::iter::repeat_n(0, 100));
+        assert_eq!(executed, 2);
+    }
+
+    #[test]
+    fn debug_len() {
+        let r = AtomicRunner::new(kshots(2, 1));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(!format!("{r:?}").is_empty());
+        assert_eq!(r.outputs().len(), 2);
+    }
+}

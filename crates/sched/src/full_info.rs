@@ -1,0 +1,422 @@
+//! Full-information protocols in both models, and protocol-complex
+//! generation by exhaustive execution enumeration.
+//!
+//! The *full-information protocol* is the canonical protocol: a process's
+//! state is everything it has seen; every write publishes the entire state
+//! (§3.1, §3.5). Running it over all schedules yields the *protocol
+//! complex*; Lemma 3.3 says that for the IIS model this complex is exactly
+//! the iterated standard chromatic subdivision — which the tests here check
+//! *by construction*, comparing the enumerated complex with
+//! [`iis_topology::sds_iterated`] label-for-label.
+
+use crate::{all_iis_schedules, AtomicMachine, IisMachine, IisRunner, MachineStep};
+use iis_topology::{Color, Complex, Label};
+
+/// The IIS full-information machine: state = canonical view label; each
+/// round submits the state and replaces it with the view received; decides
+/// on its state after `b` rounds.
+#[derive(Clone, Debug)]
+pub struct FullInfoIis {
+    rounds: usize,
+    state: Label,
+}
+
+impl FullInfoIis {
+    /// A machine with the given input label that runs `rounds` IIS rounds.
+    pub fn new(input: Label, rounds: usize) -> Self {
+        FullInfoIis {
+            rounds,
+            state: input,
+        }
+    }
+}
+
+impl IisMachine for FullInfoIis {
+    type Value = Label;
+    type Output = Label;
+
+    fn initial_value(&mut self) -> Label {
+        self.state.clone()
+    }
+
+    fn on_view(&mut self, round: usize, view: &[(usize, Label)]) -> MachineStep<Label, Label> {
+        self.state = Label::view(view.iter().map(|(p, l)| (Color(*p as u32), l)));
+        if round + 1 >= self.rounds {
+            MachineStep::Decide(self.state.clone())
+        } else {
+            MachineStep::Continue(self.state.clone())
+        }
+    }
+}
+
+/// Runs the IIS full-information protocol for `b` rounds under a schedule,
+/// returning each process's final view label (`None` for processes that
+/// crashed or for a schedule shorter than `b`).
+pub fn run_full_info_iis(
+    inputs: &[Label],
+    schedule: impl IntoIterator<Item = crate::OrderedPartition>,
+    b: usize,
+) -> Vec<Option<Label>> {
+    let machines: Vec<FullInfoIis> = inputs
+        .iter()
+        .map(|l| FullInfoIis::new(l.clone(), b))
+        .collect();
+    let mut runner = IisRunner::new(machines);
+    runner.run(schedule);
+    runner.into_outputs()
+}
+
+/// Builds the `b`-round IIS full-information protocol complex of an input
+/// complex by *exhaustive execution enumeration*: for every facet of the
+/// input complex and every `b`-round schedule over its colors, run the
+/// protocol and add the resulting views as a facet.
+///
+/// By Lemma 3.3 the result equals `sds_iterated(input, b).complex()` — the
+/// tests assert `same_labeled` equality.
+///
+/// # Panics
+///
+/// Panics if `input` is not chromatic, or if a facet has more than 5
+/// vertices (enumeration would be astronomically large).
+pub fn iis_protocol_complex(input: &Complex, b: usize) -> Complex {
+    assert!(input.is_chromatic(), "input complex must be chromatic");
+    if b == 0 {
+        return input.clone();
+    }
+    let mut out = Complex::new();
+    for f in input.facets() {
+        let colors: Vec<Color> = f.iter().map(|v| input.color(v)).collect();
+        assert!(colors.len() <= 5, "facet too large to enumerate");
+        // run with local pids 0..k mapped to the facet's colors
+        let inputs: Vec<Label> = f.iter().map(|v| input.label(v).clone()).collect();
+        let pids: Vec<usize> = (0..colors.len()).collect();
+        for schedule in all_iis_schedules(&pids, b) {
+            // relabel local pids to global colors inside view labels: we run
+            // with *global* color ids to keep labels canonical, by remapping
+            // the partitions.
+            let rounds: Vec<crate::OrderedPartition> = schedule
+                .rounds()
+                .iter()
+                .map(|p| {
+                    crate::OrderedPartition::new(
+                        p.blocks()
+                            .iter()
+                            .map(|blk| blk.iter().map(|&i| colors[i].0 as usize).collect())
+                            .collect(),
+                    )
+                    .expect("remapped partition is valid")
+                })
+                .collect();
+            // global-pid machine array: only the facet's colors participate
+            let max_pid = colors.iter().map(|c| c.0 as usize).max().unwrap_or(0);
+            let mut machines: Vec<FullInfoIis> = (0..=max_pid)
+                .map(|_| FullInfoIis::new(Label::scalar(u64::MAX), b))
+                .collect();
+            for (i, c) in colors.iter().enumerate() {
+                machines[c.0 as usize] = FullInfoIis::new(inputs[i].clone(), b);
+            }
+            let mut runner = IisRunner::new(machines);
+            // crash every non-participant before round 0
+            for pid in 0..=max_pid {
+                if !colors.iter().any(|c| c.0 as usize == pid) {
+                    runner.crash(pid);
+                }
+            }
+            runner.run(rounds);
+            let outs = runner.into_outputs();
+            let mut facet = Vec::with_capacity(colors.len());
+            for c in &colors {
+                let label = outs[c.0 as usize]
+                    .clone()
+                    .expect("participant completed all rounds");
+                facet.push(out.ensure_vertex(*c, label));
+            }
+            out.add_facet(facet);
+        }
+    }
+    out
+}
+
+/// Builds the one-shot (`k = 1`) **atomic snapshot** full-information
+/// protocol complex by enumerating every schedule: vertices are `(color,
+/// final view)` pairs, facets are the joint outcomes of complete
+/// executions.
+///
+/// This is the complex the paper's §3.4 restriction is about: for two
+/// processes it coincides with `SDS(s¹)`, but for three or more it is
+/// **not** a subdivided simplex — plain snapshots admit executions (e.g.
+/// `P₀` seeing `{P₀, P₂}` while `P₂` sees `{P₀, P₁, P₂}` and `P₁` sees
+/// all) whose views violate the immediacy axiom, which is exactly why the
+/// characterization is built on *immediate* snapshots (Lemma 3.2 holds for
+/// the IS complex, not this one).
+///
+/// # Panics
+///
+/// Panics if `input` is not chromatic or a facet is too large to enumerate
+/// (> 3 vertices).
+pub fn atomic_one_shot_protocol_complex(input: &Complex) -> Complex {
+    assert!(input.is_chromatic(), "input complex must be chromatic");
+    let mut out = Complex::new();
+    for f in input.facets() {
+        let colors: Vec<Color> = f.iter().map(|v| input.color(v)).collect();
+        let inputs: Vec<Label> = f.iter().map(|v| input.label(v).clone()).collect();
+        let m = colors.len();
+        assert!(m <= 3, "atomic schedule enumeration explodes beyond 3");
+        // every process does one write and one snapshot: schedules of
+        // length 2m covering all interleavings
+        for schedule in crate::all_atomic_schedules(m, 2 * m) {
+            let machines: Vec<FullInfoAtomic> = (0..m)
+                .map(|i| FullInfoAtomic::new(i, inputs[i].clone(), 1))
+                .collect();
+            let mut runner = crate::AtomicRunner::new(machines);
+            runner.run(schedule);
+            if !runner.is_quiescent() {
+                continue; // unfair interleaving: someone did not finish
+            }
+            let mut facet = Vec::with_capacity(m);
+            for (i, c) in colors.iter().enumerate() {
+                // remap local pids in the view label to global colors
+                let local = runner.output(i).expect("quiescent").clone();
+                let view = local.as_view().expect("full-information views");
+                let relabeled = Label::view(
+                    view.iter()
+                        .map(|(lc, l)| (colors[lc.0 as usize], l)),
+                );
+                facet.push(out.ensure_vertex(*c, relabeled));
+            }
+            out.add_facet(facet);
+        }
+    }
+    out
+}
+
+/// The atomic-model full-information machine of Figure 1: alternates
+/// writing its whole state and snapshotting; after `k` snapshots decides on
+/// its state.
+#[derive(Clone, Debug)]
+pub struct FullInfoAtomic {
+    pid: usize,
+    k: usize,
+    snaps_done: usize,
+    state: Label,
+}
+
+impl FullInfoAtomic {
+    /// A machine for process `pid` with the given input, running `k`
+    /// write/snapshot rounds.
+    pub fn new(pid: usize, input: Label, k: usize) -> Self {
+        FullInfoAtomic {
+            pid,
+            k,
+            snaps_done: 0,
+            state: input,
+        }
+    }
+}
+
+impl AtomicMachine for FullInfoAtomic {
+    type Value = Label;
+    type Output = Label;
+
+    fn next_write(&mut self) -> Label {
+        self.state.clone()
+    }
+
+    fn on_snapshot(&mut self, snapshot: &[Option<Label>]) -> Option<Label> {
+        self.state = Label::view(
+            snapshot
+                .iter()
+                .enumerate()
+                .filter_map(|(p, c)| c.as_ref().map(|l| (Color(p as u32), l))),
+        );
+        self.snaps_done += 1;
+        if self.snaps_done >= self.k {
+            Some(self.state.clone())
+        } else {
+            None
+        }
+    }
+}
+
+impl FullInfoAtomic {
+    /// The process id this machine was created for.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicRunner, AtomicSchedule, IisSchedule};
+    use iis_topology::{sds_iterated, Subdivision};
+
+    fn inputs(n: usize) -> Vec<Label> {
+        (0..n).map(|i| Label::scalar(i as u64)).collect()
+    }
+
+    #[test]
+    fn one_round_lockstep_views() {
+        let outs = run_full_info_iis(&inputs(2), IisSchedule::lockstep(2, 1), 1);
+        let expected = Label::view([
+            (Color(0), &Label::scalar(0)),
+            (Color(1), &Label::scalar(1)),
+        ]);
+        assert_eq!(outs[0].as_ref(), Some(&expected));
+        assert_eq!(outs[1].as_ref(), Some(&expected));
+    }
+
+    #[test]
+    fn protocol_complex_equals_sds_lemma_3_2() {
+        // one round, 3 processes: the enumerated complex IS SDS(s²)
+        let base = Complex::standard_simplex(2);
+        let enumerated = iis_protocol_complex(&base, 1);
+        let constructed = iis_topology::sds(&base);
+        assert!(enumerated.same_labeled(constructed.complex()));
+    }
+
+    #[test]
+    fn protocol_complex_equals_sds_iterated_lemma_3_3() {
+        // two rounds, 3 processes: SDS²(s²), 169 facets
+        let base = Complex::standard_simplex(2);
+        let enumerated = iis_protocol_complex(&base, 2);
+        assert_eq!(enumerated.num_facets(), 169);
+        let constructed = sds_iterated(&base, 2);
+        assert!(enumerated.same_labeled(constructed.complex()));
+    }
+
+    #[test]
+    fn protocol_complex_four_processes_one_round() {
+        let base = Complex::standard_simplex(3);
+        let enumerated = iis_protocol_complex(&base, 1);
+        assert_eq!(enumerated.num_facets(), 75);
+        let constructed = iis_topology::sds(&base);
+        assert!(enumerated.same_labeled(constructed.complex()));
+    }
+
+    #[test]
+    fn enumerated_complex_is_valid_subdivision() {
+        // attach carriers by decoding views and validate as subdivision
+        let base = Complex::standard_simplex(2);
+        let enumerated = iis_protocol_complex(&base, 1);
+        let carriers: Vec<iis_topology::Simplex> = enumerated
+            .vertex_ids()
+            .map(|v| {
+                let view = enumerated.label(v).as_view().unwrap();
+                iis_topology::Simplex::new(view.iter().map(|(c, l)| {
+                    base.vertex_id(*c, l).expect("view entries are base vertices")
+                }))
+            })
+            .collect();
+        let sub = Subdivision::from_parts(base, enumerated, carriers);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn atomic_full_info_round_robin() {
+        // round-robin: everyone writes, then everyone snapshots → all see all
+        let machines: Vec<FullInfoAtomic> = (0..3)
+            .map(|p| FullInfoAtomic::new(p, Label::scalar(p as u64), 1))
+            .collect();
+        let mut r = AtomicRunner::new(machines);
+        r.run(AtomicSchedule::from_steps(vec![0, 1, 2, 0, 1, 2]));
+        let expected = Label::view([
+            (Color(0), &Label::scalar(0)),
+            (Color(1), &Label::scalar(1)),
+            (Color(2), &Label::scalar(2)),
+        ]);
+        for p in 0..3 {
+            assert_eq!(r.output(p), Some(&expected));
+        }
+    }
+
+    #[test]
+    fn atomic_full_info_solo_sees_self() {
+        let machines = vec![FullInfoAtomic::new(0, Label::scalar(7), 2)];
+        let mut r = AtomicRunner::new(machines);
+        r.run(AtomicSchedule::round_robin(1, 4));
+        let l1 = Label::view([(Color(0), &Label::scalar(7))]);
+        let l2 = Label::view([(Color(0), &l1)]);
+        assert_eq!(r.output(0), Some(&l2));
+    }
+
+    #[test]
+    fn atomic_one_shot_two_processes_is_sds_shaped() {
+        // for 2 processes the atomic one-shot complex IS the standard
+        // chromatic subdivision of the edge
+        let base = Complex::standard_simplex(1);
+        let atomic = atomic_one_shot_protocol_complex(&base);
+        let is_complex = iis_topology::sds(&base);
+        assert!(atomic.same_labeled(is_complex.complex()));
+    }
+
+    #[test]
+    fn atomic_one_shot_three_processes_is_not_a_subdivision() {
+        // for 3 processes the atomic complex strictly contains the IS
+        // complex: non-immediate views appear, immediacy fails, and the
+        // complex is not even a pseudomanifold — the reason §3.4 moves to
+        // immediate snapshots.
+        let base = Complex::standard_simplex(2);
+        let atomic = atomic_one_shot_protocol_complex(&base);
+        let is_complex = iis_topology::sds(&base);
+        assert!(
+            atomic.num_facets() > is_complex.complex().num_facets(),
+            "atomic: {} facets vs IS: {}",
+            atomic.num_facets(),
+            is_complex.complex().num_facets()
+        );
+        // every IS facet is also an atomic facet (IS ⊆ atomic executions)
+        for f in is_complex.complex().facets() {
+            let translated: Vec<_> = f
+                .iter()
+                .map(|v| {
+                    atomic
+                        .vertex_id(
+                            is_complex.complex().color(v),
+                            is_complex.complex().label(v),
+                        )
+                        .expect("IS views occur atomically")
+                })
+                .collect();
+            assert!(atomic.contains_simplex(&iis_topology::Simplex::new(translated)));
+        }
+        // immediacy violation exists: some facet has i ∈ S_j with S_i ⊄ S_j
+        let mut violation = false;
+        'outer: for f in atomic.facets() {
+            let views: Vec<(Color, Vec<(Color, Label)>)> = f
+                .iter()
+                .map(|v| (atomic.color(v), atomic.label(v).as_view().unwrap()))
+                .collect();
+            for (ci, si) in &views {
+                for (_cj, sj) in &views {
+                    let j_sees_i = sj.iter().any(|(c, _)| c == ci);
+                    let contained = si.iter().all(|e| sj.contains(e));
+                    if j_sees_i && !contained {
+                        violation = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(violation, "plain snapshots must violate immediacy somewhere");
+        // and the complex is not a pseudomanifold
+        let report = iis_topology::manifold::pseudomanifold_report(&atomic);
+        assert!(!report.is_pseudomanifold());
+    }
+
+    #[test]
+    fn iis_crash_produces_smaller_views() {
+        let ins = inputs(3);
+        let machines: Vec<FullInfoIis> =
+            ins.iter().map(|l| FullInfoIis::new(l.clone(), 2)).collect();
+        let mut runner = IisRunner::new(machines);
+        runner.step_round(&crate::OrderedPartition::simultaneous([0, 1, 2]));
+        runner.crash(2);
+        runner.step_round(&crate::OrderedPartition::simultaneous([0, 1, 2]));
+        let outs = runner.into_outputs();
+        assert!(outs[2].is_none());
+        // round-2 views of 0 and 1 contain only two entries
+        let v = outs[0].as_ref().unwrap().as_view().unwrap();
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,376 @@
+//! Deterministic execution of protocols in the iterated immediate snapshot
+//! model (§3.5).
+//!
+//! An IIS execution is a sequence of [`OrderedPartition`]s, one per one-shot
+//! memory `M₀, M₁, …`. The runner drives one state machine per process:
+//! each round, every live undecided process `WriteRead`s its pending value
+//! into the round's memory and receives its view (its block and all earlier
+//! blocks). Lockstep rounds lose no generality — within a memory, arbitrary
+//! asynchrony is exactly the choice of ordered partition, and a process
+//! lagging across memories is equivalent to it being placed in late blocks.
+
+use crate::OrderedPartition;
+use std::fmt;
+
+/// What a machine does with the view it receives from memory `Mⱼ`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineStep<V, O> {
+    /// Keep going: submit this value to the next memory.
+    Continue(V),
+    /// Decide and stop taking steps.
+    Decide(O),
+}
+
+/// A per-process protocol state machine for the IIS model.
+///
+/// One instance exists per process; the runner feeds it views round by
+/// round. See [`IisRunner`].
+pub trait IisMachine {
+    /// The values written to the one-shot memories.
+    type Value: Clone;
+    /// The decision value.
+    type Output;
+
+    /// The value this process submits to `M₀`.
+    fn initial_value(&mut self) -> Self::Value;
+
+    /// Receives the immediate-snapshot view from memory `M_round` — the
+    /// `(pid, value)` pairs of every process in this process's block or an
+    /// earlier one, sorted by pid (self-inclusive). Returns the next value
+    /// or a decision.
+    fn on_view(&mut self, round: usize, view: &[(usize, Self::Value)])
+        -> MachineStep<Self::Value, Self::Output>;
+}
+
+/// Drives a set of [`IisMachine`]s through a sequence of ordered partitions.
+///
+/// # Examples
+///
+/// ```
+/// use iis_sched::{IisMachine, IisRunner, MachineStep, OrderedPartition};
+///
+/// /// Decide on the number of processes seen in round 0.
+/// struct CountSeen;
+/// impl IisMachine for CountSeen {
+///     type Value = ();
+///     type Output = usize;
+///     fn initial_value(&mut self) {}
+///     fn on_view(&mut self, _round: usize, view: &[(usize, ())]) -> MachineStep<(), usize> {
+///         MachineStep::Decide(view.len())
+///     }
+/// }
+///
+/// let mut r = IisRunner::new(vec![CountSeen, CountSeen]);
+/// r.step_round(&OrderedPartition::sequential([1, 0]));
+/// assert_eq!(r.output(1), Some(&1));
+/// assert_eq!(r.output(0), Some(&2));
+/// ```
+pub struct IisRunner<M: IisMachine> {
+    machines: Vec<M>,
+    pending: Vec<Option<M::Value>>,
+    outputs: Vec<Option<M::Output>>,
+    crashed: Vec<bool>,
+    round: usize,
+}
+
+impl<M: IisMachine> IisRunner<M> {
+    /// Creates a runner over one machine per process (pid = index).
+    pub fn new(mut machines: Vec<M>) -> Self {
+        let pending = machines
+            .iter_mut()
+            .map(|m| Some(m.initial_value()))
+            .collect();
+        let n = machines.len();
+        IisRunner {
+            machines,
+            pending,
+            outputs: (0..n).map(|_| None).collect(),
+            crashed: vec![false; n],
+            round: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// `true` iff the runner has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The next memory index to be used.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Crashes `pid` before the next round: it takes no further steps.
+    pub fn crash(&mut self, pid: usize) {
+        self.crashed[pid] = true;
+    }
+
+    /// `true` iff `pid` has crashed.
+    pub fn is_crashed(&self, pid: usize) -> bool {
+        self.crashed[pid]
+    }
+
+    /// `pid`'s decision, if it has decided.
+    pub fn output(&self, pid: usize) -> Option<&M::Output> {
+        self.outputs[pid].as_ref()
+    }
+
+    /// All decisions (None for undecided/crashed processes).
+    pub fn outputs(&self) -> &[Option<M::Output>] {
+        &self.outputs
+    }
+
+    /// Consumes the runner, returning the decisions.
+    pub fn into_outputs(self) -> Vec<Option<M::Output>> {
+        self.outputs
+    }
+
+    /// Borrows process `pid`'s machine — e.g. to read statistics it
+    /// accumulated (decided machines remain accessible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn machine(&self, pid: usize) -> &M {
+        &self.machines[pid]
+    }
+
+    /// Iterates over all machines in pid order.
+    pub fn machines(&self) -> impl Iterator<Item = &M> {
+        self.machines.iter()
+    }
+
+    /// The pids that are alive and undecided.
+    pub fn active(&self) -> Vec<usize> {
+        (0..self.machines.len())
+            .filter(|&p| !self.crashed[p] && self.outputs[p].is_none())
+            .collect()
+    }
+
+    /// `true` iff no process is alive and undecided.
+    pub fn is_quiescent(&self) -> bool {
+        self.active().is_empty()
+    }
+
+    /// Executes one round: memory `M_round` with the given ordered
+    /// partition, restricted to active processes. Returns how many processes
+    /// decided in this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some active process is missing from the partition — in the
+    /// IIS model every live process uses every memory; model crashes with
+    /// [`IisRunner::crash`], not by omission.
+    pub fn step_round(&mut self, partition: &OrderedPartition) -> usize {
+        self.step_round_with_failures(partition, &[])
+    }
+
+    /// Like [`IisRunner::step_round`], but the processes in `fail_inside`
+    /// crash *inside* their `WriteRead`: their value is written to the
+    /// memory (visible to their block and later blocks) but they never
+    /// receive a view and take no further steps — the "crash between write
+    /// and read" failure mode of the immediate snapshot object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some active process is missing from the partition.
+    pub fn step_round_with_failures(
+        &mut self,
+        partition: &OrderedPartition,
+        fail_inside: &[usize],
+    ) -> usize {
+        let active = self.active();
+        let restricted = partition.restrict(|p| {
+            p < self.machines.len() && !self.crashed[p] && self.outputs[p].is_none()
+        });
+        assert_eq!(
+            restricted.participants(),
+            active,
+            "every active process must appear in the round's partition"
+        );
+        let mut decided = 0;
+        let mut seen: Vec<(usize, M::Value)> = Vec::new();
+        type Steps<M> = Vec<(usize, MachineStep<<M as IisMachine>::Value, <M as IisMachine>::Output>)>;
+        let mut steps: Steps<M> = Vec::new();
+        for block in restricted.blocks() {
+            for &p in block {
+                let v = self.pending[p]
+                    .clone()
+                    .expect("active process has a pending value");
+                seen.push((p, v));
+            }
+            seen.sort_by_key(|(p, _)| *p);
+            for &p in block {
+                if fail_inside.contains(&p) {
+                    // wrote, then crashed before reading its view
+                    self.crashed[p] = true;
+                    self.pending[p] = None;
+                    continue;
+                }
+                let step = self.machines[p].on_view(self.round, &seen);
+                steps.push((p, step));
+            }
+        }
+        for (p, step) in steps {
+            match step {
+                MachineStep::Continue(v) => self.pending[p] = Some(v),
+                MachineStep::Decide(o) => {
+                    self.pending[p] = None;
+                    self.outputs[p] = Some(o);
+                    decided += 1;
+                }
+            }
+        }
+        self.round += 1;
+        decided
+    }
+
+    /// Runs rounds from a schedule until every process decided or crashed,
+    /// or the schedule is exhausted. Returns the number of rounds executed.
+    pub fn run<I: IntoIterator<Item = OrderedPartition>>(&mut self, schedule: I) -> usize {
+        let mut rounds = 0;
+        for partition in schedule {
+            if self.is_quiescent() {
+                break;
+            }
+            self.step_round(&partition);
+            rounds += 1;
+        }
+        rounds
+    }
+}
+
+impl<M: IisMachine> fmt::Debug for IisRunner<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IisRunner")
+            .field("processes", &self.machines.len())
+            .field("round", &self.round)
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes views as growing vectors; decides after `rounds` rounds on the
+    /// full history.
+    struct Recorder {
+        rounds: usize,
+        pid: usize,
+        history: Vec<Vec<usize>>,
+    }
+
+    impl IisMachine for Recorder {
+        type Value = usize;
+        type Output = Vec<Vec<usize>>;
+        fn initial_value(&mut self) -> usize {
+            self.pid
+        }
+        fn on_view(&mut self, round: usize, view: &[(usize, usize)]) -> MachineStep<usize, Self::Output> {
+            self.history.push(view.iter().map(|(p, _)| *p).collect());
+            if round + 1 == self.rounds {
+                MachineStep::Decide(self.history.clone())
+            } else {
+                MachineStep::Continue(self.pid)
+            }
+        }
+    }
+
+    fn recorders(n: usize, rounds: usize) -> Vec<Recorder> {
+        (0..n)
+            .map(|pid| Recorder {
+                rounds,
+                pid,
+                history: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_round_views() {
+        let mut r = IisRunner::new(recorders(3, 1));
+        r.step_round(&OrderedPartition::sequential([2, 0, 1]));
+        assert_eq!(r.output(2), Some(&vec![vec![2]]));
+        assert_eq!(r.output(0), Some(&vec![vec![0, 2]]));
+        assert_eq!(r.output(1), Some(&vec![vec![0, 1, 2]]));
+        assert!(r.is_quiescent());
+    }
+
+    #[test]
+    fn simultaneous_round_views() {
+        let mut r = IisRunner::new(recorders(3, 1));
+        r.step_round(&OrderedPartition::simultaneous([0, 1, 2]));
+        for p in 0..3 {
+            assert_eq!(r.output(p), Some(&vec![vec![0, 1, 2]]));
+        }
+    }
+
+    #[test]
+    fn crashed_process_invisible_in_later_rounds() {
+        let mut r = IisRunner::new(recorders(3, 2));
+        r.step_round(&OrderedPartition::simultaneous([0, 1, 2]));
+        r.crash(2);
+        r.step_round(&OrderedPartition::simultaneous([0, 1, 2]));
+        assert_eq!(r.output(0), Some(&vec![vec![0, 1, 2], vec![0, 1]]));
+        assert_eq!(r.output(2), None);
+        assert!(r.is_crashed(2));
+        assert!(!r.is_crashed(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "every active process")]
+    fn omitting_active_process_panics() {
+        let mut r = IisRunner::new(recorders(2, 1));
+        r.step_round(&OrderedPartition::sequential([0]));
+    }
+
+    #[test]
+    fn crash_inside_write_read_is_visible_but_viewless() {
+        let mut r = IisRunner::new(recorders(3, 2));
+        // P2 writes to M0 then crashes inside the operation
+        r.step_round_with_failures(&OrderedPartition::simultaneous([0, 1, 2]), &[2]);
+        assert!(r.is_crashed(2));
+        assert_eq!(r.output(2), None);
+        r.step_round(&OrderedPartition::simultaneous([0, 1, 2]));
+        // P0 saw P2 in round 0 (visible) but not in round 1 (viewless, gone)
+        assert_eq!(r.output(0), Some(&vec![vec![0, 1, 2], vec![0, 1]]));
+    }
+
+    #[test]
+    fn fail_in_early_block_still_seen_by_later_blocks() {
+        let mut r = IisRunner::new(recorders(2, 1));
+        let p = OrderedPartition::new(vec![vec![0], vec![1]]).unwrap();
+        r.step_round_with_failures(&p, &[0]);
+        // P1 (later block) sees P0's write even though P0 crashed mid-op
+        assert_eq!(r.output(1), Some(&vec![vec![0, 1]]));
+        assert_eq!(r.output(0), None);
+    }
+
+    #[test]
+    fn run_consumes_schedule_until_quiescent() {
+        let mut r = IisRunner::new(recorders(2, 3));
+        let schedule = std::iter::repeat_with(|| OrderedPartition::simultaneous([0, 1])).take(10);
+        let rounds = r.run(schedule);
+        assert_eq!(rounds, 3);
+        assert_eq!(r.round(), 3);
+        assert!(r.is_quiescent());
+        let outs = r.into_outputs();
+        assert!(outs.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn debug_and_len() {
+        let r = IisRunner::new(recorders(2, 1));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(!format!("{r:?}").is_empty());
+        assert_eq!(r.outputs().len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic simulation of shared-memory protocols.
+//!
+//! This crate is the schedule-driven half of the Borowsky–Gafni
+//! reproduction: executions are explicit data (sequences of process ids for
+//! the atomic snapshot model, sequences of [`OrderedPartition`]s for the
+//! iterated immediate snapshot model), protocols are per-process state
+//! machines, and runners replay any execution — including exhaustive
+//! enumeration of *all* executions, which is how the protocol complexes of
+//! §3.6 are generated and checked against the combinatorial subdivisions.
+//!
+//! - [`OrderedPartition`], [`all_ordered_partitions`] — IS concurrency
+//!   classes (§3.4),
+//! - [`IisMachine`] / [`IisRunner`] — the IIS model (§3.5) with crash
+//!   adversaries,
+//! - [`AtomicMachine`] / [`AtomicRunner`] — the SWMR atomic snapshot model
+//!   (§3.1),
+//! - [`AtomicSchedule`], [`IisSchedule`], [`CrashPattern`],
+//!   [`all_iis_schedules`] — schedule generators and adversaries,
+//! - [`FullInfoIis`], [`FullInfoAtomic`], [`iis_protocol_complex`] — the
+//!   full-information protocols and protocol-complex enumeration
+//!   (Lemmas 3.2/3.3).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iis_sched::{iis_protocol_complex, OrderedPartition};
+//! use iis_topology::{sds, Complex};
+//!
+//! // Lemma 3.2, checked by brute force: the one-shot IS protocol complex
+//! // equals the standard chromatic subdivision.
+//! let base = Complex::standard_simplex(2);
+//! let enumerated = iis_protocol_complex(&base, 1);
+//! assert!(enumerated.same_labeled(sds(&base).complex()));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atomic_run;
+mod full_info;
+mod iis_run;
+mod partition;
+mod schedule;
+
+pub use atomic_run::{AtomicMachine, AtomicRunner};
+pub use full_info::{
+    atomic_one_shot_protocol_complex, iis_protocol_complex, run_full_info_iis, FullInfoAtomic,
+    FullInfoIis,
+};
+pub use iis_run::{IisMachine, IisRunner, MachineStep};
+pub use partition::{all_ordered_partitions, OrderedPartition, PartitionError};
+pub use schedule::{all_atomic_schedules, all_iis_schedules, AtomicSchedule, CrashPattern, IisSchedule};

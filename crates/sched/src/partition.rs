@@ -1,0 +1,295 @@
+//! Ordered partitions — the execution elements of the immediate snapshot
+//! model (§3.4).
+//!
+//! An execution of the (one-shot) immediate snapshot model is an ordered
+//! partition of the participating processes: each block is a maximal set of
+//! simultaneous `WriteRead`s, and a process's view is the union of all
+//! blocks up to and including its own.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// An ordered partition of a set of process ids into non-empty blocks — one
+/// concurrency-class execution of a one-shot immediate snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use iis_sched::OrderedPartition;
+/// let p = OrderedPartition::new(vec![vec![1], vec![0, 2]]).unwrap();
+/// assert_eq!(p.view_of(0), Some(vec![0, 1, 2]));
+/// assert_eq!(p.view_of(1), Some(vec![1]));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OrderedPartition {
+    blocks: Vec<Vec<usize>>,
+}
+
+/// Error constructing an [`OrderedPartition`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PartitionError {
+    /// A block was empty.
+    EmptyBlock,
+    /// A process id appeared in more than one block (or twice in a block).
+    DuplicatePid(usize),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyBlock => write!(f, "ordered partition contains an empty block"),
+            Self::DuplicatePid(p) => write!(f, "process {p} appears twice"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl OrderedPartition {
+    /// Builds an ordered partition, sorting each block internally and
+    /// rejecting empty blocks or duplicate pids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] for empty blocks or duplicated pids.
+    pub fn new(mut blocks: Vec<Vec<usize>>) -> Result<Self, PartitionError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for b in &mut blocks {
+            if b.is_empty() {
+                return Err(PartitionError::EmptyBlock);
+            }
+            b.sort_unstable();
+            for &p in b.iter() {
+                if !seen.insert(p) {
+                    return Err(PartitionError::DuplicatePid(p));
+                }
+            }
+        }
+        Ok(OrderedPartition { blocks })
+    }
+
+    /// The fully sequential partition `({p₀}, {p₁}, …)` in the given order.
+    pub fn sequential<I: IntoIterator<Item = usize>>(pids: I) -> Self {
+        OrderedPartition {
+            blocks: pids.into_iter().map(|p| vec![p]).collect(),
+        }
+    }
+
+    /// The fully concurrent partition: one block containing all pids.
+    pub fn simultaneous<I: IntoIterator<Item = usize>>(pids: I) -> Self {
+        let mut b: Vec<usize> = pids.into_iter().collect();
+        b.sort_unstable();
+        if b.is_empty() {
+            OrderedPartition { blocks: vec![] }
+        } else {
+            OrderedPartition { blocks: vec![b] }
+        }
+    }
+
+    /// The blocks, in execution order (each internally sorted).
+    pub fn blocks(&self) -> &[Vec<usize>] {
+        &self.blocks
+    }
+
+    /// All participating pids, sorted.
+    pub fn participants(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.blocks.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// `true` iff there are no participants.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The immediate-snapshot view of `pid`: all pids in blocks up to and
+    /// including `pid`'s own, sorted; `None` if `pid` does not participate.
+    pub fn view_of(&self, pid: usize) -> Option<Vec<usize>> {
+        let mut acc = Vec::new();
+        for b in &self.blocks {
+            acc.extend_from_slice(b);
+            if b.contains(&pid) {
+                acc.sort_unstable();
+                return Some(acc);
+            }
+        }
+        None
+    }
+
+    /// Restricts the partition to the pids satisfying `keep`, dropping
+    /// emptied blocks — the induced execution when the others crash before
+    /// this memory.
+    pub fn restrict<F: Fn(usize) -> bool>(&self, keep: F) -> OrderedPartition {
+        OrderedPartition {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| b.iter().copied().filter(|&p| keep(p)).collect::<Vec<_>>())
+                .filter(|b: &Vec<usize>| !b.is_empty())
+                .collect(),
+        }
+    }
+
+    /// A uniformly random ordered partition of `pids` (uniform over ordered
+    /// set partitions via random growth: each pid joins a random existing
+    /// block or a random gap — *not* exactly uniform over all ordered
+    /// partitions, but covers all of them with positive probability, which
+    /// is what schedule fuzzing needs).
+    pub fn random<R: Rng + ?Sized>(pids: &[usize], rng: &mut R) -> Self {
+        let mut order: Vec<usize> = pids.to_vec();
+        order.shuffle(rng);
+        let mut blocks: Vec<Vec<usize>> = Vec::new();
+        for p in order {
+            let choices = 2 * blocks.len() + 1; // join block k, or insert gap k
+            let c = rng.random_range(0..choices);
+            if c % 2 == 1 {
+                blocks[c / 2].push(p);
+            } else {
+                blocks.insert(c / 2, vec![p]);
+            }
+        }
+        for b in &mut blocks {
+            b.sort_unstable();
+        }
+        OrderedPartition { blocks }
+    }
+}
+
+impl fmt::Display for OrderedPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            for (k, p) in b.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Enumerates every ordered partition of `pids` (the `ordered_bell(|pids|)`
+/// executions of a one-shot immediate snapshot, §3.4).
+pub fn all_ordered_partitions(pids: &[usize]) -> Vec<OrderedPartition> {
+    iis_topology::ordered_partitions(pids)
+        .into_iter()
+        .map(|blocks| OrderedPartition::new(blocks).expect("generator yields valid partitions"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn construction_validates() {
+        assert!(OrderedPartition::new(vec![vec![0], vec![]]).is_err());
+        assert_eq!(
+            OrderedPartition::new(vec![vec![0], vec![0]]),
+            Err(PartitionError::DuplicatePid(0))
+        );
+        let p = OrderedPartition::new(vec![vec![2, 1]]).unwrap();
+        assert_eq!(p.blocks(), &[vec![1, 2]]);
+    }
+
+    #[test]
+    fn views_accumulate_blocks() {
+        let p = OrderedPartition::new(vec![vec![3], vec![0, 1], vec![2]]).unwrap();
+        assert_eq!(p.view_of(3), Some(vec![3]));
+        assert_eq!(p.view_of(0), Some(vec![0, 1, 3]));
+        assert_eq!(p.view_of(1), Some(vec![0, 1, 3]));
+        assert_eq!(p.view_of(2), Some(vec![0, 1, 2, 3]));
+        assert_eq!(p.view_of(9), None);
+    }
+
+    #[test]
+    fn sequential_and_simultaneous() {
+        let s = OrderedPartition::sequential([2, 0, 1]);
+        assert_eq!(s.blocks().len(), 3);
+        assert_eq!(s.view_of(1), Some(vec![0, 1, 2]));
+        let c = OrderedPartition::simultaneous([2, 0, 1]);
+        assert_eq!(c.blocks().len(), 1);
+        assert_eq!(c.view_of(0), Some(vec![0, 1, 2]));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(OrderedPartition::simultaneous([]).is_empty());
+    }
+
+    #[test]
+    fn restrict_drops_crashed() {
+        let p = OrderedPartition::new(vec![vec![0], vec![1, 2], vec![3]]).unwrap();
+        let q = p.restrict(|pid| pid != 1 && pid != 0);
+        assert_eq!(q.blocks(), &[vec![2], vec![3]]);
+        assert_eq!(q.participants(), vec![2, 3]);
+    }
+
+    #[test]
+    fn enumeration_matches_fubini() {
+        assert_eq!(all_ordered_partitions(&[0, 1, 2]).len(), 13);
+        assert_eq!(all_ordered_partitions(&[5, 7]).len(), 3);
+        assert_eq!(all_ordered_partitions(&[]).len(), 1);
+    }
+
+    #[test]
+    fn enumerated_views_satisfy_is_axioms() {
+        // For every execution, the views satisfy self-inclusion, containment
+        // and immediacy — the combinatorial heart of Lemma 3.2.
+        for p in all_ordered_partitions(&[0, 1, 2, 3]) {
+            let views: Vec<Vec<usize>> = (0..4).map(|i| p.view_of(i).unwrap()).collect();
+            for i in 0..4 {
+                assert!(views[i].contains(&i), "self-inclusion");
+                for j in 0..4 {
+                    let i_in_j = views[j].contains(&i);
+                    if i_in_j {
+                        assert!(
+                            views[i].iter().all(|x| views[j].contains(x)),
+                            "immediacy"
+                        );
+                    }
+                    let ij = views[i].iter().all(|x| views[j].contains(x));
+                    let ji = views[j].iter().all(|x| views[i].contains(x));
+                    assert!(ij || ji, "containment");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_partitions_are_valid_and_varied() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pids = [0, 1, 2, 3];
+        let mut shapes = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let p = OrderedPartition::random(&pids, &mut rng);
+            assert_eq!(p.participants(), pids.to_vec());
+            shapes.insert(p);
+        }
+        // 75 possible ordered partitions; random gen should find many
+        assert!(shapes.len() > 30, "found only {} shapes", shapes.len());
+    }
+
+    #[test]
+    fn display_format() {
+        let p = OrderedPartition::new(vec![vec![1], vec![0, 2]]).unwrap();
+        assert_eq!(p.to_string(), "(1 | 0,2)");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!PartitionError::EmptyBlock.to_string().is_empty());
+        assert!(!PartitionError::DuplicatePid(1).to_string().is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! Schedule generators and crash adversaries for both models.
+
+use crate::OrderedPartition;
+use rand::Rng;
+
+/// A finite schedule for the atomic snapshot model: a sequence of process
+/// ids (§3.1). Each appearance of a pid alternates write/snapshot.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AtomicSchedule {
+    steps: Vec<usize>,
+}
+
+impl AtomicSchedule {
+    /// Wraps an explicit step sequence.
+    pub fn from_steps(steps: Vec<usize>) -> Self {
+        AtomicSchedule { steps }
+    }
+
+    /// Round-robin: `0, 1, …, n−1` repeated `rounds` times — every process
+    /// performs `rounds` operations, fully synchronously.
+    pub fn round_robin(n: usize, rounds: usize) -> Self {
+        AtomicSchedule {
+            steps: (0..rounds).flat_map(|_| 0..n).collect(),
+        }
+    }
+
+    /// One process at a time: pid 0 runs `ops` steps, then pid 1, etc.
+    pub fn sequential(n: usize, ops: usize) -> Self {
+        AtomicSchedule {
+            steps: (0..n).flat_map(|p| std::iter::repeat_n(p, ops)).collect(),
+        }
+    }
+
+    /// A uniformly random schedule of `len` steps over `n` processes.
+    pub fn random<R: Rng + ?Sized>(n: usize, len: usize, rng: &mut R) -> Self {
+        AtomicSchedule {
+            steps: (0..len).map(|_| rng.random_range(0..n)).collect(),
+        }
+    }
+
+    /// The step sequence.
+    pub fn steps(&self) -> &[usize] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff the schedule has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl IntoIterator for AtomicSchedule {
+    type Item = usize;
+    type IntoIter = std::vec::IntoIter<usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AtomicSchedule {
+    type Item = usize;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, usize>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.iter().copied()
+    }
+}
+
+/// A finite IIS schedule: one ordered partition per memory `M₀, M₁, …`
+/// (§3.5).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct IisSchedule {
+    rounds: Vec<OrderedPartition>,
+}
+
+impl IisSchedule {
+    /// Wraps explicit per-round partitions.
+    pub fn from_rounds(rounds: Vec<OrderedPartition>) -> Self {
+        IisSchedule { rounds }
+    }
+
+    /// Fully synchronous: all `n` processes simultaneous in every round.
+    pub fn lockstep(n: usize, rounds: usize) -> Self {
+        IisSchedule {
+            rounds: (0..rounds)
+                .map(|_| OrderedPartition::simultaneous(0..n))
+                .collect(),
+        }
+    }
+
+    /// Fully sequential in pid order every round.
+    pub fn sequential(n: usize, rounds: usize) -> Self {
+        IisSchedule {
+            rounds: (0..rounds)
+                .map(|_| OrderedPartition::sequential(0..n))
+                .collect(),
+        }
+    }
+
+    /// A "rotating leader" adversary: in round `r`, process `r mod n` is
+    /// alone in the first block, everyone else simultaneous after it. This
+    /// starves no one but maximizes view asymmetry.
+    pub fn rotating_leader(n: usize, rounds: usize) -> Self {
+        IisSchedule {
+            rounds: (0..rounds)
+                .map(|r| {
+                    let leader = r % n;
+                    let rest: Vec<usize> = (0..n).filter(|&p| p != leader).collect();
+                    let mut blocks = vec![vec![leader]];
+                    if !rest.is_empty() {
+                        blocks.push(rest);
+                    }
+                    OrderedPartition::new(blocks).expect("valid by construction")
+                })
+                .collect(),
+        }
+    }
+
+    /// A "laggard" adversary: process `n−1` is always in the last block by
+    /// itself — it sees everyone, no one ever sees it first.
+    pub fn laggard(n: usize, rounds: usize) -> Self {
+        IisSchedule {
+            rounds: (0..rounds)
+                .map(|_| {
+                    let mut blocks: Vec<Vec<usize>> = Vec::new();
+                    if n > 1 {
+                        blocks.push((0..n - 1).collect());
+                    }
+                    blocks.push(vec![n - 1]);
+                    OrderedPartition::new(blocks).expect("valid by construction")
+                })
+                .collect(),
+        }
+    }
+
+    /// Seeded-random partitions each round.
+    pub fn random<R: Rng + ?Sized>(n: usize, rounds: usize, rng: &mut R) -> Self {
+        let pids: Vec<usize> = (0..n).collect();
+        IisSchedule {
+            rounds: (0..rounds)
+                .map(|_| OrderedPartition::random(&pids, rng))
+                .collect(),
+        }
+    }
+
+    /// The per-round partitions.
+    pub fn rounds(&self) -> &[OrderedPartition] {
+        &self.rounds
+    }
+
+    /// Number of rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` iff the schedule has no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Appends a round.
+    pub fn push(&mut self, p: OrderedPartition) {
+        self.rounds.push(p);
+    }
+}
+
+impl IntoIterator for IisSchedule {
+    type Item = OrderedPartition;
+    type IntoIter = std::vec::IntoIter<OrderedPartition>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rounds.into_iter()
+    }
+}
+
+/// Enumerates all `b`-round IIS schedules over `pids`: every sequence of
+/// ordered partitions. There are `ordered_bell(|pids|)^b` of them — keep
+/// `pids` and `b` small.
+pub fn all_iis_schedules(pids: &[usize], b: usize) -> Vec<IisSchedule> {
+    let per_round = crate::all_ordered_partitions(pids);
+    let mut out: Vec<Vec<OrderedPartition>> = vec![Vec::new()];
+    for _ in 0..b {
+        let mut next = Vec::with_capacity(out.len() * per_round.len());
+        for prefix in &out {
+            for p in &per_round {
+                let mut s = prefix.clone();
+                s.push(p.clone());
+                next.push(s);
+            }
+        }
+        out = next;
+    }
+    out.into_iter().map(IisSchedule::from_rounds).collect()
+}
+
+/// Enumerates every atomic-model schedule of exactly `steps` steps over `n`
+/// processes (`n^steps` sequences). For exhaustively comparing emulated
+/// behaviours against the reference model — keep `n` and `steps` small.
+pub fn all_atomic_schedules(n: usize, steps: usize) -> Vec<AtomicSchedule> {
+    assert!(
+        (n as f64).powi(steps as i32) <= 5e6,
+        "enumeration too large"
+    );
+    let mut out = vec![Vec::new()];
+    for _ in 0..steps {
+        let mut next = Vec::with_capacity(out.len() * n);
+        for prefix in &out {
+            for p in 0..n {
+                let mut s: Vec<usize> = prefix.clone();
+                s.push(p);
+                next.push(s);
+            }
+        }
+        out = next;
+    }
+    out.into_iter().map(AtomicSchedule::from_steps).collect()
+}
+
+/// A crash pattern: which processes crash immediately before which round.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CrashPattern {
+    events: Vec<(usize, usize)>, // (round, pid)
+}
+
+impl CrashPattern {
+    /// No crashes.
+    pub fn none() -> Self {
+        CrashPattern::default()
+    }
+
+    /// Crash `pid` before round `round`.
+    pub fn with_crash(mut self, round: usize, pid: usize) -> Self {
+        self.events.push((round, pid));
+        self
+    }
+
+    /// The pids crashing before `round`.
+    pub fn crashes_before(&self, round: usize) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter(|(r, _)| *r == round)
+            .map(|(_, p)| *p)
+            .collect()
+    }
+
+    /// A random pattern: each process crashes independently with probability
+    /// `p_crash` at a uniformly random round in `0..rounds`.
+    pub fn random<R: Rng + ?Sized>(n: usize, rounds: usize, p_crash: f64, rng: &mut R) -> Self {
+        let mut pat = CrashPattern::none();
+        for pid in 0..n {
+            if rng.random_bool(p_crash) {
+                pat = pat.with_crash(rng.random_range(0..rounds.max(1)), pid);
+            }
+        }
+        pat
+    }
+
+    /// All crash events as `(round, pid)` pairs.
+    pub fn events(&self) -> &[(usize, usize)] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn atomic_generators() {
+        assert_eq!(AtomicSchedule::round_robin(2, 2).steps(), &[0, 1, 0, 1]);
+        assert_eq!(AtomicSchedule::sequential(2, 2).steps(), &[0, 0, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = AtomicSchedule::random(3, 100, &mut rng);
+        assert_eq!(r.len(), 100);
+        assert!(r.steps().iter().all(|&p| p < 3));
+        assert!(!r.is_empty());
+        assert!(AtomicSchedule::from_steps(vec![]).is_empty());
+    }
+
+    #[test]
+    fn atomic_schedule_iterates() {
+        let s = AtomicSchedule::round_robin(2, 1);
+        let v: Vec<usize> = (&s).into_iter().collect();
+        assert_eq!(v, vec![0, 1]);
+        let v2: Vec<usize> = s.into_iter().collect();
+        assert_eq!(v2, vec![0, 1]);
+    }
+
+    #[test]
+    fn iis_generators_shapes() {
+        let l = IisSchedule::lockstep(3, 2);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.rounds()[0].blocks().len(), 1);
+        let s = IisSchedule::sequential(3, 1);
+        assert_eq!(s.rounds()[0].blocks().len(), 3);
+        let rl = IisSchedule::rotating_leader(3, 3);
+        assert_eq!(rl.rounds()[0].blocks()[0], vec![0]);
+        assert_eq!(rl.rounds()[1].blocks()[0], vec![1]);
+        let lg = IisSchedule::laggard(3, 1);
+        assert_eq!(lg.rounds()[0].blocks().last().unwrap(), &vec![2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = IisSchedule::random(4, 5, &mut rng);
+        assert_eq!(r.len(), 5);
+        for round in r.rounds() {
+            assert_eq!(round.participants(), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn iis_schedule_push_and_iter() {
+        let mut s = IisSchedule::default();
+        assert!(s.is_empty());
+        s.push(OrderedPartition::simultaneous([0, 1]));
+        assert_eq!(s.len(), 1);
+        let rounds: Vec<OrderedPartition> = s.into_iter().collect();
+        assert_eq!(rounds.len(), 1);
+    }
+
+    #[test]
+    fn schedule_enumeration_counts() {
+        assert_eq!(all_iis_schedules(&[0, 1], 1).len(), 3);
+        assert_eq!(all_iis_schedules(&[0, 1], 3).len(), 27);
+        assert_eq!(all_iis_schedules(&[0, 1, 2], 2).len(), 169);
+        assert_eq!(all_iis_schedules(&[0, 1], 0).len(), 1);
+    }
+
+    #[test]
+    fn atomic_schedule_enumeration() {
+        assert_eq!(all_atomic_schedules(2, 3).len(), 8);
+        assert_eq!(all_atomic_schedules(3, 2).len(), 9);
+        assert_eq!(all_atomic_schedules(2, 0).len(), 1);
+        let set: std::collections::BTreeSet<Vec<usize>> = all_atomic_schedules(2, 4)
+            .into_iter()
+            .map(|s| s.steps().to_vec())
+            .collect();
+        assert_eq!(set.len(), 16, "all distinct");
+    }
+
+    #[test]
+    fn crash_pattern_queries() {
+        let p = CrashPattern::none().with_crash(1, 2).with_crash(1, 0).with_crash(3, 1);
+        assert_eq!(p.crashes_before(1), vec![2, 0]);
+        assert_eq!(p.crashes_before(0), Vec::<usize>::new());
+        assert_eq!(p.events().len(), 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = CrashPattern::random(10, 4, 0.5, &mut rng);
+        assert!(r.events().len() <= 10);
+        for &(round, pid) in r.events() {
+            assert!(round < 4 && pid < 10);
+        }
+    }
+
+    #[test]
+    fn laggard_single_process() {
+        let lg = IisSchedule::laggard(1, 2);
+        assert_eq!(lg.rounds()[0].blocks(), &[vec![0]]);
+    }
+}

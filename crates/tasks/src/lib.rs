@@ -1,0 +1,31 @@
+//! Distributed tasks as chromatic complexes (§3.2) and the standard task
+//! library.
+//!
+//! A task `T = (Iⁿ, Oⁿ, Δ)` pairs an input complex and an output complex
+//! through a color-preserving carrier map `Δ`. This crate provides:
+//!
+//! - [`Task`] / [`TaskBuilder`] — the formalism with validation,
+//! - [`library`] — consensus, k-set consensus, renaming, approximate
+//!   agreement, simplex agreement over a subdivision (CSASS, §5), and the
+//!   one-shot immediate snapshot as a task.
+//!
+//! The wait-free solvability decision procedure for these tasks
+//! (Proposition 3.1) lives in `iis-core`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iis_tasks::library::k_set_consensus;
+//!
+//! let t = k_set_consensus(2, 2); // 3 processes, at most 2 distinct ids
+//! assert_eq!(t.input().num_facets(), 1);
+//! assert_eq!(t.output().colors().len(), 3);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod library;
+mod task;
+
+pub use task::{Task, TaskBuilder, TaskError};

@@ -1,0 +1,434 @@
+//! The task formalism of §3.2: input complex, output complex, and the
+//! carrier map `Δ`.
+
+use iis_topology::{Color, Complex, Label, Simplex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Ways a [`Task`] can fail validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TaskError {
+    /// The input complex is not chromatic.
+    InputNotChromatic,
+    /// The output complex is not chromatic.
+    OutputNotChromatic,
+    /// A `Δ` key is not a simplex of the input complex.
+    DeltaKeyNotInput(Simplex),
+    /// A `Δ` value is not a simplex of the output complex.
+    DeltaValueNotOutput(Simplex),
+    /// `Δ` maps an input simplex to an output simplex of different colors
+    /// (the map must satisfy `X(sᵢ) = X(sₒ)`, §3.2).
+    ColorMismatch {
+        /// The input simplex.
+        input: Simplex,
+        /// The offending output simplex.
+        output: Simplex,
+    },
+    /// An input simplex has no allowed outputs — the task would be
+    /// unsolvable by fiat.
+    EmptyDelta(Simplex),
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InputNotChromatic => write!(f, "input complex is not chromatic"),
+            Self::OutputNotChromatic => write!(f, "output complex is not chromatic"),
+            Self::DeltaKeyNotInput(s) => write!(f, "Δ key {s} is not an input simplex"),
+            Self::DeltaValueNotOutput(s) => write!(f, "Δ value {s} is not an output simplex"),
+            Self::ColorMismatch { input, output } => {
+                write!(f, "Δ({input}) contains {output} with different colors")
+            }
+            Self::EmptyDelta(s) => write!(f, "Δ({s}) is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// A distributed task `T = (Iⁿ, Oⁿ, Δ)` (§3.2).
+///
+/// `Δ` maps each input simplex (a participating set with its inputs) to the
+/// set of full output tuples those processes may produce; a *partial*
+/// decision is acceptable if it extends to one of them
+/// ([`Task::allows`]), matching the paper's definition of wait-free
+/// solvability (§3.3: the produced tuple "can be extended to an output
+/// simplex in `Δ(sᵢ)`").
+///
+/// Build tasks with [`TaskBuilder`]; ready-made constructions live in
+/// [`crate::library`].
+#[derive(Clone, Debug)]
+pub struct Task {
+    name: String,
+    input: Complex,
+    output: Complex,
+    delta: BTreeMap<Simplex, Vec<Simplex>>,
+}
+
+impl Task {
+    /// The task's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input complex `Iⁿ`.
+    pub fn input(&self) -> &Complex {
+        &self.input
+    }
+
+    /// The output complex `Oⁿ`.
+    pub fn output(&self) -> &Complex {
+        &self.output
+    }
+
+    /// The full output tuples allowed for input simplex `si` (empty slice if
+    /// `si` is not a `Δ` key).
+    pub fn delta(&self, si: &Simplex) -> &[Simplex] {
+        self.delta.get(si).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all `(input simplex, allowed outputs)` entries.
+    pub fn delta_entries(&self) -> impl Iterator<Item = (&Simplex, &[Simplex])> {
+        self.delta.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// `true` iff the (possibly partial) output simplex `t` is acceptable
+    /// for input simplex `si`: some `sₒ ∈ Δ(si)` has `t ⊆ sₒ`.
+    pub fn allows(&self, si: &Simplex, t: &Simplex) -> bool {
+        self.delta(si).iter().any(|so| t.is_face_of(so))
+    }
+
+    /// Looks up an output vertex by `(color, label)`.
+    pub fn output_vertex(&self, color: Color, label: &Label) -> Option<iis_topology::VertexId> {
+        self.output.vertex_id(color, label)
+    }
+
+    /// `true` iff `Δ` is *monotone*: for every input face `sq ⊆ si`, every
+    /// tuple allowed at `sq` extends tuples allowed at... precisely: each
+    /// `sₒ ∈ Δ(sq)` is a face of the restriction to `X(sq)` of... The
+    /// practically useful direction for solvability is: for faces `sq ⊆ si`,
+    /// the restriction of any `sₒ ∈ Δ(si)` to the colors of `sq` is allowed
+    /// at `sq`. This checks that direction.
+    pub fn is_delta_monotone(&self) -> bool {
+        for (si, outs) in &self.delta {
+            for sq in si.faces() {
+                if sq == *si {
+                    continue;
+                }
+                let colors: BTreeSet<Color> =
+                    sq.iter().map(|v| self.input.color(v)).collect();
+                for so in outs {
+                    let restricted = Simplex::new(
+                        so.iter()
+                            .filter(|&w| colors.contains(&self.output.color(w))),
+                    );
+                    if !self.allows(&sq, &restricted) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (inputs: {} facets, outputs: {} facets, Δ entries: {})",
+            self.name,
+            self.input.num_facets(),
+            self.output.num_facets(),
+            self.delta.len()
+        )
+    }
+}
+
+/// Incremental constructor for [`Task`]s.
+///
+/// # Examples
+///
+/// ```
+/// use iis_tasks::TaskBuilder;
+/// use iis_topology::{Complex, Simplex};
+///
+/// let input = Complex::standard_simplex(1);
+/// let output = Complex::standard_simplex(1);
+/// let full_in = Simplex::new(input.vertex_ids());
+/// let full_out = Simplex::new(output.vertex_ids());
+/// let mut b = TaskBuilder::new("identity", input, output);
+/// b.allow(full_in.clone(), full_out.clone());
+/// for (fi, fo) in full_in.faces().into_iter().zip(full_out.faces()) {
+///     b.allow(fi, fo);
+/// }
+/// let task = b.build()?;
+/// assert!(task.allows(&full_in, &full_out));
+/// # Ok::<(), iis_tasks::TaskError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct TaskBuilder {
+    name: String,
+    input: Complex,
+    output: Complex,
+    delta: BTreeMap<Simplex, Vec<Simplex>>,
+}
+
+impl TaskBuilder {
+    /// Starts a task with the given complexes and an empty `Δ`.
+    pub fn new(name: impl Into<String>, input: Complex, output: Complex) -> Self {
+        TaskBuilder {
+            name: name.into(),
+            input,
+            output,
+            delta: BTreeMap::new(),
+        }
+    }
+
+    /// The input complex (to look up vertex ids while building `Δ`).
+    pub fn input(&self) -> &Complex {
+        &self.input
+    }
+
+    /// The output complex (to look up vertex ids while building `Δ`).
+    pub fn output(&self) -> &Complex {
+        &self.output
+    }
+
+    /// Allows output tuple `so` for input simplex `si` (duplicates are
+    /// dropped at `build`).
+    pub fn allow(&mut self, si: Simplex, so: Simplex) -> &mut Self {
+        self.delta.entry(si).or_default().push(so);
+        self
+    }
+
+    /// Validates and finishes the task.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TaskError`] violated.
+    pub fn build(mut self) -> Result<Task, TaskError> {
+        if !self.input.is_chromatic() {
+            return Err(TaskError::InputNotChromatic);
+        }
+        if !self.output.is_chromatic() {
+            return Err(TaskError::OutputNotChromatic);
+        }
+        for (si, outs) in &mut self.delta {
+            if !self.input.contains_simplex(si) || si.is_empty() {
+                return Err(TaskError::DeltaKeyNotInput(si.clone()));
+            }
+            outs.sort();
+            outs.dedup();
+            if outs.is_empty() {
+                return Err(TaskError::EmptyDelta(si.clone()));
+            }
+            let in_colors: BTreeSet<Color> = si.iter().map(|v| self.input.color(v)).collect();
+            for so in outs.iter() {
+                if !self.output.contains_simplex(so) {
+                    return Err(TaskError::DeltaValueNotOutput(so.clone()));
+                }
+                let out_colors: BTreeSet<Color> =
+                    so.iter().map(|w| self.output.color(w)).collect();
+                if in_colors != out_colors {
+                    return Err(TaskError::ColorMismatch {
+                        input: si.clone(),
+                        output: so.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Task {
+            name: self.name,
+            input: self.input,
+            output: self.output,
+            delta: self.delta,
+        })
+    }
+}
+
+/// Serialized form of a [`Task`]; deserialization re-validates through
+/// [`TaskBuilder`], so hand-edited task files cannot produce ill-formed
+/// tasks.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TaskRepr {
+    name: String,
+    input: Complex,
+    output: Complex,
+    delta: Vec<(Simplex, Vec<Simplex>)>,
+}
+
+impl serde::Serialize for Task {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = TaskRepr {
+            name: self.name.clone(),
+            input: self.input.clone(),
+            output: self.output.clone(),
+            delta: self
+                .delta
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Task {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let repr = TaskRepr::deserialize(deserializer)?;
+        let mut b = TaskBuilder::new(repr.name, repr.input, repr.output);
+        for (si, outs) in repr.delta {
+            for so in outs {
+                b.allow(si.clone(), so);
+            }
+        }
+        b.build().map_err(|e| D::Error::custom(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iis_topology::Label;
+
+    fn identity_task() -> Task {
+        let input = Complex::standard_simplex(1);
+        let output = Complex::standard_simplex(1);
+        let mut b = TaskBuilder::new("identity", input.clone(), output);
+        for si in Complex::standard_simplex(1).simplices() {
+            b.allow(si.clone(), si.clone());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identity_task_builds_and_allows() {
+        let t = identity_task();
+        assert_eq!(t.name(), "identity");
+        let full = Simplex::new(t.input().vertex_ids());
+        assert!(t.allows(&full, &full));
+        // partial decisions extend
+        let v0 = Simplex::new([t.input().vertex_ids().next().unwrap()]);
+        assert!(t.allows(&full, &v0));
+        assert!(t.allows(&full, &Simplex::empty()));
+        assert!(t.is_delta_monotone());
+        assert!(!t.to_string().is_empty());
+        assert_eq!(t.delta_entries().count(), 3);
+    }
+
+    #[test]
+    fn unknown_key_has_no_outputs() {
+        let t = identity_task();
+        let bogus = Simplex::new([iis_topology::VertexId(99)]);
+        assert!(t.delta(&bogus).is_empty());
+        assert!(!t.allows(&bogus, &Simplex::empty()));
+    }
+
+    #[test]
+    fn color_mismatch_rejected() {
+        let input = Complex::standard_simplex(1);
+        let output = Complex::standard_simplex(1);
+        let in_full = Simplex::new(input.vertex_ids());
+        let out_v0 = Simplex::new([output.vertex_ids().next().unwrap()]);
+        let mut b = TaskBuilder::new("bad", input, output);
+        b.allow(in_full, out_v0);
+        assert!(matches!(b.build(), Err(TaskError::ColorMismatch { .. })));
+    }
+
+    #[test]
+    fn non_chromatic_input_rejected() {
+        let mut input = Complex::new();
+        let a = input.ensure_vertex(Color(0), Label::scalar(0));
+        let b2 = input.ensure_vertex(Color(0), Label::scalar(1));
+        input.add_facet([a, b2]);
+        let b = TaskBuilder::new("bad", input, Complex::standard_simplex(1));
+        assert_eq!(b.build().unwrap_err(), TaskError::InputNotChromatic);
+    }
+
+    #[test]
+    fn delta_key_not_in_input_rejected() {
+        let input = Complex::standard_simplex(0);
+        let output = Complex::standard_simplex(0);
+        let mut b = TaskBuilder::new("bad", input, output);
+        b.allow(
+            Simplex::new([iis_topology::VertexId(5)]),
+            Simplex::new([iis_topology::VertexId(0)]),
+        );
+        assert!(matches!(b.build(), Err(TaskError::DeltaKeyNotInput(_))));
+    }
+
+    #[test]
+    fn delta_value_not_in_output_rejected() {
+        let input = Complex::standard_simplex(0);
+        let output = Complex::standard_simplex(0);
+        let mut b = TaskBuilder::new("bad", input, output);
+        b.allow(
+            Simplex::new([iis_topology::VertexId(0)]),
+            Simplex::new([iis_topology::VertexId(5)]),
+        );
+        assert!(matches!(b.build(), Err(TaskError::DeltaValueNotOutput(_))));
+    }
+
+    #[test]
+    fn duplicates_deduped() {
+        let input = Complex::standard_simplex(0);
+        let output = Complex::standard_simplex(0);
+        let s = Simplex::new([iis_topology::VertexId(0)]);
+        let mut b = TaskBuilder::new("dup", input, output);
+        b.allow(s.clone(), s.clone());
+        b.allow(s.clone(), s.clone());
+        let t = b.build().unwrap();
+        assert_eq!(t.delta(&s).len(), 1);
+    }
+
+    #[test]
+    fn output_vertex_lookup() {
+        let t = identity_task();
+        assert!(t.output_vertex(Color(0), &Label::scalar(0)).is_some());
+        assert!(t.output_vertex(Color(0), &Label::scalar(9)).is_none());
+    }
+
+    #[test]
+    fn task_serde_roundtrip() {
+        let t = crate::library::k_set_consensus(1, 1);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(t.name(), back.name());
+        assert!(t.input().same_labeled(back.input()));
+        assert!(t.output().same_labeled(back.output()));
+        assert_eq!(t.delta_entries().count(), back.delta_entries().count());
+        for (si, outs) in t.delta_entries() {
+            assert_eq!(back.delta(si), outs);
+        }
+    }
+
+    #[test]
+    fn task_deserialize_revalidates() {
+        // corrupt a serialized task: Δ value not in the output complex
+        let t = identity_task();
+        let mut v = serde_json::to_value(&t).unwrap();
+        v["delta"][0][1][0] = serde_json::json!([99]);
+        let r: Result<Task, _> = serde_json::from_value(v);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<TaskError> = vec![
+            TaskError::InputNotChromatic,
+            TaskError::OutputNotChromatic,
+            TaskError::DeltaKeyNotInput(Simplex::empty()),
+            TaskError::DeltaValueNotOutput(Simplex::empty()),
+            TaskError::ColorMismatch {
+                input: Simplex::empty(),
+                output: Simplex::empty(),
+            },
+            TaskError::EmptyDelta(Simplex::empty()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

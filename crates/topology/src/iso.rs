@@ -1,0 +1,224 @@
+//! Color-preserving isomorphism of chromatic complexes.
+//!
+//! Complexes built by independent constructions usually match by canonical
+//! labels ([`Complex::same_labeled`]); this module provides the stronger,
+//! label-agnostic notion — a color-preserving bijection of vertices mapping
+//! facets to facets — used to confirm that the *shape* of a protocol complex
+//! matches a combinatorial construction regardless of how views were
+//! encoded.
+
+use crate::{Complex, Simplex, VertexId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Attempts to find a color-preserving simplicial isomorphism from `a` to
+/// `b`: a bijection on vertices preserving colors and mapping the facet set
+/// of `a` exactly onto that of `b`.
+///
+/// Returns the vertex mapping if one exists. Backtracking with
+/// color/degree-signature pruning; intended for the small complexes used in
+/// verification (hundreds of vertices).
+pub fn chromatic_isomorphism(a: &Complex, b: &Complex) -> Option<Vec<VertexId>> {
+    if a.num_vertices() != b.num_vertices() || a.num_facets() != b.num_facets() {
+        return None;
+    }
+    let n = a.num_vertices();
+    // Signature: (color, sorted multiset of dims of facets containing v).
+    type Sig = (u32, Vec<isize>);
+    let sig = |c: &Complex, v: VertexId| -> Sig {
+        let mut dims: Vec<isize> = c
+            .facets()
+            .filter(|f| f.contains(v))
+            .map(|f| f.dim())
+            .collect();
+        dims.sort_unstable();
+        (c.color(v).0, dims)
+    };
+    let sig_a: Vec<Sig> = a.vertex_ids().map(|v| sig(a, v)).collect();
+    let mut candidates: BTreeMap<Sig, Vec<VertexId>> = BTreeMap::new();
+    for w in b.vertex_ids() {
+        candidates.entry(sig(b, w)).or_default().push(w);
+    }
+    // quick reject: signature multisets must agree
+    {
+        let mut count_a: BTreeMap<&Sig, usize> = BTreeMap::new();
+        for s in &sig_a {
+            *count_a.entry(s).or_default() += 1;
+        }
+        for (s, c) in &count_a {
+            if candidates.get(*s).map(|v| v.len()) != Some(*c) {
+                return None;
+            }
+        }
+    }
+    // adjacency (share a simplex) for pruning
+    let adj = |c: &Complex| -> Vec<BTreeSet<VertexId>> {
+        let mut m = vec![BTreeSet::new(); n];
+        for f in c.facets() {
+            let vs: Vec<VertexId> = f.iter().collect();
+            for i in 0..vs.len() {
+                for j in 0..vs.len() {
+                    if i != j {
+                        m[vs[i].index()].insert(vs[j]);
+                    }
+                }
+            }
+        }
+        m
+    };
+    let adj_a = adj(a);
+    let adj_b = adj(b);
+
+    // order vertices by scarcity of candidates
+    let mut order: Vec<VertexId> = a.vertex_ids().collect();
+    order.sort_by_key(|v| candidates.get(&sig_a[v.index()]).map(|c| c.len()));
+
+    let mut mapping: Vec<Option<VertexId>> = vec![None; n];
+    let mut used: BTreeSet<VertexId> = BTreeSet::new();
+
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        k: usize,
+        order: &[VertexId],
+        sig_a: &[(u32, Vec<isize>)],
+        candidates: &BTreeMap<(u32, Vec<isize>), Vec<VertexId>>,
+        adj_a: &[BTreeSet<VertexId>],
+        adj_b: &[BTreeSet<VertexId>],
+        mapping: &mut Vec<Option<VertexId>>,
+        used: &mut BTreeSet<VertexId>,
+        a: &Complex,
+        b: &Complex,
+    ) -> bool {
+        if k == order.len() {
+            // final check: every facet of a maps to a facet of b
+            let bf: BTreeSet<Simplex> = b.facets().cloned().collect();
+            return a.facets().all(|f| {
+                let img = Simplex::new(f.iter().map(|v| mapping[v.index()].unwrap()));
+                bf.contains(&img)
+            });
+        }
+        let v = order[k];
+        let Some(cands) = candidates.get(&sig_a[v.index()]) else {
+            return false;
+        };
+        'cand: for &w in cands {
+            if used.contains(&w) {
+                continue;
+            }
+            // adjacency consistency with already-mapped vertices
+            for u in a.vertex_ids() {
+                if let Some(x) = mapping[u.index()] {
+                    if adj_a[v.index()].contains(&u) != adj_b[w.index()].contains(&x) {
+                        continue 'cand;
+                    }
+                }
+            }
+            mapping[v.index()] = Some(w);
+            used.insert(w);
+            if rec(
+                k + 1,
+                order,
+                sig_a,
+                candidates,
+                adj_a,
+                adj_b,
+                mapping,
+                used,
+                a,
+                b,
+            ) {
+                return true;
+            }
+            mapping[v.index()] = None;
+            used.remove(&w);
+        }
+        false
+    }
+
+    if rec(
+        0,
+        &order,
+        &sig_a,
+        &candidates,
+        &adj_a,
+        &adj_b,
+        &mut mapping,
+        &mut used,
+        a,
+        b,
+    ) {
+        Some(mapping.into_iter().map(Option::unwrap).collect())
+    } else {
+        None
+    }
+}
+
+/// `true` iff a color-preserving simplicial isomorphism exists.
+pub fn are_chromatic_isomorphic(a: &Complex, b: &Complex) -> bool {
+    chromatic_isomorphism(a, b).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sds, Color, Label};
+
+    #[test]
+    fn identical_complexes_isomorphic() {
+        let s = Complex::standard_simplex(2);
+        let m = chromatic_isomorphism(&s, &s).unwrap();
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn relabeled_sds_isomorphic() {
+        // SDS over two different input labelings: same shape, same colors.
+        let base1 = Complex::standard_simplex(2);
+        let mut base2 = Complex::new();
+        let v0 = base2.ensure_vertex(Color(0), Label::scalar(100));
+        let v1 = base2.ensure_vertex(Color(1), Label::scalar(200));
+        let v2 = base2.ensure_vertex(Color(2), Label::scalar(300));
+        base2.add_facet([v0, v1, v2]);
+        let s1 = sds(&base1);
+        let s2 = sds(&base2);
+        assert!(!s1.complex().same_labeled(s2.complex()));
+        assert!(are_chromatic_isomorphic(s1.complex(), s2.complex()));
+    }
+
+    #[test]
+    fn different_shapes_not_isomorphic() {
+        let s1 = sds(&Complex::standard_simplex(2));
+        let s2 = Complex::standard_simplex(2);
+        assert!(!are_chromatic_isomorphic(s1.complex(), &s2));
+    }
+
+    #[test]
+    fn colors_matter() {
+        let mut a = Complex::new();
+        let x = a.ensure_vertex(Color(0), Label::scalar(0));
+        let y = a.ensure_vertex(Color(1), Label::scalar(1));
+        a.add_facet([x, y]);
+        let mut b = Complex::new();
+        let x2 = b.ensure_vertex(Color(0), Label::scalar(0));
+        let y2 = b.ensure_vertex(Color(2), Label::scalar(1));
+        b.add_facet([x2, y2]);
+        assert!(!are_chromatic_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn isomorphism_maps_facets() {
+        let base = Complex::standard_simplex(2);
+        let sub = sds(&base);
+        let m = chromatic_isomorphism(sub.complex(), sub.complex()).unwrap();
+        for f in sub.complex().facets() {
+            let img = Simplex::new(f.iter().map(|v| m[v.index()]));
+            assert!(sub.complex().contains_simplex(&img));
+        }
+    }
+
+    #[test]
+    fn size_mismatch_fast_reject() {
+        let a = Complex::standard_simplex(2);
+        let b = Complex::standard_simplex(3);
+        assert!(chromatic_isomorphism(&a, &b).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Chromatic simplicial-complex engine for wait-free computability.
+//!
+//! This crate is the topological substrate for the reproduction of
+//! Borowsky & Gafni, *“A Simple Algorithmically Reasoned Characterization of
+//! Wait-free Computations”* (PODC 1997). It provides:
+//!
+//! - [`Complex`] — finite chromatic simplicial complexes with canonical
+//!   vertex [`Label`]s,
+//! - [`Simplex`], [`Subdivision`] — carriers and subdivision validation (§2),
+//! - [`sds`], [`sds_iterated`] — the standard chromatic subdivision and its
+//!   iterates (Lemmas 3.2/3.3),
+//! - [`bsd`] — barycentric subdivision (used by Lemma 5.3),
+//! - [`SimplicialMap`] — simpliciality / color / carrier preservation checks,
+//! - [`homology`] — Z₂ homology, the effective "no holes" test (Lemma 2.2),
+//! - [`sperner`] — rainbow-simplex counting, the impossibility engine,
+//! - [`embedding`] — numeric geometric realizations for low dimensions.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iis_topology::{Complex, sds_iterated};
+//!
+//! // The twice-iterated standard chromatic subdivision of a triangle —
+//! // exactly the 2-round iterated-immediate-snapshot protocol complex.
+//! let sub = sds_iterated(&Complex::standard_simplex(2), 2);
+//! assert_eq!(sub.complex().num_facets(), 13 * 13);
+//! sub.validate().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod complex;
+mod maps;
+mod sds;
+mod simplex;
+mod subdivision;
+mod vertex;
+
+pub mod bsd;
+pub mod embedding;
+pub mod homology;
+pub mod homology_z;
+pub mod iso;
+pub mod manifold;
+mod serde_impls;
+pub mod sperner;
+
+pub use complex::Complex;
+pub use maps::{MapError, SimplicialMap};
+pub use sds::{ordered_bell, ordered_partitions, path_subdivision, sds, sds_forget_map, sds_iterated};
+pub use simplex::Simplex;
+pub use subdivision::{Subdivision, SubdivisionError};
+pub use vertex::{Color, Label, VertexId};

@@ -1,0 +1,178 @@
+//! Pseudomanifold structure.
+//!
+//! The paper's introduction contrasts the combinatorial frameworks (\[13\],
+//! \[14\]) with the full topological characterization: the impossibility
+//! proofs of \[5, 7\] "rely only on the fact that wait-free computations
+//! produce a manifold". This module makes that fact checkable: the
+//! protocol complexes `SDS^b(sⁿ)` are *pseudomanifolds with boundary* —
+//! pure complexes whose codimension-1 faces (ridges) lie in at most two
+//! facets, with a strongly connected facet adjacency graph.
+
+use crate::{Complex, Simplex};
+use std::collections::BTreeMap;
+
+/// The outcome of a pseudomanifold analysis (see
+/// [`pseudomanifold_report`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PseudomanifoldReport {
+    /// Every facet has the same dimension.
+    pub pure: bool,
+    /// Number of ridges lying in exactly one facet (the boundary).
+    pub boundary_ridges: usize,
+    /// Number of ridges lying in exactly two facets (interior).
+    pub interior_ridges: usize,
+    /// Ridges lying in three or more facets — pseudomanifold violations.
+    pub overcrowded_ridges: Vec<Simplex>,
+    /// The facet adjacency graph (facets sharing a ridge) is connected.
+    pub strongly_connected: bool,
+}
+
+impl PseudomanifoldReport {
+    /// `true` iff the complex is a pseudomanifold with boundary: pure, no
+    /// ridge in more than two facets, and strongly connected.
+    pub fn is_pseudomanifold(&self) -> bool {
+        self.pure && self.overcrowded_ridges.is_empty() && self.strongly_connected
+    }
+
+    /// `true` iff additionally there is no boundary (every ridge interior).
+    pub fn is_closed(&self) -> bool {
+        self.is_pseudomanifold() && self.boundary_ridges == 0
+    }
+}
+
+/// Analyzes a pure complex's ridge structure.
+///
+/// A complex with a single facet is trivially strongly connected; the
+/// empty complex reports `pure` and connected with no ridges.
+pub fn pseudomanifold_report(c: &Complex) -> PseudomanifoldReport {
+    let pure = c.is_pure();
+    let facets: Vec<&Simplex> = c.facets().collect();
+    let mut ridge_facets: BTreeMap<Simplex, Vec<usize>> = BTreeMap::new();
+    for (i, f) in facets.iter().enumerate() {
+        for ridge in f.facets() {
+            if ridge.is_empty() {
+                continue; // 0-dimensional facets have no meaningful ridges
+            }
+            ridge_facets.entry(ridge).or_default().push(i);
+        }
+    }
+    let mut boundary = 0usize;
+    let mut interior = 0usize;
+    let mut overcrowded = Vec::new();
+    // union-find over facets through shared ridges
+    let mut parent: Vec<usize> = (0..facets.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (ridge, fs) in &ridge_facets {
+        match fs.len() {
+            1 => boundary += 1,
+            2 => interior += 1,
+            _ => overcrowded.push(ridge.clone()),
+        }
+        for w in fs.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            parent[a] = b;
+        }
+    }
+    let strongly_connected = if facets.len() <= 1 {
+        true
+    } else {
+        let root = find(&mut parent, 0);
+        (1..facets.len()).all(|i| find(&mut parent, i) == root)
+    };
+    PseudomanifoldReport {
+        pure,
+        boundary_ridges: boundary,
+        interior_ridges: interior,
+        overcrowded_ridges: overcrowded,
+        strongly_connected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sds, sds_iterated, Color, Label};
+
+    #[test]
+    fn solid_simplex_is_pseudomanifold() {
+        let r = pseudomanifold_report(&Complex::standard_simplex(2));
+        assert!(r.is_pseudomanifold());
+        assert_eq!(r.boundary_ridges, 3);
+        assert_eq!(r.interior_ridges, 0);
+        assert!(!r.is_closed());
+    }
+
+    #[test]
+    fn sds_complexes_are_pseudomanifolds() {
+        for (n, b) in [(1usize, 2usize), (2, 1), (2, 2), (3, 1)] {
+            let sub = sds_iterated(&Complex::standard_simplex(n), b);
+            let r = pseudomanifold_report(sub.complex());
+            assert!(r.is_pseudomanifold(), "SDS^{b}(s^{n}) must be a pseudomanifold");
+            assert!(r.boundary_ridges > 0, "it has a boundary");
+        }
+    }
+
+    #[test]
+    fn boundary_sphere_is_closed() {
+        let sphere = sds(&Complex::standard_simplex(2)).complex().boundary();
+        let r = pseudomanifold_report(&sphere);
+        assert!(r.is_closed(), "the boundary circle is a closed pseudomanifold");
+    }
+
+    #[test]
+    fn three_triangles_on_an_edge_violate() {
+        let mut c = Complex::new();
+        let a = c.ensure_vertex(Color(0), Label::scalar(0));
+        let b = c.ensure_vertex(Color(1), Label::scalar(1));
+        for k in 0..3 {
+            let x = c.ensure_vertex(Color(2), Label::scalar(10 + k));
+            c.add_facet([a, b, x]);
+        }
+        let r = pseudomanifold_report(&c);
+        assert!(!r.is_pseudomanifold());
+        assert_eq!(r.overcrowded_ridges.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_facets_detected() {
+        let mut c = Complex::new();
+        let a = c.ensure_vertex(Color(0), Label::scalar(0));
+        let b = c.ensure_vertex(Color(1), Label::scalar(1));
+        let x = c.ensure_vertex(Color(0), Label::scalar(2));
+        let y = c.ensure_vertex(Color(1), Label::scalar(3));
+        c.add_facet([a, b]);
+        c.add_facet([x, y]);
+        let r = pseudomanifold_report(&c);
+        assert!(!r.strongly_connected);
+        assert!(!r.is_pseudomanifold());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Complex::new();
+        assert!(pseudomanifold_report(&empty).is_pseudomanifold());
+        let mut single = Complex::new();
+        let v = single.ensure_vertex(Color(0), Label::scalar(0));
+        single.add_facet([v]);
+        let r = pseudomanifold_report(&single);
+        assert!(r.is_pseudomanifold());
+        assert_eq!(r.boundary_ridges + r.interior_ridges, 0);
+    }
+
+    #[test]
+    fn impure_complex_reported() {
+        let mut c = Complex::standard_simplex(2);
+        let z = c.ensure_vertex(Color(3), Label::scalar(9));
+        let a = c.vertex_id(Color(0), &Label::scalar(0)).unwrap();
+        c.add_facet([a, z]);
+        let r = pseudomanifold_report(&c);
+        assert!(!r.pure);
+        assert!(!r.is_pseudomanifold());
+    }
+}

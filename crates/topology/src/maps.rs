@@ -1,0 +1,365 @@
+//! Simplicial maps between complexes, with color- and carrier-preservation
+//! checks (§2).
+
+use crate::{Complex, Simplex, Subdivision, VertexId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Ways a [`SimplicialMap`] can fail validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MapError {
+    /// A vertex of the source has no image.
+    Unmapped(VertexId),
+    /// An image vertex id is not a vertex of the target.
+    ImageOutOfRange(VertexId),
+    /// The image of a source facet is not a simplex of the target.
+    NotSimplicial(Simplex),
+    /// A vertex maps to a vertex of a different color.
+    NotColorPreserving(VertexId),
+    /// A vertex's image has a different carrier than the vertex.
+    NotCarrierPreserving(VertexId),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unmapped(v) => write!(f, "vertex {v} has no image"),
+            Self::ImageOutOfRange(v) => write!(f, "image vertex {v} not in target"),
+            Self::NotSimplicial(s) => write!(f, "image of {s} is not a simplex of the target"),
+            Self::NotColorPreserving(v) => write!(f, "vertex {v} changes color"),
+            Self::NotCarrierPreserving(v) => write!(f, "vertex {v} changes carrier"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A vertex map between two complexes, checkable for simpliciality,
+/// color-preservation and carrier-preservation.
+///
+/// A map of vertices is *simplicial* if every simplex of the source maps to
+/// a simplex of the target (it suffices to check facets). A simplicial map
+/// between chromatic complexes is *color preserving* if `X(v) = X(φ(v))`,
+/// and between two subdivisions of a common base it is *carrier preserving*
+/// if `carrier(v) = carrier(φ(v))` (§2).
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{Complex, SimplicialMap};
+/// let s = Complex::standard_simplex(2);
+/// let id = SimplicialMap::identity(&s);
+/// assert!(id.verify_simplicial(&s, &s).is_ok());
+/// assert!(id.verify_color_preserving(&s, &s).is_ok());
+/// ```
+#[derive(Clone, Default)]
+pub struct SimplicialMap {
+    images: HashMap<VertexId, VertexId>,
+}
+
+impl SimplicialMap {
+    /// The empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The identity map on a complex.
+    pub fn identity(c: &Complex) -> Self {
+        SimplicialMap {
+            images: c.vertex_ids().map(|v| (v, v)).collect(),
+        }
+    }
+
+    /// Builds a map from explicit `(source, image)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (VertexId, VertexId)>>(pairs: I) -> Self {
+        SimplicialMap {
+            images: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Builds the map sending each source vertex through `f`.
+    pub fn from_fn<F: FnMut(VertexId) -> VertexId>(source: &Complex, mut f: F) -> Self {
+        SimplicialMap {
+            images: source.vertex_ids().map(|v| (v, f(v))).collect(),
+        }
+    }
+
+    /// Sets (or overwrites) the image of `v`.
+    pub fn insert(&mut self, v: VertexId, image: VertexId) -> Option<VertexId> {
+        self.images.insert(v, image)
+    }
+
+    /// The image of `v`, if assigned.
+    pub fn image(&self, v: VertexId) -> Option<VertexId> {
+        self.images.get(&v).copied()
+    }
+
+    /// Number of vertices with an assigned image.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` iff no vertex has an assigned image.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The image of a simplex: the set of images of its vertices (which may
+    /// have lower dimension if the map collapses vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some vertex of `s` has no image.
+    pub fn image_simplex(&self, s: &Simplex) -> Simplex {
+        Simplex::new(s.iter().map(|v| self.images[&v]))
+    }
+
+    /// Checks the map is total on `source`'s vertices, lands in `target`,
+    /// and maps every facet of `source` to a simplex of `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_simplicial(&self, source: &Complex, target: &Complex) -> Result<(), MapError> {
+        for v in source.vertex_ids() {
+            match self.images.get(&v) {
+                None => return Err(MapError::Unmapped(v)),
+                Some(&w) if w.index() >= target.num_vertices() => {
+                    return Err(MapError::ImageOutOfRange(w))
+                }
+                _ => {}
+            }
+        }
+        for f in source.facets() {
+            let img = self.image_simplex(f);
+            if !target.contains_simplex(&img) {
+                return Err(MapError::NotSimplicial(f.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks `X(v) = X(φ(v))` for every source vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NotColorPreserving`] on the first mismatch, or
+    /// [`MapError::Unmapped`] if the map is partial.
+    pub fn verify_color_preserving(
+        &self,
+        source: &Complex,
+        target: &Complex,
+    ) -> Result<(), MapError> {
+        for v in source.vertex_ids() {
+            let w = *self.images.get(&v).ok_or(MapError::Unmapped(v))?;
+            if source.color(v) != target.color(w) {
+                return Err(MapError::NotColorPreserving(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks `carrier(v) = carrier(φ(v))` where source and target are both
+    /// subdivisions of the same base (carriers compared as base simplices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NotCarrierPreserving`] on the first mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two subdivisions do not share a label-identical base.
+    pub fn verify_carrier_preserving(
+        &self,
+        source: &Subdivision,
+        target: &Subdivision,
+    ) -> Result<(), MapError> {
+        assert!(
+            source.base().same_labeled(target.base()),
+            "subdivisions must share a base"
+        );
+        let translate = base_translation(source.base(), target.base());
+        for v in source.complex().vertex_ids() {
+            let w = *self.images.get(&v).ok_or(MapError::Unmapped(v))?;
+            let cv = source.carrier_of_vertex(v);
+            let cw = target.carrier_of_vertex(w);
+            let cv_in_target = Simplex::new(cv.iter().map(|u| translate[u.index()]));
+            if &cv_in_target != cw {
+                return Err(MapError::NotCarrierPreserving(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the weaker condition `carrier(φ(v)) ⊆ carrier(v)` used by the
+    /// simplicial approximation theorem (Lemma 2.1's maps only need to not
+    /// *grow* carriers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::NotCarrierPreserving`] on the first violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two subdivisions do not share a label-identical base.
+    pub fn verify_carrier_shrinking(
+        &self,
+        source: &Subdivision,
+        target: &Subdivision,
+    ) -> Result<(), MapError> {
+        assert!(
+            source.base().same_labeled(target.base()),
+            "subdivisions must share a base"
+        );
+        let translate = base_translation(source.base(), target.base());
+        for v in source.complex().vertex_ids() {
+            let w = *self.images.get(&v).ok_or(MapError::Unmapped(v))?;
+            let cv = source.carrier_of_vertex(v);
+            let cw = target.carrier_of_vertex(w);
+            let cv_in_target = Simplex::new(cv.iter().map(|u| translate[u.index()]));
+            if !cw.is_face_of(&cv_in_target) {
+                return Err(MapError::NotCarrierPreserving(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Composes two maps: `(other ∘ self)(v) = other(self(v))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some image of `self` has no image under `other`.
+    pub fn then(&self, other: &SimplicialMap) -> SimplicialMap {
+        SimplicialMap {
+            images: self
+                .images
+                .iter()
+                .map(|(&v, &w)| (v, other.images[&w]))
+                .collect(),
+        }
+    }
+}
+
+/// Maps vertex ids of `from` to ids of the label-identical complex `to`.
+fn base_translation(from: &Complex, to: &Complex) -> Vec<VertexId> {
+    from.vertex_ids()
+        .map(|v| {
+            to.vertex_id(from.color(v), from.label(v))
+                .expect("label-identical bases")
+        })
+        .collect()
+}
+
+impl fmt::Debug for SimplicialMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimplicialMap({} vertices)", self.images.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sds, Color, Complex, Label};
+
+    #[test]
+    fn identity_is_simplicial_and_color_preserving() {
+        let s = Complex::standard_simplex(3);
+        let id = SimplicialMap::identity(&s);
+        id.verify_simplicial(&s, &s).unwrap();
+        id.verify_color_preserving(&s, &s).unwrap();
+        assert_eq!(id.len(), 4);
+        assert!(!id.is_empty());
+    }
+
+    #[test]
+    fn partial_map_detected() {
+        let s = Complex::standard_simplex(1);
+        let m = SimplicialMap::new();
+        assert!(matches!(
+            m.verify_simplicial(&s, &s),
+            Err(MapError::Unmapped(_))
+        ));
+    }
+
+    #[test]
+    fn non_simplicial_detected() {
+        // two disjoint edges; map sends endpoints of one edge onto vertices
+        // of *different* edges → image not a simplex
+        let mut c = Complex::new();
+        let a = c.ensure_vertex(Color(0), Label::scalar(0));
+        let b = c.ensure_vertex(Color(1), Label::scalar(1));
+        let x = c.ensure_vertex(Color(0), Label::scalar(2));
+        let y = c.ensure_vertex(Color(1), Label::scalar(3));
+        c.add_facet([a, b]);
+        c.add_facet([x, y]);
+        let m = SimplicialMap::from_pairs([(a, a), (b, y), (x, x), (y, y)]);
+        assert!(matches!(
+            m.verify_simplicial(&c, &c),
+            Err(MapError::NotSimplicial(_))
+        ));
+    }
+
+    #[test]
+    fn collapse_is_simplicial() {
+        // collapsing an edge to one of its vertices is simplicial
+        let s = Complex::standard_simplex(1);
+        let ids: Vec<VertexId> = s.vertex_ids().collect();
+        let m = SimplicialMap::from_pairs([(ids[0], ids[0]), (ids[1], ids[0])]);
+        m.verify_simplicial(&s, &s).unwrap();
+        assert!(matches!(
+            m.verify_color_preserving(&s, &s),
+            Err(MapError::NotColorPreserving(_))
+        ));
+    }
+
+    #[test]
+    fn sds_carrier_map_to_identity_subdivision() {
+        // The map SDS(s¹) → s¹ sending each vertex to the corner of its own
+        // color is simplicial, color-preserving and carrier-*shrinking* but
+        // not carrier-preserving (interior vertices move to corners).
+        let base = Complex::standard_simplex(1);
+        let sub = sds(&base);
+        let id_sub = crate::Subdivision::identity(base.clone());
+        let m = SimplicialMap::from_fn(sub.complex(), |v| {
+            let color = sub.complex().color(v);
+            base.vertex_ids().find(|&u| base.color(u) == color).unwrap()
+        });
+        m.verify_simplicial(sub.complex(), &base).unwrap();
+        m.verify_color_preserving(sub.complex(), &base).unwrap();
+        m.verify_carrier_shrinking(&sub, &id_sub).unwrap();
+        assert!(m.verify_carrier_preserving(&sub, &id_sub).is_err());
+    }
+
+    #[test]
+    fn compose_maps() {
+        let s = Complex::standard_simplex(1);
+        let ids: Vec<VertexId> = s.vertex_ids().collect();
+        let swap = SimplicialMap::from_pairs([(ids[0], ids[1]), (ids[1], ids[0])]);
+        let double = swap.then(&swap);
+        for v in s.vertex_ids() {
+            assert_eq!(double.image(v), Some(v));
+        }
+    }
+
+    #[test]
+    fn image_simplex_collapses() {
+        let s = Complex::standard_simplex(2);
+        let ids: Vec<VertexId> = s.vertex_ids().collect();
+        let m = SimplicialMap::from_pairs([(ids[0], ids[0]), (ids[1], ids[0]), (ids[2], ids[2])]);
+        let img = m.image_simplex(&Simplex::new(ids.clone()));
+        assert_eq!(img.len(), 2);
+    }
+
+    #[test]
+    fn error_messages_nonempty() {
+        for e in [
+            MapError::Unmapped(VertexId(0)),
+            MapError::ImageOutOfRange(VertexId(1)),
+            MapError::NotSimplicial(Simplex::empty()),
+            MapError::NotColorPreserving(VertexId(2)),
+            MapError::NotCarrierPreserving(VertexId(3)),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

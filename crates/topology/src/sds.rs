@@ -1,0 +1,476 @@
+//! The standard chromatic subdivision `SDS` (Lemmas 3.2 and 3.3).
+//!
+//! The one-shot immediate snapshot complex over a colored simplex *is* the
+//! standard chromatic subdivision (Lemma 3.2): vertices are pairs `(i, Sᵢ)`
+//! with `i ∈ Sᵢ`, and maximal simplices correspond to *ordered set
+//! partitions* (the concurrency-class schedules of the immediate snapshot
+//! model). This module constructs `SDS(C)` and `SDS^b(C)` purely
+//! combinatorially; `iis-core` independently rebuilds the same complexes by
+//! exhaustive execution enumeration and checks they coincide.
+
+use crate::{Complex, Label, Simplex, Subdivision};
+
+/// Enumerates all *ordered set partitions* of `items` — every way to split
+/// the items into a sequence of non-empty blocks.
+///
+/// The number of ordered partitions of an `n`-element set is the ordered
+/// Bell (Fubini) number: 1, 1, 3, 13, 75, 541, … These are exactly the
+/// executions of the one-shot immediate snapshot model (§3.4): each block is
+/// a maximal concurrency class of simultaneous `WriteRead`s.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::ordered_partitions;
+/// assert_eq!(ordered_partitions(&[0, 1]).len(), 3);
+/// assert_eq!(ordered_partitions(&[0, 1, 2]).len(), 13);
+/// ```
+pub fn ordered_partitions<T: Clone>(items: &[T]) -> Vec<Vec<Vec<T>>> {
+    let n = items.len();
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    assert!(n <= 16, "ordered partitions of >16 items are astronomically many");
+    let mut out = Vec::new();
+    // Recurse on which non-empty subset forms the first block.
+    fn rec<T: Clone>(remaining: &[T], acc: &mut Vec<Vec<T>>, out: &mut Vec<Vec<Vec<T>>>) {
+        if remaining.is_empty() {
+            out.push(acc.clone());
+            return;
+        }
+        let m = remaining.len();
+        for mask in 1u32..(1u32 << m) {
+            let mut block = Vec::with_capacity(mask.count_ones() as usize);
+            let mut rest = Vec::with_capacity(m);
+            for (k, it) in remaining.iter().enumerate() {
+                if mask & (1 << k) != 0 {
+                    block.push(it.clone());
+                } else {
+                    rest.push(it.clone());
+                }
+            }
+            acc.push(block);
+            rec(&rest, acc, out);
+            acc.pop();
+        }
+    }
+    rec(items, &mut Vec::new(), &mut out);
+    out
+}
+
+/// The ordered Bell (Fubini) number `a(n)`: the number of ordered set
+/// partitions of an `n`-element set, i.e. the number of maximal simplices of
+/// `SDS(s^{n-1})`.
+///
+/// # Panics
+///
+/// Panics on overflow (`n > 15` overflows `u64` well before 15; we allow up
+/// to `n = 15`).
+pub fn ordered_bell(n: usize) -> u64 {
+    // a(n) = sum_{k=1..n} C(n,k) a(n-k), a(0)=1
+    assert!(n <= 15, "ordered Bell number overflow guard");
+    let mut a = vec![0u64; n + 1];
+    a[0] = 1;
+    for m in 1..=n {
+        let mut sum = 0u64;
+        let mut binom = 1u64; // C(m,1) initialised below
+        for k in 1..=m {
+            binom = if k == 1 {
+                m as u64
+            } else {
+                binom * (m as u64 - k as u64 + 1) / k as u64
+            };
+            sum += binom * a[m - k];
+        }
+        a[m] = sum;
+    }
+    a[n]
+}
+
+/// Constructs the standard chromatic subdivision `SDS(C)` of a chromatic
+/// complex, with carriers (Lemma 3.2 / §3.6).
+///
+/// Every facet `f` of `C` is subdivided independently: for each ordered
+/// partition `(B₁, …, B_m)` of `f`'s vertices, the subdivision has a facet
+/// with one vertex per base vertex `v ∈ B_j`, whose *view* is
+/// `S_v = B₁ ∪ … ∪ B_j` and whose label is `Label::view` of the `(color,
+/// label)` pairs of `S_v`. Shared faces of facets glue automatically because
+/// views over a face depend only on that face's vertices (the observation
+/// after Lemma 3.3).
+///
+/// # Panics
+///
+/// Panics if `C` is not chromatic.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{Complex, sds};
+/// let sub = sds(&Complex::standard_simplex(2));
+/// assert_eq!(sub.complex().num_facets(), 13);
+/// assert_eq!(sub.complex().num_vertices(), 3 + 6 + 3); // (i,S) with i∈S
+/// sub.validate().unwrap();
+/// ```
+pub fn sds(base: &Complex) -> Subdivision {
+    assert!(base.is_chromatic(), "SDS requires a chromatic base complex");
+    let mut sub = Complex::new();
+    let mut carriers: Vec<Simplex> = Vec::new();
+    let ensure = |sub: &mut Complex,
+                      carriers: &mut Vec<Simplex>,
+                      color,
+                      label: Label,
+                      carrier: Simplex| {
+        let before = sub.num_vertices();
+        let id = sub.ensure_vertex(color, label);
+        if sub.num_vertices() > before {
+            carriers.push(carrier);
+        }
+        id
+    };
+    for f in base.facets() {
+        let verts: Vec<_> = f.iter().collect();
+        for partition in ordered_partitions(&verts) {
+            let mut seen: Vec<crate::VertexId> = Vec::new();
+            let mut facet = Vec::with_capacity(verts.len());
+            for block in &partition {
+                seen.extend(block.iter().copied());
+                let view = Label::view(seen.iter().map(|&u| (base.color(u), base.label(u))));
+                let carrier = Simplex::new(seen.iter().copied());
+                for &v in block {
+                    let id = ensure(
+                        &mut sub,
+                        &mut carriers,
+                        base.color(v),
+                        view.clone(),
+                        carrier.clone(),
+                    );
+                    facet.push(id);
+                }
+            }
+            sub.add_facet(facet);
+        }
+    }
+    Subdivision::from_parts(base.clone(), sub, carriers)
+}
+
+/// Constructs the `b`-fold iterated standard chromatic subdivision
+/// `SDS^b(C)` with carriers composed down to the original base (Lemma 3.3).
+///
+/// `b = 0` yields the identity subdivision.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{Complex, sds_iterated};
+/// let sub = sds_iterated(&Complex::standard_simplex(1), 2);
+/// // SDS(s¹) has 3 edges; subdividing each again gives 9.
+/// assert_eq!(sub.complex().num_facets(), 9);
+/// ```
+pub fn sds_iterated(base: &Complex, b: usize) -> Subdivision {
+    let mut acc = Subdivision::identity(base.clone());
+    for _ in 0..b {
+        let next = sds(acc.complex());
+        acc = acc.compose(&next);
+    }
+    acc
+}
+
+/// The canonical "forget the last round" map `SDS^{b+1}(C) → SDS^b(C)`:
+/// each vertex (a `b+1`-round full-information state) maps to its own
+/// `b`-round state, recovered by peeling the process's own entry out of the
+/// nested view label.
+///
+/// Returns `(finer, coarser, map)`. The map is simplicial (the `b`-round
+/// states of one execution form a simplex of `SDS^b`), color-preserving,
+/// and carrier-*shrinking* (a process's earlier state saw no more than its
+/// later state). It is the combinatorial witness that solvability at `b`
+/// implies solvability at `b+1`.
+///
+/// # Panics
+///
+/// Panics if `C` is not chromatic.
+pub fn sds_forget_map(base: &Complex, b: usize) -> (Subdivision, Subdivision, crate::SimplicialMap) {
+    let finer = sds_iterated(base, b + 1);
+    let coarser = sds_iterated(base, b);
+    let map = crate::SimplicialMap::from_fn(finer.complex(), |v| {
+        let color = finer.complex().color(v);
+        let entries = finer
+            .complex()
+            .label(v)
+            .as_view()
+            .expect("b ≥ 0 means labels are views");
+        let peeled = entries
+            .into_iter()
+            .find(|(c, _)| *c == color)
+            .expect("self-inclusion")
+            .1;
+        coarser
+            .complex()
+            .vertex_id(color, &peeled)
+            .expect("peeled state is a b-round state")
+    });
+    (finer, coarser, map)
+}
+
+/// A chromatic subdivision of the standard edge `s¹` as an alternately
+/// colored path of odd length `length` — the general 1-dimensional
+/// chromatic subdivision (every chromatic subdivided edge has this form).
+///
+/// Vertex at position `k` has color `k mod 2` and label `Label::scalar(k)`;
+/// position 0 is the color-0 corner, position `length` the color-1 corner.
+/// Useful as a *non-standard* target for Theorem 5.1 witnesses: mapping
+/// `SDS^b(s¹)` onto a path of length `L` requires `3^b ≥ L`.
+///
+/// # Panics
+///
+/// Panics if `length` is even (the far corner would have color 0).
+pub fn path_subdivision(length: usize) -> Subdivision {
+    assert!(length % 2 == 1, "a chromatic path has odd length");
+    let base = Complex::standard_simplex(1);
+    let corners: Vec<crate::VertexId> = base.vertex_ids().collect();
+    let mut sub = Complex::new();
+    let mut carriers = Vec::new();
+    let mut prev = None;
+    for k in 0..=length {
+        let color = crate::Color((k % 2) as u32);
+        let id = sub.ensure_vertex(color, Label::scalar(k as u64));
+        carriers.push(if k == 0 {
+            Simplex::new([corners[0]])
+        } else if k == length {
+            Simplex::new([corners[1]])
+        } else {
+            Simplex::new(corners.iter().copied())
+        });
+        if let Some(p) = prev {
+            sub.add_facet([p, id]);
+        }
+        prev = Some(id);
+    }
+    Subdivision::from_parts(base, sub, carriers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Color, Label};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ordered_partition_counts_are_fubini() {
+        for n in 0..=5 {
+            let items: Vec<u32> = (0..n as u32).collect();
+            assert_eq!(
+                ordered_partitions(&items).len() as u64,
+                ordered_bell(n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_bell_values() {
+        assert_eq!(
+            (0..=6).map(ordered_bell).collect::<Vec<_>>(),
+            vec![1, 1, 3, 13, 75, 541, 4683]
+        );
+    }
+
+    #[test]
+    fn partitions_are_distinct_and_partition() {
+        let items = [0u32, 1, 2];
+        let ps = ordered_partitions(&items);
+        let set: BTreeSet<_> = ps.iter().cloned().collect();
+        assert_eq!(set.len(), ps.len(), "no duplicate partitions");
+        for p in &ps {
+            let mut all: Vec<u32> = p.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2]);
+            assert!(p.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn sds_edge() {
+        // SDS(s¹): 3 edges, 4 vertices; chromatic, pure, valid.
+        let sub = sds(&Complex::standard_simplex(1));
+        let c = sub.complex();
+        assert_eq!(c.num_facets(), 3);
+        assert_eq!(c.num_vertices(), 4);
+        assert!(c.is_pure());
+        assert!(c.is_chromatic());
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn sds_triangle_counts() {
+        let sub = sds(&Complex::standard_simplex(2));
+        let c = sub.complex();
+        assert_eq!(c.num_facets(), 13);
+        // vertices (i,S): 3 singletons + 3·2 pairs + 3 full = 13... careful:
+        // pairs: S of size 2 → 2 choices of i per S, 3 S's = 6; full S → 3.
+        assert_eq!(c.num_vertices(), 3 + 6 + 3);
+        assert!(c.is_pure());
+        assert!(c.is_chromatic());
+        sub.validate().unwrap();
+        // Euler characteristic of a disk = 1
+        assert_eq!(c.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn sds_tetrahedron_counts() {
+        let sub = sds(&Complex::standard_simplex(3));
+        let c = sub.complex();
+        assert_eq!(c.num_facets() as u64, ordered_bell(4)); // 75
+        // vertices (i,S): sum over |S|=k of k·C(4,k) = 1·4+2·6+3·4+4·1 = 32
+        assert_eq!(c.num_vertices(), 32);
+        assert!(c.is_chromatic());
+        sub.validate().unwrap();
+        assert_eq!(c.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn sds_boundary_is_sds_of_boundary() {
+        // The boundary of SDS(s²) is the subdivision of the boundary of s²:
+        // each of the 3 edges subdivided into 3, so 9 boundary edges.
+        let sub = sds(&Complex::standard_simplex(2));
+        let b = sub.complex().boundary();
+        assert_eq!(b.num_facets(), 9);
+        assert_eq!(b.euler_characteristic(), 0);
+    }
+
+    #[test]
+    fn sds_carrier_of_corner_is_corner() {
+        let base = Complex::standard_simplex(2);
+        let sub = sds(&base);
+        for u in base.vertex_ids() {
+            let view = Label::view([(base.color(u), base.label(u))]);
+            let v = sub
+                .complex()
+                .vertex_id(base.color(u), &view)
+                .expect("corner exists");
+            assert_eq!(sub.carrier_of_vertex(v), &Simplex::new([u]));
+        }
+    }
+
+    #[test]
+    fn sds_glues_shared_faces() {
+        // butterfly: two triangles sharing an edge; SDS must agree on the edge
+        let mut base = Complex::new();
+        let a = base.ensure_vertex(Color(0), Label::scalar(0));
+        let b = base.ensure_vertex(Color(1), Label::scalar(1));
+        let x = base.ensure_vertex(Color(2), Label::scalar(2));
+        let y = base.ensure_vertex(Color(2), Label::scalar(3));
+        base.add_facet([a, b, x]);
+        base.add_facet([a, b, y]);
+        let sub = sds(&base);
+        sub.validate().unwrap();
+        assert_eq!(sub.complex().num_facets(), 26);
+        // vertices: 13 per triangle, minus the 4 shared on the common edge
+        assert_eq!(sub.complex().num_vertices(), 12 + 12 - 4);
+        assert_eq!(sub.complex().connected_components(), 1);
+    }
+
+    #[test]
+    fn sds_iterated_counts() {
+        let sub = sds_iterated(&Complex::standard_simplex(1), 3);
+        assert_eq!(sub.complex().num_facets(), 27);
+        sub.validate().unwrap();
+        let sub2 = sds_iterated(&Complex::standard_simplex(2), 2);
+        assert_eq!(sub2.complex().num_facets(), 13 * 13);
+        sub2.validate().unwrap();
+    }
+
+    #[test]
+    fn sds_iterated_zero_is_identity() {
+        let base = Complex::standard_simplex(2);
+        let sub = sds_iterated(&base, 0);
+        assert!(sub.complex().same_labeled(&base));
+    }
+
+    #[test]
+    fn sds_is_dimension_preserving() {
+        let base = Complex::standard_simplex(2);
+        let sub = sds(&base);
+        assert_eq!(sub.complex().dim(), base.dim());
+        assert!(sub.complex().is_pure());
+    }
+
+    #[test]
+    fn forget_map_is_simplicial_and_carrier_shrinking() {
+        for (n, b) in [(1usize, 0usize), (1, 1), (2, 0), (2, 1)] {
+            let base = Complex::standard_simplex(n);
+            let (finer, coarser, map) = sds_forget_map(&base, b);
+            map.verify_simplicial(finer.complex(), coarser.complex())
+                .unwrap();
+            map.verify_color_preserving(finer.complex(), coarser.complex())
+                .unwrap();
+            map.verify_carrier_shrinking(&finer, &coarser).unwrap();
+        }
+    }
+
+    #[test]
+    fn forget_map_collapses_counts() {
+        let base = Complex::standard_simplex(1);
+        let (finer, coarser, map) = sds_forget_map(&base, 1);
+        assert_eq!(finer.complex().num_facets(), 9);
+        assert_eq!(coarser.complex().num_facets(), 3);
+        // every coarser vertex is hit (the map is surjective on vertices)
+        let hit: std::collections::BTreeSet<_> = finer
+            .complex()
+            .vertex_ids()
+            .map(|v| map.image(v).unwrap())
+            .collect();
+        assert_eq!(hit.len(), coarser.complex().num_vertices());
+    }
+
+    #[test]
+    fn path_subdivision_is_valid() {
+        for length in [1usize, 3, 5, 9] {
+            let sub = path_subdivision(length);
+            sub.validate().unwrap();
+            assert_eq!(sub.complex().num_facets(), length.max(1));
+            assert!(sub.complex().is_chromatic());
+        }
+    }
+
+    #[test]
+    fn path_of_length_three_is_sds_shape() {
+        // length 3 has the same shape as SDS(s¹) (labels differ)
+        let p = path_subdivision(3);
+        let s = sds(&Complex::standard_simplex(1));
+        assert!(crate::iso::are_chromatic_isomorphic(p.complex(), s.complex()));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd length")]
+    fn even_path_rejected() {
+        path_subdivision(4);
+    }
+
+    #[test]
+    fn immediacy_encoded_in_views() {
+        // In every facet of SDS(s^n): if val_i ∈ S_j then S_i ⊆ S_j.
+        let base = Complex::standard_simplex(2);
+        let sub = sds(&base);
+        let c = sub.complex();
+        for f in c.facets() {
+            let views: Vec<(Color, Vec<(Color, Label)>)> = f
+                .iter()
+                .map(|v| (c.color(v), c.label(v).as_view().unwrap()))
+                .collect();
+            for (ci, si) in &views {
+                for (_cj, sj) in &views {
+                    let j_contains_i = sj.iter().any(|(cc, _)| cc == ci);
+                    if j_contains_i {
+                        for entry in si {
+                            assert!(
+                                sj.contains(entry),
+                                "immediacy violated: {ci:?} visible but view not contained"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Serde support for [`Complex`] and [`Subdivision`].
+//!
+//! Complexes serialize as `(vertices, facets)`; the internal
+//! `(color, label) → id` index is rebuilt on deserialization, and facets
+//! re-pass through [`Complex::add_facet`] so the facet antichain invariant
+//! survives hand-edited input.
+
+use crate::{Color, Complex, Label, Simplex, Subdivision};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+#[derive(Serialize, Deserialize)]
+struct ComplexRepr {
+    vertices: Vec<(Color, Label)>,
+    facets: Vec<Simplex>,
+}
+
+impl Serialize for Complex {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = ComplexRepr {
+            vertices: self
+                .vertex_ids()
+                .map(|v| (self.color(v), self.label(v).clone()))
+                .collect(),
+            facets: self.facets().cloned().collect(),
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Complex {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = ComplexRepr::deserialize(deserializer)?;
+        let mut c = Complex::new();
+        for (color, label) in repr.vertices {
+            c.ensure_vertex(color, label);
+        }
+        let n = c.num_vertices() as u32;
+        for f in repr.facets {
+            if f.iter().any(|v| v.0 >= n) {
+                return Err(D::Error::custom("facet references unknown vertex"));
+            }
+            c.add_facet(f.iter());
+        }
+        Ok(c)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SubdivisionRepr {
+    base: Complex,
+    subdivided: Complex,
+    vertex_carriers: Vec<Simplex>,
+}
+
+impl Serialize for Subdivision {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = SubdivisionRepr {
+            base: self.base().clone(),
+            subdivided: self.complex().clone(),
+            vertex_carriers: self
+                .complex()
+                .vertex_ids()
+                .map(|v| self.carrier_of_vertex(v).clone())
+                .collect(),
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Subdivision {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = SubdivisionRepr::deserialize(deserializer)?;
+        if repr.vertex_carriers.len() != repr.subdivided.num_vertices() {
+            return Err(D::Error::custom("one carrier per subdivided vertex"));
+        }
+        Ok(Subdivision::from_parts(
+            repr.base,
+            repr.subdivided,
+            repr.vertex_carriers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{sds, sds_iterated, Complex, Label, Simplex, Subdivision, VertexId};
+
+    #[test]
+    fn complex_roundtrip() {
+        let c = sds(&Complex::standard_simplex(2)).complex().clone();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Complex = serde_json::from_str(&json).unwrap();
+        assert!(c.same_labeled(&back));
+        assert_eq!(c.num_facets(), back.num_facets());
+    }
+
+    #[test]
+    fn subdivision_roundtrip_preserves_carriers() {
+        let sub = sds_iterated(&Complex::standard_simplex(1), 2);
+        let json = serde_json::to_string(&sub).unwrap();
+        let back: Subdivision = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        for v in sub.complex().vertex_ids() {
+            let w = back
+                .complex()
+                .vertex_id(sub.complex().color(v), sub.complex().label(v))
+                .unwrap();
+            assert_eq!(sub.carrier_of_vertex(v), back.carrier_of_vertex(w));
+        }
+    }
+
+    #[test]
+    fn label_and_simplex_roundtrip() {
+        let l = Label::view([(crate::Color(0), &Label::scalar(7))]);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Label = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+        let s = Simplex::new([VertexId(3), VertexId(1)]);
+        let back: Simplex = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn bad_facet_rejected() {
+        let json = r#"{"vertices": [], "facets": [[0]]}"#;
+        let r: Result<Complex, _> = serde_json::from_str(json);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn carrier_count_mismatch_rejected() {
+        let base = serde_json::to_value(Complex::standard_simplex(1)).unwrap();
+        let json = serde_json::json!({
+            "base": base,
+            "subdivided": base,
+            "vertex_carriers": []
+        });
+        let r: Result<Subdivision, _> = serde_json::from_value(json);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Sperner labelings and rainbow-simplex counting — the impossibility
+//! engine.
+//!
+//! The classical Sperner lemma, in the chromatic-subdivision setting: if
+//! every vertex `v` of a subdivision of the colored simplex `sⁿ` is labeled
+//! with the *color of some vertex of its carrier*, then the number of facets
+//! whose labels exhaust all `n+1` colors is **odd** — in particular nonzero.
+//!
+//! This is exactly the elementary counting argument behind the k-set
+//! consensus impossibility (\[7\] in the paper): any wait-free protocol for
+//! `(n+1, k)`-set consensus yields a decision map on `SDS^b(sⁿ)` whose
+//! decisions respect carriers (validity), i.e. a Sperner labeling; a rainbow
+//! facet then exhibits an execution with `n+1 > k` distinct decisions.
+
+use crate::{Color, Simplex, Subdivision, VertexId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Ways a labeling can fail to be a Sperner labeling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpernerError {
+    /// The base of the subdivision must be a single `n`-simplex.
+    BaseNotASimplex,
+    /// Wrong number of labels (must be one per subdivided vertex).
+    WrongLength {
+        /// Labels supplied.
+        got: usize,
+        /// Vertices in the subdivided complex.
+        expected: usize,
+    },
+    /// `labels[v]` is not the color of any vertex of `v`'s carrier.
+    LabelOutsideCarrier(VertexId),
+}
+
+impl fmt::Display for SpernerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BaseNotASimplex => write!(f, "base of the subdivision is not a single simplex"),
+            Self::WrongLength { got, expected } => {
+                write!(f, "expected {expected} labels, got {got}")
+            }
+            Self::LabelOutsideCarrier(v) => {
+                write!(f, "label of vertex {v} is not a color of its carrier")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpernerError {}
+
+/// Checks that `labels` (one color per subdivided vertex, indexed by vertex
+/// id) is a *Sperner labeling* of the subdivision: each vertex is labeled
+/// with the color of some vertex of its carrier.
+///
+/// # Errors
+///
+/// Returns the first violation; requires the base to be a single simplex.
+pub fn validate_sperner(sub: &Subdivision, labels: &[Color]) -> Result<(), SpernerError> {
+    if sub.base().num_facets() != 1 {
+        return Err(SpernerError::BaseNotASimplex);
+    }
+    let n_vertices = sub.complex().num_vertices();
+    if labels.len() != n_vertices {
+        return Err(SpernerError::WrongLength {
+            got: labels.len(),
+            expected: n_vertices,
+        });
+    }
+    for v in sub.complex().vertex_ids() {
+        let carrier = sub.carrier_of_vertex(v);
+        let allowed: BTreeSet<Color> = carrier.iter().map(|u| sub.base().color(u)).collect();
+        if !allowed.contains(&labels[v.index()]) {
+            return Err(SpernerError::LabelOutsideCarrier(v));
+        }
+    }
+    Ok(())
+}
+
+/// Counts the facets of the subdivision whose label image under `labels`
+/// exhausts **all** base colors (rainbow / panchromatic facets).
+///
+/// For a valid Sperner labeling of a subdivided `n`-simplex this count is
+/// odd (Sperner's lemma); see [`rainbow_count_is_odd`].
+pub fn count_rainbow(sub: &Subdivision, labels: &[Color]) -> usize {
+    let full: BTreeSet<Color> = sub.base().colors();
+    sub.complex()
+        .facets()
+        .filter(|f| {
+            let image: BTreeSet<Color> = f.iter().map(|v| labels[v.index()]).collect();
+            image == full
+        })
+        .count()
+}
+
+/// `true` iff [`count_rainbow`] is odd — the Sperner certificate.
+pub fn rainbow_count_is_odd(sub: &Subdivision, labels: &[Color]) -> bool {
+    count_rainbow(sub, labels) % 2 == 1
+}
+
+/// The *identity* Sperner labeling of a chromatic subdivision: each vertex
+/// labeled by its own color (always valid because a chromatic subdivision
+/// keeps colors within carriers).
+pub fn identity_labeling(sub: &Subdivision) -> Vec<Color> {
+    sub.complex()
+        .vertex_ids()
+        .map(|v| sub.complex().color(v))
+        .collect()
+}
+
+/// The labeling induced by a decision function `decide : vertex → color`,
+/// e.g. the decisions of a purported `(n+1, k)`-set consensus protocol.
+pub fn labeling_from<F: FnMut(VertexId) -> Color>(sub: &Subdivision, decide: F) -> Vec<Color> {
+    sub.complex().vertex_ids().map(decide).collect()
+}
+
+/// The impossibility certificate for `(n+1, k)`-set consensus on a given
+/// chromatic subdivision of `sⁿ` (typically `SDS^b(sⁿ)`): for the supplied
+/// decision labeling, either it is not a valid Sperner labeling (the
+/// protocol violates validity) or some facet carries more than `k` distinct
+/// decisions (the protocol violates `k`-agreement).
+///
+/// Returns the offending facet when agreement fails.
+///
+/// # Errors
+///
+/// Propagates [`SpernerError`] if the labeling is invalid.
+pub fn set_consensus_counterexample(
+    sub: &Subdivision,
+    labels: &[Color],
+    k: usize,
+) -> Result<Option<Simplex>, SpernerError> {
+    validate_sperner(sub, labels)?;
+    for f in sub.complex().facets() {
+        let image: BTreeSet<Color> = f.iter().map(|v| labels[v.index()]).collect();
+        if image.len() > k {
+            return Ok(Some(f.clone()));
+        }
+    }
+    Ok(None)
+}
+
+/// Finds a rainbow facet **constructively** by the door-to-door walk — the
+/// path-following proof of Sperner's lemma, as opposed to the counting
+/// argument of [`count_rainbow`].
+///
+/// A *door* is a codimension-1 face whose labels are exactly the base
+/// colors minus the largest one. Every non-rainbow facet has 0 or 2 doors;
+/// a rainbow facet has exactly 1. Walking door-to-door from a boundary door
+/// (doors on the face spanned by the first `n` colors exist in odd number,
+/// recursively by the same lemma) must end in a rainbow facet or exit
+/// through another boundary door; since boundary doors are odd in number,
+/// some walk ends inside.
+///
+/// Returns `None` only if `labels` is not a valid Sperner labeling (walks
+/// can then dead-end); for valid labelings a rainbow facet is always found.
+///
+/// # Panics
+///
+/// Panics if the base is not a single simplex or `labels` has the wrong
+/// length.
+pub fn walk_to_rainbow(sub: &Subdivision, labels: &[Color]) -> Option<Simplex> {
+    assert_eq!(sub.base().num_facets(), 1, "base must be a simplex");
+    let c = sub.complex();
+    assert_eq!(labels.len(), c.num_vertices());
+    let full: Vec<Color> = sub.base().colors().into_iter().collect();
+    let n = full.len();
+    if n == 1 {
+        return c.facets().next().cloned();
+    }
+    let door_colors: BTreeSet<Color> = full[..n - 1].iter().copied().collect();
+    let is_door = |face: &Simplex| -> bool {
+        let image: BTreeSet<Color> = face.iter().map(|v| labels[v.index()]).collect();
+        image == door_colors
+    };
+    let is_rainbow = |facet: &Simplex| -> bool {
+        let image: BTreeSet<Color> = facet.iter().map(|v| labels[v.index()]).collect();
+        image.len() == n
+    };
+    // facets adjacent to each ridge
+    let facets: Vec<&Simplex> = c.facets().collect();
+    let mut ridge_facets: std::collections::BTreeMap<Simplex, Vec<usize>> = Default::default();
+    for (i, f) in facets.iter().enumerate() {
+        for ridge in f.facets() {
+            ridge_facets.entry(ridge).or_default().push(i);
+        }
+    }
+    // boundary doors: doors lying in exactly one facet
+    let mut boundary_doors: Vec<Simplex> = ridge_facets
+        .iter()
+        .filter(|(r, fs)| fs.len() == 1 && is_door(r))
+        .map(|(r, _)| r.clone())
+        .collect();
+    let mut used: BTreeSet<Simplex> = BTreeSet::new();
+    while let Some(start) = boundary_doors.pop() {
+        if used.contains(&start) {
+            continue;
+        }
+        used.insert(start.clone());
+        let mut room = ridge_facets[&start][0];
+        let mut entered = start;
+        // each step: the current room either is rainbow, or has exactly one
+        // other door; bounded by the number of facets
+        for _guard in 0..=facets.len() {
+            if is_rainbow(facets[room]) {
+                return Some(facets[room].clone());
+            }
+            let other: Vec<Simplex> = facets[room]
+                .facets()
+                .into_iter()
+                .filter(|r| *r != entered && is_door(r))
+                .collect();
+            let Some(exit) = other.first() else {
+                break; // invalid labeling: dead end
+            };
+            used.insert(exit.clone());
+            let adj = &ridge_facets[exit];
+            match adj.iter().find(|&&f| f != room) {
+                Some(&next) => {
+                    entered = exit.clone();
+                    room = next;
+                }
+                None => break, // exited through another boundary door
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sds, sds_iterated, Complex};
+
+    fn base(n: usize) -> Complex {
+        Complex::standard_simplex(n)
+    }
+
+    #[test]
+    fn identity_labeling_is_valid_and_all_facets_rainbow() {
+        let sub = sds(&base(2));
+        let labels = identity_labeling(&sub);
+        validate_sperner(&sub, &labels).unwrap();
+        // chromatic subdivision: every facet is rainbow under identity
+        assert_eq!(count_rainbow(&sub, &labels), sub.complex().num_facets());
+        assert!(rainbow_count_is_odd(&sub, &labels)); // 13 is odd
+    }
+
+    #[test]
+    fn corner_collapse_labeling_has_odd_rainbow() {
+        // Label every vertex by the *smallest* color in its carrier: a valid
+        // Sperner labeling that is far from the identity.
+        let sub = sds(&base(2));
+        let labels = labeling_from(&sub, |v| {
+            let carrier = sub.carrier_of_vertex(v);
+            carrier
+                .iter()
+                .map(|u| sub.base().color(u))
+                .min()
+                .unwrap()
+        });
+        validate_sperner(&sub, &labels).unwrap();
+        assert!(rainbow_count_is_odd(&sub, &labels));
+    }
+
+    #[test]
+    fn largest_color_labeling_has_odd_rainbow_iterated() {
+        let sub = sds_iterated(&base(2), 2);
+        let labels = labeling_from(&sub, |v| {
+            let carrier = sub.carrier_of_vertex(v);
+            carrier
+                .iter()
+                .map(|u| sub.base().color(u))
+                .max()
+                .unwrap()
+        });
+        validate_sperner(&sub, &labels).unwrap();
+        assert!(rainbow_count_is_odd(&sub, &labels));
+    }
+
+    #[test]
+    fn invalid_labeling_rejected() {
+        let sub = sds(&base(1));
+        // corner of color 0 labeled with color 1 — outside its carrier
+        let corner = sub
+            .complex()
+            .vertex_ids()
+            .find(|&v| sub.carrier_of_vertex(v).len() == 1 && sub.complex().color(v) == Color(0))
+            .unwrap();
+        let mut labels = identity_labeling(&sub);
+        labels[corner.index()] = Color(1);
+        assert!(matches!(
+            validate_sperner(&sub, &labels),
+            Err(SpernerError::LabelOutsideCarrier(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let sub = sds(&base(1));
+        assert!(matches!(
+            validate_sperner(&sub, &[]),
+            Err(SpernerError::WrongLength { .. })
+        ));
+    }
+
+    #[test]
+    fn one_dimensional_sperner() {
+        // On a subdivided edge with endpoints labeled 0 and 1, the number of
+        // bichromatic edges is odd — the classic discrete IVT.
+        let sub = sds_iterated(&base(1), 3); // 27 edges
+        let labels = labeling_from(&sub, |v| {
+            let carrier = sub.carrier_of_vertex(v);
+            if carrier.len() == 1 {
+                sub.base().color(carrier.iter().next().unwrap())
+            } else {
+                // interior vertices: pick by parity of vertex id (arbitrary)
+                Color(v.0 % 2)
+            }
+        });
+        validate_sperner(&sub, &labels).unwrap();
+        assert!(rainbow_count_is_odd(&sub, &labels));
+    }
+
+    #[test]
+    fn set_consensus_counterexample_found() {
+        // Any Sperner labeling of SDS(s²) must have a facet with 3 distinct
+        // decisions → (3,2)-set consensus impossible in one IIS round.
+        let sub = sds(&base(2));
+        let labels = labeling_from(&sub, |v| {
+            let carrier = sub.carrier_of_vertex(v);
+            carrier
+                .iter()
+                .map(|u| sub.base().color(u))
+                .min()
+                .unwrap()
+        });
+        let cex = set_consensus_counterexample(&sub, &labels, 2).unwrap();
+        assert!(cex.is_some());
+        // but 3-set consensus (trivial) has no counterexample
+        let ok = set_consensus_counterexample(&sub, &labels, 3).unwrap();
+        assert!(ok.is_none());
+    }
+
+#[test]
+    fn walk_finds_rainbow_on_paths() {
+        // dimension 1: the walk finds a bichromatic edge
+        let sub = sds_iterated(&base(1), 3);
+        let labels = labeling_from(&sub, |v| {
+            let carrier = sub.carrier_of_vertex(v);
+            if carrier.len() == 1 {
+                sub.base().color(carrier.iter().next().unwrap())
+            } else {
+                Color(v.0 % 2)
+            }
+        });
+        validate_sperner(&sub, &labels).unwrap();
+        let found = walk_to_rainbow(&sub, &labels).expect("walk finds a door-room");
+        let image: std::collections::BTreeSet<Color> =
+            found.iter().map(|v| labels[v.index()]).collect();
+        assert_eq!(image.len(), 2);
+    }
+
+    #[test]
+    fn walk_finds_rainbow_on_triangles() {
+        for b in 1..=2usize {
+            let sub = sds_iterated(&base(2), b);
+            let labels = labeling_from(&sub, |v| {
+                sub.carrier_of_vertex(v)
+                    .iter()
+                    .map(|u| sub.base().color(u))
+                    .min()
+                    .unwrap()
+            });
+            let found = walk_to_rainbow(&sub, &labels).expect("rainbow exists");
+            let image: std::collections::BTreeSet<Color> =
+                found.iter().map(|v| labels[v.index()]).collect();
+            assert_eq!(image.len(), 3, "b={b}");
+            // cross-check against counting
+            assert!(count_rainbow(&sub, &labels) >= 1);
+        }
+    }
+
+    #[test]
+    fn walk_agrees_with_count_on_many_labelings() {
+        let sub = sds_iterated(&base(2), 2);
+        for seed in 0..20u64 {
+            let labels = labeling_from(&sub, |v| {
+                let allowed: Vec<Color> = sub
+                    .carrier_of_vertex(v)
+                    .iter()
+                    .map(|u| sub.base().color(u))
+                    .collect();
+                let pick = (v.0 as u64).wrapping_mul(6364136223846793005).wrapping_add(seed)
+                    >> 33;
+                allowed[(pick % allowed.len() as u64) as usize]
+            });
+            validate_sperner(&sub, &labels).unwrap();
+            let found = walk_to_rainbow(&sub, &labels);
+            assert!(found.is_some(), "seed {seed}: walk must find a rainbow");
+            let f = found.unwrap();
+            let image: std::collections::BTreeSet<Color> =
+                f.iter().map(|v| labels[v.index()]).collect();
+            assert_eq!(image.len(), 3);
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+
+        for e in [
+            SpernerError::BaseNotASimplex,
+            SpernerError::WrongLength { got: 0, expected: 3 },
+            SpernerError::LabelOutsideCarrier(VertexId(1)),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `iis` — a complete reproduction of Borowsky & Gafni, *“A Simple
+//! Algorithmically Reasoned Characterization of Wait-free Computations”*
+//! (PODC 1997), as a Rust workspace.
+//!
+//! This umbrella crate re-exports the five member crates:
+//!
+//! - [`topology`] — chromatic simplicial complexes, the standard chromatic
+//!   subdivision, homology, Sperner counting (§2, §3.6);
+//! - [`memory`] — concurrent registers, snapshots and immediate snapshots
+//!   (§3.1, §3.4, §3.5);
+//! - [`sched`] — deterministic schedules, runners and exhaustive execution
+//!   enumeration (§3);
+//! - [`tasks`] — the task formalism and standard task library (§3.2);
+//! - [`core`] — the paper's results: the IIS emulation of atomic snapshot
+//!   memory (§4), the solvability characterization (Proposition 3.1 /
+//!   Corollary 5.2), the convergence algorithms (§5), and the BG
+//!   simulation.
+//!
+//! See `examples/` for runnable walkthroughs and `EXPERIMENTS.md` for the
+//! experiment index.
+//!
+//! # Quickstart
+//!
+//! ```
+//! // The FLP impossibility, decided mechanically (Proposition 3.1):
+//! use iis::core::solvability::solve_up_to;
+//! use iis::tasks::library::consensus;
+//!
+//! let report = solve_up_to(&consensus(1, &[0, 1]), 2);
+//! assert_eq!(report.first_solvable(), None);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use iis_core as core;
+pub use iis_memory as memory;
+pub use iis_sched as sched;
+pub use iis_tasks as tasks;
+pub use iis_topology as topology;

@@ -1,0 +1,99 @@
+//! Resilience properties of the BG simulation under adversarial driving:
+//! random simulator schedules, multiple crashes, crashes inside and outside
+//! the unsafe zone.
+
+use iis::core::bg::BgSimulation;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Drives `bg` with a seeded random simulator schedule, crashing the given
+/// simulators at the given steps; returns when no further progress happens.
+fn drive(bg: &mut BgSimulation, crashes: &[(u64, usize)], rng: &mut StdRng) {
+    let m = bg.simulators();
+    let mut idle_streak = 0u32;
+    let mut i = 0u64;
+    while !bg.all_done() && idle_streak < 5_000 && i < 1_000_000 {
+        for &(at, victim) in crashes {
+            if i == at {
+                bg.crash(victim);
+            }
+        }
+        let s = rng.random_range(0..m);
+        if bg.step(s) {
+            idle_streak = 0;
+        } else {
+            idle_streak += 1;
+        }
+        i += 1;
+    }
+}
+
+#[test]
+fn random_driving_completes_without_crashes() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for _case in 0..20 {
+        let n_sim = 2 + rng.random_range(0..4usize);
+        let k = 1 + rng.random_range(0..3usize);
+        let m = 1 + rng.random_range(0..3usize);
+        let mut bg = BgSimulation::new(n_sim, k, m);
+        drive(&mut bg, &[], &mut rng);
+        assert!(bg.all_done(), "n={n_sim} k={k} m={m} must complete");
+    }
+}
+
+#[test]
+fn f_crashes_block_at_most_f_processes() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..40 {
+        let n_sim = 4;
+        let k = 2;
+        let m = 3;
+        let f = 1 + (case % 2); // 1 or 2 crashes (≤ m − 1)
+        let crashes: Vec<(u64, usize)> = (0..f)
+            .map(|j| (rng.random_range(0..60u64), j))
+            .collect();
+        let mut bg = BgSimulation::new(n_sim, k, m);
+        drive(&mut bg, &crashes, &mut rng);
+        let done = bg.decisions().iter().filter(|d| d.is_some()).count();
+        assert!(
+            done >= n_sim - f,
+            "{f} crashes may block at most {f} simulated processes; {done}/{n_sim} done"
+        );
+        assert!(bg.blocked_processes() <= f);
+    }
+}
+
+#[test]
+fn crash_all_simulators_blocks_everything_gracefully() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let mut bg = BgSimulation::new(3, 2, 2);
+    bg.crash(0);
+    bg.crash(1);
+    drive(&mut bg, &[], &mut rng);
+    // nothing progresses, nothing panics
+    assert!(!bg.all_done());
+    assert!(bg.is_crashed(0) && bg.is_crashed(1));
+}
+
+#[test]
+fn simulated_outputs_remain_consistent_under_crashes() {
+    // whatever completes must still be containment-consistent views
+    let mut rng = StdRng::seed_from_u64(103);
+    for _case in 0..20 {
+        let mut bg = BgSimulation::new(3, 1, 2);
+        let crashes = [(rng.random_range(0..20u64), 0usize)];
+        drive(&mut bg, &crashes, &mut rng);
+        let views: Vec<Vec<(iis::topology::Color, iis::topology::Label)>> = bg
+            .decisions()
+            .iter()
+            .flatten()
+            .map(|d| d.as_view().expect("full-information views"))
+            .collect();
+        for a in &views {
+            for b in &views {
+                let pa: std::collections::BTreeSet<_> = a.iter().map(|(c, _)| *c).collect();
+                let pb: std::collections::BTreeSet<_> = b.iter().map(|(c, _)| *c).collect();
+                assert!(pa.is_subset(&pb) || pb.is_subset(&pa), "views must nest");
+            }
+        }
+    }
+}

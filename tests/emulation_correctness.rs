@@ -1,0 +1,219 @@
+//! Cross-model correctness of the §4 emulation: every behaviour the
+//! emulated protocol exhibits in the IIS model is a behaviour the protocol
+//! has in the atomic snapshot model.
+
+use iis::core::emulation::validate_snapshot_histories;
+use iis::core::EmulatorMachine;
+use iis::sched::{
+    all_iis_schedules, AtomicMachine, AtomicRunner, IisRunner, OrderedPartition,
+};
+use std::collections::BTreeSet;
+
+/// A 1-shot machine that decides exactly what it saw in its only snapshot.
+#[derive(Clone)]
+struct OneShotView {
+    pid: usize,
+}
+
+impl AtomicMachine for OneShotView {
+    type Value = usize;
+    type Output = Vec<Option<usize>>;
+    fn next_write(&mut self) -> usize {
+        self.pid + 100
+    }
+    fn on_snapshot(&mut self, snap: &[Option<usize>]) -> Option<Self::Output> {
+        Some(snap.to_vec())
+    }
+}
+
+/// Enumerates every outcome (pair of decided views) of the 2-process
+/// 1-shot protocol in the *atomic* model, over all schedules of bounded
+/// length.
+fn atomic_outcomes() -> BTreeSet<Vec<Vec<Option<usize>>>> {
+    let mut out = BTreeSet::new();
+    for schedule in iis::sched::all_atomic_schedules(2, 8) {
+        let mut runner = AtomicRunner::new(vec![OneShotView { pid: 0 }, OneShotView { pid: 1 }]);
+        runner.run(schedule);
+        if runner.outputs().iter().all(Option::is_some) {
+            let outcome: Vec<Vec<Option<usize>>> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.clone().unwrap())
+                .collect();
+            out.insert(outcome);
+        }
+    }
+    out
+}
+
+#[test]
+fn emulated_outcomes_are_atomic_outcomes() {
+    let legal = atomic_outcomes();
+    assert!(!legal.is_empty());
+    // all IIS schedules of up to 6 rounds (enough for both to finish)
+    let mut seen = BTreeSet::new();
+    for schedule in all_iis_schedules(&[0, 1], 6) {
+        let machines: Vec<EmulatorMachine<OneShotView>> = (0..2)
+            .map(|pid| EmulatorMachine::new(pid, 2, OneShotView { pid }))
+            .collect();
+        let mut runner = IisRunner::new(machines);
+        runner.run(schedule);
+        if runner.outputs().iter().all(Option::is_some) {
+            let outcome: Vec<Vec<Option<usize>>> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.clone().unwrap())
+                .collect();
+            assert!(
+                legal.contains(&outcome),
+                "emulation produced an outcome impossible in the atomic model: {outcome:?}"
+            );
+            seen.insert(outcome);
+        }
+    }
+    // the emulation should realize several distinct atomic behaviours
+    assert!(seen.len() >= 3, "only {} outcomes seen", seen.len());
+}
+
+#[test]
+fn three_process_emulated_outcomes_are_atomic_outcomes() {
+    use rand::{rngs::StdRng, SeedableRng};
+    // legal outcomes: every length-6 atomic schedule in which all three
+    // 1-shot processes complete (write + snapshot each = 6 ops total, so
+    // this enumeration is exhaustive for complete executions)
+    let mut legal = BTreeSet::new();
+    for schedule in iis::sched::all_atomic_schedules(3, 6) {
+        let machines: Vec<OneShotView> = (0..3).map(|pid| OneShotView { pid }).collect();
+        let mut runner = AtomicRunner::new(machines);
+        runner.run(schedule);
+        if runner.outputs().iter().all(Option::is_some) {
+            let outcome: Vec<Vec<Option<usize>>> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.clone().unwrap())
+                .collect();
+            legal.insert(outcome);
+        }
+    }
+    assert!(legal.len() > 5);
+    // emulated runs under 400 random IIS schedules
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut seen = BTreeSet::new();
+    for _case in 0..400 {
+        let machines: Vec<EmulatorMachine<OneShotView>> = (0..3)
+            .map(|pid| EmulatorMachine::new(pid, 3, OneShotView { pid }))
+            .collect();
+        let mut runner = IisRunner::new(machines);
+        let mut guard = 0;
+        while !runner.is_quiescent() && guard < 200 {
+            let p = OrderedPartition::random(&runner.active(), &mut rng);
+            runner.step_round(&p);
+            guard += 1;
+        }
+        assert!(runner.is_quiescent());
+        let outcome: Vec<Vec<Option<usize>>> = runner
+            .outputs()
+            .iter()
+            .map(|o| o.clone().unwrap())
+            .collect();
+        assert!(
+            legal.contains(&outcome),
+            "impossible atomic outcome from the emulation: {outcome:?}"
+        );
+        seen.insert(outcome);
+    }
+    assert!(seen.len() >= 5, "emulation should realize diverse outcomes");
+}
+
+/// A k-shot machine recording every snapshot (as per-cell sequence numbers).
+#[derive(Clone)]
+struct KShot {
+    pid: usize,
+    k: usize,
+    sq: usize,
+}
+
+impl AtomicMachine for KShot {
+    type Value = (usize, usize);
+    type Output = ();
+    fn next_write(&mut self) -> (usize, usize) {
+        self.sq += 1;
+        (self.pid, self.sq)
+    }
+    fn on_snapshot(&mut self, _snap: &[Option<(usize, usize)>]) -> Option<()> {
+        if self.sq >= self.k {
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+#[test]
+fn emulated_histories_atomic_under_random_schedules_with_crashes() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    for _case in 0..60 {
+        let n = 2 + rng.random_range(0..3usize);
+        let k = 1 + rng.random_range(0..3usize);
+        let machines: Vec<EmulatorMachine<KShot>> = (0..n)
+            .map(|pid| EmulatorMachine::new(pid, n, KShot { pid, k, sq: 0 }))
+            .collect();
+        let mut runner = IisRunner::new(machines);
+        let crash_round = rng.random_range(0..20usize);
+        let victim = rng.random_range(0..n);
+        let mut round = 0usize;
+        while round < 400 {
+            if runner.is_quiescent() {
+                break;
+            }
+            if round == crash_round {
+                runner.crash(victim);
+            }
+            let active = runner.active();
+            if active.is_empty() {
+                break;
+            }
+            let p = OrderedPartition::random(&active, &mut rng);
+            runner.step_round(&p);
+            round += 1;
+        }
+        // liveness: all non-crashed processes decided (non-blocking + fair
+        // scheduling implies completion)
+        for p in 0..n {
+            if !runner.is_crashed(p) {
+                assert!(
+                    runner.output(p).is_some(),
+                    "live process {p} failed to decide in 400 rounds (n={n}, k={k})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_emulation_histories_are_atomic() {
+    use iis::core::run_emulation_concurrent;
+    for trial in 0..15 {
+        let n = 2 + (trial % 3);
+        let machines: Vec<KShot> = (0..n).map(|pid| KShot { pid, k: 3, sq: 0 }).collect();
+        let results = run_emulation_concurrent(machines);
+        let histories: Vec<Vec<(usize, Vec<u64>)>> = results
+            .iter()
+            .map(|(_, _, h)| {
+                h.iter()
+                    .map(|(sq, cells)| {
+                        (
+                            *sq,
+                            cells
+                                .iter()
+                                .map(|c| c.map_or(0u64, |(_, s)| s as u64))
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        validate_snapshot_histories(&histories).unwrap();
+    }
+}

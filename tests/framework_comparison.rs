@@ -1,0 +1,117 @@
+//! The paper's closing argument against purely combinatorial frameworks
+//! (§1, discussing Attiya–Rajsbaum [13] and Mavronicolas [14]): the
+//! impossibility proofs of [5, 7] only need that wait-free computations
+//! produce a *manifold*, but the true protocol complexes are more — they
+//! are *subdivided simplices*. "The combinatorial framework precludes the
+//! notion of a subdivided simplex."
+//!
+//! These tests exhibit the gap concretely: chromatic pseudomanifolds that
+//! are **not** subdivisions of the simplex — they pass every combinatorial
+//! manifold check yet fail the subdivision axioms (carriers, corners,
+//! holes) that the characterization needs.
+
+use iis::topology::homology::Homology;
+use iis::topology::manifold::pseudomanifold_report;
+use iis::topology::{sds, sds_iterated, Color, Complex, Label, Simplex, Subdivision};
+
+/// A chromatic annulus: a cycle of 6 triangles — a pseudomanifold with
+/// boundary, chromatic and connected, but with a 1-dimensional hole, so it
+/// cannot be a subdivided simplex (Lemma 2.2).
+fn chromatic_annulus() -> Complex {
+    let mut c = Complex::new();
+    let outer: Vec<_> = (0..3)
+        .map(|i| c.ensure_vertex(Color(i as u32), Label::scalar(i as u64)))
+        .collect();
+    let inner: Vec<_> = (0..3)
+        .map(|i| c.ensure_vertex(Color(((i + 2) % 3) as u32), Label::scalar(10 + i as u64)))
+        .collect();
+    for i in 0..3 {
+        let j = (i + 1) % 3;
+        c.add_facet([outer[i], outer[j], inner[i]]);
+        c.add_facet([inner[i], inner[j], outer[j]]);
+    }
+    c
+}
+
+#[test]
+fn annulus_is_a_chromatic_pseudomanifold() {
+    let c = chromatic_annulus();
+    assert!(c.is_chromatic());
+    assert!(c.is_pure());
+    let r = pseudomanifold_report(&c);
+    assert!(r.is_pseudomanifold(), "passes every combinatorial check");
+}
+
+#[test]
+fn annulus_fails_the_topological_conditions() {
+    let c = chromatic_annulus();
+    // Lemma 2.2 separates it from any subdivided simplex: it has a hole.
+    let h = Homology::of(&c);
+    assert_eq!(h.betti(1), 1, "the annulus has a 1-dimensional hole");
+    assert!(!h.is_hole_free_up_to(2));
+    // And no carrier assignment can make it a subdivision of s²: a valid
+    // subdivision needs corners for all three base vertices and hole-free
+    // geometry; try the "everything is interior" carrier assignment and
+    // watch validation fail.
+    let base = Complex::standard_simplex(2);
+    let full = Simplex::new(base.vertex_ids());
+    let carriers = vec![full; c.num_vertices()];
+    let sub = Subdivision::from_parts(base, c, carriers);
+    assert!(sub.validate().is_err());
+}
+
+#[test]
+fn real_protocol_complexes_pass_both() {
+    // the genuine protocol complexes are pseudomanifolds AND subdivisions
+    for (n, b) in [(2usize, 1usize), (2, 2)] {
+        let sub = sds_iterated(&Complex::standard_simplex(n), b);
+        assert!(pseudomanifold_report(sub.complex()).is_pseudomanifold());
+        sub.validate().unwrap();
+        assert!(Homology::of(sub.complex()).is_hole_free_up_to(n));
+    }
+}
+
+#[test]
+fn stars_are_contractible_in_protocol_complexes() {
+    // star(σ) is a cone, hence contractible — a structural property the
+    // convergence algorithm's signaling relies on (§5's cores live in
+    // links/stars)
+    let sub = sds(&Complex::standard_simplex(2));
+    let c = sub.complex();
+    for v in c.vertex_ids() {
+        let star = c.star(&Simplex::new([v]));
+        let h = Homology::of(&star);
+        assert_eq!(h.betti(0), 1, "star of {v} connected");
+        assert_eq!(h.betti(1), 0, "star of {v} has no holes");
+        assert_eq!(star.euler_characteristic(), 1);
+    }
+}
+
+#[test]
+fn links_of_interior_vertices_are_spheres() {
+    // in SDS(s³): the link of an interior vertex (carrier = full simplex)
+    // is a 2-sphere; links of boundary vertices are disks (Lemma 2.2's
+    // link conditions)
+    let sub = sds(&Complex::standard_simplex(3));
+    let c = sub.complex();
+    let mut interior_checked = 0;
+    let mut boundary_checked = 0;
+    for v in c.vertex_ids() {
+        let link = c.link(&Simplex::new([v]));
+        let h = Homology::of(&link);
+        assert_eq!(h.betti(0), 1, "link of {v} connected");
+        if sub.carrier_of_vertex(v).len() == 4 {
+            // interior: 2-sphere
+            assert_eq!(h.betti(2), 1, "link of interior {v} is a 2-sphere");
+            assert_eq!(h.betti(1), 0);
+            interior_checked += 1;
+        } else if sub.carrier_of_vertex(v).len() <= 2 {
+            // corner/edge vertices: disks (contractible)
+            assert_eq!(h.betti(1), 0);
+            assert_eq!(h.betti(2), 0);
+            boundary_checked += 1;
+        }
+    }
+    assert!(interior_checked >= 4);
+    assert!(boundary_checked >= 4);
+}

@@ -1,0 +1,113 @@
+//! The paper's lemmas as cross-crate integration checks: enumeration vs
+//! construction (Lemmas 3.2/3.3), no-holes (Lemma 2.2), the SDS → Bsd
+//! comparison map (Lemma 5.3), and Theorem 5.1 witnesses.
+
+use iis::core::convergence::theorem_5_1_witness;
+use iis::core::protocol_complex::{check_lemma_3_2, check_lemma_3_3};
+use iis::topology::bsd::{bsd, sds_to_bsd_map};
+use iis::topology::homology::{is_hole_free_up_to, Homology};
+use iis::topology::iso::are_chromatic_isomorphic;
+use iis::topology::{ordered_bell, sds, sds_iterated, Complex};
+
+#[test]
+fn lemma_3_2_across_dimensions() {
+    for n in 1..=3usize {
+        let (e, c) = check_lemma_3_2(&Complex::standard_simplex(n));
+        assert_eq!(e.complex().num_facets() as u64, ordered_bell(n + 1));
+        assert!(are_chromatic_isomorphic(e.complex(), c.complex()));
+    }
+}
+
+#[test]
+fn lemma_3_3_depth_sweep() {
+    for b in 0..=3usize {
+        let (e, _) = check_lemma_3_3(&Complex::standard_simplex(1), b);
+        assert_eq!(e.complex().num_facets(), 3usize.pow(b as u32));
+    }
+    let (e, _) = check_lemma_3_3(&Complex::standard_simplex(2), 2);
+    assert_eq!(e.complex().num_facets(), 169);
+}
+
+#[test]
+fn lemma_2_2_no_holes_and_link_conditions() {
+    for (n, b) in [(1usize, 3usize), (2, 1), (2, 2), (3, 1)] {
+        let sub = sds_iterated(&Complex::standard_simplex(n), b);
+        assert!(
+            is_hole_free_up_to(sub.complex(), n),
+            "SDS^{b}(s^{n}) must have no holes"
+        );
+    }
+}
+
+#[test]
+fn boundary_spheres_have_the_right_homology() {
+    // boundary(SDS^b(sⁿ)) is an (n−1)-sphere
+    let sub = sds(&Complex::standard_simplex(3));
+    let h = Homology::of(&sub.complex().boundary());
+    assert_eq!(h.betti(0), 1);
+    assert_eq!(h.betti(1), 0);
+    assert_eq!(h.betti(2), 1);
+}
+
+#[test]
+fn lemma_5_3_composition_chain() {
+    // SDS → Bsd is simplicial and carrier-preserving (the first leg of
+    // Lemma 5.3's composition argument), in dimensions 1..=3
+    for n in 1..=3usize {
+        let base = Complex::standard_simplex(n);
+        let (s, b, map) = sds_to_bsd_map(&base);
+        map.verify_simplicial(s.complex(), b.complex()).unwrap();
+        map.verify_carrier_preserving(&s, &b).unwrap();
+    }
+}
+
+#[test]
+fn bsd_of_sds_still_subdivides() {
+    // iterating the two subdivision operators composes cleanly
+    let base = Complex::standard_simplex(2);
+    let s = sds(&base);
+    let bs = bsd(s.complex());
+    let composed = s.compose(&bs);
+    composed.validate_plain().unwrap();
+    assert_eq!(
+        composed.complex().num_facets(),
+        s.complex().num_facets() * 6
+    );
+}
+
+#[test]
+fn theorem_5_1_witnesses_exist_for_iterated_targets() {
+    for b in 1..=2usize {
+        let target = sds_iterated(&Complex::standard_simplex(1), b);
+        let w = theorem_5_1_witness(&target, 3).expect("witness exists");
+        assert_eq!(w.rounds(), b, "SDS^b needs exactly b rounds");
+    }
+}
+
+#[test]
+fn protocol_complex_of_task_inputs() {
+    // Lemma 3.3 for a non-simplex input complex: binary consensus inputs
+    let task = iis::tasks::library::consensus(1, &[0, 1]);
+    let (e, c) = check_lemma_3_3(task.input(), 1);
+    assert_eq!(e.complex().num_facets(), 4 * 3);
+    assert_eq!(c.complex().num_facets(), 12);
+}
+
+#[test]
+fn euler_characteristic_equals_alternating_betti_sum() {
+    for c in [
+        Complex::standard_simplex(2),
+        Complex::standard_simplex(3).boundary(),
+        sds(&Complex::standard_simplex(2)).complex().clone(),
+    ] {
+        let chi = c.euler_characteristic();
+        let h = Homology::of(&c);
+        let alt: i64 = h
+            .betti_numbers()
+            .iter()
+            .enumerate()
+            .map(|(k, &b)| if k % 2 == 0 { b as i64 } else { -(b as i64) })
+            .sum();
+        assert_eq!(chi, alt, "Euler–Poincaré over Z₂");
+    }
+}

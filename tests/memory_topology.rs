@@ -1,0 +1,141 @@
+//! Cross-layer check: views produced by the *real, threaded* one-shot
+//! immediate snapshot object always form a simplex of the standard
+//! chromatic subdivision — the physical half of Lemma 3.2.
+
+use iis::memory::OneShotImmediateSnapshot;
+use iis::sched::atomic_one_shot_protocol_complex;
+use iis::topology::{sds, Color, Complex, Label, Simplex};
+use std::sync::Arc;
+
+/// Encodes a view (a set of `(pid, input)` pairs) as the canonical label
+/// the SDS construction uses.
+fn view_label(view: &[(usize, u64)]) -> Label {
+    let inputs: Vec<(Color, Label)> = view
+        .iter()
+        .map(|(p, v)| (Color(*p as u32), Label::scalar(*v)))
+        .collect();
+    Label::view(inputs.iter().map(|(c, l)| (*c, l)))
+}
+
+#[test]
+fn threaded_is_views_are_sds_simplices() {
+    let n = 3;
+    let subdivision = sds(&Complex::standard_simplex(n - 1));
+    let complex = subdivision.complex();
+    for _round in 0..300 {
+        let m = Arc::new(OneShotImmediateSnapshot::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.write_read(pid, pid as u64))
+            })
+            .collect();
+        let views: Vec<Vec<(usize, u64)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // each (pid, view) pair must be a vertex of SDS(s²), and the set of
+        // pairs must be one of its simplices
+        let vertices: Vec<_> = views
+            .iter()
+            .enumerate()
+            .map(|(pid, view)| {
+                complex
+                    .vertex_id(Color(pid as u32), &view_label(view))
+                    .unwrap_or_else(|| panic!("view {view:?} of P{pid} is not an IS view"))
+            })
+            .collect();
+        let s = Simplex::new(vertices);
+        assert!(
+            complex.contains_simplex(&s),
+            "joint views {views:?} do not form an SDS simplex"
+        );
+    }
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn is_views_cover_multiple_executions() {
+    // distinct executions land on distinct SDS simplices: concurrent runs
+    // (barrier-started threads) plus the deterministic sequential run
+    let n = 3;
+    let subdivision = sds(&Complex::standard_simplex(n - 1));
+    let complex = subdivision.complex();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut record = |views: Vec<Vec<(usize, u64)>>| {
+        let vertices: Vec<_> = views
+            .iter()
+            .enumerate()
+            .map(|(pid, view)| {
+                complex
+                    .vertex_id(Color(pid as u32), &view_label(view))
+                    .expect("valid IS view")
+            })
+            .collect();
+        let s = Simplex::new(vertices);
+        assert!(complex.contains_simplex(&s));
+        seen.insert(s);
+    };
+    // concurrent, barrier-started
+    for _round in 0..100 {
+        let m = Arc::new(OneShotImmediateSnapshot::new(n));
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let m = Arc::clone(&m);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    m.write_read(pid, pid as u64)
+                })
+            })
+            .collect();
+        record(handles.into_iter().map(|h| h.join().unwrap()).collect());
+    }
+    // fully sequential (deterministic): the nested execution
+    let m = OneShotImmediateSnapshot::new(n);
+    let mut views = vec![Vec::new(); n];
+    for pid in 0..n {
+        views[pid] = m.write_read(pid, pid as u64);
+    }
+    record(views);
+    // reverse-sequential: a different nested execution
+    let m = OneShotImmediateSnapshot::new(n);
+    let mut views = vec![Vec::new(); n];
+    for pid in (0..n).rev() {
+        views[pid] = m.write_read(pid, pid as u64);
+    }
+    record(views);
+    assert!(
+        seen.len() >= 2,
+        "sequential runs alone give two executions, saw {}",
+        seen.len()
+    );
+}
+
+#[test]
+fn threaded_views_also_land_in_the_atomic_complex() {
+    // IS executions are a subset of atomic executions: every threaded view
+    // set is also a simplex of the (bigger) atomic one-shot complex
+    let n = 3;
+    let atomic = atomic_one_shot_protocol_complex(&Complex::standard_simplex(n - 1));
+    for _round in 0..100 {
+        let m = Arc::new(OneShotImmediateSnapshot::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.write_read(pid, pid as u64))
+            })
+            .collect();
+        let views: Vec<Vec<(usize, u64)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let vertices: Vec<_> = views
+            .iter()
+            .enumerate()
+            .map(|(pid, view)| {
+                atomic
+                    .vertex_id(Color(pid as u32), &view_label(view))
+                    .expect("IS view is an atomic view")
+            })
+            .collect();
+        assert!(atomic.contains_simplex(&Simplex::new(vertices)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Heavyweight stress tests, excluded from the default run.
+//!
+//! Run with `cargo test --test stress -- --ignored` (expect minutes).
+
+use iis::core::protocol_complex::check_lemma_3_3;
+use iis::core::EmulatorMachine;
+use iis::sched::{AtomicMachine, IisRunner, OrderedPartition};
+use iis::topology::homology::Homology;
+use iis::topology::manifold::pseudomanifold_report;
+use iis::topology::{sds_iterated, Complex};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+#[test]
+#[ignore = "builds SDS^3(s^2): 2197 facets, minutes of closure computations"]
+fn sds_cubed_structure() {
+    let sub = sds_iterated(&Complex::standard_simplex(2), 3);
+    assert_eq!(sub.complex().num_facets(), 13 * 13 * 13);
+    sub.validate().unwrap();
+    assert!(pseudomanifold_report(sub.complex()).is_pseudomanifold());
+    let h = Homology::of(sub.complex());
+    assert!(h.is_hole_free_up_to(2));
+}
+
+#[test]
+#[ignore = "exhaustive 3-round enumeration for 3 processes: 13^3 executions"]
+fn lemma_3_3_three_rounds_three_processes() {
+    let (e, _) = check_lemma_3_3(&Complex::standard_simplex(2), 3);
+    assert_eq!(e.complex().num_facets(), 2197);
+}
+
+#[derive(Clone)]
+struct KShot {
+    pid: usize,
+    k: usize,
+    sq: usize,
+}
+
+impl AtomicMachine for KShot {
+    type Value = u64;
+    type Output = ();
+    fn next_write(&mut self) -> u64 {
+        self.sq += 1;
+        ((self.pid as u64) << 32) | self.sq as u64
+    }
+    fn on_snapshot(&mut self, _snap: &[Option<u64>]) -> Option<()> {
+        (self.sq >= self.k).then_some(())
+    }
+}
+
+#[test]
+#[ignore = "large emulation fuzz: 8 processes × 16 shots × 200 runs"]
+fn emulation_fuzz_large() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _case in 0..200 {
+        let n = 8;
+        let machines: Vec<EmulatorMachine<KShot>> = (0..n)
+            .map(|pid| EmulatorMachine::new(pid, n, KShot { pid, k: 16, sq: 0 }))
+            .collect();
+        let mut runner = IisRunner::new(machines);
+        let mut guard = 0;
+        while !runner.is_quiescent() && guard < 5_000 {
+            let p = OrderedPartition::random(&runner.active(), &mut rng);
+            runner.step_round(&p);
+            guard += 1;
+        }
+        assert!(runner.is_quiescent(), "emulation must finish");
+    }
+}
+
+#[test]
+#[ignore = "long-running threaded IS axiom fuzz: 5000 rounds"]
+fn threaded_is_axioms_long() {
+    use iis::memory::checks::validate_immediate_snapshot;
+    use iis::memory::OneShotImmediateSnapshot;
+    use std::sync::Arc;
+    let mut rng = StdRng::seed_from_u64(7);
+    for _round in 0..5_000 {
+        let n = 2 + rng.random_range(0..6usize);
+        let m = Arc::new(OneShotImmediateSnapshot::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|pid| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.write_read(pid, pid as u64))
+            })
+            .collect();
+        let outputs: Vec<Option<Vec<(usize, u64)>>> =
+            handles.into_iter().map(|h| Some(h.join().unwrap())).collect();
+        let inputs: Vec<Option<u64>> = (0..n).map(|p| Some(p as u64)).collect();
+        validate_immediate_snapshot(&inputs, &outputs).unwrap();
+    }
+}

@@ -4,7 +4,7 @@
 //! Shape claims: steps scale with `n_sim × k` and shrink as simulators are
 //! added (parallel progress); backoffs appear only with ≥ 2 simulators.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_bench::harness::Bench;
 use iis_core::bg::BgSimulation;
 use std::hint::black_box;
 
@@ -19,44 +19,38 @@ fn run_to_completion(bg: &mut BgSimulation) -> u64 {
     i
 }
 
-fn bg_completion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e11_bg_complete");
+fn bg_completion(bench: &mut Bench) {
+    let mut g = bench.group("e11_bg_complete");
     for (n_sim, k) in [(3usize, 1usize), (3, 4), (6, 2)] {
         for m in [1usize, 2, 4] {
-            g.bench_function(
-                BenchmarkId::new(format!("n{n_sim}_k{k}"), format!("m{m}")),
-                |bch| {
-                    bch.iter(|| {
-                        let mut bg = BgSimulation::new(n_sim, k, m);
-                        black_box(run_to_completion(&mut bg))
-                    })
-                },
-            );
+            g.bench_function(&format!("n{n_sim}_k{k}/m{m}"), || {
+                let mut bg = BgSimulation::new(n_sim, k, m);
+                black_box(run_to_completion(&mut bg));
+            });
         }
     }
-    g.finish();
 }
 
-fn safe_agreement_micro(c: &mut Criterion) {
+fn safe_agreement_micro(bench: &mut Bench) {
     use iis_core::bg::SafeAgreement;
-    let mut g = c.benchmark_group("e11_safe_agreement");
+    let mut g = bench.group("e11_safe_agreement");
     for m in [2usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bch, &m| {
-            bch.iter(|| {
-                let mut a: SafeAgreement<u64> = SafeAgreement::new(m);
-                a.propose_write(0, 7);
-                let saw2 = a.propose_snapshot(0);
-                a.propose_finish(0, saw2);
-                black_box(a.resolved().copied())
-            })
+        g.bench_function(&format!("{m}"), || {
+            let mut a: SafeAgreement<u64> = SafeAgreement::new(m);
+            a.propose_write(0, 7);
+            let saw2 = a.propose_snapshot(0);
+            a.propose_finish(0, saw2);
+            black_box(a.resolved().copied());
         });
     }
-    g.finish();
 }
 
 fn report_step_table() {
     eprintln!("\n[E11 report] BG steps to completion (round-robin driving):");
-    eprintln!("  {:>6} {:>3} {:>3} {:>9} {:>10} {:>9}", "n_sim", "k", "m", "steps", "proposals", "backoffs");
+    eprintln!(
+        "  {:>6} {:>3} {:>3} {:>9} {:>10} {:>9}",
+        "n_sim", "k", "m", "steps", "proposals", "backoffs"
+    );
     for (n_sim, k) in [(3usize, 2usize), (4, 2), (6, 1)] {
         for m in [1usize, 2, 3] {
             let mut bg = BgSimulation::new(n_sim, k, m);
@@ -70,11 +64,10 @@ fn report_step_table() {
     }
 }
 
-fn all(c: &mut Criterion) {
+fn main() {
     report_step_table();
-    bg_completion(c);
-    safe_agreement_micro(c);
+    let mut bench = Bench::from_env("e11_bg");
+    bg_completion(&mut bench);
+    safe_agreement_micro(&mut bench);
+    bench.finish();
 }
-
-criterion_group!(benches, all);
-criterion_main!(benches);

@@ -6,14 +6,14 @@
 //! wait-free scan pays a constant factor for update-embedded scans but its
 //! scan cost is bounded under contention, while double-collect scans degrade.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_bench::harness::Bench;
 use iis_memory::{DoubleCollectSnapshot, EmbeddedScanSnapshot, SnapshotMemory};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-fn solo_scan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_solo_scan");
+fn solo_scan(bench: &mut Bench) {
+    let mut g = bench.group("e1_solo_scan");
     for n in [2usize, 4, 8, 16] {
         let dc = DoubleCollectSnapshot::new(n, 0u64);
         let es = EmbeddedScanSnapshot::new(n, 0u64);
@@ -21,40 +21,35 @@ fn solo_scan(c: &mut Criterion) {
             dc.update(pid, pid as u64 + 1);
             es.update(pid, pid as u64 + 1);
         }
-        g.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, _| {
-            b.iter(|| black_box(dc.scan(0)))
+        g.bench_function(&format!("double_collect/{n}"), || {
+            black_box(dc.scan(0));
         });
-        g.bench_with_input(BenchmarkId::new("embedded_scan", n), &n, |b, _| {
-            b.iter(|| black_box(es.scan(0)))
+        g.bench_function(&format!("embedded_scan/{n}"), || {
+            black_box(es.scan(0));
         });
     }
-    g.finish();
 }
 
-fn solo_update(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_solo_update");
+fn solo_update(bench: &mut Bench) {
+    let mut g = bench.group("e1_solo_update");
     for n in [4usize, 16] {
         let dc = DoubleCollectSnapshot::new(n, 0u64);
         let es = EmbeddedScanSnapshot::new(n, 0u64);
         let mut k = 0u64;
-        g.bench_with_input(BenchmarkId::new("double_collect", n), &n, |b, _| {
-            b.iter(|| {
-                k += 1;
-                dc.update(0, k);
-            })
+        g.bench_function(&format!("double_collect/{n}"), || {
+            k += 1;
+            dc.update(0, k);
         });
-        g.bench_with_input(BenchmarkId::new("embedded_scan", n), &n, |b, _| {
-            b.iter(|| {
-                k += 1;
-                es.update(0, k); // embeds a scan: strictly more work
-            })
+        let mut k = 0u64;
+        g.bench_function(&format!("embedded_scan/{n}"), || {
+            k += 1;
+            es.update(0, k); // embeds a scan: strictly more work
         });
     }
-    g.finish();
 }
 
-fn contended_scan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_contended_scan");
+fn contended_scan(bench: &mut Bench) {
+    let mut g = bench.group("e1_contended_scan");
     g.sample_size(20);
     for n in [4usize] {
         for (name, mem) in [
@@ -81,8 +76,8 @@ fn contended_scan(c: &mut Criterion) {
                     })
                 })
                 .collect();
-            g.bench_function(BenchmarkId::new(name, n), |b| {
-                b.iter(|| black_box(mem.scan_versioned(0)))
+            g.bench_function(&format!("{name}/{n}"), || {
+                black_box(mem.scan_versioned(0));
             });
             stop.store(true, Ordering::Relaxed);
             for w in writers {
@@ -90,8 +85,12 @@ fn contended_scan(c: &mut Criterion) {
             }
         }
     }
-    g.finish();
 }
 
-criterion_group!(benches, solo_scan, solo_update, contended_scan);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_env("e1_snapshot");
+    solo_scan(&mut bench);
+    solo_update(&mut bench);
+    contended_scan(&mut bench);
+    bench.finish();
+}

@@ -4,56 +4,56 @@
 //! plus the axiom-checker overhead. Paper-shape claim: wait-free with
 //! `O(n²)` reads — latency grows roughly quadratically in `n`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use iis_bench::harness::Bench;
 use iis_memory::checks::validate_immediate_snapshot;
 use iis_memory::OneShotImmediateSnapshot;
 use std::hint::black_box;
 
-fn solo_write_read(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_solo_write_read");
+fn solo_write_read(bench: &mut Bench) {
+    let mut g = bench.group("e2_solo_write_read");
     for n in [2usize, 4, 8, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || OneShotImmediateSnapshot::new(n),
-                |m| black_box(m.write_read(0, 42u64)),
-                BatchSize::SmallInput,
-            )
-        });
+        g.bench_batched(
+            &format!("{n}"),
+            move || OneShotImmediateSnapshot::new(n),
+            |m| {
+                black_box(m.write_read(0, 42u64));
+            },
+        );
     }
-    g.finish();
 }
 
-fn sequential_full_participation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_sequential_all");
+fn sequential_full_participation(bench: &mut Bench) {
+    let mut g = bench.group("e2_sequential_all");
     for n in [2usize, 4, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                || OneShotImmediateSnapshot::new(n),
-                |m| {
-                    for pid in 0..n {
-                        black_box(m.write_read(pid, pid as u64));
-                    }
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        g.bench_batched(
+            &format!("{n}"),
+            move || OneShotImmediateSnapshot::new(n),
+            move |m| {
+                for pid in 0..n {
+                    black_box(m.write_read(pid, pid as u64));
+                }
+            },
+        );
     }
-    g.finish();
 }
 
-fn axiom_checker(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_axiom_checker");
+fn axiom_checker(bench: &mut Bench) {
+    let mut g = bench.group("e2_axiom_checker");
     for n in [4usize, 16] {
         let m = OneShotImmediateSnapshot::new(n);
         let outputs: Vec<Option<Vec<(usize, u64)>>> =
             (0..n).map(|p| Some(m.write_read(p, p as u64))).collect();
         let inputs: Vec<Option<u64>> = (0..n).map(|p| Some(p as u64)).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| validate_immediate_snapshot(black_box(&inputs), black_box(&outputs)))
+        g.bench_function(&format!("{n}"), || {
+            validate_immediate_snapshot(black_box(&inputs), black_box(&outputs)).unwrap();
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, solo_write_read, sequential_full_participation, axiom_checker);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_env("e2_immediate");
+    solo_write_read(&mut bench);
+    sequential_full_participation(&mut bench);
+    axiom_checker(&mut bench);
+    bench.finish();
+}

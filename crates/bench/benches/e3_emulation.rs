@@ -8,11 +8,11 @@
 //! contended ops take ≥ 2, adversarial interleavings stretch single ops
 //! further while the system as a whole always progresses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_bench::harness::Bench;
 use iis_bench::kshot::KShot;
 use iis_core::EmulatorMachine;
+use iis_obs::Rng;
 use iis_sched::{IisMachine, IisRunner, IisSchedule, MachineStep, OrderedPartition};
-use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
 
 fn machines(n: usize, k: usize) -> Vec<EmulatorMachine<KShot>> {
@@ -22,8 +22,8 @@ fn machines(n: usize, k: usize) -> Vec<EmulatorMachine<KShot>> {
 }
 
 #[allow(clippy::type_complexity)]
-fn emulation_to_completion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_emulation_complete");
+fn emulation_to_completion(bench: &mut Bench) {
+    let mut g = bench.group("e3_emulation_complete");
     let adversaries: [(&str, fn(usize) -> IisSchedule); 4] = [
         ("lockstep", |n| IisSchedule::lockstep(n, 500)),
         ("sequential", |n| IisSchedule::sequential(n, 500)),
@@ -33,46 +33,40 @@ fn emulation_to_completion(c: &mut Criterion) {
     for n in [2usize, 3, 4] {
         for k in [1usize, 4] {
             for (adv, make) in adversaries {
-                g.bench_function(BenchmarkId::new(format!("{adv}/n{n}"), k), |b| {
-                    b.iter(|| {
-                        let mut runner = IisRunner::new(machines(n, k));
-                        black_box(runner.run(make(n)))
-                    })
+                g.bench_function(&format!("{adv}/n{n}/{k}"), || {
+                    let mut runner = IisRunner::new(machines(n, k));
+                    black_box(runner.run(make(n)));
                 });
             }
         }
     }
-    g.finish();
 }
 
-fn direct_vs_emulated(c: &mut Criterion) {
+fn direct_vs_emulated(bench: &mut Bench) {
     // ablation: the same protocol run directly on the simulated atomic
     // model vs emulated over IIS — the emulation overhead factor
     use iis_sched::{AtomicRunner, AtomicSchedule};
-    let mut g = c.benchmark_group("e3_direct_vs_emulated");
+    let mut g = bench.group("e3_direct_vs_emulated");
     {
         let n = 3usize;
         let k = 4;
-        g.bench_function(BenchmarkId::new("direct_atomic", n), |b| {
-            b.iter(|| {
-                let ms: Vec<KShot> = (0..n).map(|pid| KShot::new(pid, k)).collect();
-                let mut runner = AtomicRunner::new(ms);
-                black_box(runner.run(AtomicSchedule::round_robin(n, 2 * k + 2)))
-            })
+        g.bench_function(&format!("direct_atomic/{n}"), || {
+            let ms: Vec<KShot> = (0..n).map(|pid| KShot::new(pid, k)).collect();
+            let mut runner = AtomicRunner::new(ms);
+            black_box(runner.run(AtomicSchedule::round_robin(n, 2 * k + 2)));
         });
-        g.bench_function(BenchmarkId::new("emulated_iis", n), |b| {
-            b.iter(|| {
-                let mut runner = IisRunner::new(machines(n, k));
-                black_box(runner.run(IisSchedule::lockstep(n, 500)))
-            })
+        g.bench_function(&format!("emulated_iis/{n}"), || {
+            let mut runner = IisRunner::new(machines(n, k));
+            black_box(runner.run(IisSchedule::lockstep(n, 500)));
         });
     }
-    g.finish();
 }
 
 fn report_memories_per_op() {
-    eprintln!("\n[E3 report] memories consumed per emulated operation (n=3, k=6, random schedules):");
-    let mut rng = StdRng::seed_from_u64(1234);
+    eprintln!(
+        "\n[E3 report] memories consumed per emulated operation (n=3, k=6, random schedules):"
+    );
+    let mut rng = Rng::seed_from_u64(1234);
     let mut hist = std::collections::BTreeMap::<usize, usize>::new();
     let mut max_seen = 0usize;
     for _case in 0..100 {
@@ -109,11 +103,10 @@ fn report_memories_per_op() {
     eprintln!("  max memories for a single op: {max_seen} (unbounded in the adversarial limit)");
 }
 
-fn all(c: &mut Criterion) {
+fn main() {
     report_memories_per_op();
-    emulation_to_completion(c);
-    direct_vs_emulated(c);
+    let mut bench = Bench::from_env("e3_emulation");
+    emulation_to_completion(&mut bench);
+    direct_vs_emulated(&mut bench);
+    bench.finish();
 }
-
-criterion_group!(benches, all);
-criterion_main!(benches);

@@ -6,49 +6,49 @@
 //! full-information protocol. Paper-shape claims: facet counts follow
 //! `ordered_bell(n+1)^b`; the combinatorial route is asymptotically cheaper
 //! than enumeration (which pays per-execution, with `a(n+1)^b` executions).
+//!
+//! With the obs counters enabled, the report's `sds.facets`/`sds.vertices`
+//! rates give simplices-per-second for the combinatorial route.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_bench::harness::Bench;
 use iis_sched::iis_protocol_complex;
 use iis_topology::{sds, sds_iterated, Complex};
 use std::hint::black_box;
 
-fn construction_routes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_construction");
+fn construction_routes(bench: &mut Bench) {
+    let mut g = bench.group("e4_construction");
     g.sample_size(10);
     for (n, b) in [(1usize, 1usize), (1, 3), (2, 1), (2, 2), (3, 1)] {
         let base = Complex::standard_simplex(n);
-        g.bench_function(BenchmarkId::new("combinatorial", format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| black_box(sds_iterated(&base, b)))
+        g.bench_function(&format!("combinatorial/n{n}_b{b}"), || {
+            black_box(sds_iterated(&base, b));
         });
-        g.bench_function(BenchmarkId::new("enumeration", format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| black_box(iis_protocol_complex(&base, b)))
+        g.bench_function(&format!("enumeration/n{n}_b{b}"), || {
+            black_box(iis_protocol_complex(&base, b));
         });
     }
-    g.finish();
 }
 
-fn single_level_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_sds_scaling");
+fn single_level_scaling(bench: &mut Bench) {
+    let mut g = bench.group("e4_sds_scaling");
     g.sample_size(10);
     for n in [1usize, 2, 3, 4] {
         let base = Complex::standard_simplex(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| black_box(sds(&base)))
+        g.bench_function(&format!("{n}"), || {
+            black_box(sds(&base));
         });
     }
-    g.finish();
 }
 
-fn validation_cost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_validate");
+fn validation_cost(bench: &mut Bench) {
+    let mut g = bench.group("e4_validate");
     g.sample_size(10);
     for (n, b) in [(2usize, 1usize), (2, 2)] {
         let sub = sds_iterated(&Complex::standard_simplex(n), b);
-        g.bench_function(BenchmarkId::from_parameter(format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| sub.validate().unwrap())
+        g.bench_function(&format!("n{n}_b{b}"), || {
+            sub.validate().unwrap();
         });
     }
-    g.finish();
 }
 
 fn report_counts() {
@@ -68,12 +68,11 @@ fn report_counts() {
     }
 }
 
-fn all(c: &mut Criterion) {
+fn main() {
     report_counts();
-    construction_routes(c);
-    single_level_scaling(c);
-    validation_cost(c);
+    let mut bench = Bench::from_env("e4_sds");
+    construction_routes(&mut bench);
+    single_level_scaling(&mut bench);
+    validation_cost(&mut bench);
+    bench.finish();
 }
-
-criterion_group!(benches, all);
-criterion_main!(benches);

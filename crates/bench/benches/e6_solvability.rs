@@ -4,17 +4,22 @@
 //! 0, one-shot IS at 1, ε-agreement at `⌈log₃ grid⌉`); consensus and k-set
 //! consensus admit none at any `b` (search refutes small `b`; Sperner
 //! certifies the rest — E7).
+//!
+//! The `e6_recorder_overhead` group measures the same search with the obs
+//! recorder disabled vs enabled: the disabled recorder must be within
+//! noise of the enabled one (the per-event cost is one relaxed atomic
+//! load).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iis_core::solvability::{solve_at, solve_at_bounded, solve_at_with, SearchStrategy};
+use iis_bench::harness::Bench;
 use iis_core::bounded::minimal_rounds;
+use iis_core::solvability::{solve_at, solve_at_bounded, solve_at_with, SearchStrategy};
 use iis_tasks::library::{
     approximate_agreement, consensus, k_set_consensus, one_shot_immediate_snapshot_task, trivial,
 };
 use std::hint::black_box;
 
-fn solvable_instances(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_solvable");
+fn solvable_instances(bench: &mut Bench) {
+    let mut g = bench.group("e6_solvable");
     g.sample_size(10);
     let cases: Vec<(&str, iis_tasks::Task, usize)> = vec![
         ("trivial_n2", trivial(2), 0),
@@ -24,15 +29,14 @@ fn solvable_instances(c: &mut Criterion) {
         ("eps_grid9", approximate_agreement(1, 9), 2),
     ];
     for (name, task, b) in &cases {
-        g.bench_function(BenchmarkId::new("find_map", *name), |bch| {
-            bch.iter(|| black_box(solve_at(task, *b)).is_some())
+        g.bench_function(&format!("find_map/{name}"), || {
+            assert!(black_box(solve_at(task, *b)).is_some());
         });
     }
-    g.finish();
 }
 
-fn unsolvable_instances(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_unsolvable");
+fn unsolvable_instances(bench: &mut Bench) {
+    let mut g = bench.group("e6_unsolvable");
     g.sample_size(10);
     let cases: Vec<(&str, iis_tasks::Task, usize)> = vec![
         ("consensus_b1", consensus(1, &[0, 1]), 1),
@@ -43,29 +47,25 @@ fn unsolvable_instances(c: &mut Criterion) {
         ("eps9_at_b1", approximate_agreement(1, 9), 1),
     ];
     for (name, task, b) in &cases {
-        g.bench_function(BenchmarkId::new("refute_map", *name), |bch| {
-            bch.iter(|| assert!(black_box(solve_at(task, *b)).is_none()))
+        g.bench_function(&format!("refute_map/{name}"), || {
+            assert!(black_box(solve_at(task, *b)).is_none());
         });
     }
-    g.finish();
 }
 
-fn minimal_bound_search(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e10_minimal_rounds");
+fn minimal_bound_search(bench: &mut Bench) {
+    let mut g = bench.group("e10_minimal_rounds");
     g.sample_size(10);
     let t = approximate_agreement(1, 9);
-    g.bench_function("eps_grid9", |bch| {
-        bch.iter(|| {
-            let (b, _) = minimal_rounds(&t, 3).unwrap();
-            assert_eq!(b, 2);
-        })
+    g.bench_function("eps_grid9", || {
+        let (b, _) = minimal_rounds(&t, 3).unwrap();
+        assert_eq!(b, 2);
     });
-    g.finish();
 }
 
-fn strategy_ablation(c: &mut Criterion) {
+fn strategy_ablation(bench: &mut Bench) {
     // DESIGN.md §5 ablation: MAC vs plain chronological backtracking
-    let mut g = c.benchmark_group("e6_strategy_ablation");
+    let mut g = bench.group("e6_strategy_ablation");
     g.sample_size(10);
     let cases: Vec<(&str, iis_tasks::Task, usize)> = vec![
         ("eps_grid3_b1", approximate_agreement(1, 3), 1),
@@ -73,21 +73,34 @@ fn strategy_ablation(c: &mut Criterion) {
         ("one_shot_is_n1_b1", one_shot_immediate_snapshot_task(1), 1),
     ];
     for (name, task, b) in &cases {
-        g.bench_function(BenchmarkId::new("mac", *name), |bch| {
-            bch.iter(|| black_box(solve_at_with(task, *b, u64::MAX, SearchStrategy::Mac)))
+        g.bench_function(&format!("mac/{name}"), || {
+            black_box(solve_at_with(task, *b, u64::MAX, SearchStrategy::Mac));
         });
-        g.bench_function(BenchmarkId::new("plain", *name), |bch| {
-            bch.iter(|| {
-                black_box(solve_at_with(
-                    task,
-                    *b,
-                    u64::MAX,
-                    SearchStrategy::PlainBacktracking,
-                ))
-            })
+        g.bench_function(&format!("plain/{name}"), || {
+            black_box(solve_at_with(
+                task,
+                *b,
+                u64::MAX,
+                SearchStrategy::PlainBacktracking,
+            ));
         });
     }
-    g.finish();
+}
+
+fn recorder_overhead(bench: &mut Bench) {
+    // acceptance micro-bench: the same `solve_at` with the recorder off
+    // (every instrumentation site reduces to a relaxed bool load) vs on
+    let t = approximate_agreement(1, 3);
+    let mut g = bench.group("e6_recorder_overhead");
+    g.sample_size(20);
+    iis_obs::set_enabled(false);
+    g.bench_function("disabled", || {
+        assert!(black_box(solve_at(&t, 1)).is_some());
+    });
+    iis_obs::set_enabled(true);
+    g.bench_function("enabled", || {
+        assert!(black_box(solve_at(&t, 1)).is_some());
+    });
 }
 
 fn report_budgeted_hard_case() {
@@ -101,13 +114,13 @@ fn report_budgeted_hard_case() {
     );
 }
 
-fn all(c: &mut Criterion) {
+fn main() {
     report_budgeted_hard_case();
-    solvable_instances(c);
-    unsolvable_instances(c);
-    strategy_ablation(c);
-    minimal_bound_search(c);
+    let mut bench = Bench::from_env("e6_solvability");
+    solvable_instances(&mut bench);
+    unsolvable_instances(&mut bench);
+    strategy_ablation(&mut bench);
+    minimal_bound_search(&mut bench);
+    recorder_overhead(&mut bench);
+    bench.finish();
 }
-
-criterion_group!(benches, all);
-criterion_main!(benches);

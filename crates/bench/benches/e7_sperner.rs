@@ -5,13 +5,13 @@
 //! nonzero — number of rainbow facets, so some execution decides `n+1`
 //! distinct values.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_bench::harness::Bench;
 use iis_topology::sperner::{count_rainbow, labeling_from, validate_sperner, walk_to_rainbow};
 use iis_topology::{sds_iterated, Complex};
 use std::hint::black_box;
 
-fn rainbow_counting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_rainbow_count");
+fn rainbow_counting(bench: &mut Bench) {
+    let mut g = bench.group("e7_rainbow_count");
     g.sample_size(20);
     for (n, b) in [(2usize, 1usize), (2, 2), (3, 1)] {
         let sub = sds_iterated(&Complex::standard_simplex(n), b);
@@ -23,21 +23,17 @@ fn rainbow_counting(c: &mut Criterion) {
                 .unwrap()
         });
         validate_sperner(&sub, &labels).unwrap();
-        g.bench_function(BenchmarkId::from_parameter(format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| {
-                let r = count_rainbow(black_box(&sub), black_box(&labels));
-                assert_eq!(r % 2, 1);
-                r
-            })
+        g.bench_function(&format!("n{n}_b{b}"), || {
+            let r = count_rainbow(black_box(&sub), black_box(&labels));
+            assert_eq!(r % 2, 1);
         });
     }
-    g.finish();
 }
 
-fn walk_vs_count(c: &mut Criterion) {
+fn walk_vs_count(bench: &mut Bench) {
     // ablation: the constructive door-walk vs full counting — the walk
     // touches only the facets on its path
-    let mut g = c.benchmark_group("e7_walk_vs_count");
+    let mut g = bench.group("e7_walk_vs_count");
     g.sample_size(20);
     for (n, b) in [(2usize, 1usize), (2, 2)] {
         let sub = sds_iterated(&Complex::standard_simplex(n), b);
@@ -48,37 +44,46 @@ fn walk_vs_count(c: &mut Criterion) {
                 .min()
                 .unwrap()
         });
-        g.bench_function(BenchmarkId::new("count", format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| black_box(count_rainbow(&sub, &labels)))
+        g.bench_function(&format!("count/n{n}_b{b}"), || {
+            black_box(count_rainbow(&sub, &labels));
         });
-        g.bench_function(BenchmarkId::new("walk", format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| black_box(walk_to_rainbow(&sub, &labels)).is_some())
+        g.bench_function(&format!("walk/n{n}_b{b}"), || {
+            assert!(black_box(walk_to_rainbow(&sub, &labels)).is_some());
         });
     }
-    g.finish();
 }
 
-fn labeling_validation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_validate_labeling");
+fn labeling_validation(bench: &mut Bench) {
+    let mut g = bench.group("e7_validate_labeling");
     g.sample_size(20);
     let sub = sds_iterated(&Complex::standard_simplex(2), 2);
     let labels = labeling_from(&sub, |v| sub.complex().color(v));
-    g.bench_function("identity_n2_b2", |bch| {
-        bch.iter(|| validate_sperner(black_box(&sub), black_box(&labels)).unwrap())
+    g.bench_function("identity_n2_b2", || {
+        validate_sperner(black_box(&sub), black_box(&labels)).unwrap();
     });
-    g.finish();
 }
 
 #[allow(clippy::type_complexity)]
 fn report_parity_sweep() {
     eprintln!("\n[E7 report] rainbow parity over labeling families on SDS^2(s²):");
     let sub = sds_iterated(&Complex::standard_simplex(2), 2);
-    let families: [(&str, fn(&iis_topology::Subdivision, iis_topology::VertexId) -> iis_topology::Color); 3] = [
+    let families: [(
+        &str,
+        fn(&iis_topology::Subdivision, iis_topology::VertexId) -> iis_topology::Color,
+    ); 3] = [
         ("min-of-carrier", |s, v| {
-            s.carrier_of_vertex(v).iter().map(|u| s.base().color(u)).min().unwrap()
+            s.carrier_of_vertex(v)
+                .iter()
+                .map(|u| s.base().color(u))
+                .min()
+                .unwrap()
         }),
         ("max-of-carrier", |s, v| {
-            s.carrier_of_vertex(v).iter().map(|u| s.base().color(u)).max().unwrap()
+            s.carrier_of_vertex(v)
+                .iter()
+                .map(|u| s.base().color(u))
+                .max()
+                .unwrap()
         }),
         ("own-color", |s, v| s.complex().color(v)),
     ];
@@ -89,12 +94,11 @@ fn report_parity_sweep() {
     }
 }
 
-fn all(c: &mut Criterion) {
+fn main() {
     report_parity_sweep();
-    rainbow_counting(c);
-    walk_vs_count(c);
-    labeling_validation(c);
+    let mut bench = Bench::from_env("e7_sperner");
+    rainbow_counting(&mut bench);
+    walk_vs_count(&mut bench);
+    labeling_validation(&mut bench);
+    bench.finish();
 }
-
-criterion_group!(benches, all);
-criterion_main!(benches);

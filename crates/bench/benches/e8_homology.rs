@@ -4,84 +4,87 @@
 //! Betti numbers vanish); its boundary is an `(n−1)`-sphere (single hole in
 //! top dimension).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iis_bench::harness::Bench;
 use iis_topology::homology::Homology;
 use iis_topology::homology_z::IntegerHomology;
 use iis_topology::{sds_iterated, Complex};
 use std::hint::black_box;
 
-fn disk_homology(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_disk");
+fn disk_homology(bench: &mut Bench) {
+    let mut g = bench.group("e8_disk");
     g.sample_size(10);
     for (n, b) in [(1usize, 3usize), (2, 1), (2, 2), (3, 1)] {
         let sub = sds_iterated(&Complex::standard_simplex(n), b);
-        g.bench_function(BenchmarkId::from_parameter(format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| {
-                let h = Homology::of(black_box(sub.complex()));
-                assert!(h.is_hole_free_up_to(n));
-                h
-            })
+        g.bench_function(&format!("n{n}_b{b}"), || {
+            let h = Homology::of(black_box(sub.complex()));
+            assert!(h.is_hole_free_up_to(n));
         });
     }
-    g.finish();
 }
 
-fn sphere_homology(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_sphere");
+fn sphere_homology(bench: &mut Bench) {
+    let mut g = bench.group("e8_sphere");
     g.sample_size(10);
     for n in [2usize, 3] {
         let boundary = iis_topology::sds(&Complex::standard_simplex(n))
             .complex()
             .boundary();
-        g.bench_function(BenchmarkId::from_parameter(n), |bch| {
-            bch.iter(|| {
-                let h = Homology::of(black_box(&boundary));
-                assert_eq!(h.betti(n - 1), 1);
-                h
-            })
+        g.bench_function(&format!("{n}"), || {
+            let h = Homology::of(black_box(&boundary));
+            assert_eq!(h.betti(n - 1), 1);
         });
     }
-    g.finish();
 }
 
-fn z2_vs_integral(c: &mut Criterion) {
+fn z2_vs_integral(bench: &mut Bench) {
     // ablation: the fast GF(2) rank computation vs Smith normal form over Z
-    let mut g = c.benchmark_group("e8_z2_vs_integral");
+    let mut g = bench.group("e8_z2_vs_integral");
     g.sample_size(10);
     for (n, b) in [(2usize, 1usize), (2, 2)] {
         let sub = iis_topology::sds_iterated(&Complex::standard_simplex(n), b);
-        g.bench_function(BenchmarkId::new("z2", format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| black_box(Homology::of(sub.complex())))
+        g.bench_function(&format!("z2/n{n}_b{b}"), || {
+            black_box(Homology::of(sub.complex()));
         });
-        g.bench_function(BenchmarkId::new("integral", format!("n{n}_b{b}")), |bch| {
-            bch.iter(|| {
-                let h = IntegerHomology::of(sub.complex());
-                assert!(h.is_torsion_free());
-                black_box(h)
-            })
+        g.bench_function(&format!("integral/n{n}_b{b}"), || {
+            let h = IntegerHomology::of(sub.complex());
+            assert!(h.is_torsion_free());
+            black_box(h);
         });
     }
-    g.finish();
 }
 
 fn report_betti_table() {
     eprintln!("\n[E8 report] Z2 Betti numbers:");
     for (name, c) in [
-        ("SDS(s^2)", iis_topology::sds(&Complex::standard_simplex(2)).complex().clone()),
-        ("SDS^2(s^2)", sds_iterated(&Complex::standard_simplex(2), 2).complex().clone()),
-        ("boundary SDS(s^3)", iis_topology::sds(&Complex::standard_simplex(3)).complex().boundary()),
+        (
+            "SDS(s^2)",
+            iis_topology::sds(&Complex::standard_simplex(2))
+                .complex()
+                .clone(),
+        ),
+        (
+            "SDS^2(s^2)",
+            sds_iterated(&Complex::standard_simplex(2), 2)
+                .complex()
+                .clone(),
+        ),
+        (
+            "boundary SDS(s^3)",
+            iis_topology::sds(&Complex::standard_simplex(3))
+                .complex()
+                .boundary(),
+        ),
     ] {
         let h = Homology::of(&c);
         eprintln!("  {name:>18}: {:?}", h.betti_numbers());
     }
 }
 
-fn all(c: &mut Criterion) {
+fn main() {
     report_betti_table();
-    disk_homology(c);
-    sphere_homology(c);
-    z2_vs_integral(c);
+    let mut bench = Bench::from_env("e8_homology");
+    disk_homology(&mut bench);
+    sphere_homology(&mut bench);
+    z2_vs_integral(&mut bench);
+    bench.finish();
 }
-
-criterion_group!(benches, all);
-criterion_main!(benches);

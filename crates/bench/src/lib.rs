@@ -1,4 +1,15 @@
-//! Shared fixtures for the benchmark harness (see `benches/`).
+//! Shared fixtures and the self-contained benchmark harness (see
+//! `benches/`).
+//!
+//! The harness replaces an external benchmarking dependency with a std-only
+//! equivalent: adaptive batching for sub-microsecond operations, median /
+//! mean / min over a fixed number of samples, and — via `iis-obs` — a
+//! *work-done* dimension: every case snapshots the global metric counters
+//! around its timed section and reports per-second rates (nodes/sec,
+//! simplices/sec, …) next to wall-clock, written to `BENCH_<name>.json`
+//! at the workspace root.
+
+pub mod harness;
 
 pub mod kshot {
     //! The k-shot counter protocol of Figure 1, reused across benches.

@@ -10,6 +10,7 @@ use iis_core::bg::BgSimulation;
 use iis_core::protocol_complex::{check_lemma_3_2, check_lemma_3_3};
 use iis_core::solvability::{solve_at_bounded, BoundedOutcome};
 use iis_core::EmulatorMachine;
+use iis_obs::ToJson as _;
 use iis_sched::{AtomicMachine, IisRunner, IisSchedule};
 use iis_tasks::library;
 use iis_tasks::Task;
@@ -56,6 +57,10 @@ TASK:
   (N = index, i.e. N+1 processes) or @FILE.json (a serialized task)
 
 ADVERSARY: lockstep | sequential | rotating | laggard | random (default)
+
+GLOBAL FLAGS (any command):
+  --stats            append a table of counters/histograms for this run
+  --trace FILE       write JSON-lines trace events to FILE
 ";
 
 /// Parses a task specifier (see [`USAGE`]).
@@ -65,9 +70,10 @@ ADVERSARY: lockstep | sequential | rotating | laggard | random (default)
 /// Returns a [`CliError`] describing the malformed specifier.
 pub fn parse_task(spec: &str) -> Result<Task, CliError> {
     if let Some(path) = spec.strip_prefix('@') {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
-        return serde_json::from_str(&text).map_err(|e| err(format!("bad task file: {e}")));
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        return iis_obs::Json::parse_as::<Task>(&text)
+            .map_err(|e| err(format!("bad task file: {e}")));
     }
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |s: &str| -> Result<usize, CliError> {
@@ -101,11 +107,25 @@ fn parse_dims(args: &[String]) -> Result<(usize, usize), CliError> {
     Ok((n, b))
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// Looks up `--flag VALUE` or `--flag=VALUE` in `args`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the flag appears as the last argument with no
+/// value following it.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.as_str())),
+                None => Err(err(format!("{flag} requires a value"))),
+            };
+        }
+        if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
 }
 
 fn build_tower(n: usize, b: usize) -> (Complex, Vec<Subdivision>, Subdivision) {
@@ -130,7 +150,7 @@ pub fn cmd_sds(args: &[String]) -> Result<String, CliError> {
     let (base, levels, acc) = build_tower(n, b);
     acc.validate().map_err(|e| err(e.to_string()))?;
     if args.iter().any(|a| a == "--json") {
-        return serde_json::to_string_pretty(&acc).map_err(|e| err(e.to_string()));
+        return Ok(acc.to_json().to_string_pretty());
     }
     let mut out = String::new();
     let c = acc.complex();
@@ -138,7 +158,12 @@ pub fn cmd_sds(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(out, "  facets:   {}", c.num_facets());
     let _ = writeln!(out, "  vertices: {}", c.num_vertices());
     let _ = writeln!(out, "  f-vector: {:?}", c.f_vector());
-    let _ = writeln!(out, "  chromatic: {} · pure: {}", c.is_chromatic(), c.is_pure());
+    let _ = writeln!(
+        out,
+        "  chromatic: {} · pure: {}",
+        c.is_chromatic(),
+        c.is_pure()
+    );
     let report = pseudomanifold_report(c);
     let _ = writeln!(
         out,
@@ -147,7 +172,7 @@ pub fn cmd_sds(args: &[String]) -> Result<String, CliError> {
         report.boundary_ridges,
         report.interior_ridges
     );
-    if let Some(path) = flag_value(args, "--svg") {
+    if let Some(path) = flag_value(args, "--svg")? {
         if n != 2 {
             return Err(err("--svg needs n = 2"));
         }
@@ -216,11 +241,11 @@ pub fn cmd_check_lemmas(args: &[String]) -> Result<String, CliError> {
 pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
     let spec = args.first().ok_or_else(|| err("missing <TASK>"))?;
     let task = parse_task(spec)?;
-    let max_rounds: usize = flag_value(args, "--max-rounds")
+    let max_rounds: usize = flag_value(args, "--max-rounds")?
         .unwrap_or("2")
         .parse()
         .map_err(|_| err("bad --max-rounds"))?;
-    let budget: u64 = flag_value(args, "--budget")
+    let budget: u64 = flag_value(args, "--budget")?
         .unwrap_or("1000000")
         .parse()
         .map_err(|_| err("bad --budget"))?;
@@ -291,8 +316,8 @@ pub fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
     if n == 0 || n > 8 || k == 0 || k > 64 {
         return Err(err("need 1 ≤ n ≤ 8, 1 ≤ k ≤ 64"));
     }
-    let adversary = flag_value(args, "--adversary").unwrap_or("random");
-    let seed: u64 = flag_value(args, "--seed")
+    let adversary = flag_value(args, "--adversary")?.unwrap_or("random");
+    let seed: u64 = flag_value(args, "--seed")?
         .unwrap_or("42")
         .parse()
         .map_err(|_| err("bad --seed"))?;
@@ -303,8 +328,7 @@ pub fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
         "rotating" => IisSchedule::rotating_leader(n, budget),
         "laggard" => IisSchedule::laggard(n, budget),
         "random" => {
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = iis_obs::Rng::seed_from_u64(seed);
             IisSchedule::random(n, budget, &mut rng)
         }
         other => return Err(err(format!("unknown adversary: {other}"))),
@@ -324,7 +348,11 @@ pub fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "completed in {rounds} IIS memories");
     for p in 0..n {
-        let _ = writeln!(out, "  P{p} saw {} processes", runner.output(p).expect("quiescent"));
+        let _ = writeln!(
+            out,
+            "  P{p} saw {} processes",
+            runner.output(p).expect("quiescent")
+        );
     }
     Ok(out)
 }
@@ -345,7 +373,7 @@ pub fn cmd_bg(args: &[String]) -> Result<String, CliError> {
     if n_sim == 0 || n_sim > 8 || k == 0 || k > 8 || m == 0 || m > 8 {
         return Err(err("need 1 ≤ n_sim, k, m ≤ 8"));
     }
-    let crash: Option<(usize, u64)> = match flag_value(args, "--crash") {
+    let crash: Option<(usize, u64)> = match flag_value(args, "--crash")? {
         None => None,
         Some(spec) => {
             let (s, at) = spec
@@ -387,14 +415,56 @@ pub fn cmd_bg(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// Global observability flags, accepted anywhere on the command line.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct ObsFlags {
+    stats: bool,
+    trace: Option<String>,
+}
+
+/// Removes `--stats` and `--trace FILE` / `--trace=FILE` from `args`.
+fn strip_obs_flags(args: &[String]) -> Result<(ObsFlags, Vec<String>), CliError> {
+    let mut flags = ObsFlags::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--stats" {
+            flags.stats = true;
+        } else if a == "--trace" {
+            match it.next() {
+                Some(path) => flags.trace = Some(path.clone()),
+                None => return Err(err("--trace requires a value")),
+            }
+        } else if let Some(path) = a.strip_prefix("--trace=") {
+            flags.trace = Some(path.to_string());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((flags, rest))
+}
+
 /// Dispatches a full argument vector (without the binary name).
+///
+/// The global flags `--stats` (append a counter/histogram summary table)
+/// and `--trace FILE` (write JSON-lines trace events to `FILE`) may appear
+/// anywhere and apply to every subcommand.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for unknown commands or any command failure.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let (obs, args) = strip_obs_flags(args)?;
+    if let Some(path) = &obs.trace {
+        iis_obs::trace::set_file(std::path::Path::new(path))
+            .map_err(|e| err(format!("cannot open trace file {path}: {e}")))?;
+    }
+    if obs.stats || obs.trace.is_some() {
+        iis_obs::set_enabled(true);
+    }
+    let before = iis_obs::snapshot();
     let (cmd, rest) = args.split_first().ok_or_else(|| err(USAGE))?;
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "sds" => cmd_sds(rest),
         "homology" => cmd_homology(rest),
         "check-lemmas" => cmd_check_lemmas(rest),
@@ -403,6 +473,22 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "bg" => cmd_bg(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command: {other}\n\n{USAGE}"))),
+    };
+    if obs.trace.is_some() {
+        iis_obs::trace::close();
+    }
+    match result {
+        Ok(mut out) => {
+            if obs.stats {
+                let delta = iis_obs::snapshot().delta_since(&before);
+                let table = iis_obs::report::render_table(&delta);
+                if !table.is_empty() {
+                    out.push_str(&table);
+                }
+            }
+            Ok(out)
+        }
+        e => e,
     }
 }
 
@@ -424,7 +510,7 @@ mod tests {
     #[test]
     fn sds_json_parses_back() {
         let out = cmd_sds(&argv("1 2 --json")).unwrap();
-        let sub: iis_topology::Subdivision = serde_json::from_str(&out).unwrap();
+        let sub: iis_topology::Subdivision = iis_obs::Json::parse_as(&out).unwrap();
         assert_eq!(sub.complex().num_facets(), 9);
     }
 
@@ -479,7 +565,7 @@ mod tests {
     fn solve_task_from_file() {
         let path = std::env::temp_dir().join("iis_cli_task.json");
         let task = iis_tasks::library::trivial(1);
-        std::fs::write(&path, serde_json::to_string(&task).unwrap()).unwrap();
+        std::fs::write(&path, task.to_json().to_string()).unwrap();
         let out = cmd_solve(&[format!("@{}", path.display())]).unwrap();
         assert!(out.contains("b = 0: SOLVABLE"));
         let _ = std::fs::remove_file(&path);
@@ -510,6 +596,62 @@ mod tests {
         assert!(out.contains("decided:"));
         assert!(cmd_bg(&argv("3 1")).is_err());
         assert!(cmd_bg(&argv("3 1 2 --crash zz")).is_err());
+    }
+
+    #[test]
+    fn flag_value_accepts_equals_form() {
+        let args = argv("solve consensus:1 --max-rounds=3");
+        assert_eq!(flag_value(&args, "--max-rounds").unwrap(), Some("3"));
+        assert_eq!(flag_value(&args, "--budget").unwrap(), None);
+    }
+
+    #[test]
+    fn flag_value_rejects_trailing_flag() {
+        let args = argv("solve consensus:1 --max-rounds");
+        let e = flag_value(&args, "--max-rounds").unwrap_err();
+        assert!(e.0.contains("--max-rounds requires a value"), "{e}");
+        assert!(cmd_solve(&argv("consensus:1 --budget")).is_err());
+    }
+
+    #[test]
+    fn stats_flag_appends_table() {
+        let out = dispatch(&argv("solve kset:2:1 --stats")).unwrap();
+        assert!(out.contains("stats"), "{out}");
+        // kset:2:1 is refuted by propagation alone, so the nonzero search
+        // counters are the propagation ones
+        assert!(out.contains("solve.propagations"), "{out}");
+        assert!(out.contains("solve.prunes"), "{out}");
+        assert!(out.contains("sds.facets"), "{out}");
+    }
+
+    #[test]
+    fn trace_flag_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join("iis_cli_trace.jsonl");
+        let out = dispatch(&[
+            "solve".into(),
+            "eps:1:3".into(),
+            format!("--trace={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("SOLVABLE"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.trim().is_empty(), "trace file must not be empty");
+        for line in text.lines() {
+            let j = iis_obs::Json::parse(line).unwrap();
+            assert!(j.get("ts_us").is_some());
+            assert!(j.get("kind").is_some());
+            assert!(j.get("name").is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strip_obs_flags_extracts_globals() {
+        let (f, rest) = strip_obs_flags(&argv("sds 2 1 --stats --trace t.jsonl")).unwrap();
+        assert!(f.stats);
+        assert_eq!(f.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(rest, argv("sds 2 1"));
+        assert!(strip_obs_flags(&argv("sds --trace")).is_err());
     }
 
     #[test]

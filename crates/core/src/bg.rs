@@ -68,7 +68,10 @@ impl<V: Clone> SafeAgreement<V> {
     ///
     /// Panics if `s` already proposed.
     pub fn propose_write(&mut self, s: usize, v: V) {
-        assert!(!self.has_proposed(s), "safe agreement is one-shot per simulator");
+        assert!(
+            !self.has_proposed(s),
+            "safe agreement is one-shot per simulator"
+        );
         self.values[s] = Some(v);
         self.levels[s] = 1;
     }
@@ -161,6 +164,9 @@ pub struct BgSimulation {
     cursor: Vec<usize>,
     crashed: Vec<bool>,
     stats: BgStats,
+    /// Micro-step at which each agreement first received a proposal, for
+    /// the `bg.agreement_steps` latency histogram.
+    proposal_started: BTreeMap<(usize, usize), u64>,
 }
 
 impl BgSimulation {
@@ -173,7 +179,10 @@ impl BgSimulation {
         // the first write of every simulated process is determined by its
         // input alone; make it visible (simulators replicate determined
         // writes without agreement)
-        let cells: Vec<Option<Label>> = machines.iter_mut().map(|mc| Some(mc.next_write())).collect();
+        let cells: Vec<Option<Label>> = machines
+            .iter_mut()
+            .map(|mc| Some(mc.next_write()))
+            .collect();
         BgSimulation {
             n_sim,
             k,
@@ -187,6 +196,7 @@ impl BgSimulation {
             cursor: (0..m).collect(),
             crashed: vec![false; m],
             stats: BgStats::default(),
+            proposal_started: BTreeMap::new(),
         }
     }
 
@@ -228,6 +238,7 @@ impl BgSimulation {
     /// zone, which then blocks one simulated process forever).
     pub fn crash(&mut self, s: usize) {
         self.crashed[s] = true;
+        iis_obs::metrics::add("bg.crashes", 1);
     }
 
     /// `true` iff simulator `s` crashed.
@@ -242,6 +253,7 @@ impl BgSimulation {
             return false;
         }
         self.stats.steps += 1;
+        iis_obs::metrics::add("bg.steps", 1);
         match self.sim_state[s].clone() {
             SimulatorState::Proposing { proc, step, phase } => {
                 let agr = self
@@ -261,6 +273,7 @@ impl BgSimulation {
                     ProposePhase::Snapshotted { saw2 } => {
                         if saw2 {
                             self.stats.backoffs += 1;
+                            iis_obs::metrics::add("bg.backoffs", 1);
                         }
                         agr.propose_finish(s, saw2);
                         self.sim_state[s] = SimulatorState::Idle;
@@ -293,12 +306,13 @@ impl BgSimulation {
                         // propose the current simulated memory as p's t-th
                         // snapshot (step A: enter the unsafe zone)
                         let proposal = self.cells.clone();
-                        let agr = self
-                            .agreements
-                            .get_mut(&(p, t))
-                            .expect("just inserted");
+                        let agr = self.agreements.get_mut(&(p, t)).expect("just inserted");
                         agr.propose_write(s, proposal);
                         self.stats.proposals += 1;
+                        iis_obs::metrics::add("bg.proposals", 1);
+                        self.proposal_started
+                            .entry((p, t))
+                            .or_insert(self.stats.steps);
                         self.sim_state[s] = SimulatorState::Proposing {
                             proc: p,
                             step: t,
@@ -328,9 +342,16 @@ impl BgSimulation {
             return false;
         };
         self.progress[p] = t;
+        if let Some(started) = self.proposal_started.remove(&(p, t)) {
+            iis_obs::metrics::record(
+                "bg.agreement_steps",
+                self.stats.steps.saturating_sub(started),
+            );
+        }
         match self.machines[p].on_snapshot(&snapshot) {
             Some(decision) => {
                 self.decisions[p] = Some(decision);
+                iis_obs::metrics::add("bg.decisions", 1);
             }
             None => {
                 self.cells[p] = Some(self.machines[p].next_write());

@@ -33,11 +33,7 @@ where
     M::Output: Send + 'static,
     S: SnapshotMemory<Option<M::Value>> + 'static,
 {
-    assert_eq!(
-        memory.len(),
-        machines.len(),
-        "one memory cell per machine"
-    );
+    assert_eq!(memory.len(), machines.len(), "one memory cell per machine");
     let handles: Vec<_> = machines
         .into_iter()
         .enumerate()

@@ -171,7 +171,10 @@ impl EdgeConvergence {
     /// Panics if `pid > 1` or `length` is even.
     pub fn new(pid: usize, length: usize) -> Self {
         assert!(pid <= 1, "edge convergence is a 2-process protocol");
-        assert!(length % 2 == 1, "a chromatic subdivided edge has odd length");
+        assert!(
+            length % 2 == 1,
+            "a chromatic subdivided edge has odd length"
+        );
         let rounds = (usize::BITS - (2 * length).leading_zeros()) as usize + 1;
         EdgeConvergence {
             pid,
@@ -459,8 +462,11 @@ mod tests {
             ];
             let mut runner = IisRunner::new(machines);
             runner.run(schedule);
-            let outputs: Vec<Option<VertexId>> =
-                runner.outputs().iter().map(|o| o.as_ref().copied()).collect();
+            let outputs: Vec<Option<VertexId>> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.as_ref().copied())
+                .collect();
             validate_csass_outcome(&target, &outputs, &[true, true]).unwrap();
         }
     }
@@ -476,26 +482,32 @@ mod tests {
             ];
             let mut runner = IisRunner::new(machines);
             runner.run(schedule);
-            let outputs: Vec<Option<VertexId>> =
-                runner.outputs().iter().map(|o| o.as_ref().copied()).collect();
+            let outputs: Vec<Option<VertexId>> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.as_ref().copied())
+                .collect();
             validate_csass_outcome(&target, &outputs, &[true, true]).unwrap();
         }
     }
 
     #[test]
     fn agreement_machine_three_processes_random_schedules() {
-        use rand::{rngs::StdRng, SeedableRng};
+        use iis_obs::Rng;
         let target = sds(&Complex::standard_simplex(2));
         let w = Arc::new(theorem_5_1_witness(&target, 1).unwrap());
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for _case in 0..50 {
             let machines: Vec<_> = (0..3)
                 .map(|p| SimplexAgreementMachine::new(p, Arc::clone(&w)))
                 .collect();
             let mut runner = IisRunner::new(machines);
             runner.run(IisSchedule::random(3, w.rounds().max(1), &mut rng));
-            let outputs: Vec<Option<VertexId>> =
-                runner.outputs().iter().map(|o| o.as_ref().copied()).collect();
+            let outputs: Vec<Option<VertexId>> = runner
+                .outputs()
+                .iter()
+                .map(|o| o.as_ref().copied())
+                .collect();
             validate_csass_outcome(&target, &outputs, &[true, true, true]).unwrap();
         }
     }
@@ -511,8 +523,11 @@ mod tests {
         let mut runner = IisRunner::new(machines);
         runner.crash(2);
         runner.run(IisSchedule::lockstep(3, 2));
-        let outputs: Vec<Option<VertexId>> =
-            runner.outputs().iter().map(|o| o.as_ref().copied()).collect();
+        let outputs: Vec<Option<VertexId>> = runner
+            .outputs()
+            .iter()
+            .map(|o| o.as_ref().copied())
+            .collect();
         assert!(outputs[2].is_none());
         validate_csass_outcome(&target, &outputs, &[true, true, false]).unwrap();
     }
@@ -539,8 +554,8 @@ mod tests {
 
     #[test]
     fn edge_convergence_random_schedules_l9() {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        use iis_obs::Rng;
+        let mut rng = Rng::seed_from_u64(5);
         let rounds = EdgeConvergence::new(0, 9).rounds();
         for _case in 0..200 {
             let machines = vec![EdgeConvergence::new(0, 9), EdgeConvergence::new(1, 9)];
@@ -572,9 +587,7 @@ mod tests {
                 if runner.is_quiescent() {
                     break;
                 }
-                runner.step_round(&iis_sched::OrderedPartition::simultaneous(
-                    runner.active(),
-                ));
+                runner.step_round(&iis_sched::OrderedPartition::simultaneous(runner.active()));
             }
             let e = *runner.output(0).unwrap();
             assert!(e % 2 == 0 && e <= 3);
@@ -615,11 +628,11 @@ mod tests {
 
     #[test]
     fn convergence_table_covers_all_pairs() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use iis_obs::Rng;
         let sub = sds(&Complex::standard_simplex(2));
         let table = ConvergenceTable::new(sub.complex().clone());
         let ids: Vec<VertexId> = table.complex().vertex_ids().collect();
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Rng::seed_from_u64(17);
         for _case in 0..60 {
             let u = ids[rng.random_range(0..ids.len())];
             let v = ids[rng.random_range(0..ids.len())];

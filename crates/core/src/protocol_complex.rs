@@ -36,11 +36,7 @@ fn decode_carrier(input: &Complex, label: &iis_topology::Label) -> Simplex {
     match label.as_view() {
         None => {
             // a bare input label: find it among base vertices (any color)
-            Simplex::new(
-                input
-                    .vertex_ids()
-                    .filter(|&u| input.label(u) == label),
-            )
+            Simplex::new(input.vertex_ids().filter(|&u| input.label(u) == label))
         }
         Some(entries) => {
             let mut acc = Simplex::empty();
@@ -97,10 +93,7 @@ pub fn check_lemma_3_3(input: &Complex, b: usize) -> (Subdivision, Subdivision) 
     for v in enumerated.complex().vertex_ids() {
         let w = constructed
             .complex()
-            .vertex_id(
-                enumerated.complex().color(v),
-                enumerated.complex().label(v),
-            )
+            .vertex_id(enumerated.complex().color(v), enumerated.complex().label(v))
             .expect("same_labeled");
         assert_eq!(
             enumerated.carrier_of_vertex(v),

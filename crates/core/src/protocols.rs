@@ -73,8 +73,7 @@ impl AtomicMachine for Renaming {
         ids.dedup();
         let rank = ids.iter().position(|&x| x == self.id).expect("own id") + 1;
         // r-th smallest positive name not proposed by others
-        let taken: std::collections::BTreeSet<usize> =
-            others.iter().map(|(_, p)| *p).collect();
+        let taken: std::collections::BTreeSet<usize> = others.iter().map(|(_, p)| *p).collect();
         let mut free = (1..).filter(|name| !taken.contains(name));
         self.proposal = free.nth(rank - 1).expect("infinite name space");
         None
@@ -162,15 +161,19 @@ impl AtomicMachine for ApproxAgreement {
 mod tests {
     use super::*;
     use crate::EmulatorMachine;
+    use iis_obs::Rng;
     use iis_sched::{AtomicRunner, AtomicSchedule, IisRunner, OrderedPartition};
-    use rand::{rngs::StdRng, SeedableRng};
 
     fn assert_valid_renaming(names: &[Option<usize>], n_others: usize) {
         let decided: Vec<usize> = names.iter().flatten().copied().collect();
         let mut uniq = decided.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        assert_eq!(uniq.len(), decided.len(), "names must be distinct: {decided:?}");
+        assert_eq!(
+            uniq.len(),
+            decided.len(),
+            "names must be distinct: {decided:?}"
+        );
         for &name in &decided {
             assert!(
                 (1..=2 * n_others + 1).contains(&name),
@@ -192,7 +195,7 @@ mod tests {
 
     #[test]
     fn renaming_direct_random_schedules() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         for _case in 0..100 {
             let n = 3;
             let machines: Vec<Renaming> = (0..n).map(|p| Renaming::new(p as u64 + 1)).collect();
@@ -205,7 +208,7 @@ mod tests {
 
     #[test]
     fn renaming_with_crashes_still_valid() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for case in 0..50 {
             let n = 3;
             let machines: Vec<Renaming> = (0..n).map(|p| Renaming::new(p as u64 + 1)).collect();
@@ -220,7 +223,7 @@ mod tests {
     #[test]
     fn renaming_emulated_over_iis() {
         // the same protocol, unmodified, through the Figure 2 emulation
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Rng::seed_from_u64(10);
         for _case in 0..30 {
             let n = 3;
             let machines: Vec<EmulatorMachine<Renaming>> = (0..n)
@@ -253,7 +256,7 @@ mod tests {
 
     #[test]
     fn approx_agreement_direct_validity_and_convergence() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         for _case in 0..100 {
             let rounds = 8;
             let inputs = [0i64, 1, 1];
@@ -277,7 +280,7 @@ mod tests {
 
     #[test]
     fn approx_agreement_emulated_over_iis() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Rng::seed_from_u64(12);
         for _case in 0..30 {
             let rounds = 6;
             let inputs = [0i64, 4];
@@ -303,8 +306,7 @@ mod tests {
 
     #[test]
     fn approx_agreement_same_inputs_decide_input() {
-        let machines: Vec<ApproxAgreement> =
-            (0..3).map(|_| ApproxAgreement::new(2, 4)).collect();
+        let machines: Vec<ApproxAgreement> = (0..3).map(|_| ApproxAgreement::new(2, 4)).collect();
         let mut runner = AtomicRunner::new(machines);
         runner.run(AtomicSchedule::round_robin(3, 20));
         for o in runner.outputs().iter().flatten() {

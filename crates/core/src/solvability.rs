@@ -176,8 +176,40 @@ pub fn solve_at_with(
     max_nodes: u64,
     strategy: SearchStrategy,
 ) -> BoundedOutcome {
+    let timer = iis_obs::span::span("solve.search_ns");
     let sub = sds_iterated(task.input(), b);
-    match search_map(task, &sub, max_nodes, strategy) {
+    let mut budget = max_nodes;
+    let result = search_map(task, &sub, &mut budget, strategy);
+    iis_obs::metrics::gauge_set(
+        "solve.budget_remaining",
+        i64::try_from(budget).unwrap_or(i64::MAX),
+    );
+    if iis_obs::trace::active() {
+        iis_obs::trace::event(
+            "solve.round",
+            task.name(),
+            &[
+                ("b", iis_obs::Json::Num(b as f64)),
+                (
+                    "outcome",
+                    iis_obs::Json::Str(
+                        match &result {
+                            Ok(Some(_)) => "solvable",
+                            Ok(None) => "unsolvable",
+                            Err(()) => "exhausted",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                (
+                    "nodes",
+                    iis_obs::Json::Num(max_nodes.saturating_sub(budget) as f64),
+                ),
+            ],
+        );
+    }
+    drop(timer);
+    match result {
         Ok(Some(map)) => {
             debug_assert!(validate_decision_map(task, &sub, &map).is_ok());
             BoundedOutcome::Solvable(Box::new(DecisionMap {
@@ -322,7 +354,8 @@ impl iis_sched::IisMachine for DecisionProtocol {
             return iis_sched::MachineStep::Decide(self.decide());
         }
         self.state = iis_topology::Label::view(
-            view.iter().map(|(p, l)| (iis_topology::Color(*p as u32), l)),
+            view.iter()
+                .map(|(p, l)| (iis_topology::Color(*p as u32), l)),
         );
         if round + 1 >= self.witness.rounds() {
             iis_sched::MachineStep::Decide(self.decide())
@@ -338,12 +371,20 @@ struct Csp {
     constraints: Vec<Constraint>,
     /// For each vertex, the indices of constraints containing it.
     containing: Vec<Vec<usize>>,
+    /// Search nodes charged against the budget (`solve.nodes`).
+    nodes: iis_obs::metrics::Counter,
+    /// Dead ends where every candidate failed (`solve.backtracks`).
+    backtracks: iis_obs::metrics::Counter,
+    /// Domain values removed by propagation (`solve.prunes`).
+    prunes: iis_obs::metrics::Counter,
+    /// Constraint revisions performed (`solve.propagations`).
+    propagations: iis_obs::metrics::Counter,
 }
 
 fn search_map(
     task: &Task,
     sub: &Subdivision,
-    max_nodes: u64,
+    budget: &mut u64,
     strategy: SearchStrategy,
 ) -> Result<Option<SimplicialMap>, ()> {
     let c = sub.complex();
@@ -404,16 +445,19 @@ fn search_map(
     let csp = Csp {
         constraints,
         containing,
+        nodes: iis_obs::metrics::Counter::handle("solve.nodes"),
+        backtracks: iis_obs::metrics::Counter::handle("solve.backtracks"),
+        prunes: iis_obs::metrics::Counter::handle("solve.prunes"),
+        propagations: iis_obs::metrics::Counter::handle("solve.propagations"),
     };
-    let mut budget = max_nodes;
     let assignment = match strategy {
         SearchStrategy::Mac => {
             if !csp.propagate(&mut domains, None) {
                 return Ok(None);
             }
-            csp.backtrack(domains, &mut budget)?
+            csp.backtrack(domains, budget)?
         }
-        SearchStrategy::PlainBacktracking => csp.backtrack_plain(&domains, &mut budget)?,
+        SearchStrategy::PlainBacktracking => csp.backtrack_plain(&domains, budget)?,
     };
     Ok(assignment.map(|a| {
         SimplicialMap::from_pairs(
@@ -431,9 +475,10 @@ impl Csp {
         let con = &self.constraints[ci];
         con.allowed.iter().any(|tuple| {
             tuple[pos] == w
-                && tuple.iter().enumerate().all(|(j, &x)| {
-                    j == pos || domains[con.verts[j].index()].contains(&x)
-                })
+                && tuple
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &x)| j == pos || domains[con.verts[j].index()].contains(&x))
         })
     }
 
@@ -451,6 +496,7 @@ impl Csp {
         }
         while let Some(ci) = queue.pop() {
             in_queue[ci] = false;
+            self.propagations.incr();
             for (pos, &v) in self.constraints[ci].verts.iter().enumerate() {
                 let before = domains[v.index()].len();
                 let kept: Vec<VertexId> = domains[v.index()]
@@ -459,9 +505,11 @@ impl Csp {
                     .filter(|&w| self.supported(ci, pos, w, domains))
                     .collect();
                 if kept.is_empty() {
+                    self.prunes.add(before as u64);
                     return false;
                 }
                 if kept.len() < before {
+                    self.prunes.add((before - kept.len()) as u64);
                     domains[v.index()] = kept;
                     for &cj in &self.containing[v.index()] {
                         if !in_queue[cj] {
@@ -487,7 +535,12 @@ impl Csp {
         // constraints indexed by their highest variable
         let mut closing: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (ci, con) in self.constraints.iter().enumerate() {
-            let hi = con.verts.iter().map(|v| v.index()).max().expect("non-empty");
+            let hi = con
+                .verts
+                .iter()
+                .map(|v| v.index())
+                .max()
+                .expect("non-empty");
             closing[hi].push(ci);
         }
         let mut assignment: Vec<VertexId> = vec![VertexId(0); n];
@@ -503,6 +556,7 @@ impl Csp {
                 return Err(());
             }
             *budget -= 1;
+            csp.nodes.incr();
             if k == domains.len() {
                 return Ok(true);
             }
@@ -520,6 +574,7 @@ impl Csp {
                     return Ok(true);
                 }
             }
+            csp.backtracks.incr();
             Ok(false)
         }
         match rec(self, domains, &closing, &mut assignment, 0, budget)? {
@@ -540,6 +595,7 @@ impl Csp {
             return Err(());
         }
         *budget -= 1;
+        self.nodes.incr();
         // pick the unassigned variable with the smallest domain > 1
         let pick = domains
             .iter()
@@ -560,6 +616,7 @@ impl Csp {
                 }
             }
         }
+        self.backtracks.incr();
         Ok(None)
     }
 }

@@ -1,0 +1,59 @@
+//! Budget accounting for `BoundedOutcome::Exhausted` (ISSUE satellite):
+//! when the search runs out of budget, the number of nodes charged to the
+//! `solve.nodes` counter must equal the budget consumed — exactly.
+//!
+//! Lives in its own integration-test binary (and as a single test) so the
+//! process-global metric registry sees no concurrent unrelated searches.
+
+use iis_core::{solve_at_with, BoundedOutcome, SearchStrategy};
+use iis_tasks::library::one_shot_immediate_snapshot_task;
+
+#[test]
+fn exhausted_search_charges_exactly_the_budget() {
+    iis_obs::set_enabled(true);
+    let task = one_shot_immediate_snapshot_task(1);
+
+    // sanity: with an unbounded budget this (task, b) is solvable, so the
+    // bounded runs below stop because of the budget, not the search space
+    assert!(matches!(
+        solve_at_with(&task, 1, u64::MAX, SearchStrategy::PlainBacktracking),
+        BoundedOutcome::Solvable(_)
+    ));
+
+    // plain backtracking charges one node per visited assignment prefix;
+    // even the shortest accepting path visits more prefixes than this
+    // budget allows, so the pair (task, budget) provably exhausts
+    let before = iis_obs::snapshot();
+    const BUDGET: u64 = 3;
+    let outcome = solve_at_with(&task, 1, BUDGET, SearchStrategy::PlainBacktracking);
+    assert!(matches!(outcome, BoundedOutcome::Exhausted));
+
+    let delta = iis_obs::snapshot().delta_since(&before);
+    assert_eq!(
+        delta.counters.get("solve.nodes").copied(),
+        Some(BUDGET),
+        "nodes charged must equal budget consumed"
+    );
+    assert_eq!(
+        iis_obs::snapshot()
+            .gauges
+            .get("solve.budget_remaining")
+            .copied(),
+        Some(0),
+        "an exhausted search leaves no budget"
+    );
+
+    // the MAC strategy obeys the same invariant: every budget decrement is
+    // one `solve.nodes` increment
+    let before = iis_obs::snapshot();
+    const MAC_BUDGET: u64 = 1;
+    let outcome = solve_at_with(&task, 1, MAC_BUDGET, SearchStrategy::Mac);
+    let delta = iis_obs::snapshot().delta_since(&before);
+    let charged = delta.counters.get("solve.nodes").copied().unwrap_or(0);
+    if matches!(outcome, BoundedOutcome::Exhausted) {
+        assert_eq!(charged, MAC_BUDGET);
+    } else {
+        // MAC may finish within one node; it still never overcharges
+        assert!(charged <= MAC_BUDGET);
+    }
+}

@@ -59,7 +59,10 @@ impl fmt::Display for IsAxiomError {
             Self::SelfInclusion { pid } => write!(f, "view of {pid} misses its own input"),
             Self::Containment { a, b } => write!(f, "views of {a} and {b} are incomparable"),
             Self::Immediacy { a, b } => {
-                write!(f, "{a} visible to {b} but view of {a} not contained in view of {b}")
+                write!(
+                    f,
+                    "{a} visible to {b} but view of {a} not contained in view of {b}"
+                )
             }
         }
     }
@@ -229,11 +232,7 @@ mod tests {
     #[test]
     fn containment_violation() {
         let inputs = vec![Some(1u8), Some(2), Some(3)];
-        let outputs = vec![
-            Some(vec![(0, 1), (1, 2)]),
-            None,
-            Some(vec![(0, 1), (2, 3)]),
-        ];
+        let outputs = vec![Some(vec![(0, 1), (1, 2)]), None, Some(vec![(0, 1), (2, 3)])];
         assert_eq!(
             validate_immediate_snapshot(&inputs, &outputs),
             Err(IsAxiomError::Containment { a: 0, b: 2 })
@@ -245,15 +244,9 @@ mod tests {
         // 1 sees 0, but 0's view is bigger than 1's — immediate snapshots
         // forbid this ("seen ⇒ already settled").
         let inputs = vec![Some(1u8), Some(2)];
-        let outputs = vec![
-            Some(vec![(0, 1), (1, 2)]),
-            Some(vec![(0, 1), (1, 2)]),
-        ];
+        let outputs = vec![Some(vec![(0, 1), (1, 2)]), Some(vec![(0, 1), (1, 2)])];
         validate_immediate_snapshot(&inputs, &outputs).unwrap();
-        let bad = vec![
-            Some(vec![(0, 1), (1, 2)]),
-            Some(vec![(0, 1), (1, 2)]),
-        ];
+        let bad = vec![Some(vec![(0, 1), (1, 2)]), Some(vec![(0, 1), (1, 2)])];
         // tweak: 1's view misses itself? That's self-inclusion. Build a real
         // immediacy failure: 0 sees both; 1 sees only itself; then 1 ∈ S_0
         // and S_1 ⊆ S_0 fine. Reverse: 0 sees only itself, 1 sees only {0,1}?

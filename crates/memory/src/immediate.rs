@@ -14,7 +14,7 @@
 //! below its level once that set is at least as large as its level. At most
 //! `n+1` iterations, so the object is wait-free with `O(n²)` reads.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -121,7 +121,11 @@ impl<T: Clone + Send + Sync> OneShotImmediateSnapshot<T> {
 
 impl<T> fmt::Debug for OneShotImmediateSnapshot<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "OneShotImmediateSnapshot({} processes)", self.values.len())
+        write!(
+            f,
+            "OneShotImmediateSnapshot({} processes)",
+            self.values.len()
+        )
     }
 }
 
@@ -307,10 +311,14 @@ mod tests {
             let mut handles = Vec::new();
             for pid in 0..n {
                 let m = Arc::clone(&m);
-                handles.push(std::thread::spawn(move || m.write_read(pid, pid as u32 * 10)));
+                handles.push(std::thread::spawn(move || {
+                    m.write_read(pid, pid as u32 * 10)
+                }));
             }
-            let outputs: Vec<Option<Vec<(usize, u32)>>> =
-                handles.into_iter().map(|h| Some(h.join().unwrap())).collect();
+            let outputs: Vec<Option<Vec<(usize, u32)>>> = handles
+                .into_iter()
+                .map(|h| Some(h.join().unwrap()))
+                .collect();
             let inputs: Vec<Option<u32>> = (0..n).map(|p| Some(p as u32 * 10)).collect();
             validate_immediate_snapshot(&inputs, &outputs).unwrap();
         }
@@ -324,7 +332,10 @@ mod tests {
             let mut handles = Vec::new();
             for pid in [0, 2, 4] {
                 let m = Arc::clone(&m);
-                handles.push((pid, std::thread::spawn(move || m.write_read(pid, pid as u32))));
+                handles.push((
+                    pid,
+                    std::thread::spawn(move || m.write_read(pid, pid as u32)),
+                ));
             }
             let mut outputs: Vec<Option<Vec<(usize, u32)>>> = vec![None; n];
             let mut inputs: Vec<Option<u32>> = vec![None; n];

@@ -6,7 +6,7 @@
 //! numbers) are exposed because every snapshot algorithm built on top needs
 //! them.
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 

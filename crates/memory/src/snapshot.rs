@@ -104,11 +104,10 @@ impl<T: Clone + Send + Sync> SnapshotMemory<T> for DoubleCollectSnapshot<T> {
         loop {
             let next = self.cells.collect_versioned();
             stats.collects += 1;
-            let same = prev
-                .iter()
-                .zip(&next)
-                .all(|(a, b)| a.seq == b.seq);
+            let same = prev.iter().zip(&next).all(|(a, b)| a.seq == b.seq);
             if same {
+                iis_obs::metrics::add("mem.scans", 1);
+                iis_obs::metrics::add("mem.collects", stats.collects as u64);
                 return (next, stats);
             }
             prev = next;
@@ -207,12 +206,17 @@ impl<T: Clone + Send + Sync> SnapshotMemory<T> for EmbeddedScanSnapshot<T> {
                         // scan started after ours did — borrow it.
                         if let Some(view) = next[j].value.embedded.clone() {
                             stats.borrowed = true;
+                            iis_obs::metrics::add("mem.scans", 1);
+                            iis_obs::metrics::add("mem.scans_borrowed", 1);
+                            iis_obs::metrics::add("mem.collects", stats.collects as u64);
                             return (view, stats);
                         }
                     }
                 }
             }
             if clean {
+                iis_obs::metrics::add("mem.scans", 1);
+                iis_obs::metrics::add("mem.collects", stats.collects as u64);
                 return (Self::strip(&next), stats);
             }
             prev = next;

@@ -1,0 +1,33 @@
+//! A thin reader–writer lock over `std::sync::RwLock` with a
+//! guard-returning (non-`Result`) API.
+//!
+//! Lock poisoning is deliberately ignored: every critical section in this
+//! crate is a plain read or a single assignment, so a panicking holder
+//! cannot leave the protected value in a torn state, and the simulation
+//! harnesses intentionally crash threads mid-protocol.
+
+use std::sync::{PoisonError, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader–writer lock whose `read`/`write` return guards directly.
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared access, ignoring poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive access, ignoring poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,71 @@
+//! `iis-obs` — the zero-dependency observability and support substrate of
+//! the `iis` workspace.
+//!
+//! The build environment has no crates.io access, so this crate is
+//! deliberately std-only and sits at the bottom of the workspace dependency
+//! graph. It provides:
+//!
+//! - [`metrics`] — named monotonic counters, gauges and log2-bucketed
+//!   duration histograms behind a global recorder that compiles down to a
+//!   branch on a static `AtomicBool` when disabled;
+//! - [`span`] — lightweight RAII span timers feeding the histograms and the
+//!   trace stream;
+//! - [`trace`] — a JSON-lines event sink (`--trace FILE` in the CLI);
+//! - [`json`] — a minimal JSON value type with parser and writer, used for
+//!   the trace stream, the CLI's `--json` output, task files and bench
+//!   reports (the workspace's stand-in for serde);
+//! - [`rng`] — a small deterministic PRNG (the workspace's stand-in for
+//!   `rand`), used by schedule fuzzers and adversaries;
+//! - [`report`] — human-readable rendering of metric snapshots (`--stats`).
+//!
+//! # Metric naming
+//!
+//! Names are dotted lowercase paths, grouped by pipeline:
+//! `solve.*` (the Proposition 3.1 CSP search), `sds.*` (the standard
+//! chromatic subdivision tower), `iis.*`/`atomic.*` (the schedule runners),
+//! `emu.*` (the §4 emulation), `bg.*` (the BG simulation). See the
+//! repository README's "Observability" section for the full catalogue.
+//!
+//! # Overhead discipline
+//!
+//! Every recording call first checks [`metrics::enabled`] — a single
+//! relaxed atomic load — and does nothing else when the recorder is off.
+//! Hot loops should hold [`metrics::Counter`] handles (an `Arc<AtomicU64>`
+//! lookup done once, outside the loop) rather than going through the
+//! name-keyed registry per event.
+//!
+//! # Examples
+//!
+//! ```
+//! use iis_obs::metrics;
+//!
+//! metrics::set_enabled(true);
+//! metrics::reset();
+//! let nodes = metrics::Counter::handle("solve.nodes");
+//! for _ in 0..10 {
+//!     nodes.incr();
+//! }
+//! {
+//!     let _t = iis_obs::span::span("solve.search_ns");
+//!     // ... timed work ...
+//! }
+//! let snap = metrics::snapshot();
+//! assert_eq!(snap.counters["solve.nodes"], 10);
+//! assert_eq!(snap.histograms["solve.search_ns"].count, 1);
+//! metrics::set_enabled(false);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod rng;
+pub mod span;
+pub mod trace;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use metrics::{enabled, set_enabled, snapshot, Counter, Gauge, Snapshot};
+pub use rng::Rng;
+pub use span::span;

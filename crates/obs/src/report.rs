@@ -1,0 +1,124 @@
+//! Human-readable rendering of metric snapshots (the CLI's `--stats`).
+
+use crate::metrics::Snapshot;
+
+/// Renders `snap` as an aligned plain-text table, one metric per line.
+///
+/// Counters print their value; gauges print signed values; histograms
+/// print `count / mean / max` (with `*_ns` names humanized as durations).
+/// Metrics that never recorded anything are omitted. Returns an empty
+/// string when nothing recorded.
+pub fn render_table(snap: &Snapshot) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (name, &v) in &snap.counters {
+        if v > 0 {
+            rows.push((name.clone(), group_digits(v)));
+        }
+    }
+    for (name, &v) in &snap.gauges {
+        if v != 0 {
+            rows.push((name.clone(), format!("{v}")));
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let (mean, max) = if name.ends_with("_ns") {
+            (fmt_ns(h.mean()), fmt_ns(h.max))
+        } else {
+            (group_digits(h.mean()), group_digits(h.max))
+        };
+        rows.push((
+            name.clone(),
+            format!("n={} mean={} max={}", group_digits(h.count), mean, max),
+        ));
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort();
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::from("── stats ──────────────────────────────\n");
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    out
+}
+
+/// `1234567` → `"1,234,567"`.
+pub fn group_digits(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Humanizes a nanosecond quantity: `850ns`, `12.3µs`, `4.56ms`, `1.23s`.
+pub fn fmt_ns(ns: u64) -> String {
+    const UNITS: [(u64, &str); 3] = [(1_000_000_000, "s"), (1_000_000, "ms"), (1_000, "µs")];
+    for (scale, unit) in UNITS {
+        if ns >= scale {
+            let whole = ns / scale;
+            let frac = (ns % scale) * 100 / scale;
+            return if whole >= 100 {
+                format!("{whole}{unit}")
+            } else {
+                format!("{whole}.{frac:02}{unit}")
+            };
+        }
+    }
+    format!("{ns}ns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn nanosecond_humanization() {
+        assert_eq!(fmt_ns(850), "850ns");
+        assert_eq!(fmt_ns(12_300), "12.30µs");
+        assert_eq!(fmt_ns(4_560_000), "4.56ms");
+        assert_eq!(fmt_ns(1_230_000_000), "1.23s");
+        assert_eq!(fmt_ns(250_000_000_000), "250s");
+    }
+
+    #[test]
+    fn table_includes_active_metrics_only() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("solve.nodes".to_string(), 1500);
+        snap.counters.insert("solve.idle".to_string(), 0);
+        snap.gauges.insert("solve.budget_remaining".to_string(), -3);
+        snap.histograms.insert(
+            "solve.search_ns".to_string(),
+            Histogram {
+                count: 2,
+                sum: 3000,
+                max: 2000,
+                buckets: vec![(1024, 2)],
+            },
+        );
+        let table = render_table(&snap);
+        assert!(table.contains("solve.nodes"));
+        assert!(table.contains("1,500"));
+        assert!(!table.contains("solve.idle"));
+        assert!(table.contains("solve.budget_remaining"));
+        assert!(table.contains("mean=1.50µs"));
+        assert!(render_table(&Snapshot::default()).is_empty());
+    }
+}

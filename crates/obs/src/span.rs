@@ -1,0 +1,71 @@
+//! RAII span timers.
+//!
+//! [`span`] returns a guard that, on drop, records the elapsed nanoseconds
+//! into the histogram of the same name and — when a trace sink is
+//! installed — emits a `span` trace event. When both the recorder and
+//! tracing are off, constructing the guard does not even read the clock.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::{metrics, trace};
+
+/// A timer for one named region; records on drop.
+#[must_use = "a span records when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts timing `name` (a histogram name, conventionally `*_ns`).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    let start = if metrics::enabled() || trace::active() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    Span { name, start }
+}
+
+impl Span {
+    /// The elapsed nanoseconds so far (`None` while recording is off).
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            metrics::record(self.name, ns);
+            trace::event("span", self.name, &[("dur_ns", Json::Num(ns as f64))]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_skips_the_clock() {
+        metrics::set_enabled(false);
+        let s = span("test.span.disabled_ns");
+        assert!(s.elapsed_ns().is_none());
+    }
+
+    #[test]
+    fn enabled_span_records_into_histogram() {
+        metrics::set_enabled(true);
+        {
+            let _s = span("test.span.enabled_ns");
+            std::hint::black_box(0u64);
+        }
+        let snap = metrics::snapshot();
+        let h = &snap.histograms["test.span.enabled_ns"];
+        assert!(h.count >= 1);
+        metrics::set_enabled(false);
+    }
+}

@@ -1,0 +1,144 @@
+//! A JSON-lines trace sink (the CLI's `--trace FILE`).
+//!
+//! Events are single-line JSON objects of the shape
+//! `{"ts_us": <μs since trace start>, "kind": "...", "name": "...", ...}`
+//! appended to a process-global writer. Tracing is independent of the
+//! metric recorder: with no sink installed, [`event`] is a single relaxed
+//! atomic load.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use crate::json::Json;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+struct Sink {
+    writer: Box<dyn Write + Send>,
+    start: Instant,
+}
+
+fn sink() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// `true` iff a trace sink is installed.
+#[inline(always)]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs `path` as the trace sink (truncating it) and starts tracing.
+pub fn set_file(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    set_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Installs an arbitrary writer as the trace sink (used by tests).
+pub fn set_writer(writer: Box<dyn Write + Send>) {
+    let mut g = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    *g = Some(Sink {
+        writer,
+        start: Instant::now(),
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Emits one event line: `kind` and `name` plus any extra `fields`.
+///
+/// No-op (one atomic load) when no sink is installed.
+pub fn event(kind: &str, name: &str, fields: &[(&str, Json)]) {
+    if !active() {
+        return;
+    }
+    let mut members = vec![
+        ("ts_us".to_string(), Json::Null),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+    ];
+    for (k, v) in fields {
+        members.push((k.to_string(), v.clone()));
+    }
+    let mut g = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(s) = g.as_mut() {
+        let ts_us = s.start.elapsed().as_micros() as u64;
+        members[0].1 = Json::Num(ts_us as f64);
+        let line = Json::Obj(members).to_string();
+        let _ = writeln!(s.writer, "{line}");
+    }
+}
+
+/// Flushes buffered events to the underlying file.
+pub fn flush() {
+    let mut g = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(s) = g.as_mut() {
+        let _ = s.writer.flush();
+    }
+}
+
+/// Flushes and removes the sink; subsequent events are dropped.
+pub fn close() {
+    let mut g = sink().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(mut s) = g.take() {
+        let _ = s.writer.flush();
+    }
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A Write impl that appends into a shared buffer.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_are_parseable_jsonl() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        set_writer(Box::new(SharedBuf(buf.clone())));
+        event("span", "solve.search_ns", &[("dur_ns", Json::Num(1234.0))]);
+        event("counter", "solve.nodes", &[("value", Json::Num(10.0))]);
+        close();
+        assert!(!active());
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v = Json::parse(line).unwrap();
+            assert!(v.field("ts_us").unwrap().as_u64().is_some());
+            assert!(v.field("kind").unwrap().as_str().is_some());
+            assert!(v.field("name").unwrap().as_str().is_some());
+        }
+        assert_eq!(
+            Json::parse(lines[1])
+                .unwrap()
+                .field("value")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
+        // After close, events are dropped silently.
+        event("span", "ignored", &[]);
+        assert_eq!(buf.lock().unwrap().len(), text.len());
+    }
+}

@@ -138,16 +138,19 @@ impl<M: AtomicMachine> AtomicRunner<M> {
             return false;
         }
         self.steps += 1;
+        iis_obs::metrics::add("atomic.steps", 1);
         match self.phase[pid] {
             Phase::Write => {
                 let v = self.machines[pid].next_write();
                 self.memory[pid] = Some(v);
                 self.phase[pid] = Phase::Snapshot;
+                iis_obs::metrics::add("atomic.writes", 1);
                 false
             }
             Phase::Snapshot => {
                 let decision = self.machines[pid].on_snapshot(&self.memory);
                 self.phase[pid] = Phase::Write;
+                iis_obs::metrics::add("atomic.snapshots", 1);
                 match decision {
                     Some(o) => {
                         self.outputs[pid] = Some(o);

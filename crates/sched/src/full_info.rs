@@ -178,10 +178,7 @@ pub fn atomic_one_shot_protocol_complex(input: &Complex) -> Complex {
                 // remap local pids in the view label to global colors
                 let local = runner.output(i).expect("quiescent").clone();
                 let view = local.as_view().expect("full-information views");
-                let relabeled = Label::view(
-                    view.iter()
-                        .map(|(lc, l)| (colors[lc.0 as usize], l)),
-                );
+                let relabeled = Label::view(view.iter().map(|(lc, l)| (colors[lc.0 as usize], l)));
                 facet.push(out.ensure_vertex(*c, relabeled));
             }
             out.add_facet(facet);
@@ -258,10 +255,7 @@ mod tests {
     #[test]
     fn one_round_lockstep_views() {
         let outs = run_full_info_iis(&inputs(2), IisSchedule::lockstep(2, 1), 1);
-        let expected = Label::view([
-            (Color(0), &Label::scalar(0)),
-            (Color(1), &Label::scalar(1)),
-        ]);
+        let expected = Label::view([(Color(0), &Label::scalar(0)), (Color(1), &Label::scalar(1))]);
         assert_eq!(outs[0].as_ref(), Some(&expected));
         assert_eq!(outs[1].as_ref(), Some(&expected));
     }
@@ -304,7 +298,8 @@ mod tests {
             .map(|v| {
                 let view = enumerated.label(v).as_view().unwrap();
                 iis_topology::Simplex::new(view.iter().map(|(c, l)| {
-                    base.vertex_id(*c, l).expect("view entries are base vertices")
+                    base.vertex_id(*c, l)
+                        .expect("view entries are base vertices")
                 }))
             })
             .collect();
@@ -371,10 +366,7 @@ mod tests {
                 .iter()
                 .map(|v| {
                     atomic
-                        .vertex_id(
-                            is_complex.complex().color(v),
-                            is_complex.complex().label(v),
-                        )
+                        .vertex_id(is_complex.complex().color(v), is_complex.complex().label(v))
                         .expect("IS views occur atomically")
                 })
                 .collect();
@@ -398,7 +390,10 @@ mod tests {
                 }
             }
         }
-        assert!(violation, "plain snapshots must violate immediacy somewhere");
+        assert!(
+            violation,
+            "plain snapshots must violate immediacy somewhere"
+        );
         // and the complex is not a pseudomanifold
         let report = iis_topology::manifold::pseudomanifold_report(&atomic);
         assert!(!report.is_pseudomanifold());

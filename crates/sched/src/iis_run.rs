@@ -38,8 +38,11 @@ pub trait IisMachine {
     /// `(pid, value)` pairs of every process in this process's block or an
     /// earlier one, sorted by pid (self-inclusive). Returns the next value
     /// or a decision.
-    fn on_view(&mut self, round: usize, view: &[(usize, Self::Value)])
-        -> MachineStep<Self::Value, Self::Output>;
+    fn on_view(
+        &mut self,
+        round: usize,
+        view: &[(usize, Self::Value)],
+    ) -> MachineStep<Self::Value, Self::Output>;
 }
 
 /// Drives a set of [`IisMachine`]s through a sequence of ordered partitions.
@@ -185,19 +188,25 @@ impl<M: IisMachine> IisRunner<M> {
         fail_inside: &[usize],
     ) -> usize {
         let active = self.active();
-        let restricted = partition.restrict(|p| {
-            p < self.machines.len() && !self.crashed[p] && self.outputs[p].is_none()
-        });
+        let restricted = partition
+            .restrict(|p| p < self.machines.len() && !self.crashed[p] && self.outputs[p].is_none());
         assert_eq!(
             restricted.participants(),
             active,
             "every active process must appear in the round's partition"
         );
+        iis_obs::metrics::add("iis.rounds", 1);
+        iis_obs::metrics::add("iis.write_reads", active.len() as u64);
+        let block_size = iis_obs::metrics::HistogramHandle::handle("iis.block_size");
         let mut decided = 0;
         let mut seen: Vec<(usize, M::Value)> = Vec::new();
-        type Steps<M> = Vec<(usize, MachineStep<<M as IisMachine>::Value, <M as IisMachine>::Output>)>;
+        type Steps<M> = Vec<(
+            usize,
+            MachineStep<<M as IisMachine>::Value, <M as IisMachine>::Output>,
+        )>;
         let mut steps: Steps<M> = Vec::new();
         for block in restricted.blocks() {
+            block_size.record(block.len() as u64);
             for &p in block {
                 let v = self.pending[p]
                     .clone()
@@ -226,6 +235,7 @@ impl<M: IisMachine> IisRunner<M> {
                 }
             }
         }
+        iis_obs::metrics::add("iis.decisions", decided as u64);
         self.round += 1;
         decided
     }
@@ -273,7 +283,11 @@ mod tests {
         fn initial_value(&mut self) -> usize {
             self.pid
         }
-        fn on_view(&mut self, round: usize, view: &[(usize, usize)]) -> MachineStep<usize, Self::Output> {
+        fn on_view(
+            &mut self,
+            round: usize,
+            view: &[(usize, usize)],
+        ) -> MachineStep<usize, Self::Output> {
             self.history.push(view.iter().map(|(p, _)| *p).collect());
             if round + 1 == self.rounds {
                 MachineStep::Decide(self.history.clone())

@@ -49,4 +49,6 @@ pub use full_info::{
 };
 pub use iis_run::{IisMachine, IisRunner, MachineStep};
 pub use partition::{all_ordered_partitions, OrderedPartition, PartitionError};
-pub use schedule::{all_atomic_schedules, all_iis_schedules, AtomicSchedule, CrashPattern, IisSchedule};
+pub use schedule::{
+    all_atomic_schedules, all_iis_schedules, AtomicSchedule, CrashPattern, IisSchedule,
+};

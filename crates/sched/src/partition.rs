@@ -6,8 +6,7 @@
 //! simultaneous `WriteRead`s, and a process's view is the union of all
 //! blocks up to and including its own.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use iis_obs::Rng;
 use std::fmt;
 
 /// An ordered partition of a set of process ids into non-empty blocks — one
@@ -142,9 +141,10 @@ impl OrderedPartition {
     /// block or a random gap — *not* exactly uniform over all ordered
     /// partitions, but covers all of them with positive probability, which
     /// is what schedule fuzzing needs).
-    pub fn random<R: Rng + ?Sized>(pids: &[usize], rng: &mut R) -> Self {
+    pub fn random(pids: &[usize], rng: &mut Rng) -> Self {
+        iis_obs::metrics::add("sched.random_partitions", 1);
         let mut order: Vec<usize> = pids.to_vec();
-        order.shuffle(rng);
+        rng.shuffle(&mut order);
         let mut blocks: Vec<Vec<usize>> = Vec::new();
         for p in order {
             let choices = 2 * blocks.len() + 1; // join block k, or insert gap k
@@ -192,7 +192,6 @@ pub fn all_ordered_partitions(pids: &[usize]) -> Vec<OrderedPartition> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn construction_validates() {
@@ -254,10 +253,7 @@ mod tests {
                 for j in 0..4 {
                     let i_in_j = views[j].contains(&i);
                     if i_in_j {
-                        assert!(
-                            views[i].iter().all(|x| views[j].contains(x)),
-                            "immediacy"
-                        );
+                        assert!(views[i].iter().all(|x| views[j].contains(x)), "immediacy");
                     }
                     let ij = views[i].iter().all(|x| views[j].contains(x));
                     let ji = views[j].iter().all(|x| views[i].contains(x));
@@ -269,7 +265,7 @@ mod tests {
 
     #[test]
     fn random_partitions_are_valid_and_varied() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let pids = [0, 1, 2, 3];
         let mut shapes = std::collections::BTreeSet::new();
         for _ in 0..500 {

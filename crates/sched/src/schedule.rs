@@ -1,7 +1,7 @@
 //! Schedule generators and crash adversaries for both models.
 
 use crate::OrderedPartition;
-use rand::Rng;
+use iis_obs::Rng;
 
 /// A finite schedule for the atomic snapshot model: a sequence of process
 /// ids (§3.1). Each appearance of a pid alternates write/snapshot.
@@ -32,7 +32,7 @@ impl AtomicSchedule {
     }
 
     /// A uniformly random schedule of `len` steps over `n` processes.
-    pub fn random<R: Rng + ?Sized>(n: usize, len: usize, rng: &mut R) -> Self {
+    pub fn random(n: usize, len: usize, rng: &mut Rng) -> Self {
         AtomicSchedule {
             steps: (0..len).map(|_| rng.random_range(0..n)).collect(),
         }
@@ -138,7 +138,7 @@ impl IisSchedule {
     }
 
     /// Seeded-random partitions each round.
-    pub fn random<R: Rng + ?Sized>(n: usize, rounds: usize, rng: &mut R) -> Self {
+    pub fn random(n: usize, rounds: usize, rng: &mut Rng) -> Self {
         let pids: Vec<usize> = (0..n).collect();
         IisSchedule {
             rounds: (0..rounds)
@@ -248,7 +248,7 @@ impl CrashPattern {
 
     /// A random pattern: each process crashes independently with probability
     /// `p_crash` at a uniformly random round in `0..rounds`.
-    pub fn random<R: Rng + ?Sized>(n: usize, rounds: usize, p_crash: f64, rng: &mut R) -> Self {
+    pub fn random(n: usize, rounds: usize, p_crash: f64, rng: &mut Rng) -> Self {
         let mut pat = CrashPattern::none();
         for pid in 0..n {
             if rng.random_bool(p_crash) {
@@ -267,13 +267,12 @@ impl CrashPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn atomic_generators() {
         assert_eq!(AtomicSchedule::round_robin(2, 2).steps(), &[0, 1, 0, 1]);
         assert_eq!(AtomicSchedule::sequential(2, 2).steps(), &[0, 0, 1, 1]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let r = AtomicSchedule::random(3, 100, &mut rng);
         assert_eq!(r.len(), 100);
         assert!(r.steps().iter().all(|&p| p < 3));
@@ -302,7 +301,7 @@ mod tests {
         assert_eq!(rl.rounds()[1].blocks()[0], vec![1]);
         let lg = IisSchedule::laggard(3, 1);
         assert_eq!(lg.rounds()[0].blocks().last().unwrap(), &vec![2]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let r = IisSchedule::random(4, 5, &mut rng);
         assert_eq!(r.len(), 5);
         for round in r.rounds() {
@@ -342,11 +341,14 @@ mod tests {
 
     #[test]
     fn crash_pattern_queries() {
-        let p = CrashPattern::none().with_crash(1, 2).with_crash(1, 0).with_crash(3, 1);
+        let p = CrashPattern::none()
+            .with_crash(1, 2)
+            .with_crash(1, 0)
+            .with_crash(3, 1);
         assert_eq!(p.crashes_before(1), vec![2, 0]);
         assert_eq!(p.crashes_before(0), Vec::<usize>::new());
         assert_eq!(p.events().len(), 3);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let r = CrashPattern::random(10, 4, 0.5, &mut rng);
         assert!(r.events().len() <= 10);
         for &(round, pid) in r.events() {

@@ -187,7 +187,7 @@ pub fn renaming(n: usize, m: usize) -> Task {
             // all injective assignments colors -> 1..=m
             let mut out = Vec::new();
             let mut names: Vec<usize> = (0..cnt).collect(); // indices into 1..=m
-            // enumerate via odometer over injective tuples
+                                                            // enumerate via odometer over injective tuples
             fn rec(
                 colors: &[Color],
                 m: usize,
@@ -311,8 +311,7 @@ pub fn chromatic_simplex_agreement(sub: &Subdivision) -> Task {
         let si_colors: BTreeSet<Color> = si.iter().map(|v| input.color(v)).collect();
         // all simplices W of A with X(W) = X(si) and carrier(W) ⊆ si
         for w in sub.complex().simplices() {
-            let w_colors: BTreeSet<Color> =
-                w.iter().map(|v| sub.complex().color(v)).collect();
+            let w_colors: BTreeSet<Color> = w.iter().map(|v| sub.complex().color(v)).collect();
             if w_colors != si_colors {
                 continue;
             }

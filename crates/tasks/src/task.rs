@@ -115,8 +115,7 @@ impl Task {
                 if sq == *si {
                     continue;
                 }
-                let colors: BTreeSet<Color> =
-                    sq.iter().map(|v| self.input.color(v)).collect();
+                let colors: BTreeSet<Color> = sq.iter().map(|v| self.input.color(v)).collect();
                 for so in outs {
                     let restricted = Simplex::new(
                         so.iter()
@@ -228,8 +227,7 @@ impl TaskBuilder {
                 if !self.output.contains_simplex(so) {
                     return Err(TaskError::DeltaValueNotOutput(so.clone()));
                 }
-                let out_colors: BTreeSet<Color> =
-                    so.iter().map(|w| self.output.color(w)).collect();
+                let out_colors: BTreeSet<Color> = so.iter().map(|w| self.output.color(w)).collect();
                 if in_colors != out_colors {
                     return Err(TaskError::ColorMismatch {
                         input: si.clone(),
@@ -247,44 +245,39 @@ impl TaskBuilder {
     }
 }
 
-/// Serialized form of a [`Task`]; deserialization re-validates through
-/// [`TaskBuilder`], so hand-edited task files cannot produce ill-formed
-/// tasks.
-#[derive(serde::Serialize, serde::Deserialize)]
-struct TaskRepr {
-    name: String,
-    input: Complex,
-    output: Complex,
-    delta: Vec<(Simplex, Vec<Simplex>)>,
-}
-
-impl serde::Serialize for Task {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let repr = TaskRepr {
-            name: self.name.clone(),
-            input: self.input.clone(),
-            output: self.output.clone(),
-            delta: self
-                .delta
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
-        };
-        repr.serialize(serializer)
+/// JSON form: `{"name", "input", "output", "delta": [[si, [so, …]], …]}`.
+/// Deserialization re-validates through [`TaskBuilder`], so hand-edited
+/// task files cannot produce ill-formed tasks.
+impl iis_obs::ToJson for Task {
+    fn to_json(&self) -> iis_obs::Json {
+        let delta: Vec<(Simplex, Vec<Simplex>)> = self
+            .delta
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        iis_obs::Json::obj([
+            ("name", self.name.to_json()),
+            ("input", self.input.to_json()),
+            ("output", self.output.to_json()),
+            ("delta", delta.to_json()),
+        ])
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Task {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        use serde::de::Error as _;
-        let repr = TaskRepr::deserialize(deserializer)?;
-        let mut b = TaskBuilder::new(repr.name, repr.input, repr.output);
-        for (si, outs) in repr.delta {
+impl iis_obs::FromJson for Task {
+    fn from_json(v: &iis_obs::Json) -> Result<Self, iis_obs::JsonError> {
+        let name = String::from_json(v.field("name")?)?;
+        let input = Complex::from_json(v.field("input")?)?;
+        let output = Complex::from_json(v.field("output")?)?;
+        let delta = Vec::<(Simplex, Vec<Simplex>)>::from_json(v.field("delta")?)?;
+        let mut b = TaskBuilder::new(name, input, output);
+        for (si, outs) in delta {
             for so in outs {
                 b.allow(si.clone(), so);
             }
         }
-        b.build().map_err(|e| D::Error::custom(e.to_string()))
+        b.build()
+            .map_err(|e| iis_obs::JsonError::new(e.to_string()))
     }
 }
 
@@ -391,10 +384,11 @@ mod tests {
     }
 
     #[test]
-    fn task_serde_roundtrip() {
+    fn task_json_roundtrip() {
+        use iis_obs::{Json, ToJson};
         let t = crate::library::k_set_consensus(1, 1);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Task = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().to_string();
+        let back: Task = Json::parse_as(&json).unwrap();
         assert_eq!(t.name(), back.name());
         assert!(t.input().same_labeled(back.input()));
         assert!(t.output().same_labeled(back.output()));
@@ -406,12 +400,23 @@ mod tests {
 
     #[test]
     fn task_deserialize_revalidates() {
+        use iis_obs::{FromJson, Json, ToJson};
         // corrupt a serialized task: Δ value not in the output complex
         let t = identity_task();
-        let mut v = serde_json::to_value(&t).unwrap();
-        v["delta"][0][1][0] = serde_json::json!([99]);
-        let r: Result<Task, _> = serde_json::from_value(v);
-        assert!(r.is_err());
+        let mut v = t.to_json();
+        if let Json::Obj(members) = &mut v {
+            let delta = members
+                .iter_mut()
+                .find(|(k, _)| k == "delta")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Json::Arr(entries) = delta {
+                if let Json::Arr(pair) = &mut entries[0] {
+                    pair[1] = Json::Arr(vec![Json::Arr(vec![Json::Num(99.0)])]);
+                }
+            }
+        }
+        assert!(Task::from_json(&v).is_err());
     }
 
     #[test]

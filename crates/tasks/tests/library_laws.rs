@@ -43,8 +43,7 @@ fn every_input_simplex_has_allowed_outputs() {
 fn delta_respects_colors_everywhere() {
     for task in all_library_tasks() {
         for (si, outs) in task.delta_entries() {
-            let in_colors: BTreeSet<Color> =
-                si.iter().map(|v| task.input().color(v)).collect();
+            let in_colors: BTreeSet<Color> = si.iter().map(|v| task.input().color(v)).collect();
             for so in outs {
                 let out_colors: BTreeSet<Color> =
                     so.iter().map(|w| task.output().color(w)).collect();
@@ -69,7 +68,9 @@ fn output_complex_is_exactly_the_delta_image() {
         }
         for facet in task.output().facets() {
             assert!(
-                covered.iter().any(|s| facet.is_face_of(s) || s.is_face_of(facet)),
+                covered
+                    .iter()
+                    .any(|s| facet.is_face_of(s) || s.is_face_of(facet)),
                 "{}: output facet {facet} unreachable through Δ",
                 task.name()
             );

@@ -128,10 +128,7 @@ impl Complex {
     pub fn add_facet<I: IntoIterator<Item = VertexId>>(&mut self, vertices: I) -> Simplex {
         let s = Simplex::new(vertices);
         for v in s.iter() {
-            assert!(
-                v.index() < self.vertices.len(),
-                "vertex {v} not in complex"
-            );
+            assert!(v.index() < self.vertices.len(), "vertex {v} not in complex");
         }
         if s.is_empty() {
             return s;
@@ -414,7 +411,10 @@ impl Complex {
                 used[first.index()] = true;
                 for v in it {
                     used[v.index()] = true;
-                    let (a, b) = (find(&mut parent, first.index()), find(&mut parent, v.index()));
+                    let (a, b) = (
+                        find(&mut parent, first.index()),
+                        find(&mut parent, v.index()),
+                    );
                     parent[a] = b;
                 }
             }
@@ -435,8 +435,7 @@ impl Complex {
     /// sides were built with canonical labels (e.g. protocol complexes from
     /// execution enumeration vs. the combinatorial subdivision).
     pub fn same_labeled(&self, other: &Complex) -> bool {
-        if self.vertices.len() != other.vertices.len() || self.facets.len() != other.facets.len()
-        {
+        if self.vertices.len() != other.vertices.len() || self.facets.len() != other.facets.len() {
             return false;
         }
         let mut map: Vec<Option<VertexId>> = vec![None; self.vertices.len()];

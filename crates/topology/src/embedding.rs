@@ -80,10 +80,7 @@ pub fn embed_sds_level(sub: &Subdivision, within: &Embedding) -> Embedding {
             let carrier = sub.carrier_of_vertex(v);
             assert!(!carrier.is_empty(), "empty carrier");
             let color = sub.complex().color(v);
-            let own: Vec<VertexId> = carrier
-                .iter()
-                .filter(|&u| base.color(u) == color)
-                .collect();
+            let own: Vec<VertexId> = carrier.iter().filter(|&u| base.color(u) == color).collect();
             assert_eq!(own.len(), 1, "chromatic carrier must contain own color");
             if carrier.len() == 1 {
                 return within.coord(own[0]).to_vec();
@@ -468,7 +465,10 @@ mod tests {
             sub.complex().simplices_of_dim(1).len()
         );
         // 3 corners drawn large
-        assert_eq!(svg.matches(&format!("r=\"{:.2}\"", 400.0 / 60.0)).count(), 3);
+        assert_eq!(
+            svg.matches(&format!("r=\"{:.2}\"", 400.0 / 60.0)).count(),
+            3
+        );
     }
 
     #[test]

@@ -110,9 +110,7 @@ fn smith_diagonal(mut m: Vec<Vec<i128>>) -> Vec<i128> {
         let mut pivot: Option<(usize, usize)> = None;
         for r in r0..rows {
             for c in c0..cols {
-                if m[r][c] != 0
-                    && pivot.is_none_or(|(pr, pc)| m[r][c].abs() < m[pr][pc].abs())
-                {
+                if m[r][c] != 0 && pivot.is_none_or(|(pr, pc)| m[r][c].abs() < m[pr][pc].abs()) {
                     pivot = Some((r, c));
                 }
             }
@@ -159,9 +157,7 @@ fn smith_diagonal(mut m: Vec<Vec<i128>>) -> Vec<i128> {
             let mut best: Option<(usize, usize)> = None;
             for r in r0..rows {
                 for c in c0..cols {
-                    if m[r][c] != 0
-                        && best.is_none_or(|(br, bc)| m[r][c].abs() < m[br][bc].abs())
-                    {
+                    if m[r][c] != 0 && best.is_none_or(|(br, bc)| m[r][c].abs() < m[br][bc].abs()) {
                         best = Some((r, c));
                     }
                 }
@@ -207,11 +203,7 @@ mod tests {
     #[test]
     fn smith_diagonal_basics() {
         // identity 3×3
-        let id = vec![
-            vec![1, 0, 0],
-            vec![0, 1, 0],
-            vec![0, 0, 1],
-        ];
+        let id = vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
         assert_eq!(smith_diagonal(id), vec![1, 1, 1]);
         // [[2,4],[-2,6]]: det = 20, SNF diag (2, 10)
         let m = vec![vec![2i128, 4], vec![-2, 6]];

@@ -42,13 +42,15 @@ pub mod embedding;
 pub mod homology;
 pub mod homology_z;
 pub mod iso;
+mod json_impls;
 pub mod manifold;
-mod serde_impls;
 pub mod sperner;
 
 pub use complex::Complex;
 pub use maps::{MapError, SimplicialMap};
-pub use sds::{ordered_bell, ordered_partitions, path_subdivision, sds, sds_forget_map, sds_iterated};
+pub use sds::{
+    ordered_bell, ordered_partitions, path_subdivision, sds, sds_forget_map, sds_iterated,
+};
 pub use simplex::Simplex;
 pub use subdivision::{Subdivision, SubdivisionError};
 pub use vertex::{Color, Label, VertexId};

@@ -113,7 +113,10 @@ mod tests {
         for (n, b) in [(1usize, 2usize), (2, 1), (2, 2), (3, 1)] {
             let sub = sds_iterated(&Complex::standard_simplex(n), b);
             let r = pseudomanifold_report(sub.complex());
-            assert!(r.is_pseudomanifold(), "SDS^{b}(s^{n}) must be a pseudomanifold");
+            assert!(
+                r.is_pseudomanifold(),
+                "SDS^{b}(s^{n}) must be a pseudomanifold"
+            );
             assert!(r.boundary_ridges > 0, "it has a boundary");
         }
     }
@@ -122,7 +125,10 @@ mod tests {
     fn boundary_sphere_is_closed() {
         let sphere = sds(&Complex::standard_simplex(2)).complex().boundary();
         let r = pseudomanifold_report(&sphere);
-        assert!(r.is_closed(), "the boundary circle is a closed pseudomanifold");
+        assert!(
+            r.is_closed(),
+            "the boundary circle is a closed pseudomanifold"
+        );
     }
 
     #[test]

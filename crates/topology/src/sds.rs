@@ -30,7 +30,10 @@ pub fn ordered_partitions<T: Clone>(items: &[T]) -> Vec<Vec<Vec<T>>> {
     if n == 0 {
         return vec![Vec::new()];
     }
-    assert!(n <= 16, "ordered partitions of >16 items are astronomically many");
+    assert!(
+        n <= 16,
+        "ordered partitions of >16 items are astronomically many"
+    );
     let mut out = Vec::new();
     // Recurse on which non-empty subset forms the first block.
     fn rec<T: Clone>(remaining: &[T], acc: &mut Vec<Vec<T>>, out: &mut Vec<Vec<Vec<T>>>) {
@@ -113,20 +116,18 @@ pub fn ordered_bell(n: usize) -> u64 {
 /// ```
 pub fn sds(base: &Complex) -> Subdivision {
     assert!(base.is_chromatic(), "SDS requires a chromatic base complex");
+    let _timer = iis_obs::span::span("sds.build_ns");
     let mut sub = Complex::new();
     let mut carriers: Vec<Simplex> = Vec::new();
-    let ensure = |sub: &mut Complex,
-                      carriers: &mut Vec<Simplex>,
-                      color,
-                      label: Label,
-                      carrier: Simplex| {
-        let before = sub.num_vertices();
-        let id = sub.ensure_vertex(color, label);
-        if sub.num_vertices() > before {
-            carriers.push(carrier);
-        }
-        id
-    };
+    let ensure =
+        |sub: &mut Complex, carriers: &mut Vec<Simplex>, color, label: Label, carrier: Simplex| {
+            let before = sub.num_vertices();
+            let id = sub.ensure_vertex(color, label);
+            if sub.num_vertices() > before {
+                carriers.push(carrier);
+            }
+            id
+        };
     for f in base.facets() {
         let verts: Vec<_> = f.iter().collect();
         for partition in ordered_partitions(&verts) {
@@ -150,6 +151,9 @@ pub fn sds(base: &Complex) -> Subdivision {
             sub.add_facet(facet);
         }
     }
+    iis_obs::metrics::add("sds.builds", 1);
+    iis_obs::metrics::add("sds.facets", sub.num_facets() as u64);
+    iis_obs::metrics::add("sds.vertices", sub.num_vertices() as u64);
     Subdivision::from_parts(base.clone(), sub, carriers)
 }
 
@@ -168,9 +172,26 @@ pub fn sds(base: &Complex) -> Subdivision {
 /// ```
 pub fn sds_iterated(base: &Complex, b: usize) -> Subdivision {
     let mut acc = Subdivision::identity(base.clone());
-    for _ in 0..b {
+    for level in 1..=b {
         let next = sds(acc.complex());
         acc = acc.compose(&next);
+        if iis_obs::trace::active() {
+            iis_obs::trace::event(
+                "sds.level",
+                "sds.level",
+                &[
+                    ("level", iis_obs::Json::Num(level as f64)),
+                    (
+                        "facets",
+                        iis_obs::Json::Num(acc.complex().num_facets() as f64),
+                    ),
+                    (
+                        "vertices",
+                        iis_obs::Json::Num(acc.complex().num_vertices() as f64),
+                    ),
+                ],
+            );
+        }
     }
     acc
 }
@@ -189,7 +210,10 @@ pub fn sds_iterated(base: &Complex, b: usize) -> Subdivision {
 /// # Panics
 ///
 /// Panics if `C` is not chromatic.
-pub fn sds_forget_map(base: &Complex, b: usize) -> (Subdivision, Subdivision, crate::SimplicialMap) {
+pub fn sds_forget_map(
+    base: &Complex,
+    b: usize,
+) -> (Subdivision, Subdivision, crate::SimplicialMap) {
     let finer = sds_iterated(base, b + 1);
     let coarser = sds_iterated(base, b);
     let map = crate::SimplicialMap::from_fn(finer.complex(), |v| {
@@ -321,7 +345,7 @@ mod tests {
         let sub = sds(&Complex::standard_simplex(3));
         let c = sub.complex();
         assert_eq!(c.num_facets() as u64, ordered_bell(4)); // 75
-        // vertices (i,S): sum over |S|=k of k·C(4,k) = 1·4+2·6+3·4+4·1 = 32
+                                                            // vertices (i,S): sum over |S|=k of k·C(4,k) = 1·4+2·6+3·4+4·1 = 32
         assert_eq!(c.num_vertices(), 32);
         assert!(c.is_chromatic());
         sub.validate().unwrap();
@@ -438,7 +462,10 @@ mod tests {
         // length 3 has the same shape as SDS(s¹) (labels differ)
         let p = path_subdivision(3);
         let s = sds(&Complex::standard_simplex(1));
-        assert!(crate::iso::are_chromatic_isomorphic(p.complex(), s.complex()));
+        assert!(crate::iso::are_chromatic_isomorphic(
+            p.complex(),
+            s.complex()
+        ));
     }
 
     #[test]

@@ -18,7 +18,6 @@ use std::fmt;
 /// assert!(Simplex::new([VertexId(0)]).is_face_of(&s));
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Simplex(Vec<VertexId>);
 
 impl Simplex {

@@ -252,11 +252,7 @@ mod tests {
         let sub = sds(&base(2));
         let labels = labeling_from(&sub, |v| {
             let carrier = sub.carrier_of_vertex(v);
-            carrier
-                .iter()
-                .map(|u| sub.base().color(u))
-                .min()
-                .unwrap()
+            carrier.iter().map(|u| sub.base().color(u)).min().unwrap()
         });
         validate_sperner(&sub, &labels).unwrap();
         assert!(rainbow_count_is_odd(&sub, &labels));
@@ -267,11 +263,7 @@ mod tests {
         let sub = sds_iterated(&base(2), 2);
         let labels = labeling_from(&sub, |v| {
             let carrier = sub.carrier_of_vertex(v);
-            carrier
-                .iter()
-                .map(|u| sub.base().color(u))
-                .max()
-                .unwrap()
+            carrier.iter().map(|u| sub.base().color(u)).max().unwrap()
         });
         validate_sperner(&sub, &labels).unwrap();
         assert!(rainbow_count_is_odd(&sub, &labels));
@@ -328,11 +320,7 @@ mod tests {
         let sub = sds(&base(2));
         let labels = labeling_from(&sub, |v| {
             let carrier = sub.carrier_of_vertex(v);
-            carrier
-                .iter()
-                .map(|u| sub.base().color(u))
-                .min()
-                .unwrap()
+            carrier.iter().map(|u| sub.base().color(u)).min().unwrap()
         });
         let cex = set_consensus_counterexample(&sub, &labels, 2).unwrap();
         assert!(cex.is_some());
@@ -341,7 +329,7 @@ mod tests {
         assert!(ok.is_none());
     }
 
-#[test]
+    #[test]
     fn walk_finds_rainbow_on_paths() {
         // dimension 1: the walk finds a bichromatic edge
         let sub = sds_iterated(&base(1), 3);
@@ -390,7 +378,9 @@ mod tests {
                     .iter()
                     .map(|u| sub.base().color(u))
                     .collect();
-                let pick = (v.0 as u64).wrapping_mul(6364136223846793005).wrapping_add(seed)
+                let pick = (v.0 as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
                     >> 33;
                 allowed[(pick % allowed.len() as u64) as usize]
             });
@@ -406,10 +396,12 @@ mod tests {
 
     #[test]
     fn error_display_nonempty() {
-
         for e in [
             SpernerError::BaseNotASimplex,
-            SpernerError::WrongLength { got: 0, expected: 3 },
+            SpernerError::WrongLength {
+                got: 0,
+                expected: 3,
+            },
             SpernerError::LabelOutsideCarrier(VertexId(1)),
         ] {
             assert!(!e.to_string().is_empty());

@@ -87,10 +87,7 @@ impl Subdivision {
     /// The identity subdivision of a complex: each vertex carried by itself.
     pub fn identity(base: Complex) -> Self {
         let subdivided = base.clone();
-        let carriers = subdivided
-            .vertex_ids()
-            .map(|v| Simplex::new([v]))
-            .collect();
+        let carriers = subdivided.vertex_ids().map(|v| Simplex::new([v])).collect();
         Subdivision {
             base,
             subdivided,
@@ -246,6 +243,7 @@ impl Subdivision {
             outer.base().same_labeled(&self.subdivided),
             "outer subdivision must subdivide self.complex()"
         );
+        let _timer = iis_obs::span::span("sds.compose_ns");
         // outer.base vertex ids may be a permutation of self.subdivided's.
         let translate: Vec<VertexId> = outer
             .base()

@@ -24,7 +24,6 @@ use std::fmt;
 /// assert_eq!(p0.to_string(), "P0");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Color(pub u32);
 
 impl Color {
@@ -57,7 +56,6 @@ impl From<usize> for Color {
 /// Vertex ids are local to their complex: the same `(color, label)` pair may
 /// receive different ids in different complexes.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct VertexId(pub u32);
 
 impl VertexId {
@@ -113,7 +111,6 @@ enum Tag {
 /// assert_eq!(v1, v2);
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Label(Vec<u8>);
 
 impl Label {
@@ -228,6 +225,17 @@ impl Label {
     /// The size of this label's canonical encoding in bytes.
     pub fn encoded_len(&self) -> usize {
         self.0.len()
+    }
+
+    /// The canonical encoding, for serialization.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Rebuilds a label from its canonical encoding (serialization only;
+    /// the bytes are trusted to the same degree a hand-edited JSON file is).
+    pub(crate) fn from_bytes(bytes: Vec<u8>) -> Self {
+        Label(bytes)
     }
 }
 

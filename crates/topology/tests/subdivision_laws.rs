@@ -27,10 +27,7 @@ fn identity_is_right_unit_of_compose() {
     for v in composed.complex().vertex_ids() {
         let w = s
             .complex()
-            .vertex_id(
-                composed.complex().color(v),
-                composed.complex().label(v),
-            )
+            .vertex_id(composed.complex().color(v), composed.complex().label(v))
             .unwrap();
         assert_eq!(composed.carrier_of_vertex(v), s.carrier_of_vertex(w));
     }
@@ -138,7 +135,9 @@ fn boundary_commutes_with_subdivision_counts() {
     for n in [2usize, 3] {
         let sub = sds(&Complex::standard_simplex(n));
         let boundary_facets = sub.complex().boundary().num_facets();
-        let face_facets = sds(&Complex::standard_simplex(n - 1)).complex().num_facets();
+        let face_facets = sds(&Complex::standard_simplex(n - 1))
+            .complex()
+            .num_facets();
         assert_eq!(boundary_facets, (n + 1) * face_facets);
     }
 }

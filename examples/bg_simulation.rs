@@ -6,7 +6,7 @@
 //! ```
 
 use iis::core::bg::BgSimulation;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use iis::obs::Rng;
 
 fn main() {
     println!("== BG simulation: crash-free runs ==\n");
@@ -29,7 +29,7 @@ fn main() {
     }
 
     println!("\n== adversarial crashes: f ≤ m−1 crashes stall ≤ f simulated processes ==\n");
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let (n_sim, k, m) = (4usize, 2usize, 3usize);
     for trial in 0..5 {
         let mut bg = BgSimulation::new(n_sim, k, m);

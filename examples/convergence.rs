@@ -39,7 +39,11 @@ fn main() {
         ];
         let mut runner = IisRunner::new(machines);
         runner.run(schedule.clone());
-        let outputs: Vec<_> = runner.outputs().iter().map(|o| o.as_ref().copied()).collect();
+        let outputs: Vec<_> = runner
+            .outputs()
+            .iter()
+            .map(|o| o.as_ref().copied())
+            .collect();
         validate_csass_outcome(&target, &outputs, &[true, true]).expect("CSASS satisfied");
     }
     println!(

@@ -8,8 +8,8 @@
 
 use iis::core::emulation::validate_snapshot_histories;
 use iis::core::EmulatorMachine;
+use iis::obs::Rng;
 use iis::sched::{AtomicMachine, IisRunner, IisSchedule, OrderedPartition};
-use rand::{rngs::StdRng, SeedableRng};
 
 /// The k-shot full-information-style counter protocol of Figure 1.
 #[derive(Clone)]
@@ -58,7 +58,7 @@ fn main() {
     }
 
     println!("\nrandom schedules — memories consumed per emulated operation:");
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let mut histogram = std::collections::BTreeMap::<usize, usize>::new();
     let mut total_runs = 0usize;
     for _case in 0..200 {
@@ -123,7 +123,10 @@ fn main() {
                 .map(|(sq, cells)| {
                     (
                         *sq,
-                        cells.iter().map(|c| c.map_or(0, |(_, r)| r as u64)).collect(),
+                        cells
+                            .iter()
+                            .map(|c| c.map_or(0, |(_, r)| r as u64))
+                            .collect(),
                     )
                 })
                 .collect()

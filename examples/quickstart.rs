@@ -77,7 +77,10 @@ fn main() {
          under the rotating-leader adversary"
     );
     for p in 0..n {
-        println!("  P{p} saw {} processes", runner.output(p).expect("decided"));
+        println!(
+            "  P{p} saw {} processes",
+            runner.output(p).expect("decided")
+        );
     }
 
     println!("\n== Act 4: the same emulation on real threads ==");

@@ -71,5 +71,8 @@ fn main() {
     let t3 = k_set_consensus(2, 3);
     let t2 = k_set_consensus(2, 2);
     println!("  (3,3): {:?}", solve_at(&t3, 0).map(|m| m.rounds()));
-    println!("  (3,2) at b = 1: {:?}", solve_at(&t2, 1).map(|m| m.rounds()));
+    println!(
+        "  (3,2) at b = 1: {:?}",
+        solve_at(&t2, 1).map(|m| m.rounds())
+    );
 }

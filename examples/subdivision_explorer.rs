@@ -45,7 +45,10 @@ fn main() {
     println!("\nstructure checks:");
     println!("  chromatic: {}", c.is_chromatic());
     println!("  pure of dimension {}: {}", n, c.is_pure());
-    println!("  Euler characteristic: {} (disk = 1)", c.euler_characteristic());
+    println!(
+        "  Euler characteristic: {} (disk = 1)",
+        c.euler_characteristic()
+    );
 
     let h = Homology::of(c);
     println!(

@@ -2,7 +2,7 @@
 //! Algorithmically Reasoned Characterization of Wait-free Computations”*
 //! (PODC 1997), as a Rust workspace.
 //!
-//! This umbrella crate re-exports the five member crates:
+//! This umbrella crate re-exports the member crates:
 //!
 //! - [`topology`] — chromatic simplicial complexes, the standard chromatic
 //!   subdivision, homology, Sperner counting (§2, §3.6);
@@ -14,7 +14,10 @@
 //! - [`core`] — the paper's results: the IIS emulation of atomic snapshot
 //!   memory (§4), the solvability characterization (Proposition 3.1 /
 //!   Corollary 5.2), the convergence algorithms (§5), and the BG
-//!   simulation.
+//!   simulation;
+//! - [`obs`] — the zero-dependency observability substrate: metric
+//!   counters/gauges/histograms, span timers, JSON-lines tracing, the
+//!   deterministic PRNG and the JSON codec used across the workspace.
 //!
 //! See `examples/` for runnable walkthroughs and `EXPERIMENTS.md` for the
 //! experiment index.
@@ -35,6 +38,7 @@
 
 pub use iis_core as core;
 pub use iis_memory as memory;
+pub use iis_obs as obs;
 pub use iis_sched as sched;
 pub use iis_tasks as tasks;
 pub use iis_topology as topology;

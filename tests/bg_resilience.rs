@@ -3,11 +3,11 @@
 //! the unsafe zone.
 
 use iis::core::bg::BgSimulation;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use iis::obs::Rng;
 
 /// Drives `bg` with a seeded random simulator schedule, crashing the given
 /// simulators at the given steps; returns when no further progress happens.
-fn drive(bg: &mut BgSimulation, crashes: &[(u64, usize)], rng: &mut StdRng) {
+fn drive(bg: &mut BgSimulation, crashes: &[(u64, usize)], rng: &mut Rng) {
     let m = bg.simulators();
     let mut idle_streak = 0u32;
     let mut i = 0u64;
@@ -29,7 +29,7 @@ fn drive(bg: &mut BgSimulation, crashes: &[(u64, usize)], rng: &mut StdRng) {
 
 #[test]
 fn random_driving_completes_without_crashes() {
-    let mut rng = StdRng::seed_from_u64(100);
+    let mut rng = Rng::seed_from_u64(100);
     for _case in 0..20 {
         let n_sim = 2 + rng.random_range(0..4usize);
         let k = 1 + rng.random_range(0..3usize);
@@ -42,15 +42,13 @@ fn random_driving_completes_without_crashes() {
 
 #[test]
 fn f_crashes_block_at_most_f_processes() {
-    let mut rng = StdRng::seed_from_u64(101);
+    let mut rng = Rng::seed_from_u64(101);
     for case in 0..40 {
         let n_sim = 4;
         let k = 2;
         let m = 3;
         let f = 1 + (case % 2); // 1 or 2 crashes (≤ m − 1)
-        let crashes: Vec<(u64, usize)> = (0..f)
-            .map(|j| (rng.random_range(0..60u64), j))
-            .collect();
+        let crashes: Vec<(u64, usize)> = (0..f).map(|j| (rng.random_range(0..60u64), j)).collect();
         let mut bg = BgSimulation::new(n_sim, k, m);
         drive(&mut bg, &crashes, &mut rng);
         let done = bg.decisions().iter().filter(|d| d.is_some()).count();
@@ -64,7 +62,7 @@ fn f_crashes_block_at_most_f_processes() {
 
 #[test]
 fn crash_all_simulators_blocks_everything_gracefully() {
-    let mut rng = StdRng::seed_from_u64(102);
+    let mut rng = Rng::seed_from_u64(102);
     let mut bg = BgSimulation::new(3, 2, 2);
     bg.crash(0);
     bg.crash(1);
@@ -77,7 +75,7 @@ fn crash_all_simulators_blocks_everything_gracefully() {
 #[test]
 fn simulated_outputs_remain_consistent_under_crashes() {
     // whatever completes must still be containment-consistent views
-    let mut rng = StdRng::seed_from_u64(103);
+    let mut rng = Rng::seed_from_u64(103);
     for _case in 0..20 {
         let mut bg = BgSimulation::new(3, 1, 2);
         let crashes = [(rng.random_range(0..20u64), 0usize)];

@@ -26,7 +26,10 @@ fn exhaustively_validate_two_process(task: &Task, b: usize) {
         verts.sort_by_key(|&v| task.input().color(v));
         let colors: Vec<Color> = verts.iter().map(|&v| task.input().color(v)).collect();
         assert_eq!(colors, vec![Color(0), Color(1)]);
-        let inputs: Vec<Label> = verts.iter().map(|&v| task.input().label(v).clone()).collect();
+        let inputs: Vec<Label> = verts
+            .iter()
+            .map(|&v| task.input().label(v).clone())
+            .collect();
         for schedule in all_iis_schedules(&[0, 1], b.max(1)) {
             for crash in [None, Some(0usize), Some(1usize)] {
                 let machines: Vec<DecisionProtocol> = (0..2)
@@ -40,9 +43,7 @@ fn exhaustively_validate_two_process(task: &Task, b: usize) {
                 }
                 runner.run(schedule.clone());
                 // decided outputs must extend to a tuple in Δ(participating inputs)
-                let decided = Simplex::new(
-                    runner.outputs().iter().flatten().copied(),
-                );
+                let decided = Simplex::new(runner.outputs().iter().flatten().copied());
                 // participating set: crashed-before-start processes never
                 // appear, so the relevant input simplex shrinks
                 let participating = Simplex::new(
@@ -89,11 +90,11 @@ fn two_process_two_set_consensus_correct_everywhere() {
 
 #[test]
 fn three_process_protocol_random_schedules() {
+    use iis::obs::Rng;
     use iis::sched::IisSchedule;
-    use rand::{rngs::StdRng, SeedableRng};
     let task = k_set_consensus(2, 3);
     let witness = Arc::new(solve_at(&task, 0).expect("trivially solvable"));
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Rng::seed_from_u64(31);
     let full: Vec<VertexId> = task.input().vertex_ids().collect();
     for _case in 0..100 {
         let machines: Vec<DecisionProtocol> = (0..3)

@@ -4,9 +4,7 @@
 
 use iis::core::emulation::validate_snapshot_histories;
 use iis::core::EmulatorMachine;
-use iis::sched::{
-    all_iis_schedules, AtomicMachine, AtomicRunner, IisRunner, OrderedPartition,
-};
+use iis::sched::{all_iis_schedules, AtomicMachine, AtomicRunner, IisRunner, OrderedPartition};
 use std::collections::BTreeSet;
 
 /// A 1-shot machine that decides exactly what it saw in its only snapshot.
@@ -77,7 +75,7 @@ fn emulated_outcomes_are_atomic_outcomes() {
 
 #[test]
 fn three_process_emulated_outcomes_are_atomic_outcomes() {
-    use rand::{rngs::StdRng, SeedableRng};
+    use iis::obs::Rng;
     // legal outcomes: every length-6 atomic schedule in which all three
     // 1-shot processes complete (write + snapshot each = 6 ops total, so
     // this enumeration is exhaustive for complete executions)
@@ -97,7 +95,7 @@ fn three_process_emulated_outcomes_are_atomic_outcomes() {
     }
     assert!(legal.len() > 5);
     // emulated runs under 400 random IIS schedules
-    let mut rng = StdRng::seed_from_u64(2025);
+    let mut rng = Rng::seed_from_u64(2025);
     let mut seen = BTreeSet::new();
     for _case in 0..400 {
         let machines: Vec<EmulatorMachine<OneShotView>> = (0..3)
@@ -151,8 +149,8 @@ impl AtomicMachine for KShot {
 
 #[test]
 fn emulated_histories_atomic_under_random_schedules_with_crashes() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(77);
+    use iis::obs::Rng;
+    let mut rng = Rng::seed_from_u64(77);
     for _case in 0..60 {
         let n = 2 + rng.random_range(0..3usize);
         let k = 1 + rng.random_range(0..3usize);

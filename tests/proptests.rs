@@ -1,79 +1,105 @@
 //! Property-based tests over the whole stack.
+//!
+//! Randomized inputs come from the workspace's deterministic PRNG
+//! (`iis::obs::Rng`) with fixed seeds: every run exercises the same cases
+//! and failures reproduce exactly.
 
 use iis::memory::checks::{validate_immediate_snapshot, validate_scan_comparability};
 use iis::memory::{OneShotImmediateSnapshot, SnapshotMemory};
+use iis::obs::Rng;
 use iis::sched::{IisRunner, OrderedPartition};
 use iis::topology::sperner::{count_rainbow, labeling_from, validate_sperner};
 use iis::topology::{sds_iterated, Color, Complex, Label, Simplex, VertexId};
-use proptest::prelude::*;
 
-/// Strategy: an ordered partition of `0..n`.
-fn ordered_partition(n: usize) -> impl Strategy<Value = OrderedPartition> {
-    // assign each pid a (block-key, tiebreak) and group by key order
-    prop::collection::vec(0..4u8, n).prop_map(move |keys| {
-        let mut blocks: std::collections::BTreeMap<u8, Vec<usize>> = Default::default();
-        for (pid, k) in keys.into_iter().enumerate() {
-            blocks.entry(k).or_default().push(pid);
-        }
-        OrderedPartition::new(blocks.into_values().collect()).expect("valid partition")
-    })
+const CASES: usize = 64;
+
+/// A random ordered partition of `0..n`: assign each pid a block key and
+/// group by key order.
+fn ordered_partition(rng: &mut Rng, n: usize) -> OrderedPartition {
+    let mut blocks: std::collections::BTreeMap<u8, Vec<usize>> = Default::default();
+    for pid in 0..n {
+        blocks
+            .entry(rng.random_range(0..4u8))
+            .or_default()
+            .push(pid);
+    }
+    OrderedPartition::new(blocks.into_values().collect()).expect("valid partition")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn label_view_is_canonical(mut entries in prop::collection::vec((0u32..5, 0u64..20), 0..6)) {
-        let labels: Vec<(Color, Label)> = entries
-            .drain(..)
-            .map(|(c, v)| (Color(c), Label::scalar(v)))
+#[test]
+fn label_view_is_canonical() {
+    let mut rng = Rng::seed_from_u64(0xF01);
+    for _ in 0..CASES {
+        let len = rng.random_range(0..6usize);
+        let labels: Vec<(Color, Label)> = (0..len)
+            .map(|_| {
+                (
+                    Color(rng.random_range(0..5u32)),
+                    Label::scalar(rng.random_range(0..20u64)),
+                )
+            })
             .collect();
         let v1 = Label::view(labels.iter().map(|(c, l)| (*c, l)));
         let mut rev = labels.clone();
         rev.reverse();
         let v2 = Label::view(rev.iter().map(|(c, l)| (*c, l)));
-        prop_assert_eq!(v1.clone(), v2);
+        assert_eq!(v1.clone(), v2);
         // decode returns sorted, deduped entries
         let decoded = v1.as_view().unwrap();
         let mut expect: Vec<(Color, Label)> = labels;
         expect.sort();
         expect.dedup();
-        prop_assert_eq!(decoded, expect);
+        assert_eq!(decoded, expect);
     }
+}
 
-    #[test]
-    fn simplex_set_algebra(a in prop::collection::btree_set(0u32..20, 0..8),
-                           b in prop::collection::btree_set(0u32..20, 0..8)) {
+#[test]
+fn simplex_set_algebra() {
+    let mut rng = Rng::seed_from_u64(0xF02);
+    let random_set = |rng: &mut Rng| -> std::collections::BTreeSet<u32> {
+        let len = rng.random_range(0..8usize);
+        (0..len).map(|_| rng.random_range(0..20u32)).collect()
+    };
+    for _ in 0..CASES {
+        let a = random_set(&mut rng);
+        let b = random_set(&mut rng);
         let sa = Simplex::new(a.iter().map(|&i| VertexId(i)));
         let sb = Simplex::new(b.iter().map(|&i| VertexId(i)));
         let union = sa.union(&sb);
         let inter = sa.intersection(&sb);
-        prop_assert!(sa.is_face_of(&union) && sb.is_face_of(&union));
-        prop_assert!(inter.is_face_of(&sa) && inter.is_face_of(&sb));
-        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+        assert!(sa.is_face_of(&union) && sb.is_face_of(&union));
+        assert!(inter.is_face_of(&sa) && inter.is_face_of(&sb));
+        assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
         let diff = sa.difference(&sb);
-        prop_assert_eq!(diff.union(&inter), sa);
+        assert_eq!(diff.union(&inter), sa);
     }
+}
 
-    #[test]
-    fn partition_views_satisfy_is_axioms(p in ordered_partition(4)) {
+#[test]
+fn partition_views_satisfy_is_axioms() {
+    let mut rng = Rng::seed_from_u64(0xF03);
+    for _ in 0..CASES {
+        let p = ordered_partition(&mut rng, 4);
         let views: Vec<Option<Vec<(usize, u64)>>> = (0..4)
             .map(|pid| {
-                p.view_of(pid).map(|vs| vs.into_iter().map(|q| (q, q as u64 * 7)).collect())
+                p.view_of(pid)
+                    .map(|vs| vs.into_iter().map(|q| (q, q as u64 * 7)).collect())
             })
             .collect();
         let inputs: Vec<Option<u64>> = (0..4).map(|q| Some(q as u64 * 7)).collect();
         validate_immediate_snapshot(&inputs, &views).unwrap();
     }
+}
 
-    #[test]
-    fn iis_full_info_views_nest_across_rounds(
-        p1 in ordered_partition(3),
-        p2 in ordered_partition(3),
-    ) {
-        // after 2 rounds, view sizes of any two processes are comparable in
-        // each round (containment axiom lifted through the runner)
-        use iis::sched::{FullInfoIis, IisSchedule};
+#[test]
+fn iis_full_info_views_nest_across_rounds() {
+    // after 2 rounds, view sizes of any two processes are comparable in
+    // each round (containment axiom lifted through the runner)
+    use iis::sched::{FullInfoIis, IisSchedule};
+    let mut rng = Rng::seed_from_u64(0xF04);
+    for _ in 0..CASES {
+        let p1 = ordered_partition(&mut rng, 3);
+        let p2 = ordered_partition(&mut rng, 3);
         let machines: Vec<FullInfoIis> = (0..3)
             .map(|i| FullInfoIis::new(Label::scalar(i as u64), 2))
             .collect();
@@ -86,45 +112,62 @@ proptest! {
             for b in &outs {
                 let pa: std::collections::BTreeSet<&Color> = a.iter().map(|(c, _)| c).collect();
                 let pb: std::collections::BTreeSet<&Color> = b.iter().map(|(c, _)| c).collect();
-                prop_assert!(pa.is_subset(&pb) || pb.is_subset(&pa));
+                assert!(pa.is_subset(&pb) || pb.is_subset(&pa));
             }
         }
     }
+}
 
-    #[test]
-    fn random_sperner_labelings_have_odd_rainbow(choices in prop::collection::vec(0usize..3, 0..100)) {
-        // label each vertex of SDS²(s²) with a pseudo-random color from its
-        // carrier, driven by the proptest-generated choice vector
-        let sub = sds_iterated(&Complex::standard_simplex(2), 2);
+#[test]
+fn random_sperner_labelings_have_odd_rainbow() {
+    // label each vertex of SDS²(s²) with a pseudo-random color from its
+    // carrier, driven by a random choice vector
+    let mut rng = Rng::seed_from_u64(0xF05);
+    let sub = sds_iterated(&Complex::standard_simplex(2), 2);
+    for _ in 0..16 {
+        let len = rng.random_range(0..100usize);
+        let choices: Vec<usize> = (0..len).map(|_| rng.random_range(0..3usize)).collect();
         let labels = labeling_from(&sub, |v| {
             let allowed: Vec<Color> = sub
                 .carrier_of_vertex(v)
                 .iter()
                 .map(|u| sub.base().color(u))
                 .collect();
-            let pick = choices.get(v.index() % choices.len().max(1)).copied().unwrap_or(0);
+            let pick = choices
+                .get(v.index() % choices.len().max(1))
+                .copied()
+                .unwrap_or(0);
             allowed[pick % allowed.len()]
         });
         validate_sperner(&sub, &labels).unwrap();
-        prop_assert_eq!(count_rainbow(&sub, &labels) % 2, 1);
+        assert_eq!(count_rainbow(&sub, &labels) % 2, 1);
+    }
+}
+
+#[test]
+fn emulated_final_snapshots_comparable() {
+    use iis::core::EmulatorMachine;
+    use iis::sched::AtomicMachine;
+
+    #[derive(Clone)]
+    struct OneShot(usize);
+    impl AtomicMachine for OneShot {
+        type Value = u64;
+        type Output = Vec<u64>;
+        fn next_write(&mut self) -> u64 {
+            self.0 as u64 + 1
+        }
+        fn on_snapshot(&mut self, snap: &[Option<u64>]) -> Option<Vec<u64>> {
+            Some(snap.iter().map(|c| c.unwrap_or(0)).collect())
+        }
     }
 
-    #[test]
-    fn emulated_final_snapshots_comparable(rounds in prop::collection::vec(ordered_partition(3), 1..40)) {
-        use iis::core::EmulatorMachine;
-        use iis::sched::AtomicMachine;
-
-        #[derive(Clone)]
-        struct OneShot(usize);
-        impl AtomicMachine for OneShot {
-            type Value = u64;
-            type Output = Vec<u64>;
-            fn next_write(&mut self) -> u64 { self.0 as u64 + 1 }
-            fn on_snapshot(&mut self, snap: &[Option<u64>]) -> Option<Vec<u64>> {
-                Some(snap.iter().map(|c| c.unwrap_or(0)).collect())
-            }
-        }
-
+    let mut rng = Rng::seed_from_u64(0xF06);
+    for _ in 0..CASES {
+        let n_rounds = rng.random_range(1..40usize);
+        let rounds: Vec<OrderedPartition> = (0..n_rounds)
+            .map(|_| ordered_partition(&mut rng, 3))
+            .collect();
         let machines: Vec<EmulatorMachine<OneShot>> = (0..3)
             .map(|pid| EmulatorMachine::new(pid, 3, OneShot(pid)))
             .collect();
@@ -136,15 +179,17 @@ proptest! {
         // self-inclusion: a decided process sees its own write
         for (p, o) in runner.outputs().iter().enumerate() {
             if let Some(snap) = o {
-                prop_assert_eq!(snap[p], p as u64 + 1);
+                assert_eq!(snap[p], p as u64 + 1);
             }
         }
     }
+}
 
-    #[test]
-    fn real_is_object_axioms_under_thread_jitter(seed in 0u64..32) {
-        // spawn 3 threads with tiny seed-dependent stagger
-        use std::sync::Arc;
+#[test]
+fn real_is_object_axioms_under_thread_jitter() {
+    // spawn 3 threads with tiny seed-dependent stagger
+    use std::sync::Arc;
+    for seed in 0u64..32 {
         let m = Arc::new(OneShotImmediateSnapshot::new(3));
         let mut handles = Vec::new();
         for pid in 0..3usize {
@@ -156,22 +201,29 @@ proptest! {
                 m.write_read(pid, pid as u64)
             }));
         }
-        let outputs: Vec<Option<Vec<(usize, u64)>>> =
-            handles.into_iter().map(|h| Some(h.join().unwrap())).collect();
+        let outputs: Vec<Option<Vec<(usize, u64)>>> = handles
+            .into_iter()
+            .map(|h| Some(h.join().unwrap()))
+            .collect();
         let inputs: Vec<Option<u64>> = (0..3).map(|p| Some(p as u64)).collect();
         validate_immediate_snapshot(&inputs, &outputs).unwrap();
     }
+}
 
-    #[test]
-    fn snapshot_memory_scans_comparable_under_schedule(ops in prop::collection::vec((0usize..3, any::<bool>()), 1..60)) {
-        // single-threaded interleaving of updates/scans on the real object:
-        // scans must be comparable
-        use iis::memory::DoubleCollectSnapshot;
+#[test]
+fn snapshot_memory_scans_comparable_under_schedule() {
+    // single-threaded interleaving of updates/scans on the real object:
+    // scans must be comparable
+    use iis::memory::DoubleCollectSnapshot;
+    let mut rng = Rng::seed_from_u64(0xF07);
+    for _ in 0..CASES {
+        let n_ops = rng.random_range(1..60usize);
         let m = DoubleCollectSnapshot::new(3, 0u64);
         let mut scans: Vec<Vec<u64>> = Vec::new();
         let mut counter = 0u64;
-        for (pid, is_scan) in ops {
-            if is_scan {
+        for _ in 0..n_ops {
+            let pid = rng.random_range(0..3usize);
+            if rng.random_bool(0.5) {
                 let (v, _) = m.scan_versioned(pid);
                 scans.push(v.iter().map(|x| x.seq).collect());
             } else {

@@ -4,11 +4,11 @@
 
 use iis::core::protocol_complex::check_lemma_3_3;
 use iis::core::EmulatorMachine;
+use iis::obs::Rng;
 use iis::sched::{AtomicMachine, IisRunner, OrderedPartition};
 use iis::topology::homology::Homology;
 use iis::topology::manifold::pseudomanifold_report;
 use iis::topology::{sds_iterated, Complex};
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
 #[test]
 #[ignore = "builds SDS^3(s^2): 2197 facets, minutes of closure computations"]
@@ -50,7 +50,7 @@ impl AtomicMachine for KShot {
 #[test]
 #[ignore = "large emulation fuzz: 8 processes × 16 shots × 200 runs"]
 fn emulation_fuzz_large() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     for _case in 0..200 {
         let n = 8;
         let machines: Vec<EmulatorMachine<KShot>> = (0..n)
@@ -73,7 +73,7 @@ fn threaded_is_axioms_long() {
     use iis::memory::checks::validate_immediate_snapshot;
     use iis::memory::OneShotImmediateSnapshot;
     use std::sync::Arc;
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     for _round in 0..5_000 {
         let n = 2 + rng.random_range(0..6usize);
         let m = Arc::new(OneShotImmediateSnapshot::new(n));
@@ -83,8 +83,10 @@ fn threaded_is_axioms_long() {
                 std::thread::spawn(move || m.write_read(pid, pid as u64))
             })
             .collect();
-        let outputs: Vec<Option<Vec<(usize, u64)>>> =
-            handles.into_iter().map(|h| Some(h.join().unwrap())).collect();
+        let outputs: Vec<Option<Vec<(usize, u64)>>> = handles
+            .into_iter()
+            .map(|h| Some(h.join().unwrap()))
+            .collect();
         let inputs: Vec<Option<u64>> = (0..n).map(|p| Some(p as u64)).collect();
         validate_immediate_snapshot(&inputs, &outputs).unwrap();
     }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The single CI gate: formatting, lints, release build, full test suite.
+# The workspace has no external dependencies, so everything runs --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all -- --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo build --offline --release --workspace
+cargo test --offline --workspace -q

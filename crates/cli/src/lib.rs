@@ -8,7 +8,7 @@
 
 use iis_core::bg::BgSimulation;
 use iis_core::protocol_complex::{check_lemma_3_2, check_lemma_3_3};
-use iis_core::solvability::{solve_at_bounded, BoundedOutcome};
+use iis_core::solvability::{BoundedOutcome, SolveOptions, Solver};
 use iis_core::EmulatorMachine;
 use iis_obs::ToJson as _;
 use iis_sched::{AtomicMachine, IisRunner, IisSchedule};
@@ -45,7 +45,7 @@ USAGE:
   iis sds <n> <b> [--json] [--svg FILE]   build SDS^b(s^n); print stats
   iis homology <n> <b>                    Z2 Betti numbers of SDS^b(s^n)
   iis check-lemmas <n> <b>                verify Lemmas 3.2/3.3 by enumeration
-  iis solve <TASK> [--max-rounds B] [--budget NODES]
+  iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N]
                                           decide wait-free solvability
   iis emulate <n> <k> [--adversary A] [--seed S]
                                           emulate the k-shot protocol on IIS
@@ -233,7 +233,11 @@ pub fn cmd_check_lemmas(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `iis solve <TASK> [--max-rounds B] [--budget NODES]`
+/// `iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N]`
+///
+/// The round sweep is incremental (`SDS^{b+1}` extends `SDS^b`) and
+/// `--jobs N` spreads each round's search over `N` worker threads without
+/// changing any verdict or witness.
 ///
 /// # Errors
 ///
@@ -249,10 +253,15 @@ pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
         .unwrap_or("1000000")
         .parse()
         .map_err(|_| err("bad --budget"))?;
+    let jobs: usize = flag_value(args, "--jobs")?
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| err("bad --jobs"))?;
     let mut out = String::new();
     let _ = writeln!(out, "task: {task}");
+    let mut solver = Solver::new(&task, SolveOptions::new().budget(budget).jobs(jobs));
     for b in 0..=max_rounds {
-        match solve_at_bounded(&task, b, budget) {
+        match solver.step() {
             BoundedOutcome::Solvable(m) => {
                 let _ = writeln!(
                     out,
@@ -559,6 +568,19 @@ mod tests {
     fn solve_eps_solvable() {
         let out = cmd_solve(&argv("eps:1:3")).unwrap();
         assert!(out.contains("b = 1: SOLVABLE"));
+    }
+
+    #[test]
+    fn solve_jobs_flag_does_not_change_output() {
+        let seq = cmd_solve(&argv("consensus:1 --max-rounds 2")).unwrap();
+        for jobs in ["2", "4"] {
+            let par =
+                cmd_solve(&argv(&format!("consensus:1 --max-rounds 2 --jobs {jobs}"))).unwrap();
+            assert_eq!(seq, par, "--jobs {jobs} must not change verdicts");
+        }
+        let par = cmd_solve(&argv("eps:1:3 --jobs=3")).unwrap();
+        assert!(par.contains("b = 1: SOLVABLE"));
+        assert!(cmd_solve(&argv("consensus:1 --jobs nope")).is_err());
     }
 
     #[test]

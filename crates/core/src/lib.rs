@@ -41,6 +41,7 @@ pub mod bounded;
 pub mod concurrent;
 pub mod convergence;
 pub mod emulation;
+pub mod parallel;
 pub mod protocol_complex;
 pub mod protocols;
 pub mod solvability;
@@ -48,6 +49,7 @@ pub mod solvability;
 pub use concurrent::run_atomic_concurrent;
 pub use emulation::{run_emulation_concurrent, EmulationStats, EmulatorMachine, Tuple, TupleSet};
 pub use solvability::{
-    lift_decision_map, solve_at, solve_at_bounded, solve_at_with, solve_up_to, BoundedOutcome,
-    DecisionMap, DecisionProtocol, SearchStrategy, SolvabilityReport,
+    lift_decision_map, solve_at, solve_at_bounded, solve_at_opts, solve_at_with, solve_up_to,
+    solve_up_to_opts, BoundedOutcome, DecisionMap, DecisionProtocol, SearchStrategy,
+    SolvabilityReport, SolveOptions, Solver,
 };

@@ -16,9 +16,12 @@
 //! a fixpoint, then backtrack with propagation — complete for both
 //! solvable and unsolvable instances.
 
+use crate::parallel::{run_pool, FirstWins, SharedBudget};
 use iis_tasks::Task;
-use iis_topology::{sds_iterated, SimplicialMap, Subdivision, VertexId};
+use iis_topology::{sds_iterated, sds_next, Color, Simplex, SimplicialMap, Subdivision, VertexId};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A witness that a task is solvable in `b` IIS rounds: the decision map
 /// `δ : SDS^b(I) → O` together with the subdivision it lives on.
@@ -130,6 +133,19 @@ pub fn validate_decision_map(
 /// use [`solve_at_bounded`] when a time budget matters, and the Sperner
 /// certificate (`iis-topology::sperner`) for all-`b` impossibility of set
 /// consensus.
+///
+/// # Examples
+///
+/// ```
+/// use iis_core::solvability::solve_at;
+/// use iis_tasks::library::{approximate_agreement, consensus};
+///
+/// // FLP: no decision map for consensus at b = 1 …
+/// assert!(solve_at(&consensus(1, &[0, 1]), 1).is_none());
+/// // … but ε-agreement (ε = 1/3) has one: a single round trisects the edge.
+/// let witness = solve_at(&approximate_agreement(1, 3), 1).unwrap();
+/// assert_eq!(witness.rounds(), 1);
+/// ```
 pub fn solve_at(task: &Task, b: usize) -> Option<DecisionMap> {
     match solve_at_bounded(task, b, u64::MAX) {
         BoundedOutcome::Solvable(m) => Some(*m),
@@ -152,12 +168,48 @@ pub enum BoundedOutcome {
 /// Like [`solve_at`] but giving up after exploring `max_nodes` backtracking
 /// nodes. `Unsolvable` and `Solvable` verdicts are exact; `Exhausted` means
 /// the budget was too small to decide.
+///
+/// # Examples
+///
+/// ```
+/// use iis_core::solvability::{solve_at_bounded, BoundedOutcome};
+/// use iis_tasks::library::approximate_agreement;
+///
+/// let task = approximate_agreement(1, 3);
+/// // A zero budget cannot even confirm a witness …
+/// assert!(matches!(
+///     solve_at_bounded(&task, 1, 0),
+///     BoundedOutcome::Exhausted
+/// ));
+/// // … an ample budget decides the round exactly.
+/// assert!(matches!(
+///     solve_at_bounded(&task, 1, u64::MAX),
+///     BoundedOutcome::Solvable(_)
+/// ));
+/// ```
 pub fn solve_at_bounded(task: &Task, b: usize, max_nodes: u64) -> BoundedOutcome {
     solve_at_with(task, b, max_nodes, SearchStrategy::Mac)
 }
 
 /// The search algorithm used by the decision procedure — exposed for the
 /// ablation benchmark (DESIGN.md §5).
+///
+/// # Examples
+///
+/// Both strategies are complete, so they always agree on the verdict:
+///
+/// ```
+/// use iis_core::solvability::{solve_at_with, BoundedOutcome, SearchStrategy};
+/// use iis_tasks::library::consensus;
+///
+/// let task = consensus(1, &[0, 1]);
+/// for strategy in [SearchStrategy::Mac, SearchStrategy::PlainBacktracking] {
+///     assert!(matches!(
+///         solve_at_with(&task, 1, u64::MAX, strategy),
+///         BoundedOutcome::Unsolvable
+///     ));
+/// }
+/// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum SearchStrategy {
     /// Maintaining (generalized) arc consistency during backtracking — the
@@ -176,13 +228,106 @@ pub fn solve_at_with(
     max_nodes: u64,
     strategy: SearchStrategy,
 ) -> BoundedOutcome {
-    let timer = iis_obs::span::span("solve.search_ns");
+    solve_at_opts(
+        task,
+        b,
+        &SolveOptions::new().budget(max_nodes).strategy(strategy),
+    )
+}
+
+/// Configuration of a decision-map search: node budget, algorithm, and
+/// degree of parallelism.
+///
+/// The default is an unbounded sequential MAC search — exactly
+/// [`solve_at`]'s behavior.
+///
+/// # Examples
+///
+/// A parallel search returns the same classification *and the same witness*
+/// as the sequential one (DESIGN.md §7):
+///
+/// ```
+/// use iis_core::solvability::{solve_at_opts, BoundedOutcome, SolveOptions};
+/// use iis_tasks::library::approximate_agreement;
+///
+/// let task = approximate_agreement(1, 3);
+/// let seq = solve_at_opts(&task, 1, &SolveOptions::new());
+/// let par = solve_at_opts(&task, 1, &SolveOptions::new().jobs(4));
+/// match (seq, par) {
+///     (BoundedOutcome::Solvable(s), BoundedOutcome::Solvable(p)) => {
+///         let mut vs = s.subdivision().complex().vertex_ids();
+///         assert!(vs.all(|v| s.map().image(v) == p.map().image(v)));
+///     }
+///     _ => panic!("ε-agreement is solvable at b = 1"),
+/// }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    max_nodes: u64,
+    strategy: SearchStrategy,
+    jobs: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_nodes: u64::MAX,
+            strategy: SearchStrategy::Mac,
+            jobs: 1,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Unbounded, sequential, MAC.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gives up after exploring `max_nodes` backtracking nodes
+    /// ([`BoundedOutcome::Exhausted`]).
+    pub fn budget(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Selects the search algorithm.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Distributes the search over up to `jobs` worker threads (`0` and `1`
+    /// both mean sequential). Verdicts and witnesses do not depend on this
+    /// value; only wall-clock time does.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// [`solve_at_bounded`] with full [`SolveOptions`] control (budget,
+/// strategy, and parallelism).
+pub fn solve_at_opts(task: &Task, b: usize, opts: &SolveOptions) -> BoundedOutcome {
     let sub = sds_iterated(task.input(), b);
-    let mut budget = max_nodes;
-    let result = search_map(task, &sub, &mut budget, strategy);
+    solve_on(task, &sub, b, opts, &mut ConstraintCache::default())
+}
+
+/// The shared per-round body: search `sub` (= `SDS^b(I)`) under `opts`,
+/// with instrumentation.
+fn solve_on(
+    task: &Task,
+    sub: &Subdivision,
+    b: usize,
+    opts: &SolveOptions,
+    cache: &mut ConstraintCache,
+) -> BoundedOutcome {
+    let timer = iis_obs::span::span("solve.search_ns");
+    let budget = SharedBudget::new(opts.max_nodes);
+    let result = search_map(task, sub, &budget, opts, cache);
     iis_obs::metrics::gauge_set(
         "solve.budget_remaining",
-        i64::try_from(budget).unwrap_or(i64::MAX),
+        i64::try_from(budget.remaining()).unwrap_or(i64::MAX),
     );
     if iis_obs::trace::active() {
         iis_obs::trace::event(
@@ -196,14 +341,14 @@ pub fn solve_at_with(
                         match &result {
                             Ok(Some(_)) => "solvable",
                             Ok(None) => "unsolvable",
-                            Err(()) => "exhausted",
+                            Err(_) => "exhausted",
                         }
                         .to_string(),
                     ),
                 ),
                 (
                     "nodes",
-                    iis_obs::Json::Num(max_nodes.saturating_sub(budget) as f64),
+                    iis_obs::Json::Num(opts.max_nodes.saturating_sub(budget.remaining()) as f64),
                 ),
             ],
         );
@@ -211,32 +356,105 @@ pub fn solve_at_with(
     drop(timer);
     match result {
         Ok(Some(map)) => {
-            debug_assert!(validate_decision_map(task, &sub, &map).is_ok());
+            debug_assert!(validate_decision_map(task, sub, &map).is_ok());
             BoundedOutcome::Solvable(Box::new(DecisionMap {
                 b,
-                subdivision: sub,
+                subdivision: sub.clone(),
                 map,
             }))
         }
         Ok(None) => BoundedOutcome::Unsolvable,
-        Err(()) => BoundedOutcome::Exhausted,
+        Err(_) => BoundedOutcome::Exhausted,
+    }
+}
+
+/// An incremental round-by-round solver: each [`step`](Solver::step)
+/// decides one more round count, extending `SDS^b(I)` to `SDS^{b+1}(I)` by
+/// a *single* subdivision (Lemma 3.3 via [`iis_topology::sds_next`]) and
+/// reusing compiled constraint tables whose carriers are unchanged —
+/// instead of rebuilding everything from scratch per round the way repeated
+/// [`solve_at`] calls would.
+///
+/// The node budget in the options applies per round.
+///
+/// # Examples
+///
+/// ```
+/// use iis_core::solvability::{BoundedOutcome, SolveOptions, Solver};
+/// use iis_tasks::library::approximate_agreement;
+///
+/// let task = approximate_agreement(1, 3);
+/// let mut solver = Solver::new(&task, SolveOptions::new());
+/// assert!(matches!(solver.step(), BoundedOutcome::Unsolvable)); // b = 0
+/// assert!(matches!(solver.step(), BoundedOutcome::Solvable(_))); // b = 1
+/// assert_eq!(solver.round(), 1);
+/// ```
+pub struct Solver<'t> {
+    task: &'t Task,
+    opts: SolveOptions,
+    acc: Subdivision,
+    b: usize,
+    started: bool,
+    cache: ConstraintCache,
+}
+
+impl<'t> Solver<'t> {
+    /// A solver for `task`, positioned before round `b = 0`.
+    pub fn new(task: &'t Task, opts: SolveOptions) -> Self {
+        Solver {
+            task,
+            opts,
+            acc: Subdivision::identity(task.input().clone()),
+            b: 0,
+            started: false,
+            cache: ConstraintCache::default(),
+        }
+    }
+
+    /// The round count the most recent [`step`](Solver::step) decided
+    /// (`0` before any step).
+    pub fn round(&self) -> usize {
+        self.b
+    }
+
+    /// Decides the next round count and returns its outcome.
+    pub fn step(&mut self) -> BoundedOutcome {
+        if self.started {
+            self.acc = sds_next(&self.acc);
+            self.b += 1;
+        } else {
+            self.started = true;
+        }
+        solve_on(self.task, &self.acc, self.b, &self.opts, &mut self.cache)
     }
 }
 
 /// Sweeps `b = 0..=max_rounds`, recording per-`b` solvability; stops the
 /// sweep at the first solvable `b` (larger `b` remain solvable by running
 /// the extra rounds obliviously).
+///
+/// The sweep is incremental: round `b+1` reuses round `b`'s subdivision
+/// (see [`Solver`]).
 pub fn solve_up_to(task: &Task, max_rounds: usize) -> SolvabilityReport {
+    solve_up_to_opts(task, max_rounds, &SolveOptions::new())
+}
+
+/// [`solve_up_to`] with explicit [`SolveOptions`]. If a round exhausts its
+/// node budget the sweep stops without recording a verdict for that round
+/// (an `Exhausted` round decides nothing about larger `b` either).
+pub fn solve_up_to_opts(task: &Task, max_rounds: usize, opts: &SolveOptions) -> SolvabilityReport {
     let mut results = Vec::new();
     let mut witness = None;
+    let mut solver = Solver::new(task, *opts);
     for b in 0..=max_rounds {
-        match solve_at(task, b) {
-            Some(w) => {
+        match solver.step() {
+            BoundedOutcome::Solvable(w) => {
                 results.push((b, true));
-                witness = Some(w);
+                witness = Some(*w);
                 break;
             }
-            None => results.push((b, false)),
+            BoundedOutcome::Unsolvable => results.push((b, false)),
+            BoundedOutcome::Exhausted => break,
         }
     }
     SolvabilityReport {
@@ -251,7 +469,56 @@ pub fn solve_up_to(task: &Task, max_rounds: usize) -> SolvabilityReport {
 /// the simplex's colors, aligned positionally with the vertex list).
 struct Constraint {
     verts: Vec<VertexId>,
-    allowed: Vec<Vec<VertexId>>,
+    allowed: AllowedTable,
+}
+
+/// A compiled allowed-tuple table: each inner `Vec` is one legal assignment
+/// of output vertices to the constraint's variables, in variable order.
+type AllowedTable = Arc<Vec<Vec<VertexId>>>;
+
+/// Memoized allowed-tuple tables, keyed by `(carrier, colors)` — the only
+/// inputs a table depends on. Carriers are simplices of the *base* complex
+/// and tuples are vertices of the output complex, both fixed for the life
+/// of a task, so a [`Solver`] carries one cache across its whole round
+/// sweep: at round `b+1` most simplices of `SDS^{b+1}(I)` repeat a
+/// `(carrier, colors)` pair already compiled at round `b` and skip the
+/// `Δ`-enumeration entirely (`solve.constraint_cache_hits`).
+#[derive(Default)]
+struct ConstraintCache {
+    tables: HashMap<(Simplex, Vec<Color>), AllowedTable>,
+}
+
+impl ConstraintCache {
+    /// The compiled table for a simplex with the given carrier and colors.
+    fn table(&mut self, task: &Task, carrier: &Simplex, colors: &[Color]) -> AllowedTable {
+        if let Some(hit) = self.tables.get(&(carrier.clone(), colors.to_vec())) {
+            iis_obs::metrics::add("solve.constraint_cache_hits", 1);
+            return Arc::clone(hit);
+        }
+        let mut allowed: Vec<Vec<VertexId>> = Vec::new();
+        for so in task.delta(carrier) {
+            let mut tuple = Vec::with_capacity(colors.len());
+            let mut ok = true;
+            for &col in colors {
+                match so.iter().find(|&w| task.output().color(w) == col) {
+                    Some(w) => tuple.push(w),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                allowed.push(tuple);
+            }
+        }
+        allowed.sort();
+        allowed.dedup();
+        let table = Arc::new(allowed);
+        self.tables
+            .insert((carrier.clone(), colors.to_vec()), Arc::clone(&table));
+        table
+    }
 }
 
 /// Lifts a decision map one round up: composes the canonical
@@ -381,12 +648,48 @@ struct Csp {
     propagations: iis_obs::metrics::Counter,
 }
 
-fn search_map(
+/// Why a search stopped before reaching a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Halt {
+    /// The shared node budget ran out.
+    Budget,
+    /// A lower-indexed subtree already found the winning witness.
+    Cancelled,
+}
+
+/// Per-worker search context: the shared budget, plus (in parallel runs)
+/// this worker's subtree index and the first-solution cell to poll.
+struct SearchCtx<'a> {
+    budget: &'a SharedBudget,
+    cancel: Option<(&'a FirstWins<Vec<VertexId>>, usize)>,
+}
+
+impl SearchCtx<'_> {
+    /// Charges one node, or reports why the search must stop. `solve.nodes`
+    /// is incremented iff the charge succeeds, so on exhaustion the counter
+    /// equals the budget consumed exactly — across all workers.
+    fn charge(&self, nodes: &iis_obs::metrics::Counter) -> Result<(), Halt> {
+        if let Some((cell, index)) = self.cancel {
+            if cell.should_cancel(index) {
+                return Err(Halt::Cancelled);
+            }
+        }
+        if !self.budget.try_charge() {
+            return Err(Halt::Budget);
+        }
+        nodes.incr();
+        Ok(())
+    }
+}
+
+/// Compiles the CSP for `sub`: per-simplex constraints with allowed-tuple
+/// tables (via `cache`) and initial domains from the unary constraints.
+/// `None` means a constraint admits no tuple — provably unsolvable.
+fn compile_csp(
     task: &Task,
     sub: &Subdivision,
-    budget: &mut u64,
-    strategy: SearchStrategy,
-) -> Result<Option<SimplicialMap>, ()> {
+    cache: &mut ConstraintCache,
+) -> Option<(Csp, Vec<Vec<VertexId>>)> {
     let c = sub.complex();
     let nv = c.num_vertices();
     // Compile constraints: for every simplex, the allowed image tuples.
@@ -396,29 +699,11 @@ fn search_map(
     let mut constraints: Vec<Constraint> = Vec::new();
     for s in c.simplices() {
         let verts: Vec<VertexId> = s.iter().collect();
-        let colors: Vec<_> = verts.iter().map(|&v| c.color(v)).collect();
+        let colors: Vec<Color> = verts.iter().map(|&v| c.color(v)).collect();
         let carrier = sub.carrier_of_simplex(&s);
-        let mut allowed: Vec<Vec<VertexId>> = Vec::new();
-        for so in task.delta(&carrier) {
-            let mut tuple = Vec::with_capacity(verts.len());
-            let mut ok = true;
-            for &col in &colors {
-                match so.iter().find(|&w| task.output().color(w) == col) {
-                    Some(w) => tuple.push(w),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if ok {
-                allowed.push(tuple);
-            }
-        }
-        allowed.sort();
-        allowed.dedup();
+        let allowed = cache.table(task, &carrier, &colors);
         if allowed.is_empty() {
-            return Ok(None);
+            return None;
         }
         constraints.push(Constraint { verts, allowed });
     }
@@ -440,7 +725,7 @@ fn search_map(
         }
     }
     if domains.iter().any(Vec::is_empty) {
-        return Ok(None);
+        return None;
     }
     let csp = Csp {
         constraints,
@@ -450,14 +735,41 @@ fn search_map(
         prunes: iis_obs::metrics::Counter::handle("solve.prunes"),
         propagations: iis_obs::metrics::Counter::handle("solve.propagations"),
     };
-    let assignment = match strategy {
+    Some((csp, domains))
+}
+
+fn search_map(
+    task: &Task,
+    sub: &Subdivision,
+    budget: &SharedBudget,
+    opts: &SolveOptions,
+    cache: &mut ConstraintCache,
+) -> Result<Option<SimplicialMap>, Halt> {
+    let Some((csp, mut domains)) = compile_csp(task, sub, cache) else {
+        return Ok(None);
+    };
+    let ctx = SearchCtx {
+        budget,
+        cancel: None,
+    };
+    let assignment = match opts.strategy {
         SearchStrategy::Mac => {
             if !csp.propagate(&mut domains, None) {
                 return Ok(None);
             }
-            csp.backtrack(domains, budget)?
+            if opts.jobs > 1 {
+                search_parallel(&csp, domains, budget, opts)?
+            } else {
+                csp.backtrack(domains, &ctx)?
+            }
         }
-        SearchStrategy::PlainBacktracking => csp.backtrack_plain(&domains, budget)?,
+        SearchStrategy::PlainBacktracking => {
+            if opts.jobs > 1 {
+                search_parallel(&csp, domains, budget, opts)?
+            } else {
+                csp.backtrack_plain(&domains, &ctx)?
+            }
+        }
     };
     Ok(assignment.map(|a| {
         SimplicialMap::from_pairs(
@@ -466,6 +778,54 @@ fn search_map(
                 .map(|(i, w)| (VertexId(i as u32), w)),
         )
     }))
+}
+
+/// Splits the search into independent subtrees (in the sequential
+/// depth-first order) and runs them on the work-stealing pool. The
+/// lowest-indexed witness wins, and only higher-indexed subtrees are
+/// cancelled, so the outcome is the sequential one at any thread count
+/// (DESIGN.md §7).
+fn search_parallel(
+    csp: &Csp,
+    root: Vec<Vec<VertexId>>,
+    budget: &SharedBudget,
+    opts: &SolveOptions,
+) -> Result<Option<Vec<VertexId>>, Halt> {
+    let splitter = SearchCtx {
+        budget,
+        cancel: None,
+    };
+    let subtrees = csp.split(root, opts.jobs * 4, opts.strategy, &splitter)?;
+    iis_obs::metrics::add("solve.subtrees", subtrees.len() as u64);
+    let cell: FirstWins<Vec<VertexId>> = FirstWins::new();
+    let verdicts = run_pool(subtrees, opts.jobs, |index, domains| {
+        let ctx = SearchCtx {
+            budget,
+            cancel: Some((&cell, index)),
+        };
+        let found = match opts.strategy {
+            SearchStrategy::Mac => csp.backtrack(domains, &ctx),
+            SearchStrategy::PlainBacktracking => csp.backtrack_plain(&domains, &ctx),
+        };
+        match found {
+            Ok(Some(solution)) => {
+                cell.offer(index, solution);
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(halt) => Err(halt),
+        }
+    });
+    let cancelled = verdicts
+        .iter()
+        .filter(|v| **v == Err(Halt::Cancelled))
+        .count();
+    iis_obs::metrics::add("solve.cancelled", cancelled as u64);
+    match cell.take() {
+        Some((_, solution)) => Ok(Some(solution)),
+        None if verdicts.contains(&Err(Halt::Budget)) => Err(Halt::Budget),
+        None => Ok(None),
+    }
 }
 
 impl Csp {
@@ -523,14 +883,89 @@ impl Csp {
         true
     }
 
+    /// Expands the root state breadth-first, in the sequential search's
+    /// branching order, until at least `target` independent subtree states
+    /// exist (or the tree stops branching). For MAC the expansion performs
+    /// the same charge-pick-propagate steps the sequential search would, so
+    /// node accounting is unchanged; for plain backtracking the expansion
+    /// just restricts the first branching variable's domain.
+    fn split(
+        &self,
+        root: Vec<Vec<VertexId>>,
+        target: usize,
+        strategy: SearchStrategy,
+        ctx: &SearchCtx<'_>,
+    ) -> Result<Vec<Vec<Vec<VertexId>>>, Halt> {
+        let mut frontier = vec![root];
+        loop {
+            if frontier.len() >= target {
+                return Ok(frontier);
+            }
+            let mut next: Vec<Vec<Vec<VertexId>>> = Vec::new();
+            let mut expanded = false;
+            for state in frontier {
+                if expanded && next.len() + 1 >= target {
+                    // enough subtrees; keep the rest unexpanded, in order
+                    next.push(state);
+                    continue;
+                }
+                match strategy {
+                    SearchStrategy::Mac => {
+                        let pick = state
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, d)| d.len() > 1)
+                            .min_by_key(|(_, d)| d.len());
+                        let Some((vi, _)) = pick else {
+                            next.push(state);
+                            continue;
+                        };
+                        ctx.charge(&self.nodes)?;
+                        expanded = true;
+                        let before = next.len();
+                        for &w in &state[vi] {
+                            let mut child = state.clone();
+                            child[vi] = vec![w];
+                            if self.propagate(&mut child, Some(VertexId(vi as u32))) {
+                                next.push(child);
+                            }
+                        }
+                        if next.len() == before {
+                            self.backtracks.incr();
+                        }
+                    }
+                    SearchStrategy::PlainBacktracking => {
+                        let Some(vi) = state.iter().position(|d| d.len() > 1) else {
+                            next.push(state);
+                            continue;
+                        };
+                        expanded = true;
+                        for &w in &state[vi] {
+                            let mut child = state.clone();
+                            child[vi] = vec![w];
+                            next.push(child);
+                        }
+                    }
+                }
+            }
+            if !expanded {
+                return Ok(next);
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                return Ok(frontier);
+            }
+        }
+    }
+
     /// Chronological backtracking without propagation — the ablation
     /// baseline. Checks each constraint as soon as all of its variables are
     /// assigned.
     fn backtrack_plain(
         &self,
         domains: &[Vec<VertexId>],
-        budget: &mut u64,
-    ) -> Result<Option<Vec<VertexId>>, ()> {
+        ctx: &SearchCtx<'_>,
+    ) -> Result<Option<Vec<VertexId>>, Halt> {
         let n = domains.len();
         // constraints indexed by their highest variable
         let mut closing: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -550,13 +985,9 @@ impl Csp {
             closing: &[Vec<usize>],
             assignment: &mut Vec<VertexId>,
             k: usize,
-            budget: &mut u64,
-        ) -> Result<bool, ()> {
-            if *budget == 0 {
-                return Err(());
-            }
-            *budget -= 1;
-            csp.nodes.incr();
+            ctx: &SearchCtx<'_>,
+        ) -> Result<bool, Halt> {
+            ctx.charge(&csp.nodes)?;
             if k == domains.len() {
                 return Ok(true);
             }
@@ -570,32 +1001,28 @@ impl Csp {
                         continue 'cand;
                     }
                 }
-                if rec(csp, domains, closing, assignment, k + 1, budget)? {
+                if rec(csp, domains, closing, assignment, k + 1, ctx)? {
                     return Ok(true);
                 }
             }
             csp.backtracks.incr();
             Ok(false)
         }
-        match rec(self, domains, &closing, &mut assignment, 0, budget)? {
+        match rec(self, domains, &closing, &mut assignment, 0, ctx)? {
             true => Ok(Some(assignment)),
             false => Ok(None),
         }
     }
 
     /// Complete backtracking with propagation (MAC). Returns a full
-    /// assignment, `Ok(None)` if none exists, or `Err(())` when the node
-    /// budget runs out.
+    /// assignment, `Ok(None)` if none exists, or `Err` when the node budget
+    /// runs out (or the subtree is cancelled).
     fn backtrack(
         &self,
         domains: Vec<Vec<VertexId>>,
-        budget: &mut u64,
-    ) -> Result<Option<Vec<VertexId>>, ()> {
-        if *budget == 0 {
-            return Err(());
-        }
-        *budget -= 1;
-        self.nodes.incr();
+        ctx: &SearchCtx<'_>,
+    ) -> Result<Option<Vec<VertexId>>, Halt> {
+        ctx.charge(&self.nodes)?;
         // pick the unassigned variable with the smallest domain > 1
         let pick = domains
             .iter()
@@ -611,7 +1038,7 @@ impl Csp {
             let mut next = domains.clone();
             next[vi] = vec![w];
             if self.propagate(&mut next, Some(VertexId(vi as u32))) {
-                if let Some(sol) = self.backtrack(next, budget)? {
+                if let Some(sol) = self.backtrack(next, ctx)? {
                     return Ok(Some(sol));
                 }
             }

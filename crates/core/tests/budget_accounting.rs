@@ -5,8 +5,8 @@
 //! Lives in its own integration-test binary (and as a single test) so the
 //! process-global metric registry sees no concurrent unrelated searches.
 
-use iis_core::{solve_at_with, BoundedOutcome, SearchStrategy};
-use iis_tasks::library::one_shot_immediate_snapshot_task;
+use iis_core::{solve_at_opts, solve_at_with, BoundedOutcome, SearchStrategy, SolveOptions};
+use iis_tasks::library::{k_set_consensus, one_shot_immediate_snapshot_task};
 
 #[test]
 fn exhausted_search_charges_exactly_the_budget() {
@@ -55,5 +55,45 @@ fn exhausted_search_charges_exactly_the_budget() {
     } else {
         // MAC may finish within one node; it still never overcharges
         assert!(charged <= MAC_BUDGET);
+    }
+
+    // a *parallel* exhausted search keeps the invariant too: the budget is
+    // one shared atomic pool, a node is charged iff a decrement succeeds,
+    // and cancelled workers stop charging — so the sum over all workers is
+    // still exactly the budget, with no over- or under-count
+    for (strategy, jobs) in [
+        (SearchStrategy::PlainBacktracking, 2),
+        (SearchStrategy::PlainBacktracking, 4),
+        (SearchStrategy::Mac, 4),
+    ] {
+        let before = iis_obs::snapshot();
+        const PAR_BUDGET: u64 = 17;
+        // (3,2)-set consensus at b = 1: the Sperner obstruction is global,
+        // so both strategies need well over 17 nodes to refute it
+        let outcome = solve_at_opts(
+            &k_set_consensus(2, 2),
+            1,
+            &SolveOptions::new()
+                .budget(PAR_BUDGET)
+                .strategy(strategy)
+                .jobs(jobs),
+        );
+        assert!(
+            matches!(outcome, BoundedOutcome::Exhausted),
+            "17 nodes cannot refute (3,2)-set consensus at b = 1 ({strategy:?}, jobs {jobs})"
+        );
+        let delta = iis_obs::snapshot().delta_since(&before);
+        assert_eq!(
+            delta.counters.get("solve.nodes").copied(),
+            Some(PAR_BUDGET),
+            "parallel nodes charged must equal budget consumed ({strategy:?}, jobs {jobs})"
+        );
+        assert_eq!(
+            iis_obs::snapshot()
+                .gauges
+                .get("solve.budget_remaining")
+                .copied(),
+            Some(0)
+        );
     }
 }

@@ -1,0 +1,101 @@
+//! Sequential vs parallel search equivalence (ISSUE satellite): for every
+//! task in the library, every round count we can afford, both strategies,
+//! and a sweep of thread counts, the parallel search must return the same
+//! `BoundedOutcome` variant as the sequential one — and when a witness
+//! exists, the *identical* witness (DESIGN.md §7: subtrees are ordered in
+//! the sequential depth-first order and only subtrees after the winner are
+//! cancelled, so the lowest-indexed solution is the sequential solution).
+
+use iis_core::{
+    solvability::validate_decision_map, solve_at_opts, BoundedOutcome, DecisionMap, SearchStrategy,
+    SolveOptions,
+};
+use iis_tasks::library::{
+    approximate_agreement, chromatic_simplex_agreement, consensus, k_set_consensus,
+    one_shot_immediate_snapshot_task, renaming, trivial,
+};
+use iis_tasks::Task;
+
+/// The library sweep: `(task, max b we can afford exhaustively)`.
+fn library() -> Vec<(Task, usize)> {
+    vec![
+        (trivial(2), 1),
+        (consensus(1, &[0, 1]), 2),
+        (consensus(2, &[0, 1]), 1),
+        (k_set_consensus(2, 2), 1),
+        (k_set_consensus(2, 3), 1),
+        (k_set_consensus(1, 1), 2),
+        (renaming(1, 3), 1),
+        (approximate_agreement(1, 3), 2),
+        (approximate_agreement(1, 9), 2),
+        (one_shot_immediate_snapshot_task(1), 1),
+        (one_shot_immediate_snapshot_task(2), 1),
+        (
+            chromatic_simplex_agreement(&iis_topology::sds_iterated(
+                &iis_topology::Complex::standard_simplex(1),
+                2,
+            )),
+            2,
+        ),
+    ]
+}
+
+fn witnesses_identical(a: &DecisionMap, b: &DecisionMap) -> bool {
+    let c = a.subdivision().complex();
+    a.rounds() == b.rounds() && c.vertex_ids().all(|v| a.map().image(v) == b.map().image(v))
+}
+
+#[test]
+fn parallel_agrees_with_sequential_across_library() {
+    for (task, max_b) in library() {
+        for b in 0..=max_b {
+            for strategy in [SearchStrategy::Mac, SearchStrategy::PlainBacktracking] {
+                let seq = solve_at_opts(&task, b, &SolveOptions::new().strategy(strategy));
+                for jobs in [2usize, 3, 4, 8] {
+                    let par =
+                        solve_at_opts(&task, b, &SolveOptions::new().strategy(strategy).jobs(jobs));
+                    match (&seq, &par) {
+                        (BoundedOutcome::Solvable(s), BoundedOutcome::Solvable(p)) => {
+                            assert!(
+                                witnesses_identical(s, p),
+                                "{} b={b} {strategy:?} jobs={jobs}: witness differs",
+                                task.name()
+                            );
+                            validate_decision_map(&task, p.subdivision(), p.map()).unwrap();
+                        }
+                        (BoundedOutcome::Unsolvable, BoundedOutcome::Unsolvable) => {}
+                        (s, p) => panic!(
+                            "{} b={b} {strategy:?} jobs={jobs}: sequential {s:?} vs parallel {p:?}",
+                            task.name()
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_exhaustion_is_sound() {
+    // under a budget too small to decide, every thread count must report
+    // Exhausted (never a fabricated verdict)
+    let task = k_set_consensus(2, 2);
+    for jobs in [1usize, 2, 4] {
+        let out = solve_at_opts(&task, 1, &SolveOptions::new().budget(5).jobs(jobs));
+        assert!(
+            matches!(out, BoundedOutcome::Exhausted),
+            "jobs={jobs} must exhaust"
+        );
+    }
+}
+
+#[test]
+fn parallel_witness_survives_validation_on_deeper_rounds() {
+    // a solvable instance whose witness lives at b = 2, found in parallel
+    let task = approximate_agreement(1, 9);
+    let out = solve_at_opts(&task, 2, &SolveOptions::new().jobs(4));
+    let BoundedOutcome::Solvable(w) = out else {
+        panic!("grid-9 ε-agreement is solvable at b = 2");
+    };
+    validate_decision_map(&task, w.subdivision(), w.map()).unwrap();
+}

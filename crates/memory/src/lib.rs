@@ -38,7 +38,7 @@ pub mod checks;
 mod immediate;
 mod register;
 mod snapshot;
-mod sync;
+pub mod sync;
 
 pub use immediate::{IisCursor, IteratedImmediateSnapshot, OneShotImmediateSnapshot};
 pub use register::{RegisterArray, SwmrRegister, Versioned};

@@ -1,12 +1,13 @@
-//! A thin reader–writer lock over `std::sync::RwLock` with a
-//! guard-returning (non-`Result`) API.
+//! Thin locks over `std::sync` with guard-returning (non-`Result`) APIs.
 //!
 //! Lock poisoning is deliberately ignored: every critical section in this
 //! crate is a plain read or a single assignment, so a panicking holder
 //! cannot leave the protected value in a torn state, and the simulation
-//! harnesses intentionally crash threads mid-protocol.
+//! harnesses intentionally crash threads mid-protocol. The same reasoning
+//! covers the work-stealing deques in `iis-core`'s search pool, which is
+//! why the module is public.
 
-use std::sync::{PoisonError, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{MutexGuard, PoisonError, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader–writer lock whose `read`/`write` return guards directly.
 pub struct RwLock<T> {
@@ -29,5 +30,31 @@ impl<T> RwLock<T> {
     /// Acquires exclusive access, ignoring poison.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A mutual-exclusion lock whose `lock` returns the guard directly.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, ignoring poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }

@@ -8,7 +8,7 @@
 //! - [`metrics`] — named monotonic counters, gauges and log2-bucketed
 //!   duration histograms behind a global recorder that compiles down to a
 //!   branch on a static `AtomicBool` when disabled;
-//! - [`span`] — lightweight RAII span timers feeding the histograms and the
+//! - [`mod@span`] — lightweight RAII span timers feeding the histograms and the
 //!   trace stream;
 //! - [`trace`] — a JSON-lines event sink (`--trace FILE` in the CLI);
 //! - [`json`] — a minimal JSON value type with parser and writer, used for

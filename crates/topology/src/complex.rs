@@ -13,7 +13,11 @@ use std::fmt;
 ///
 /// Vertices are deduplicated by `(color, label)`: adding the same pair twice
 /// yields the same [`VertexId`]. This makes complexes built by independent
-/// constructions directly comparable via [`Complex::same_labeled`].
+/// constructions directly comparable via [`Complex::same_labeled`]. Labels
+/// themselves are interned byte strings ([`Label`] wraps an `Arc<[u8]>`),
+/// so cloning a complex — as the incremental subdivision tower
+/// ([`crate::sds_next`]) and the parallel solver do — shares label storage
+/// instead of copying it.
 ///
 /// # Examples
 ///

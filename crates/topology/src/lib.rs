@@ -49,7 +49,7 @@ pub mod sperner;
 pub use complex::Complex;
 pub use maps::{MapError, SimplicialMap};
 pub use sds::{
-    ordered_bell, ordered_partitions, path_subdivision, sds, sds_forget_map, sds_iterated,
+    ordered_bell, ordered_partitions, path_subdivision, sds, sds_forget_map, sds_iterated, sds_next,
 };
 pub use simplex::Simplex;
 pub use subdivision::{Subdivision, SubdivisionError};

@@ -173,8 +173,7 @@ pub fn sds(base: &Complex) -> Subdivision {
 pub fn sds_iterated(base: &Complex, b: usize) -> Subdivision {
     let mut acc = Subdivision::identity(base.clone());
     for level in 1..=b {
-        let next = sds(acc.complex());
-        acc = acc.compose(&next);
+        acc = sds_next(&acc);
         if iis_obs::trace::active() {
             iis_obs::trace::event(
                 "sds.level",
@@ -196,6 +195,32 @@ pub fn sds_iterated(base: &Complex, b: usize) -> Subdivision {
     acc
 }
 
+/// Extends a subdivision `SDS^b(C) → C` by one more round, producing
+/// `SDS^{b+1}(C) → C` *incrementally*: only the newest level is subdivided
+/// and the carriers are composed down to the original base (Lemma 3.3).
+///
+/// This is the reuse primitive behind `sds_iterated` and the round sweep in
+/// `iis-core::solvability::solve_up_to`: round `b+1` starts from round `b`'s
+/// already-built complex instead of re-subdividing from scratch, so a sweep
+/// up to `B` performs `B` single subdivisions rather than `1 + 2 + … + B`.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{Complex, Subdivision, sds_next, sds_iterated};
+/// let base = Complex::standard_simplex(1);
+/// let mut acc = Subdivision::identity(base.clone());
+/// acc = sds_next(&acc); // SDS¹
+/// acc = sds_next(&acc); // SDS², one more round reusing SDS¹
+/// assert_eq!(acc.complex().num_facets(), 9);
+/// assert!(acc
+///     .complex()
+///     .same_labeled(sds_iterated(&base, 2).complex()));
+/// ```
+pub fn sds_next(acc: &Subdivision) -> Subdivision {
+    acc.compose(&sds(acc.complex()))
+}
+
 /// The canonical "forget the last round" map `SDS^{b+1}(C) → SDS^b(C)`:
 /// each vertex (a `b+1`-round full-information state) maps to its own
 /// `b`-round state, recovered by peeling the process's own entry out of the
@@ -210,12 +235,23 @@ pub fn sds_iterated(base: &Complex, b: usize) -> Subdivision {
 /// # Panics
 ///
 /// Panics if `C` is not chromatic.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{Complex, sds_forget_map};
+/// let (finer, coarser, map) = sds_forget_map(&Complex::standard_simplex(1), 1);
+/// assert_eq!(finer.complex().num_facets(), 9);
+/// assert_eq!(coarser.complex().num_facets(), 3);
+/// map.verify_simplicial(finer.complex(), coarser.complex()).unwrap();
+/// map.verify_color_preserving(finer.complex(), coarser.complex()).unwrap();
+/// ```
 pub fn sds_forget_map(
     base: &Complex,
     b: usize,
 ) -> (Subdivision, Subdivision, crate::SimplicialMap) {
-    let finer = sds_iterated(base, b + 1);
     let coarser = sds_iterated(base, b);
+    let finer = sds_next(&coarser);
     let map = crate::SimplicialMap::from_fn(finer.complex(), |v| {
         let color = finer.complex().color(v);
         let entries = finer

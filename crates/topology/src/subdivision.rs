@@ -45,6 +45,10 @@ impl std::error::Error for SubdivisionError {}
 /// containing it — computed as the union of its vertices' carriers
 /// ([`Subdivision::carrier_of_simplex`]).
 ///
+/// Subdivisions compose ([`Subdivision::compose`]), which is how the
+/// iterated tower `SDS^b` is grown one level at a time
+/// ([`crate::sds_next`]) instead of being rebuilt from scratch each round.
+///
 /// # Examples
 ///
 /// ```

@@ -10,6 +10,7 @@
 //! when they denote the same mathematical object.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A process identifier, doubling as a vertex color of a chromatic complex.
 ///
@@ -97,6 +98,13 @@ enum Tag {
 /// Two labels are equal iff they denote the same tree with the same
 /// constructors — in particular views compare as sets.
 ///
+/// The encoding is stored behind an [`Arc`], so cloning a label — which the
+/// subdivision builders do for every vertex of every facet — is a reference
+/// count bump, and a complex's vertex table and its `(color, label)` lookup
+/// index share one buffer per label instead of duplicating it. This is what
+/// keeps memory flat while [`crate::sds_iterated`] grows `SDS^b` levels
+/// incrementally.
+///
 /// # Examples
 ///
 /// ```
@@ -110,8 +118,14 @@ enum Tag {
 /// let v2 = Label::view([(Color(1), &b), (Color(0), &a)]);
 /// assert_eq!(v1, v2);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Label(Vec<u8>);
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<[u8]>);
+
+impl Default for Label {
+    fn default() -> Self {
+        Label(Arc::from(Vec::new()))
+    }
+}
 
 impl Label {
     /// A label wrapping a single unsigned integer.
@@ -119,7 +133,7 @@ impl Label {
         let mut buf = Vec::with_capacity(9);
         buf.push(Tag::Scalar as u8);
         buf.extend_from_slice(&v.to_be_bytes());
-        Label(buf)
+        Label(buf.into())
     }
 
     /// A label wrapping UTF-8 text.
@@ -128,7 +142,7 @@ impl Label {
         buf.push(Tag::Text as u8);
         buf.extend_from_slice(&(s.len() as u64).to_be_bytes());
         buf.extend_from_slice(s.as_bytes());
-        Label(buf)
+        Label(buf.into())
     }
 
     /// A *view* label: the set of `(color, label)` pairs a process observed.
@@ -150,7 +164,7 @@ impl Label {
             buf.extend_from_slice(&(l.0.len() as u64).to_be_bytes());
             buf.extend_from_slice(&l.0);
         }
-        Label(buf)
+        Label(buf.into())
     }
 
     /// An ordered tuple of labels.
@@ -166,7 +180,7 @@ impl Label {
             buf.extend_from_slice(&(l.0.len() as u64).to_be_bytes());
             buf.extend_from_slice(&l.0);
         }
-        Label(buf)
+        Label(buf.into())
     }
 
     /// A 2-tuple of labels.
@@ -177,7 +191,7 @@ impl Label {
         buf.extend_from_slice(&a.0);
         buf.extend_from_slice(&(b.0.len() as u64).to_be_bytes());
         buf.extend_from_slice(&b.0);
-        Label(buf)
+        Label(buf.into())
     }
 
     /// If the label was built by [`Label::scalar`], its value.
@@ -217,7 +231,7 @@ impl Label {
             let len = read_u64(&self.0, &mut pos)? as usize;
             let bytes = self.0.get(pos..pos + len)?.to_vec();
             pos += len;
-            out.push((color, Label(bytes)));
+            out.push((color, Label(bytes.into())));
         }
         Some(out)
     }
@@ -235,7 +249,7 @@ impl Label {
     /// Rebuilds a label from its canonical encoding (serialization only;
     /// the bytes are trusted to the same degree a hand-edited JSON file is).
     pub(crate) fn from_bytes(bytes: Vec<u8>) -> Self {
-        Label(bytes)
+        Label(bytes.into())
     }
 }
 

@@ -6,5 +6,6 @@ cd "$(dirname "$0")"
 
 cargo fmt --all -- --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 cargo build --offline --release --workspace
 cargo test --offline --workspace -q

@@ -13,8 +13,8 @@
 use iis_bench::harness::Bench;
 use iis_core::bounded::minimal_rounds;
 use iis_core::solvability::{
-    solve_at, solve_at_bounded, solve_at_opts, solve_at_with, BoundedOutcome, SearchStrategy,
-    SolveOptions,
+    solve_at, solve_at_bounded, solve_at_opts, solve_at_with, BoundedOutcome, Kernel,
+    SearchStrategy, SolveOptions,
 };
 use iis_tasks::library::{
     approximate_agreement, consensus, k_set_consensus, one_shot_immediate_snapshot_task, trivial,
@@ -111,6 +111,17 @@ fn parallel_scaling(bench: &mut Bench) {
             ));
         });
     }
+    // the same budgeted search on the reference engine: its nodes/sec rate
+    // vs `jobs1` above is the compiled kernel's in-run speedup (the two
+    // explore the identical 30k-node prefix, so the rate ratio is pure
+    // per-node cost)
+    let opts = SolveOptions::new().budget(NODES).kernel(Kernel::Reference);
+    g.bench_function("refute_2set_b2_30k_nodes/reference_jobs1", || {
+        assert!(matches!(
+            black_box(solve_at_opts(&task, 2, &opts)),
+            BoundedOutcome::Exhausted
+        ));
+    });
 }
 
 fn recorder_overhead(bench: &mut Bench) {

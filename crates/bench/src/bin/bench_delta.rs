@@ -1,0 +1,75 @@
+//! `bench_delta <baseline.json> <current.json>` — compare two
+//! `BENCH_*.json` files produced by the in-tree harness and print the
+//! per-case `solve.nodes` rate (nodes/sec) delta, the speed metric the
+//! perf trajectory tracks (CI runs this against the committed baseline).
+//!
+//! Exits non-zero if either file is missing or malformed, so CI fails loud
+//! instead of silently skipping the comparison; a missing *case* in either
+//! file is only reported, because case sets legitimately evolve.
+
+use iis_obs::Json;
+use std::process::ExitCode;
+
+/// `(case id, nodes/sec)` for every case that attributes `solve.nodes`.
+fn node_rates(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e:?}"))?;
+    let cases = json
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no `cases` array"))?;
+    let mut rates = Vec::new();
+    for case in cases {
+        let id = case
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: case without `id`"))?;
+        if let Some(rate) = case
+            .get("rates_per_sec")
+            .and_then(|r| r.get("solve.nodes"))
+            .and_then(Json::as_f64)
+        {
+            rates.push((id.to_string(), rate));
+        }
+    }
+    Ok(rates)
+}
+
+fn run(baseline_path: &str, current_path: &str) -> Result<(), String> {
+    let baseline = node_rates(baseline_path)?;
+    let current = node_rates(current_path)?;
+    println!("solve.nodes rate vs baseline ({baseline_path}):");
+    for (id, now) in &current {
+        match baseline.iter().find(|(b, _)| b == id) {
+            Some((_, before)) if *before > 0.0 => {
+                println!(
+                    "  {id}: {now:.0} nodes/sec vs {before:.0} ({:+.1}%, {:.2}x)",
+                    (now / before - 1.0) * 100.0,
+                    now / before
+                );
+            }
+            _ => println!("  {id}: {now:.0} nodes/sec (no baseline)"),
+        }
+    }
+    for (id, _) in &baseline {
+        if !current.iter().any(|(c, _)| c == id) {
+            println!("  {id}: in baseline only");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline, current] = args.as_slice() else {
+        eprintln!("usage: bench_delta <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    };
+    match run(baseline, current) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_delta: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use iis_core::bg::BgSimulation;
 use iis_core::protocol_complex::{check_lemma_3_2, check_lemma_3_3};
-use iis_core::solvability::{BoundedOutcome, SolveOptions, Solver};
+use iis_core::solvability::{BoundedOutcome, Kernel, SolveOptions, Solver};
 use iis_core::EmulatorMachine;
 use iis_obs::ToJson as _;
 use iis_sched::{AtomicMachine, IisRunner, IisSchedule};
@@ -45,7 +45,7 @@ USAGE:
   iis sds <n> <b> [--json] [--svg FILE]   build SDS^b(s^n); print stats
   iis homology <n> <b>                    Z2 Betti numbers of SDS^b(s^n)
   iis check-lemmas <n> <b>                verify Lemmas 3.2/3.3 by enumeration
-  iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N]
+  iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N] [--kernel K]
                                           decide wait-free solvability
   iis emulate <n> <k> [--adversary A] [--seed S]
                                           emulate the k-shot protocol on IIS
@@ -233,11 +233,14 @@ pub fn cmd_check_lemmas(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N]`
+/// `iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N] [--kernel K]`
 ///
 /// The round sweep is incremental (`SDS^{b+1}` extends `SDS^b`) and
 /// `--jobs N` spreads each round's search over `N` worker threads without
-/// changing any verdict or witness.
+/// changing any verdict or witness. `--kernel compiled|reference` selects
+/// the CSP engine (the flat bitset kernel by default; `reference` is the
+/// slower oracle engine, kept as an escape hatch) — verdicts and witnesses
+/// are identical either way.
 ///
 /// # Errors
 ///
@@ -257,9 +260,17 @@ pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| err("bad --jobs"))?;
+    let kernel = match flag_value(args, "--kernel")?.unwrap_or("compiled") {
+        "compiled" => Kernel::Compiled,
+        "reference" => Kernel::Reference,
+        other => return Err(err(format!("bad --kernel: {other} (compiled|reference)"))),
+    };
     let mut out = String::new();
     let _ = writeln!(out, "task: {task}");
-    let mut solver = Solver::new(&task, SolveOptions::new().budget(budget).jobs(jobs));
+    let mut solver = Solver::new(
+        &task,
+        SolveOptions::new().budget(budget).jobs(jobs).kernel(kernel),
+    );
     for b in 0..=max_rounds {
         match solver.step() {
             BoundedOutcome::Solvable(m) => {
@@ -581,6 +592,18 @@ mod tests {
         let par = cmd_solve(&argv("eps:1:3 --jobs=3")).unwrap();
         assert!(par.contains("b = 1: SOLVABLE"));
         assert!(cmd_solve(&argv("consensus:1 --jobs nope")).is_err());
+    }
+
+    #[test]
+    fn solve_kernel_flag_does_not_change_output() {
+        let compiled = cmd_solve(&argv("consensus:1 --max-rounds 2 --kernel compiled")).unwrap();
+        let reference = cmd_solve(&argv("consensus:1 --max-rounds 2 --kernel reference")).unwrap();
+        let default = cmd_solve(&argv("consensus:1 --max-rounds 2")).unwrap();
+        assert_eq!(compiled, reference, "--kernel must not change verdicts");
+        assert_eq!(compiled, default, "compiled is the default kernel");
+        let reference = cmd_solve(&argv("eps:1:3 --kernel=reference")).unwrap();
+        assert!(reference.contains("b = 1: SOLVABLE"));
+        assert!(cmd_solve(&argv("consensus:1 --kernel turbo")).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod bg;
 pub mod bounded;
 pub mod concurrent;
 pub mod convergence;
+pub mod csp;
 pub mod emulation;
 pub mod parallel;
 pub mod protocol_complex;
@@ -50,6 +51,6 @@ pub use concurrent::run_atomic_concurrent;
 pub use emulation::{run_emulation_concurrent, EmulationStats, EmulatorMachine, Tuple, TupleSet};
 pub use solvability::{
     lift_decision_map, solve_at, solve_at_bounded, solve_at_opts, solve_at_with, solve_up_to,
-    solve_up_to_opts, BoundedOutcome, DecisionMap, DecisionProtocol, SearchStrategy,
+    solve_up_to_opts, BoundedOutcome, DecisionMap, DecisionProtocol, Kernel, SearchStrategy,
     SolvabilityReport, SolveOptions, Solver,
 };

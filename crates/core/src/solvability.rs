@@ -16,10 +16,11 @@
 //! a fixpoint, then backtrack with propagation — complete for both
 //! solvable and unsolvable instances.
 
+pub use crate::csp::Kernel;
+use crate::csp::{CompiledTable, ConstraintCache};
 use crate::parallel::{run_pool, FirstWins, SharedBudget};
 use iis_tasks::Task;
-use iis_topology::{sds_iterated, sds_next, Color, Simplex, SimplicialMap, Subdivision, VertexId};
-use std::collections::HashMap;
+use iis_topology::{sds_iterated, sds_next, Color, SimplicialMap, Subdivision, VertexId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -112,16 +113,23 @@ pub fn validate_decision_map(
             return Err(format!("vertex {v} changes color"));
         }
     }
-    for s in c.simplices() {
-        let carrier = sub.carrier_of_simplex(&s);
-        let image = map.image_simplex(&s);
+    let mut violation = None;
+    c.for_each_simplex(|s| {
+        if violation.is_some() {
+            return;
+        }
+        let carrier = sub.carrier_of_simplex(s);
+        let image = map.image_simplex(s);
         if !task.allows(&carrier, &image) {
-            return Err(format!(
+            violation = Some(format!(
                 "simplex {s} (carrier {carrier}) decides {image} ∉ Δ(carrier)"
             ));
         }
+    });
+    match violation {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Searches for a decision map on `SDS^b(I)`. Returns the witness if the
@@ -263,9 +271,10 @@ pub fn solve_at_with(
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct SolveOptions {
-    max_nodes: u64,
-    strategy: SearchStrategy,
-    jobs: usize,
+    pub(crate) max_nodes: u64,
+    pub(crate) strategy: SearchStrategy,
+    pub(crate) jobs: usize,
+    pub(crate) kernel: Kernel,
 }
 
 impl Default for SolveOptions {
@@ -274,6 +283,7 @@ impl Default for SolveOptions {
             max_nodes: u64::MAX,
             strategy: SearchStrategy::Mac,
             jobs: 1,
+            kernel: Kernel::Compiled,
         }
     }
 }
@@ -302,6 +312,14 @@ impl SolveOptions {
     /// value; only wall-clock time does.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Selects the CSP engine ([`Kernel::Compiled`] by default). Verdicts,
+    /// witnesses, and node accounting do not depend on this value; only
+    /// speed does.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -464,61 +482,15 @@ pub fn solve_up_to_opts(task: &Task, max_rounds: usize, opts: &SolveOptions) -> 
     }
 }
 
-/// One constraint: a simplex of the subdivision, compiled to its vertex
-/// list and the *allowed image tuples* (the restrictions of `Δ(carrier)` to
-/// the simplex's colors, aligned positionally with the vertex list).
+/// One constraint of the *reference engine*: a simplex of the subdivision,
+/// compiled to its vertex list and the shared [`CompiledTable`] whose
+/// `allowed` field holds the legal image tuples (the restrictions of
+/// `Δ(carrier)` to the simplex's colors, aligned positionally with the
+/// vertex list). The table cache itself lives in [`crate::csp`] and is
+/// shared with the compiled kernel.
 struct Constraint {
     verts: Vec<VertexId>,
-    allowed: AllowedTable,
-}
-
-/// A compiled allowed-tuple table: each inner `Vec` is one legal assignment
-/// of output vertices to the constraint's variables, in variable order.
-type AllowedTable = Arc<Vec<Vec<VertexId>>>;
-
-/// Memoized allowed-tuple tables, keyed by `(carrier, colors)` — the only
-/// inputs a table depends on. Carriers are simplices of the *base* complex
-/// and tuples are vertices of the output complex, both fixed for the life
-/// of a task, so a [`Solver`] carries one cache across its whole round
-/// sweep: at round `b+1` most simplices of `SDS^{b+1}(I)` repeat a
-/// `(carrier, colors)` pair already compiled at round `b` and skip the
-/// `Δ`-enumeration entirely (`solve.constraint_cache_hits`).
-#[derive(Default)]
-struct ConstraintCache {
-    tables: HashMap<(Simplex, Vec<Color>), AllowedTable>,
-}
-
-impl ConstraintCache {
-    /// The compiled table for a simplex with the given carrier and colors.
-    fn table(&mut self, task: &Task, carrier: &Simplex, colors: &[Color]) -> AllowedTable {
-        if let Some(hit) = self.tables.get(&(carrier.clone(), colors.to_vec())) {
-            iis_obs::metrics::add("solve.constraint_cache_hits", 1);
-            return Arc::clone(hit);
-        }
-        let mut allowed: Vec<Vec<VertexId>> = Vec::new();
-        for so in task.delta(carrier) {
-            let mut tuple = Vec::with_capacity(colors.len());
-            let mut ok = true;
-            for &col in colors {
-                match so.iter().find(|&w| task.output().color(w) == col) {
-                    Some(w) => tuple.push(w),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if ok {
-                allowed.push(tuple);
-            }
-        }
-        allowed.sort();
-        allowed.dedup();
-        let table = Arc::new(allowed);
-        self.tables
-            .insert((carrier.clone(), colors.to_vec()), Arc::clone(&table));
-        table
-    }
+    table: Arc<CompiledTable>,
 }
 
 /// Lifts a decision map one round up: composes the canonical
@@ -650,7 +622,7 @@ struct Csp {
 
 /// Why a search stopped before reaching a verdict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Halt {
+pub(crate) enum Halt {
     /// The shared node budget ran out.
     Budget,
     /// A lower-indexed subtree already found the winning witness.
@@ -658,17 +630,18 @@ enum Halt {
 }
 
 /// Per-worker search context: the shared budget, plus (in parallel runs)
-/// this worker's subtree index and the first-solution cell to poll.
-struct SearchCtx<'a> {
-    budget: &'a SharedBudget,
-    cancel: Option<(&'a FirstWins<Vec<VertexId>>, usize)>,
+/// this worker's subtree index and the first-solution cell to poll. Shared
+/// by both engines so the charging discipline is identical.
+pub(crate) struct SearchCtx<'a> {
+    pub(crate) budget: &'a SharedBudget,
+    pub(crate) cancel: Option<(&'a FirstWins<Vec<VertexId>>, usize)>,
 }
 
 impl SearchCtx<'_> {
     /// Charges one node, or reports why the search must stop. `solve.nodes`
     /// is incremented iff the charge succeeds, so on exhaustion the counter
     /// equals the budget consumed exactly — across all workers.
-    fn charge(&self, nodes: &iis_obs::metrics::Counter) -> Result<(), Halt> {
+    pub(crate) fn charge(&self, nodes: &iis_obs::metrics::Counter) -> Result<(), Halt> {
         if let Some((cell, index)) = self.cancel {
             if cell.should_cancel(index) {
                 return Err(Halt::Cancelled);
@@ -697,15 +670,23 @@ fn compile_csp(
     // same-size tuple, and it extends to Δ(carrier) iff it equals the
     // restriction of some allowed output tuple to the simplex's colors.
     let mut constraints: Vec<Constraint> = Vec::new();
-    for s in c.simplices() {
+    let mut empty_table = false;
+    c.for_each_simplex(|s| {
+        if empty_table {
+            return;
+        }
         let verts: Vec<VertexId> = s.iter().collect();
         let colors: Vec<Color> = verts.iter().map(|&v| c.color(v)).collect();
-        let carrier = sub.carrier_of_simplex(&s);
-        let allowed = cache.table(task, &carrier, &colors);
-        if allowed.is_empty() {
-            return None;
+        let carrier = sub.carrier_of_simplex(s);
+        let table = cache.table(task, &carrier, &colors);
+        if table.allowed.is_empty() {
+            empty_table = true;
+            return;
         }
-        constraints.push(Constraint { verts, allowed });
+        constraints.push(Constraint { verts, table });
+    });
+    if empty_table {
+        return None;
     }
     let mut containing: Vec<Vec<usize>> = vec![Vec::new(); nv];
     for (i, con) in constraints.iter().enumerate() {
@@ -718,7 +699,7 @@ fn compile_csp(
     for con in &constraints {
         if con.verts.len() == 1 {
             let v = con.verts[0];
-            let mut dom: Vec<VertexId> = con.allowed.iter().map(|t| t[0]).collect();
+            let mut dom: Vec<VertexId> = con.table.allowed.iter().map(|t| t[0]).collect();
             dom.sort();
             dom.dedup();
             domains[v.index()] = dom;
@@ -738,6 +719,9 @@ fn compile_csp(
     Some((csp, domains))
 }
 
+/// Dispatches the search to the selected engine. Both paths explore the
+/// same tree in the same order; see [`crate::csp`] for the determinism
+/// argument.
 fn search_map(
     task: &Task,
     sub: &Subdivision,
@@ -745,6 +729,9 @@ fn search_map(
     opts: &SolveOptions,
     cache: &mut ConstraintCache,
 ) -> Result<Option<SimplicialMap>, Halt> {
+    if opts.kernel == Kernel::Compiled {
+        return crate::csp::search_map(task, sub, budget, opts, cache);
+    }
     let Some((csp, mut domains)) = compile_csp(task, sub, cache) else {
         return Ok(None);
     };
@@ -833,7 +820,7 @@ impl Csp {
     /// and every other position inside its vertex's current domain.
     fn supported(&self, ci: usize, pos: usize, w: VertexId, domains: &[Vec<VertexId>]) -> bool {
         let con = &self.constraints[ci];
-        con.allowed.iter().any(|tuple| {
+        con.table.allowed.iter().any(|tuple| {
             tuple[pos] == w
                 && tuple
                     .iter()
@@ -997,7 +984,7 @@ impl Csp {
                     let con = &csp.constraints[ci];
                     let tuple: Vec<VertexId> =
                         con.verts.iter().map(|v| assignment[v.index()]).collect();
-                    if !con.allowed.contains(&tuple) {
+                    if !con.table.allowed.contains(&tuple) {
                         continue 'cand;
                     }
                 }

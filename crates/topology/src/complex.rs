@@ -33,7 +33,10 @@ use std::fmt;
 #[derive(Clone, Default)]
 pub struct Complex {
     vertices: Vec<(Color, Label)>,
-    index: HashMap<(Color, Label), VertexId>,
+    /// Two-level index so lookups borrow the label (`&Label`) instead of
+    /// cloning it into a composite key — `vertex_id` sits on the
+    /// per-process decide path of `DecisionProtocol`.
+    index: HashMap<Color, HashMap<Label, VertexId>>,
     facets: BTreeSet<Simplex>,
 }
 
@@ -71,18 +74,22 @@ impl Complex {
     /// facet once added via [`Complex::add_facet`]; bare vertices not in any
     /// facet are allowed and simply not part of any simplex.
     pub fn ensure_vertex(&mut self, color: Color, label: Label) -> VertexId {
-        if let Some(&id) = self.index.get(&(color, label.clone())) {
+        let by_label = self.index.entry(color).or_default();
+        if let Some(&id) = by_label.get(&label) {
             return id;
         }
         let id = VertexId(self.vertices.len() as u32);
-        self.vertices.push((color, label.clone()));
-        self.index.insert((color, label), id);
+        by_label.insert(label.clone(), id);
+        self.vertices.push((color, label));
         id
     }
 
     /// Looks up a vertex id by `(color, label)` without inserting.
+    ///
+    /// The lookup borrows the label: no clone, no composite key — safe to
+    /// call on a per-decision hot path.
     pub fn vertex_id(&self, color: Color, label: &Label) -> Option<VertexId> {
-        self.index.get(&(color, label.clone())).copied()
+        self.index.get(&color)?.get(label).copied()
     }
 
     /// The color of vertex `v`.
@@ -203,14 +210,98 @@ impl Complex {
 
     /// All distinct simplices of every dimension (the downward closure of the
     /// facets). Can be exponentially larger than the facet set.
+    ///
+    /// This **materializes** the full face poset as a `BTreeSet` — up to
+    /// `2^(dim+1) − 1` simplices per facet. Kept as the compatibility API;
+    /// traversals that only need to *visit* each simplex should prefer
+    /// [`Complex::for_each_simplex`], which streams the same simplices in
+    /// the same order with memory proportional to the facet count.
     pub fn simplices(&self) -> BTreeSet<Simplex> {
         let mut out = BTreeSet::new();
-        for f in &self.facets {
-            for face in f.faces() {
-                out.insert(face);
+        self.for_each_simplex(|s| {
+            out.insert(s.clone());
+        });
+        out
+    }
+
+    /// Visits every distinct simplex of the complex (the downward closure
+    /// of the facets) in sorted order — the exact order
+    /// [`Complex::simplices`] iterates in — without materializing the face
+    /// poset.
+    ///
+    /// Faces of each facet are generated lazily in lexicographic order and
+    /// merged across facets through a min-heap keyed on the current face,
+    /// deduplicating on the fly (equal faces from different facets surface
+    /// adjacently in the merged stream). Memory is `O(#facets · dim)`
+    /// instead of `O(#simplices)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use iis_topology::Complex;
+    /// let s2 = Complex::standard_simplex(2);
+    /// let mut streamed = Vec::new();
+    /// s2.for_each_simplex(|s| streamed.push(s.clone()));
+    /// let materialized: Vec<_> = s2.simplices().into_iter().collect();
+    /// assert_eq!(streamed, materialized); // same simplices, same order
+    /// ```
+    pub fn for_each_simplex<F: FnMut(&Simplex)>(&self, mut f: F) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // One lazy stream of faces per facet, in lexicographic order of the
+        // sorted vertex vector: the lex successor of the index subset
+        // `[i₀ < … < i_k]` of `0..n` is `[i₀ … i_k, i_k+1]` when the last
+        // index can still grow the prefix, else `[i₀ … i_{k-1}+1]`.
+        struct Stream<'a> {
+            verts: &'a [VertexId],
+            idx: Vec<usize>,
+        }
+        impl Stream<'_> {
+            fn current(&self) -> Simplex {
+                Simplex::new(self.idx.iter().map(|&i| self.verts[i]))
+            }
+            /// Advances to the lex-next face; `false` when exhausted.
+            fn advance(&mut self) -> bool {
+                let n = self.verts.len();
+                match self.idx.last() {
+                    Some(&last) if last + 1 < n => self.idx.push(last + 1),
+                    _ => {
+                        self.idx.pop();
+                        match self.idx.last_mut() {
+                            Some(l) => *l += 1,
+                            None => return false,
+                        }
+                    }
+                }
+                true
             }
         }
-        out
+
+        let mut streams: Vec<Stream<'_>> = self
+            .facets
+            .iter()
+            .filter(|fct| !fct.is_empty())
+            .map(|fct| Stream {
+                verts: fct.vertices(),
+                idx: vec![0],
+            })
+            .collect();
+        let mut heap: BinaryHeap<Reverse<(Simplex, usize)>> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, st)| Reverse((st.current(), i)))
+            .collect();
+        let mut last: Option<Simplex> = None;
+        while let Some(Reverse((s, i))) = heap.pop() {
+            if streams[i].advance() {
+                heap.push(Reverse((streams[i].current(), i)));
+            }
+            if last.as_ref() != Some(&s) {
+                f(&s);
+                last = Some(s);
+            }
+        }
     }
 
     /// All distinct simplices of dimension exactly `k`.
@@ -228,19 +319,21 @@ impl Complex {
 
     /// Total number of non-empty simplices.
     pub fn num_simplices(&self) -> usize {
-        self.simplices().len()
+        let mut n = 0;
+        self.for_each_simplex(|_| n += 1);
+        n
     }
 
     /// Euler characteristic `Σ (−1)^k · #k-simplices`.
     pub fn euler_characteristic(&self) -> i64 {
         let mut chi = 0i64;
-        for s in self.simplices() {
+        self.for_each_simplex(|s| {
             if s.dim() % 2 == 0 {
                 chi += 1;
             } else {
                 chi -= 1;
             }
-        }
+        });
         chi
     }
 
@@ -636,6 +729,37 @@ mod tests {
         d.add_facet([a2, b2, y]);
         d.add_facet([a2, b2, x]);
         assert!(a.same_labeled(&d));
+    }
+
+    #[test]
+    fn for_each_simplex_streams_sorted_dedup() {
+        // shared faces between facets must be visited exactly once, in the
+        // same (sorted) order `simplices()` iterates in
+        for c in [
+            triangle(),
+            butterfly(),
+            crate::sds_iterated(&Complex::standard_simplex(2), 1)
+                .complex()
+                .clone(),
+        ] {
+            let mut streamed = Vec::new();
+            c.for_each_simplex(|s| streamed.push(s.clone()));
+            // reference: materialize the face poset the pedestrian way
+            let mut poset = BTreeSet::new();
+            for f in c.facets() {
+                poset.extend(f.faces());
+            }
+            let materialized: Vec<Simplex> = poset.into_iter().collect();
+            assert_eq!(streamed, materialized);
+            let mut sorted = streamed.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(streamed, sorted, "stream must be sorted and deduped");
+        }
+        // empty complex: no visits
+        let mut n = 0;
+        Complex::new().for_each_simplex(|_| n += 1);
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! The atomic-snapshot-layer executor: drives `iis_sched::AtomicRunner`
+//! under a step schedule with clean crash injection, then checks scan
+//! linearizability (pairwise-comparable version vectors) and wait-freedom.
+
+use crate::oracle::OracleFailure;
+use crate::plan::FaultPlan;
+use iis_memory::checks::{validate_scan_comparability, ScanOrderError};
+use iis_obs::{Json, ToJson};
+use iis_sched::{AtomicMachine, AtomicRunner, AtomicSchedule};
+
+/// One fuzz case on the atomic layer: `n` processes each performing `k`
+/// write/snapshot pairs, a step schedule, and a crash plan keyed by step
+/// index (clean crashes only — a step is already atomic).
+#[derive(Clone, Debug)]
+pub struct AtomicCase {
+    /// Number of processes.
+    pub n: usize,
+    /// Snapshots each process takes before deciding.
+    pub k: usize,
+    /// The scheduled steps (pids; no-ops on crashed/decided pids are fine).
+    pub schedule: AtomicSchedule,
+    /// The crash plan; `at` indexes into `schedule`, mode is ignored.
+    pub plan: FaultPlan,
+}
+
+impl ToJson for AtomicCase {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::Num(self.n as f64)),
+            ("k", Json::Num(self.k as f64)),
+            (
+                "schedule",
+                Json::Arr(
+                    self.schedule
+                        .steps()
+                        .iter()
+                        .map(|&p| Json::Num(p as f64))
+                        .collect(),
+                ),
+            ),
+            ("plan", self.plan.to_json()),
+        ])
+    }
+}
+
+/// Writes `(pid, sq)` pairs and decides, after `k` snapshots, on its full
+/// scan history (per-cell sequence numbers), so the oracle can recover
+/// every scan from the runner's outputs alone.
+struct ScanRec {
+    pid: usize,
+    k: usize,
+    sq: usize,
+    scans: Vec<Vec<u64>>,
+}
+
+impl AtomicMachine for ScanRec {
+    type Value = u64; // encodes (pid << 16) | sq
+    type Output = Vec<Vec<u64>>;
+    fn next_write(&mut self) -> u64 {
+        self.sq += 1;
+        ((self.pid as u64) << 16) | self.sq as u64
+    }
+    fn on_snapshot(&mut self, snap: &[Option<u64>]) -> Option<Vec<Vec<u64>>> {
+        self.scans
+            .push(snap.iter().map(|c| c.map_or(0, |v| v & 0xffff)).collect());
+        (self.scans.len() >= self.k).then(|| self.scans.clone())
+    }
+}
+
+/// Executes `case` and checks the oracles. After the fuzzed prefix the
+/// surviving processes run round-robin to completion (wait-freedom means
+/// the crashes cannot stop them), bounded by `n * (2k + 2)` extra steps.
+pub fn run_atomic_case(case: &AtomicCase) -> Vec<OracleFailure> {
+    let machines: Vec<ScanRec> = (0..case.n)
+        .map(|pid| ScanRec {
+            pid,
+            k: case.k,
+            sq: 0,
+            scans: Vec::new(),
+        })
+        .collect();
+    let mut runner = AtomicRunner::new(machines);
+    let mut crashed = vec![false; case.n];
+    for (t, &p) in case.schedule.steps().iter().enumerate() {
+        for v in case
+            .plan
+            .clean_at(t)
+            .into_iter()
+            .chain(case.plan.inside_at(t))
+        {
+            runner.crash(v);
+            crashed[v] = true;
+        }
+        runner.step(p);
+    }
+    let mut extra = case.n * (2 * case.k + 2);
+    'ext: while !runner.is_quiescent() {
+        for p in 0..case.n {
+            if extra == 0 {
+                break 'ext;
+            }
+            extra -= 1;
+            runner.step(p);
+        }
+    }
+    let mut failures = Vec::new();
+    let mut scans: Vec<Vec<u64>> = Vec::new();
+    for (p, &was_crashed) in crashed.iter().enumerate() {
+        match runner.output(p) {
+            Some(history) => {
+                // a process's own scans must be monotone: the memory only
+                // grows, so a later scan dominates an earlier one
+                for w in history.windows(2) {
+                    if !w[0].iter().zip(&w[1]).all(|(a, b)| a <= b) {
+                        failures.push(OracleFailure::ScanOrder {
+                            error: ScanOrderError {
+                                first: scans.len() + 1,
+                                second: scans.len(),
+                            },
+                        });
+                    }
+                }
+                scans.extend(history.iter().cloned());
+            }
+            None if !was_crashed => {
+                failures.push(OracleFailure::NotDecided { pid: p });
+            }
+            None => {}
+        }
+    }
+    if let Err(error) = validate_scan_comparability(&scans) {
+        failures.push(OracleFailure::ScanOrder { error });
+    }
+    failures
+}
+
+/// One-step reductions: drop a schedule step (shifting the plan), then
+/// drop a crash event.
+pub fn atomic_candidates(case: &AtomicCase) -> Vec<AtomicCase> {
+    let mut out = Vec::new();
+    let steps = case.schedule.steps();
+    for t in (0..steps.len()).rev() {
+        let mut remaining = steps.to_vec();
+        remaining.remove(t);
+        out.push(AtomicCase {
+            n: case.n,
+            k: case.k,
+            schedule: AtomicSchedule::from_steps(remaining),
+            plan: case.plan.without_round(t),
+        });
+    }
+    for i in 0..case.plan.events.len() {
+        out.push(AtomicCase {
+            n: case.n,
+            k: case.k,
+            schedule: case.schedule.clone(),
+            plan: case.plan.without_event(i),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CrashEvent, CrashMode};
+
+    #[test]
+    fn clean_round_robin_passes() {
+        let case = AtomicCase {
+            n: 3,
+            k: 2,
+            schedule: AtomicSchedule::round_robin(3, 4),
+            plan: FaultPlan::none(),
+        };
+        assert_eq!(run_atomic_case(&case), vec![]);
+    }
+
+    #[test]
+    fn crashes_do_not_block_survivors() {
+        let case = AtomicCase {
+            n: 3,
+            k: 2,
+            schedule: AtomicSchedule::round_robin(3, 2),
+            plan: FaultPlan {
+                events: vec![CrashEvent {
+                    at: 3,
+                    pid: 1,
+                    mode: CrashMode::Clean,
+                }],
+            },
+        };
+        assert_eq!(run_atomic_case(&case), vec![]);
+    }
+}

@@ -1,0 +1,172 @@
+//! The BG-simulation-layer executor: drives `iis_core::bg::BgSimulation`
+//! under a micro-step schedule with simulator crashes, then checks the
+//! safe-agreement guarantees — `f` crashed simulators stall at most `f`
+//! simulated processes, and decided views stay nested.
+
+use crate::oracle::OracleFailure;
+use crate::plan::FaultPlan;
+use iis_core::bg::BgSimulation;
+use iis_obs::{Json, ToJson};
+use std::collections::BTreeSet;
+
+/// One fuzz case on the BG layer: `m` simulators run `n_sim` simulated
+/// processes for `k` rounds each, under a micro-step schedule with
+/// simulator crashes (`plan.at` indexes into `schedule`, pids are
+/// simulator ids, mode is ignored — a micro-step is atomic).
+#[derive(Clone, Debug)]
+pub struct BgCase {
+    /// Simulated processes.
+    pub n_sim: usize,
+    /// Simulated write/snapshot rounds per process.
+    pub k: usize,
+    /// Simulators.
+    pub m: usize,
+    /// The scheduled micro-steps (simulator ids).
+    pub schedule: Vec<usize>,
+    /// The simulator crash plan.
+    pub plan: FaultPlan,
+}
+
+impl ToJson for BgCase {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_sim", Json::Num(self.n_sim as f64)),
+            ("k", Json::Num(self.k as f64)),
+            ("m", Json::Num(self.m as f64)),
+            (
+                "schedule",
+                Json::Arr(self.schedule.iter().map(|&s| Json::Num(s as f64)).collect()),
+            ),
+            ("plan", self.plan.to_json()),
+        ])
+    }
+}
+
+/// Executes `case` and checks the oracles. After the fuzzed prefix the
+/// surviving simulators run round-robin, generously bounded, so that
+/// every decision not permanently blocked by a crashed simulator lands.
+pub fn run_bg_case(case: &BgCase) -> Vec<OracleFailure> {
+    let mut bg = BgSimulation::new(case.n_sim, case.k, case.m);
+    for (t, &s) in case.schedule.iter().enumerate() {
+        for v in case.plan.clean_at(t) {
+            bg.crash(v);
+        }
+        for v in case.plan.inside_at(t) {
+            bg.crash(v);
+        }
+        if s < case.m {
+            bg.step(s);
+        }
+    }
+    let crashed: BTreeSet<usize> = (0..case.m).filter(|&s| bg.is_crashed(s)).collect();
+    let f = crashed.len();
+    let survivors: Vec<usize> = (0..case.m).filter(|s| !crashed.contains(s)).collect();
+    if !survivors.is_empty() {
+        let mut extra = 500 * case.n_sim * case.k * case.m + 1000;
+        'ext: while !bg.all_done() {
+            let mut progressed = false;
+            for &s in &survivors {
+                if extra == 0 {
+                    break 'ext;
+                }
+                extra -= 1;
+                progressed |= bg.step(s);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    let mut failures = Vec::new();
+    let undecided = bg.decisions().iter().filter(|d| d.is_none()).count();
+    if !survivors.is_empty() && undecided > f {
+        failures.push(OracleFailure::BgStalled {
+            undecided,
+            crashes: f,
+        });
+    }
+    if bg.blocked_processes() > f {
+        failures.push(OracleFailure::BgBlocked {
+            blocked: bg.blocked_processes(),
+            crashes: f,
+        });
+    }
+    // decided final views are snapshots of one monotone simulated memory:
+    // their participant sets must nest
+    let views: Vec<(usize, BTreeSet<u32>)> = bg
+        .decisions()
+        .iter()
+        .enumerate()
+        .filter_map(|(p, d)| {
+            d.as_ref()
+                .and_then(|l| l.as_view())
+                .map(|v| (p, v.iter().map(|(c, _)| c.0).collect()))
+        })
+        .collect();
+    for (i, (a, va)) in views.iter().enumerate() {
+        for (b, vb) in views.iter().skip(i + 1) {
+            if !va.is_subset(vb) && !vb.is_subset(va) {
+                failures.push(OracleFailure::BgIncomparableViews { a: *a, b: *b });
+            }
+        }
+    }
+    failures
+}
+
+/// One-step reductions: drop a schedule step (shifting the plan), then
+/// drop a crash event.
+pub fn bg_candidates(case: &BgCase) -> Vec<BgCase> {
+    let mut out = Vec::new();
+    for t in (0..case.schedule.len()).rev() {
+        let mut remaining = case.schedule.clone();
+        remaining.remove(t);
+        out.push(BgCase {
+            schedule: remaining,
+            plan: case.plan.without_round(t),
+            ..case.clone()
+        });
+    }
+    for i in 0..case.plan.events.len() {
+        out.push(BgCase {
+            plan: case.plan.without_event(i),
+            ..case.clone()
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CrashEvent, CrashMode};
+
+    #[test]
+    fn crash_free_run_decides_everyone() {
+        let case = BgCase {
+            n_sim: 3,
+            k: 1,
+            m: 2,
+            schedule: (0..40).map(|t| t % 2).collect(),
+            plan: FaultPlan::none(),
+        };
+        assert_eq!(run_bg_case(&case), vec![]);
+    }
+
+    #[test]
+    fn one_crash_blocks_at_most_one() {
+        let case = BgCase {
+            n_sim: 3,
+            k: 1,
+            m: 3,
+            schedule: (0..30).map(|t| t % 3).collect(),
+            plan: FaultPlan {
+                events: vec![CrashEvent {
+                    at: 7,
+                    pid: 1,
+                    mode: CrashMode::Clean,
+                }],
+            },
+        };
+        assert_eq!(run_bg_case(&case), vec![]);
+    }
+}

@@ -1,0 +1,189 @@
+//! The emulation-layer executor: drives the §4 Figure 2 emulation
+//! (`iis_core::EmulatorMachine` on top of `iis_sched::IisRunner`) under an
+//! arbitrary IIS schedule and fault plan, then checks the emulated
+//! snapshot histories for atomicity and the survivors for progress.
+
+use crate::iis::IisCase;
+use crate::oracle::OracleFailure;
+use iis_core::emulation::validate_snapshot_histories;
+use iis_core::EmulatorMachine;
+use iis_obs::{Json, ToJson};
+use iis_sched::{AtomicMachine, IisRunner, OrderedPartition};
+use std::collections::BTreeSet;
+
+/// One fuzz case on the emulation layer: the IIS case supplies schedule
+/// and fault plan; `k` is the number of emulated write/snapshot pairs each
+/// process performs before deciding.
+#[derive(Clone, Debug)]
+pub struct EmulationCase {
+    /// The underlying IIS schedule and crash plan.
+    pub iis: IisCase,
+    /// Emulated snapshots per process.
+    pub k: usize,
+}
+
+impl ToJson for EmulationCase {
+    fn to_json(&self) -> Json {
+        Json::obj([("iis", self.iis.to_json()), ("k", Json::Num(self.k as f64))])
+    }
+}
+
+/// The `KShot`-style probe: writes `(pid, sq)` encoded as `u64`, decides
+/// after `k` emulated snapshots.
+struct KShot {
+    pid: usize,
+    k: usize,
+    sq: usize,
+}
+
+impl AtomicMachine for KShot {
+    type Value = u64; // encodes (pid << 16) | sq
+    type Output = Vec<u64>;
+    fn next_write(&mut self) -> u64 {
+        self.sq += 1;
+        ((self.pid as u64) << 16) | self.sq as u64
+    }
+    fn on_snapshot(&mut self, snap: &[Option<u64>]) -> Option<Vec<u64>> {
+        if self.sq >= self.k {
+            Some(snap.iter().map(|c| c.map_or(0, |v| v & 0xffff)).collect())
+        } else {
+            None
+        }
+    }
+}
+
+/// Executes `case` and checks the oracles: every survivor's emulation
+/// completes (the protocol is non-blocking, so crashes cannot stall it),
+/// and all emulated snapshot histories — including the partial histories
+/// of crashed processes — are atomic.
+pub fn run_emulation_case(case: &EmulationCase) -> Vec<OracleFailure> {
+    let n = case.iis.n;
+    let machines: Vec<EmulatorMachine<KShot>> = (0..n)
+        .map(|pid| {
+            EmulatorMachine::new(
+                pid,
+                n,
+                KShot {
+                    pid,
+                    k: case.k,
+                    sq: 0,
+                },
+            )
+        })
+        .collect();
+    let mut runner = IisRunner::new(machines);
+    for (round, scheduled) in case.iis.schedule.rounds().iter().enumerate() {
+        for v in case.iis.plan.clean_at(round) {
+            if !runner.is_crashed(v) {
+                runner.crash(v);
+            }
+        }
+        let active = runner.active();
+        if active.is_empty() {
+            break;
+        }
+        let present: BTreeSet<usize> = scheduled.participants().into_iter().collect();
+        let missing: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|p| !present.contains(p))
+            .collect();
+        let mut blocks = scheduled
+            .restrict(|p| active.contains(&p))
+            .blocks()
+            .to_vec();
+        if !missing.is_empty() {
+            blocks.push(missing);
+        }
+        let partition = OrderedPartition::new(blocks).expect("repaired partition");
+        let inside: Vec<usize> = case
+            .iis
+            .plan
+            .inside_at(round)
+            .into_iter()
+            .filter(|&v| !runner.is_crashed(v))
+            .collect();
+        runner.step_round_with_failures(&partition, &inside);
+    }
+    // each emulated op needs at most a few memories; run the survivors in
+    // lockstep until everyone finishes, generously bounded
+    let mut extra = 8 * (case.k + 1) * n + 16;
+    while !runner.is_quiescent() && extra > 0 {
+        runner.step_round(&OrderedPartition::simultaneous(runner.active()));
+        extra -= 1;
+    }
+    let mut failures = Vec::new();
+    for p in 0..n {
+        if !runner.is_crashed(p) && runner.output(p).is_none() {
+            failures.push(OracleFailure::NotDecided { pid: p });
+        }
+    }
+    let histories: Vec<Vec<(usize, Vec<u64>)>> = (0..n)
+        .map(|p| {
+            runner
+                .machine(p)
+                .snapshot_history()
+                .iter()
+                .map(|(sq, cells)| {
+                    (
+                        *sq,
+                        cells.iter().map(|c| c.map_or(0, |v| v & 0xffff)).collect(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    if let Err(error) = validate_snapshot_histories(&histories) {
+        failures.push(OracleFailure::SnapshotHistory { error });
+    }
+    failures
+}
+
+/// One-step reductions: shrink the underlying IIS case.
+pub fn emulation_candidates(case: &EmulationCase) -> Vec<EmulationCase> {
+    crate::iis::iis_candidates(&case.iis)
+        .into_iter()
+        .map(|iis| EmulationCase { iis, k: case.k })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CrashEvent, CrashMode, FaultPlan};
+    use iis_sched::IisSchedule;
+
+    #[test]
+    fn lockstep_emulation_passes() {
+        let case = EmulationCase {
+            iis: IisCase {
+                n: 3,
+                schedule: IisSchedule::lockstep(3, 4),
+                plan: FaultPlan::none(),
+                input_facet: 0,
+            },
+            k: 1,
+        };
+        assert_eq!(run_emulation_case(&case), vec![]);
+    }
+
+    #[test]
+    fn mid_op_crash_keeps_histories_atomic() {
+        let case = EmulationCase {
+            iis: IisCase {
+                n: 3,
+                schedule: IisSchedule::sequential(3, 4),
+                plan: FaultPlan {
+                    events: vec![CrashEvent {
+                        at: 1,
+                        pid: 0,
+                        mode: CrashMode::Inside,
+                    }],
+                },
+                input_facet: 0,
+            },
+            k: 2,
+        };
+        assert_eq!(run_emulation_case(&case), vec![]);
+    }
+}

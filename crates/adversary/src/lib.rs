@@ -1,0 +1,49 @@
+//! Deterministic fault-injection and schedule-exploration harness for the
+//! wait-free runtime layers.
+//!
+//! The paper's model is asynchronous processes with crash faults; this
+//! crate turns its safety and liveness claims into executable oracles and
+//! sweeps them over adversarially chosen schedules and fault plans, across
+//! all three runtime layers:
+//!
+//! - **iis** — raw iterated immediate snapshots ([`iis_sched::IisRunner`]):
+//!   per-round §3.5 axioms, no ghost writers, no starved survivor, plus
+//!   wait-freedom and task validity against a decision-map witness;
+//! - **atomic** — single-writer atomic snapshots
+//!   ([`iis_sched::AtomicRunner`]): scan linearizability and wait-freedom;
+//! - **emulation** — the §4 Figure 2 snapshot emulation
+//!   ([`iis_core::EmulatorMachine`]): snapshot-history atomicity and
+//!   non-blocking progress under mid-WriteRead crashes;
+//! - **bg** — the BG simulation ([`iis_core::bg::BgSimulation`]): `f`
+//!   simulator crashes stall at most `f` simulated processes, and decided
+//!   views nest.
+//!
+//! Everything is replayable: a case is a pure function of
+//! `(seed, case_index)` ([`adversary::derive_seed`]), the driver is
+//! sequential, and failing cases are shrunk ([`shrink::shrink_case`]) to
+//! minimal counterexamples emitted as JSON reports.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod adversary;
+pub mod atomic;
+pub mod bg;
+pub mod emulation;
+pub mod fuzz;
+pub mod iis;
+pub mod oracle;
+pub mod plan;
+pub mod shrink;
+
+pub use adversary::{
+    derive_seed, Adversary, ExhaustiveIis, RandomAtomic, RandomBg, RandomEmulation, RandomIis,
+};
+pub use atomic::{run_atomic_case, AtomicCase};
+pub use bg::{run_bg_case, BgCase};
+pub use emulation::{run_emulation_case, EmulationCase};
+pub use fuzz::{fuzz, CaseFailure, FuzzConfig, FuzzOutcome, Layer};
+pub use iis::{check_iis_trace, execute_iis, run_iis_case, IisCase, IisTrace, TaskContext};
+pub use oracle::OracleFailure;
+pub use plan::{CrashEvent, CrashMode, FaultPlan};
+pub use shrink::shrink_case;

@@ -1,0 +1,187 @@
+//! The oracle battery: what "correct under this schedule and fault plan"
+//! means, per layer.
+//!
+//! Every executor returns a (possibly empty) list of [`OracleFailure`]s;
+//! a failure is a counterexample candidate that the shrinker then reduces.
+
+use iis_core::emulation::SnapshotHistoryError;
+use iis_memory::checks::{IsAxiomError, ScanOrderError};
+use iis_obs::{Json, ToJson};
+use std::fmt;
+
+/// A violated runtime property, with enough context to read the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleFailure {
+    /// A round's one-shot immediate-snapshot instance violated a §3.5
+    /// axiom (self-inclusion, containment, immediacy, or a bad value).
+    IsAxiom {
+        /// The offending round.
+        round: usize,
+        /// The violated axiom.
+        error: IsAxiomError,
+    },
+    /// A process that crashed at `crashed_at` showed up in a later view —
+    /// crashed processes must stay dead.
+    GhostWriter {
+        /// Round of the sighting.
+        round: usize,
+        /// The crashed process that reappeared.
+        pid: usize,
+        /// The round it crashed at.
+        crashed_at: usize,
+        /// The survivor whose view contains the ghost.
+        seen_by: usize,
+    },
+    /// Wait-freedom: a surviving process did not receive a view in a round
+    /// it was active for.
+    MissingView {
+        /// The starved round.
+        round: usize,
+        /// The starved process.
+        pid: usize,
+    },
+    /// Wait-freedom: a surviving process failed to output within the round
+    /// (or step) bound.
+    NotDecided {
+        /// The process (or simulated process) without an output.
+        pid: usize,
+    },
+    /// Task validity: the decided outputs do not form a simplex allowed by
+    /// Δ applied to the participating set.
+    InvalidDecision {
+        /// The participating processes (all that wrote round 0).
+        participants: Vec<usize>,
+        /// The decided output vertices, as raw ids.
+        outputs: Vec<usize>,
+    },
+    /// Atomic-snapshot linearizability: two scans with incomparable
+    /// version vectors.
+    ScanOrder {
+        /// The incomparable pair.
+        error: ScanOrderError,
+    },
+    /// Emulated snapshot histories violated atomicity (comparability,
+    /// self-inclusion, or monotonicity).
+    SnapshotHistory {
+        /// The violated history property.
+        error: SnapshotHistoryError,
+    },
+    /// BG progress: more simulated processes stalled than crashed
+    /// simulators — f crashes may block at most f simulated processes.
+    BgStalled {
+        /// Simulated processes without a decision after the step bound.
+        undecided: usize,
+        /// Crashed simulators (the bound).
+        crashes: usize,
+    },
+    /// BG safe agreement: the number of processes stalled inside occupied
+    /// unsafe zones exceeds the number of crashed simulators.
+    BgBlocked {
+        /// Processes blocked on an occupied unsafe zone.
+        blocked: usize,
+        /// Crashed simulators (the bound).
+        crashes: usize,
+    },
+    /// BG validity: two decided final views have incomparable participant
+    /// sets — snapshots of the simulated memory must nest.
+    BgIncomparableViews {
+        /// First simulated process.
+        a: usize,
+        /// Second simulated process.
+        b: usize,
+    },
+}
+
+impl OracleFailure {
+    /// Short machine-readable kind tag, used in JSON reports and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::IsAxiom { .. } => "is_axiom",
+            Self::GhostWriter { .. } => "ghost_writer",
+            Self::MissingView { .. } => "missing_view",
+            Self::NotDecided { .. } => "not_decided",
+            Self::InvalidDecision { .. } => "invalid_decision",
+            Self::ScanOrder { .. } => "scan_order",
+            Self::SnapshotHistory { .. } => "snapshot_history",
+            Self::BgStalled { .. } => "bg_stalled",
+            Self::BgBlocked { .. } => "bg_blocked",
+            Self::BgIncomparableViews { .. } => "bg_incomparable_views",
+        }
+    }
+}
+
+impl fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IsAxiom { round, error } => write!(f, "round {round}: {error}"),
+            Self::GhostWriter {
+                round,
+                pid,
+                crashed_at,
+                seen_by,
+            } => write!(
+                f,
+                "P{pid} crashed at round {crashed_at} but appears in \
+                 round-{round} view of P{seen_by}"
+            ),
+            Self::MissingView { round, pid } => {
+                write!(f, "P{pid} active in round {round} but got no view")
+            }
+            Self::NotDecided { pid } => {
+                write!(f, "P{pid} survived but never output within the bound")
+            }
+            Self::InvalidDecision {
+                participants,
+                outputs,
+            } => write!(
+                f,
+                "outputs {outputs:?} not allowed by Δ for participants {participants:?}"
+            ),
+            Self::ScanOrder { error } => write!(f, "{error}"),
+            Self::SnapshotHistory { error } => write!(f, "{error}"),
+            Self::BgStalled { undecided, crashes } => write!(
+                f,
+                "{undecided} simulated processes stalled under {crashes} \
+                 simulator crashes (bound: at most {crashes})"
+            ),
+            Self::BgBlocked { blocked, crashes } => write!(
+                f,
+                "{blocked} processes blocked in unsafe zones under {crashes} \
+                 simulator crashes (bound: at most {crashes})"
+            ),
+            Self::BgIncomparableViews { a, b } => write!(
+                f,
+                "simulated processes {a} and {b} decided incomparable views"
+            ),
+        }
+    }
+}
+
+impl ToJson for OracleFailure {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::Str(self.kind().to_string())),
+            ("detail", Json::Str(self.to_string())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let f = OracleFailure::IsAxiom {
+            round: 1,
+            error: IsAxiomError::SelfInclusion { pid: 0 },
+        };
+        assert_eq!(f.kind(), "is_axiom");
+        assert_eq!(f.to_string(), "round 1: view of 0 misses its own input");
+        let j = f.to_json();
+        assert_eq!(
+            j.field("kind").expect("kind present").as_str(),
+            Some("is_axiom")
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Fault plans: which process crashes, when, and how.
+//!
+//! The IIS layers distinguish two crash modes (both from the runtime in
+//! `iis_sched::IisRunner`):
+//!
+//! - a **clean** crash *before* a round: the victim neither writes nor
+//!   reads that memory (a non-participant from then on);
+//! - a crash **inside** a WriteRead: the victim's write lands (visible to
+//!   its own and later concurrency classes) but it never receives a view.
+//!
+//! Step-indexed layers (atomic runner, BG simulation) use only the clean
+//! mode, keyed by step instead of round.
+
+use iis_obs::{Json, ToJson};
+
+/// How a crash interrupts the victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashMode {
+    /// Crash before the round/step: no write, no read.
+    Clean,
+    /// Crash inside the WriteRead: write visible, no view received.
+    Inside,
+}
+
+/// One scheduled crash: process `pid` fails at round (or step) `at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CrashEvent {
+    /// Round (IIS layers) or step index (atomic/BG layers) of the crash.
+    pub at: usize,
+    /// The victim: a process id, or a simulator id on the BG layer.
+    pub pid: usize,
+    /// Whether the victim's final write is visible.
+    pub mode: CrashMode,
+}
+
+impl ToJson for CrashEvent {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("at", Json::Num(self.at as f64)),
+            ("pid", Json::Num(self.pid as f64)),
+            (
+                "mode",
+                Json::Str(
+                    match self.mode {
+                        CrashMode::Clean => "clean",
+                        CrashMode::Inside => "inside",
+                    }
+                    .to_string(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A deterministic crash schedule for one fuzz case.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The crash events, in no particular order; at most one per pid.
+    pub events: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no crashes.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Number of scheduled crashes.
+    pub fn crashes(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff no crash is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The victims scheduled to crash *cleanly before* round/step `at`.
+    pub fn clean_at(&self, at: usize) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter(|e| e.at == at && e.mode == CrashMode::Clean)
+            .map(|e| e.pid)
+            .collect()
+    }
+
+    /// The victims scheduled to crash *inside* round/step `at`.
+    pub fn inside_at(&self, at: usize) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter(|e| e.at == at && e.mode == CrashMode::Inside)
+            .map(|e| e.pid)
+            .collect()
+    }
+
+    /// The plan induced by deleting round/step `at` from the schedule:
+    /// events at `at` are dropped, later events shift down by one. Used by
+    /// the shrinker so a shrunken schedule keeps a consistent plan.
+    pub fn without_round(&self, at: usize) -> FaultPlan {
+        FaultPlan {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.at != at)
+                .map(|e| CrashEvent {
+                    at: if e.at > at { e.at - 1 } else { e.at },
+                    ..*e
+                })
+                .collect(),
+        }
+    }
+
+    /// The plan with the `i`-th event removed (the victim survives).
+    pub fn without_event(&self, i: usize) -> FaultPlan {
+        let mut events = self.events.clone();
+        events.remove(i);
+        FaultPlan { events }
+    }
+}
+
+impl ToJson for FaultPlan {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.events.iter().map(ToJson::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_removal_shifts_later_events() {
+        let plan = FaultPlan {
+            events: vec![
+                CrashEvent {
+                    at: 0,
+                    pid: 1,
+                    mode: CrashMode::Inside,
+                },
+                CrashEvent {
+                    at: 1,
+                    pid: 2,
+                    mode: CrashMode::Clean,
+                },
+                CrashEvent {
+                    at: 2,
+                    pid: 0,
+                    mode: CrashMode::Clean,
+                },
+            ],
+        };
+        let shrunk = plan.without_round(1);
+        assert_eq!(shrunk.events.len(), 2);
+        assert_eq!(shrunk.events[0].at, 0);
+        assert_eq!(shrunk.events[1], {
+            CrashEvent {
+                at: 1,
+                pid: 0,
+                mode: CrashMode::Clean,
+            }
+        });
+        assert_eq!(plan.without_event(0).crashes(), 2);
+        assert_eq!(plan.inside_at(0), vec![1]);
+        assert_eq!(plan.clean_at(1), vec![2]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Greedy counterexample shrinking.
+//!
+//! A failing case is reduced by repeatedly trying one-step candidates
+//! (drop a round/step — shifting later crash events down — then drop a
+//! crash event) and keeping the first candidate that still fails, until no
+//! candidate does. Every candidate execution is counted as one shrink step
+//! in `fuzz.shrink_steps`.
+
+/// Shrinks `case` greedily. `candidates` proposes one-step reductions in
+/// preference order; `still_fails` re-executes a candidate through the
+/// same oracle pipeline (including any test-only mutation) and reports
+/// whether the failure persists. Returns the minimal case and the number
+/// of candidate executions.
+pub fn shrink_case<C: Clone>(
+    case: C,
+    candidates: impl Fn(&C) -> Vec<C>,
+    still_fails: impl Fn(&C) -> bool,
+) -> (C, usize) {
+    let mut current = case;
+    let mut steps = 0usize;
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&current) {
+            steps += 1;
+            iis_obs::metrics::add("fuzz.shrink_steps", 1);
+            if still_fails(&cand) {
+                current = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return (current, steps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_suffix() {
+        // a "case" is a vector; it fails iff it contains 7; candidates drop
+        // one element — the minimum is exactly [7]
+        let case = vec![1, 7, 3, 9];
+        let (min, steps) = shrink_case(
+            case,
+            |c| {
+                (0..c.len())
+                    .map(|i| {
+                        let mut v = c.clone();
+                        v.remove(i);
+                        v
+                    })
+                    .collect()
+            },
+            |c| c.contains(&7),
+        );
+        assert_eq!(min, vec![7]);
+        assert!(steps >= 3);
+    }
+}

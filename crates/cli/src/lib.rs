@@ -6,6 +6,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use iis_adversary::{fuzz, FuzzConfig, Layer};
 use iis_core::bg::BgSimulation;
 use iis_core::protocol_complex::{check_lemma_3_2, check_lemma_3_3};
 use iis_core::solvability::{BoundedOutcome, Kernel, SolveOptions, Solver};
@@ -46,11 +47,17 @@ USAGE:
   iis homology <n> <b>                    Z2 Betti numbers of SDS^b(s^n)
   iis check-lemmas <n> <b>                verify Lemmas 3.2/3.3 by enumeration
   iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N] [--kernel K]
-                                          decide wait-free solvability
+            [--timeout-secs T]            decide wait-free solvability
+                                          (timeout ⇒ inconclusive, not unsolvable)
   iis emulate <n> <k> [--adversary A] [--seed S]
                                           emulate the k-shot protocol on IIS
   iis bg <n_sim> <k> <m> [--crash SIM@STEP]
                                           run the BG simulation
+  iis fuzz --layer iis|atomic|emulation|bg [--task SPEC] [--seed S]
+           [--cases N] [--crashes K] [--n N] [--rounds B] [--shrink]
+           [--exhaustive]                 adversarial sweep with fault
+                                          injection; replay a failure from
+                                          its (seed, case_index) report
 
 TASK:
   trivial:N | consensus:N | kset:N:K | renaming:N:M | eps:N:GRID | oneshot:N
@@ -233,14 +240,17 @@ pub fn cmd_check_lemmas(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N] [--kernel K]`
+/// `iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N]
+/// [--kernel K] [--timeout-secs T]`
 ///
 /// The round sweep is incremental (`SDS^{b+1}` extends `SDS^b`) and
 /// `--jobs N` spreads each round's search over `N` worker threads without
 /// changing any verdict or witness. `--kernel compiled|reference` selects
 /// the CSP engine (the flat bitset kernel by default; `reference` is the
 /// slower oracle engine, kept as an escape hatch) — verdicts and witnesses
-/// are identical either way.
+/// are identical either way. `--timeout-secs T` bounds each round's search
+/// by wall-clock time; a timed-out round is reported as **inconclusive**
+/// (like a spent `--budget`), never as unsolvable.
 ///
 /// # Errors
 ///
@@ -265,12 +275,17 @@ pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
         "reference" => Kernel::Reference,
         other => return Err(err(format!("bad --kernel: {other} (compiled|reference)"))),
     };
+    let timeout_secs: Option<u64> = match flag_value(args, "--timeout-secs")? {
+        Some(t) => Some(t.parse().map_err(|_| err("bad --timeout-secs"))?),
+        None => None,
+    };
     let mut out = String::new();
     let _ = writeln!(out, "task: {task}");
-    let mut solver = Solver::new(
-        &task,
-        SolveOptions::new().budget(budget).jobs(jobs).kernel(kernel),
-    );
+    let mut opts = SolveOptions::new().budget(budget).jobs(jobs).kernel(kernel);
+    if let Some(t) = timeout_secs {
+        opts = opts.timeout(std::time::Duration::from_secs(t));
+    }
+    let mut solver = Solver::new(&task, opts);
     for b in 0..=max_rounds {
         match solver.step() {
             BoundedOutcome::Solvable(m) => {
@@ -286,6 +301,16 @@ pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
             }
             BoundedOutcome::Exhausted => {
                 let _ = writeln!(out, "b = {b}: undecided within {budget} nodes");
+            }
+            BoundedOutcome::TimedOut => {
+                let t = timeout_secs.unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "b = {b}: TIMED OUT after {t}s — inconclusive (not unsolvable); \
+                     partial stats are in --stats"
+                );
+                let _ = writeln!(out, "stopped at b = {b}: timeout verdicts decide nothing");
+                return Ok(out);
             }
         }
     }
@@ -435,6 +460,108 @@ pub fn cmd_bg(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
+/// `iis fuzz --layer L [--task SPEC] [--seed S] [--cases N] [--crashes K]
+/// [--n N] [--rounds B] [--shrink] [--exhaustive]`
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments, an unsolvable `--task`, or —
+/// the point of the exercise — any oracle failure, with the replayable
+/// JSON report(s) in the message.
+pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
+    let layer = match flag_value(args, "--layer")? {
+        Some(l) => Layer::parse(l)
+            .ok_or_else(|| err(format!("bad --layer: {l} (iis|atomic|emulation|bg)")))?,
+        None => return Err(err("fuzz requires --layer iis|atomic|emulation|bg")),
+    };
+    let num = |flag: &str, default: usize| -> Result<usize, CliError> {
+        match flag_value(args, flag)? {
+            Some(v) => v.parse().map_err(|_| err(format!("bad {flag}: {v}"))),
+            None => Ok(default),
+        }
+    };
+    let mut cfg = FuzzConfig::new(layer);
+    cfg.seed = match flag_value(args, "--seed")? {
+        Some(v) => v.parse().map_err(|_| err(format!("bad --seed: {v}")))?,
+        None => 0,
+    };
+    cfg.cases = num("--cases", 100)?;
+    cfg.max_crashes = num("--crashes", 1)?;
+    cfg.n = num("--n", 3)?;
+    cfg.rounds = num("--rounds", 2)?;
+    cfg.shrink = args.iter().any(|a| a == "--shrink");
+    cfg.exhaustive = args.iter().any(|a| a == "--exhaustive");
+    if cfg.n == 0 || cfg.n > 6 {
+        return Err(err("need 1 ≤ --n ≤ 6"));
+    }
+    if cfg.exhaustive && (layer != Layer::Iis || cfg.n > 3 || cfg.rounds > 2) {
+        return Err(err("--exhaustive needs --layer iis with n ≤ 3, rounds ≤ 2"));
+    }
+    let task = match flag_value(args, "--task")? {
+        Some(spec) => {
+            if layer != Layer::Iis {
+                return Err(err("--task applies to --layer iis only"));
+            }
+            let task = parse_task(spec)?;
+            let n = task.input().colors().len();
+            if iis_core::solvability::solve_up_to(&task, cfg.rounds)
+                .witness()
+                .is_none()
+            {
+                return Err(err(format!(
+                    "--task {spec} is not solvable within {} rounds — the \
+                     wait-freedom oracle needs a witness round bound \
+                     (raise --rounds)",
+                    cfg.rounds
+                )));
+            }
+            cfg.n = n;
+            Some(task)
+        }
+        None => None,
+    };
+    cfg.task = task.as_ref();
+    let out = fuzz(&cfg);
+    let crashes = cfg.max_crashes;
+    let mode = if cfg.exhaustive {
+        "exhaustive".to_string()
+    } else {
+        format!("seed {}", cfg.seed)
+    };
+    if out.ok() {
+        return Ok(format!(
+            "fuzz --layer {}: {} cases ({mode}, ≤ {crashes} crashes/case) — \
+             all oracles passed\n",
+            layer.name(),
+            out.cases,
+        ));
+    }
+    let mut msg = format!(
+        "fuzz --layer {}: {}/{} cases FAILED an oracle ({mode})\n",
+        layer.name(),
+        out.failures.len(),
+        out.cases,
+    );
+    for failure in out.failures.iter().take(3) {
+        let _ = writeln!(
+            msg,
+            "case {}: {}",
+            failure.case_index,
+            failure
+                .failures
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        let _ = writeln!(msg, "{}", failure.report.to_string_pretty());
+    }
+    if out.failures.len() > 3 {
+        let _ = writeln!(msg, "… and {} more failing cases", out.failures.len() - 3);
+    }
+    Err(err(msg))
+}
+
 /// Global observability flags, accepted anywhere on the command line.
 #[derive(Debug, Default, PartialEq, Eq)]
 struct ObsFlags {
@@ -491,6 +618,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "solve" => cmd_solve(rest),
         "emulate" => cmd_emulate(rest),
         "bg" => cmd_bg(rest),
+        "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command: {other}\n\n{USAGE}"))),
     };
@@ -607,6 +735,20 @@ mod tests {
     }
 
     #[test]
+    fn solve_timeout_flag() {
+        // a generous timeout changes nothing
+        let plain = cmd_solve(&argv("consensus:1 --max-rounds 2")).unwrap();
+        let timed = cmd_solve(&argv("consensus:1 --max-rounds 2 --timeout-secs 3600")).unwrap();
+        assert_eq!(plain, timed, "an unfired timeout must not change verdicts");
+        // a zero timeout on a search that charges nodes reports inconclusive
+        let out = cmd_solve(&argv("oneshot:1 --timeout-secs 0")).unwrap();
+        assert!(out.contains("TIMED OUT"), "got: {out}");
+        assert!(out.contains("inconclusive"), "got: {out}");
+        assert!(!out.contains("no decision map found"), "got: {out}");
+        assert!(cmd_solve(&argv("consensus:1 --timeout-secs nope")).is_err());
+    }
+
+    #[test]
     fn solve_task_from_file() {
         let path = std::env::temp_dir().join("iis_cli_task.json");
         let task = iis_tasks::library::trivial(1);
@@ -621,6 +763,47 @@ mod tests {
         assert!(parse_task("nope").is_err());
         assert!(parse_task("kset:x:1").is_err());
         assert!(parse_task("@/definitely/missing.json").is_err());
+    }
+
+    #[test]
+    fn fuzz_sweeps_every_layer() {
+        for layer in ["iis", "atomic", "emulation", "bg"] {
+            let out = cmd_fuzz(&argv(&format!(
+                "--layer {layer} --cases 10 --seed 7 --crashes 2 --shrink"
+            )))
+            .unwrap_or_else(|e| panic!("{layer}: {e}"));
+            assert!(out.contains("all oracles passed"), "{layer}: {out}");
+            assert!(out.contains("10 cases"), "{layer}: {out}");
+        }
+    }
+
+    #[test]
+    fn fuzz_exhaustive_and_task_modes() {
+        let out = cmd_fuzz(&argv("--layer iis --rounds 1 --exhaustive")).unwrap();
+        assert!(out.contains("351 cases"), "{out}");
+        assert!(out.contains("exhaustive"), "{out}");
+        let out = cmd_fuzz(&argv(
+            "--layer iis --task oneshot:2 --rounds 1 --cases 15 --crashes 2",
+        ))
+        .unwrap();
+        assert!(out.contains("all oracles passed"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_flag_errors() {
+        assert!(cmd_fuzz(&argv("--cases 5")).is_err());
+        assert!(cmd_fuzz(&argv("--layer warp")).is_err());
+        assert!(cmd_fuzz(&argv("--layer bg --task oneshot:2")).is_err());
+        assert!(cmd_fuzz(&argv("--layer atomic --exhaustive")).is_err());
+        assert!(cmd_fuzz(&argv("--layer iis --seed nope")).is_err());
+        // an unsolvable task cannot anchor the wait-freedom oracle
+        assert!(cmd_fuzz(&argv("--layer iis --task consensus:2 --rounds 1")).is_err());
+    }
+
+    #[test]
+    fn fuzz_stats_expose_counters() {
+        let out = dispatch(&argv("fuzz --layer iis --cases 5 --crashes 1 --stats")).unwrap();
+        assert!(out.contains("fuzz.cases"), "{out}");
     }
 
     #[test]

@@ -849,16 +849,14 @@ pub(crate) fn search_map(
     task: &Task,
     sub: &Subdivision,
     budget: &SharedBudget,
+    deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
     cache: &mut ConstraintCache,
 ) -> Result<Option<SimplicialMap>, Halt> {
     let Some((csp, root)) = compile(task, sub, cache) else {
         return Ok(None);
     };
-    let ctx = SearchCtx {
-        budget,
-        cancel: None,
-    };
+    let ctx = SearchCtx::new(budget, deadline, None);
     let assignment = match opts.strategy {
         SearchStrategy::Mac => {
             let mut st = csp.new_state(root);
@@ -866,14 +864,14 @@ pub(crate) fn search_map(
                 return Ok(None);
             }
             if opts.jobs > 1 {
-                search_parallel(&csp, st.dom, budget, opts)?
+                search_parallel(&csp, st.dom, budget, deadline, opts)?
             } else {
                 csp.backtrack(&mut st, &ctx)?
             }
         }
         SearchStrategy::PlainBacktracking => {
             if opts.jobs > 1 {
-                search_parallel(&csp, root, budget, opts)?
+                search_parallel(&csp, root, budget, deadline, opts)?
             } else {
                 csp.backtrack_plain(&root, &ctx)?
             }
@@ -896,20 +894,15 @@ fn search_parallel(
     csp: &BitsetCsp,
     root: Vec<u64>,
     budget: &SharedBudget,
+    deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
 ) -> Result<Option<Vec<VertexId>>, Halt> {
-    let splitter = SearchCtx {
-        budget,
-        cancel: None,
-    };
+    let splitter = SearchCtx::new(budget, deadline, None);
     let subtrees = csp.split(root, opts.jobs * 4, opts.strategy, &splitter)?;
     iis_obs::metrics::add("solve.subtrees", subtrees.len() as u64);
     let cell: FirstWins<Vec<VertexId>> = FirstWins::new();
     let verdicts = run_pool(subtrees, opts.jobs, |index, dom| {
-        let ctx = SearchCtx {
-            budget,
-            cancel: Some((&cell, index)),
-        };
+        let ctx = SearchCtx::new(budget, deadline, Some((&cell, index)));
         let found = match opts.strategy {
             SearchStrategy::Mac => {
                 let mut st = csp.new_state(dom);
@@ -933,6 +926,7 @@ fn search_parallel(
     iis_obs::metrics::add("solve.cancelled", cancelled as u64);
     match cell.take() {
         Some((_, solution)) => Ok(Some(solution)),
+        None if verdicts.contains(&Err(Halt::Timeout)) => Err(Halt::Timeout),
         None if verdicts.contains(&Err(Halt::Budget)) => Err(Halt::Budget),
         None => Ok(None),
     }

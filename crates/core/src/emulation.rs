@@ -334,6 +334,83 @@ where
         .collect()
 }
 
+/// A violation of snapshot-history atomicity found by
+/// [`validate_snapshot_histories`].
+///
+/// Each variant pinpoints the offending snapshot(s) by `(pid, sq)` so
+/// machine consumers (the fuzzer's shrink reports) can act on the failure;
+/// the [`fmt::Display`] rendering matches the historical string messages
+/// byte for byte.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotHistoryError {
+    /// Two snapshots report memories of different widths.
+    WidthMismatch {
+        /// `(pid, sq)` of the first snapshot in the offending pair.
+        first: (usize, usize),
+        /// `(pid, sq)` of the second snapshot in the offending pair.
+        second: (usize, usize),
+        /// Cell count of the first snapshot.
+        first_width: usize,
+        /// Cell count of the second snapshot.
+        second_width: usize,
+    },
+    /// Two snapshots' sequence-number vectors are coordinatewise
+    /// incomparable — no linearization orders them.
+    Incomparable {
+        /// `(pid, sq)` of the first snapshot in the offending pair.
+        first: (usize, usize),
+        /// `(pid, sq)` of the second snapshot in the offending pair.
+        second: (usize, usize),
+    },
+    /// A process's snapshot does not reflect its own preceding write
+    /// (self-inclusion, Corollary 4.1 applied to the snapshotter).
+    MissingOwnWrite {
+        /// The snapshotting process.
+        pid: usize,
+        /// The snapshot's sequence number.
+        sq: usize,
+        /// The (too small) sequence number the snapshot shows in its own
+        /// cell.
+        shown: u64,
+    },
+    /// A process's later snapshot fails to dominate its earlier one.
+    NotMonotone {
+        /// The snapshotting process.
+        pid: usize,
+        /// The sequence number of the regressing snapshot.
+        sq: usize,
+    },
+}
+
+impl fmt::Display for SnapshotHistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotHistoryError::WidthMismatch {
+                first_width,
+                second_width,
+                ..
+            } => write!(
+                f,
+                "snapshot width mismatch: {first_width} vs {second_width}"
+            ),
+            SnapshotHistoryError::Incomparable { first, second } => write!(
+                f,
+                "incomparable snapshots: P{} #{} vs P{} #{}",
+                first.0, first.1, second.0, second.1
+            ),
+            SnapshotHistoryError::MissingOwnWrite { pid, sq, shown } => write!(
+                f,
+                "P{pid} snapshot #{sq} misses its own write (cell shows {shown})"
+            ),
+            SnapshotHistoryError::NotMonotone { pid, sq } => {
+                write!(f, "P{pid} snapshot #{sq} went backwards")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotHistoryError {}
+
 /// Validates that a collection of emulated snapshot histories is atomic:
 ///
 /// 1. **comparability** — the per-writer max-sequence-number vectors of all
@@ -351,8 +428,11 @@ where
 ///
 /// # Errors
 ///
-/// Returns a description of the first violated condition.
-pub fn validate_snapshot_histories(histories: &[Vec<(usize, Vec<u64>)>]) -> Result<(), String> {
+/// Returns a [`SnapshotHistoryError`] locating the first violated
+/// condition; its `Display` is the historical string description.
+pub fn validate_snapshot_histories(
+    histories: &[Vec<(usize, Vec<u64>)>],
+) -> Result<(), SnapshotHistoryError> {
     let mut all: Vec<(usize, usize, &Vec<u64>)> = Vec::new();
     for (p, h) in histories.iter().enumerate() {
         for (sq, cells) in h {
@@ -364,19 +444,20 @@ pub fn validate_snapshot_histories(histories: &[Vec<(usize, Vec<u64>)>]) -> Resu
         for j in i + 1..all.len() {
             let (a, b) = (all[i].2, all[j].2);
             if a.len() != b.len() {
-                return Err(format!(
-                    "snapshot width mismatch: {} vs {}",
-                    a.len(),
-                    b.len()
-                ));
+                return Err(SnapshotHistoryError::WidthMismatch {
+                    first: (all[i].0, all[i].1),
+                    second: (all[j].0, all[j].1),
+                    first_width: a.len(),
+                    second_width: b.len(),
+                });
             }
             let le = a.iter().zip(b).all(|(x, y)| x <= y);
             let ge = a.iter().zip(b).all(|(x, y)| x >= y);
             if !le && !ge {
-                return Err(format!(
-                    "incomparable snapshots: P{} #{} vs P{} #{}",
-                    all[i].0, all[i].1, all[j].0, all[j].1
-                ));
+                return Err(SnapshotHistoryError::Incomparable {
+                    first: (all[i].0, all[i].1),
+                    second: (all[j].0, all[j].1),
+                });
             }
         }
     }
@@ -385,14 +466,15 @@ pub fn validate_snapshot_histories(histories: &[Vec<(usize, Vec<u64>)>]) -> Resu
         let mut prev: Option<&Vec<u64>> = None;
         for (sq, cells) in h {
             if p < cells.len() && (cells[p] as usize) < *sq {
-                return Err(format!(
-                    "P{p} snapshot #{sq} misses its own write (cell shows {})",
-                    cells[p]
-                ));
+                return Err(SnapshotHistoryError::MissingOwnWrite {
+                    pid: p,
+                    sq: *sq,
+                    shown: cells[p],
+                });
             }
             if let Some(q) = prev {
                 if !q.iter().zip(cells).all(|(x, y)| x <= y) {
-                    return Err(format!("P{p} snapshot #{sq} went backwards"));
+                    return Err(SnapshotHistoryError::NotMonotone { pid: p, sq: *sq });
                 }
             }
             prev = Some(cells);
@@ -577,13 +659,49 @@ mod tests {
         validate_snapshot_histories(&good).unwrap();
         // incomparable
         let bad = vec![vec![(1, vec![1, 0])], vec![(1, vec![0, 1])]];
-        assert!(validate_snapshot_histories(&bad).is_err());
+        let err = validate_snapshot_histories(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotHistoryError::Incomparable {
+                first: (0, 1),
+                second: (1, 1),
+            }
+        );
+        assert_eq!(err.to_string(), "incomparable snapshots: P0 #1 vs P1 #1");
         // missing own write
         let bad2 = vec![vec![(1, vec![0, 0])]];
-        assert!(validate_snapshot_histories(&bad2).is_err());
-        // non-monotone
-        let bad3 = vec![vec![(1, vec![1, 1]), (2, vec![2, 0])]];
-        assert!(validate_snapshot_histories(&bad3).is_err());
+        let err2 = validate_snapshot_histories(&bad2).unwrap_err();
+        assert_eq!(
+            err2,
+            SnapshotHistoryError::MissingOwnWrite {
+                pid: 0,
+                sq: 1,
+                shown: 0,
+            }
+        );
+        assert_eq!(
+            err2.to_string(),
+            "P0 snapshot #1 misses its own write (cell shows 0)"
+        );
+        // non-monotone (snapshots comparable — the later one is strictly
+        // below in cell 1 — so only the per-process monotone check fires)
+        let bad3 = vec![vec![(1, vec![2, 1]), (2, vec![2, 0])]];
+        let err3 = validate_snapshot_histories(&bad3).unwrap_err();
+        assert_eq!(err3, SnapshotHistoryError::NotMonotone { pid: 0, sq: 2 });
+        assert_eq!(err3.to_string(), "P0 snapshot #2 went backwards");
+        // width mismatch
+        let bad4 = vec![vec![(1, vec![1, 0])], vec![(1, vec![1, 1, 0])]];
+        let err4 = validate_snapshot_histories(&bad4).unwrap_err();
+        assert_eq!(
+            err4,
+            SnapshotHistoryError::WidthMismatch {
+                first: (0, 1),
+                second: (1, 1),
+                first_width: 2,
+                second_width: 3,
+            }
+        );
+        assert_eq!(err4.to_string(), "snapshot width mismatch: 2 vs 3");
     }
 
     #[test]

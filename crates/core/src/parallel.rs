@@ -18,7 +18,8 @@
 
 use iis_memory::sync::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A node budget shared by all workers of one search.
 ///
@@ -140,6 +141,15 @@ impl<T> FirstWins<T> {
 /// job, everything runs on the calling thread in order — the zero-overhead
 /// path the sequential solver uses.
 ///
+/// # Panics
+///
+/// A panic inside `run` is contained in its worker: the panicking worker
+/// records the payload, its peers stop taking new jobs, and once the scope
+/// has joined cleanly the panic is re-raised on the **caller** with the
+/// offending job index prefixed to the message (`worker panicked on job
+/// {idx}: ...`). The scope never hangs and no subtree result is silently
+/// dropped — the pool either returns every result or re-raises.
+///
 /// # Examples
 ///
 /// ```
@@ -169,13 +179,22 @@ where
     }
     let results: Vec<Mutex<Option<R>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let steals = iis_obs::metrics::Counter::handle("solve.steals");
+    // first panic wins: (job index, payload); peers stop at the next job
+    // boundary once `cancel` is raised
+    let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+    let cancel = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
             let results = &results;
             let run = &run;
             let steals = &steals;
+            let panicked = &panicked;
+            let cancel = &cancel;
             scope.spawn(move || loop {
+                if cancel.load(Ordering::Acquire) {
+                    return;
+                }
                 // own work first, front-to-back (preserves index order)
                 let mine = queues[me].lock().pop_front();
                 let (idx, job) = match mine {
@@ -199,10 +218,30 @@ where
                         }
                     }
                 };
-                *results[idx].lock() = Some(run(idx, job));
+                match panic::catch_unwind(AssertUnwindSafe(|| run(idx, job))) {
+                    Ok(r) => *results[idx].lock() = Some(r),
+                    Err(payload) => {
+                        cancel.store(true, Ordering::Release);
+                        let mut first = panicked.lock();
+                        if first.is_none() {
+                            *first = Some((idx, payload));
+                        }
+                        return;
+                    }
+                }
             });
         }
     });
+    if let Some((idx, payload)) = panicked.into_inner() {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        panic!("worker panicked on job {idx}: {msg}");
+    }
     results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every job ran exactly once"))
@@ -265,5 +304,49 @@ mod tests {
     fn pool_with_more_threads_than_jobs() {
         let out = run_pool(vec![5u32], 16, |_, j| j + 1);
         assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_job_index() {
+        // a panicking predicate must not hang the scope or silently drop
+        // subtrees: the pool joins cleanly and re-raises on the caller,
+        // naming the offending job
+        let caught = panic::catch_unwind(|| {
+            run_pool((0..16usize).collect::<Vec<_>>(), 4, |_idx, j| {
+                if j == 5 {
+                    panic!("predicate exploded on {j}");
+                }
+                j * 2
+            })
+        });
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("re-raised payload is a String");
+        assert!(msg.contains("worker panicked on job 5"), "got: {msg}");
+        assert!(msg.contains("predicate exploded on 5"), "got: {msg}");
+    }
+
+    #[test]
+    fn worker_panic_cancels_peer_workers() {
+        // peers observe the cancel flag at the next job boundary: with one
+        // poisoned job and many cheap ones, the run terminates (no hang) and
+        // panics exactly once on the caller
+        use std::sync::atomic::AtomicUsize;
+        let ran = AtomicUsize::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_pool((0..64usize).collect::<Vec<_>>(), 4, |_idx, j| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if j == 0 {
+                    panic!("first job dies");
+                }
+                j
+            })
+        }));
+        assert!(caught.is_err());
+        assert!(
+            ran.load(Ordering::Relaxed) <= 64,
+            "every job runs at most once"
+        );
     }
 }

@@ -159,6 +159,7 @@ pub fn solve_at(task: &Task, b: usize) -> Option<DecisionMap> {
         BoundedOutcome::Solvable(m) => Some(*m),
         BoundedOutcome::Unsolvable => None,
         BoundedOutcome::Exhausted => unreachable!("unbounded budget"),
+        BoundedOutcome::TimedOut => unreachable!("no timeout configured"),
     }
 }
 
@@ -171,6 +172,11 @@ pub enum BoundedOutcome {
     Unsolvable,
     /// The node budget ran out before the search completed.
     Exhausted,
+    /// The wall-clock timeout ([`SolveOptions::timeout`]) elapsed before the
+    /// search completed. Like [`Exhausted`](BoundedOutcome::Exhausted), this
+    /// verdict is **inconclusive** — it says nothing about solvability at
+    /// this `b`, and in particular is *not* an `Unsolvable` verdict.
+    TimedOut,
 }
 
 /// Like [`solve_at`] but giving up after exploring `max_nodes` backtracking
@@ -275,6 +281,7 @@ pub struct SolveOptions {
     pub(crate) strategy: SearchStrategy,
     pub(crate) jobs: usize,
     pub(crate) kernel: Kernel,
+    pub(crate) timeout: Option<std::time::Duration>,
 }
 
 impl Default for SolveOptions {
@@ -284,6 +291,7 @@ impl Default for SolveOptions {
             strategy: SearchStrategy::Mac,
             jobs: 1,
             kernel: Kernel::Compiled,
+            timeout: None,
         }
     }
 }
@@ -322,6 +330,16 @@ impl SolveOptions {
         self.kernel = kernel;
         self
     }
+
+    /// Gives up after `timeout` of wall-clock time
+    /// ([`BoundedOutcome::TimedOut`]). Both kernels poll the clock in their
+    /// node loop (every 64 budget charges), so the search stops promptly
+    /// even deep inside a subtree. Like the node budget, the timeout applies
+    /// **per round**; a timed-out round is inconclusive, not `Unsolvable`.
+    pub fn timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
 }
 
 /// [`solve_at_bounded`] with full [`SolveOptions`] control (budget,
@@ -342,7 +360,8 @@ fn solve_on(
 ) -> BoundedOutcome {
     let timer = iis_obs::span::span("solve.search_ns");
     let budget = SharedBudget::new(opts.max_nodes);
-    let result = search_map(task, sub, &budget, opts, cache);
+    let deadline = opts.timeout.map(|t| std::time::Instant::now() + t);
+    let result = search_map(task, sub, &budget, deadline, opts, cache);
     iis_obs::metrics::gauge_set(
         "solve.budget_remaining",
         i64::try_from(budget.remaining()).unwrap_or(i64::MAX),
@@ -359,6 +378,7 @@ fn solve_on(
                         match &result {
                             Ok(Some(_)) => "solvable",
                             Ok(None) => "unsolvable",
+                            Err(Halt::Timeout) => "timed_out",
                             Err(_) => "exhausted",
                         }
                         .to_string(),
@@ -382,6 +402,7 @@ fn solve_on(
             }))
         }
         Ok(None) => BoundedOutcome::Unsolvable,
+        Err(Halt::Timeout) => BoundedOutcome::TimedOut,
         Err(_) => BoundedOutcome::Exhausted,
     }
 }
@@ -458,8 +479,9 @@ pub fn solve_up_to(task: &Task, max_rounds: usize) -> SolvabilityReport {
 }
 
 /// [`solve_up_to`] with explicit [`SolveOptions`]. If a round exhausts its
-/// node budget the sweep stops without recording a verdict for that round
-/// (an `Exhausted` round decides nothing about larger `b` either).
+/// node budget or wall-clock timeout the sweep stops without recording a
+/// verdict for that round (an `Exhausted` or `TimedOut` round decides
+/// nothing about larger `b` either).
 pub fn solve_up_to_opts(task: &Task, max_rounds: usize, opts: &SolveOptions) -> SolvabilityReport {
     let mut results = Vec::new();
     let mut witness = None;
@@ -472,7 +494,7 @@ pub fn solve_up_to_opts(task: &Task, max_rounds: usize, opts: &SolveOptions) -> 
                 break;
             }
             BoundedOutcome::Unsolvable => results.push((b, false)),
-            BoundedOutcome::Exhausted => break,
+            BoundedOutcome::Exhausted | BoundedOutcome::TimedOut => break,
         }
     }
     SolvabilityReport {
@@ -627,24 +649,54 @@ pub(crate) enum Halt {
     Budget,
     /// A lower-indexed subtree already found the winning witness.
     Cancelled,
+    /// The wall-clock deadline passed.
+    Timeout,
 }
 
-/// Per-worker search context: the shared budget, plus (in parallel runs)
-/// this worker's subtree index and the first-solution cell to poll. Shared
-/// by both engines so the charging discipline is identical.
+/// Per-worker search context: the shared budget, the optional wall-clock
+/// deadline, plus (in parallel runs) this worker's subtree index and the
+/// first-solution cell to poll. Shared by both engines so the charging
+/// discipline is identical.
 pub(crate) struct SearchCtx<'a> {
     pub(crate) budget: &'a SharedBudget,
+    deadline: Option<std::time::Instant>,
+    /// Charges since construction, used to poll the clock only every 64th
+    /// node (clock reads are much slower than the atomic budget charge).
+    ticks: std::cell::Cell<u32>,
     pub(crate) cancel: Option<(&'a FirstWins<Vec<VertexId>>, usize)>,
 }
 
-impl SearchCtx<'_> {
+impl<'a> SearchCtx<'a> {
+    /// A context charging `budget`, stopping at `deadline`, and (for
+    /// parallel workers) polling `cancel`.
+    pub(crate) fn new(
+        budget: &'a SharedBudget,
+        deadline: Option<std::time::Instant>,
+        cancel: Option<(&'a FirstWins<Vec<VertexId>>, usize)>,
+    ) -> Self {
+        SearchCtx {
+            budget,
+            deadline,
+            ticks: std::cell::Cell::new(0),
+            cancel,
+        }
+    }
+
     /// Charges one node, or reports why the search must stop. `solve.nodes`
     /// is incremented iff the charge succeeds, so on exhaustion the counter
-    /// equals the budget consumed exactly — across all workers.
+    /// equals the budget consumed exactly — across all workers. The
+    /// deadline is polled on the first charge and every 64th thereafter.
     pub(crate) fn charge(&self, nodes: &iis_obs::metrics::Counter) -> Result<(), Halt> {
         if let Some((cell, index)) = self.cancel {
             if cell.should_cancel(index) {
                 return Err(Halt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let t = self.ticks.get().wrapping_add(1);
+            self.ticks.set(t);
+            if t & 63 == 1 && std::time::Instant::now() >= deadline {
+                return Err(Halt::Timeout);
             }
         }
         if !self.budget.try_charge() {
@@ -726,33 +778,31 @@ fn search_map(
     task: &Task,
     sub: &Subdivision,
     budget: &SharedBudget,
+    deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
     cache: &mut ConstraintCache,
 ) -> Result<Option<SimplicialMap>, Halt> {
     if opts.kernel == Kernel::Compiled {
-        return crate::csp::search_map(task, sub, budget, opts, cache);
+        return crate::csp::search_map(task, sub, budget, deadline, opts, cache);
     }
     let Some((csp, mut domains)) = compile_csp(task, sub, cache) else {
         return Ok(None);
     };
-    let ctx = SearchCtx {
-        budget,
-        cancel: None,
-    };
+    let ctx = SearchCtx::new(budget, deadline, None);
     let assignment = match opts.strategy {
         SearchStrategy::Mac => {
             if !csp.propagate(&mut domains, None) {
                 return Ok(None);
             }
             if opts.jobs > 1 {
-                search_parallel(&csp, domains, budget, opts)?
+                search_parallel(&csp, domains, budget, deadline, opts)?
             } else {
                 csp.backtrack(domains, &ctx)?
             }
         }
         SearchStrategy::PlainBacktracking => {
             if opts.jobs > 1 {
-                search_parallel(&csp, domains, budget, opts)?
+                search_parallel(&csp, domains, budget, deadline, opts)?
             } else {
                 csp.backtrack_plain(&domains, &ctx)?
             }
@@ -776,20 +826,15 @@ fn search_parallel(
     csp: &Csp,
     root: Vec<Vec<VertexId>>,
     budget: &SharedBudget,
+    deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
 ) -> Result<Option<Vec<VertexId>>, Halt> {
-    let splitter = SearchCtx {
-        budget,
-        cancel: None,
-    };
+    let splitter = SearchCtx::new(budget, deadline, None);
     let subtrees = csp.split(root, opts.jobs * 4, opts.strategy, &splitter)?;
     iis_obs::metrics::add("solve.subtrees", subtrees.len() as u64);
     let cell: FirstWins<Vec<VertexId>> = FirstWins::new();
     let verdicts = run_pool(subtrees, opts.jobs, |index, domains| {
-        let ctx = SearchCtx {
-            budget,
-            cancel: Some((&cell, index)),
-        };
+        let ctx = SearchCtx::new(budget, deadline, Some((&cell, index)));
         let found = match opts.strategy {
             SearchStrategy::Mac => csp.backtrack(domains, &ctx),
             SearchStrategy::PlainBacktracking => csp.backtrack_plain(&domains, &ctx),
@@ -810,6 +855,7 @@ fn search_parallel(
     iis_obs::metrics::add("solve.cancelled", cancelled as u64);
     match cell.take() {
         Some((_, solution)) => Ok(Some(solution)),
+        None if verdicts.contains(&Err(Halt::Timeout)) => Err(Halt::Timeout),
         None if verdicts.contains(&Err(Halt::Budget)) => Err(Halt::Budget),
         None => Ok(None),
     }

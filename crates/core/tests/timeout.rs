@@ -1,0 +1,58 @@
+//! `SolveOptions::timeout` (ISSUE 4 satellite): wall-clock graceful
+//! degradation. A zero deadline halts both kernels promptly with the
+//! inconclusive `TimedOut` outcome; a generous deadline changes nothing.
+
+use iis_core::solvability::{solve_at_opts, solve_up_to_opts, BoundedOutcome, SolveOptions};
+use iis_core::{Kernel, SearchStrategy};
+use iis_tasks::library::{
+    approximate_agreement, consensus, k_set_consensus, one_shot_immediate_snapshot_task,
+};
+use std::time::Duration;
+
+#[test]
+fn zero_timeout_times_out_both_kernels_at_any_jobs() {
+    // plain backtracking charges a node per assignment prefix, so this
+    // (solvable) instance is guaranteed to hit the clock poll on its very
+    // first charge — MAC could refute in propagation with zero nodes
+    let task = one_shot_immediate_snapshot_task(1);
+    for kernel in [Kernel::Compiled, Kernel::Reference] {
+        for jobs in [1usize, 4] {
+            let opts = SolveOptions::new()
+                .kernel(kernel)
+                .jobs(jobs)
+                .strategy(SearchStrategy::PlainBacktracking)
+                .timeout(Duration::ZERO);
+            let out = solve_at_opts(&task, 1, &opts);
+            assert!(
+                matches!(out, BoundedOutcome::TimedOut),
+                "{kernel:?} jobs={jobs}: expected TimedOut, got {out:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn generous_timeout_preserves_the_verdict() {
+    // an hour of budget never fires mid-test, so verdicts must be exactly
+    // the untimed ones — TimedOut is only ever a truthful "clock elapsed"
+    let hour = Duration::from_secs(3600);
+    let solvable = approximate_agreement(1, 3);
+    let out = solve_at_opts(&solvable, 1, &SolveOptions::new().timeout(hour));
+    assert!(matches!(out, BoundedOutcome::Solvable(_)));
+    let unsolvable = consensus(2, &[0, 1]);
+    let out = solve_at_opts(&unsolvable, 1, &SolveOptions::new().timeout(hour));
+    assert!(matches!(out, BoundedOutcome::Unsolvable));
+}
+
+#[test]
+fn timed_out_sweep_stops_without_recording_a_verdict() {
+    // the sweep must not misreport a timed-out round as unsolvable: with a
+    // zero timeout even b = 0 is inconclusive, so the report stays empty
+    let task = k_set_consensus(2, 2);
+    let opts = SolveOptions::new()
+        .strategy(SearchStrategy::PlainBacktracking)
+        .timeout(Duration::ZERO);
+    let report = solve_up_to_opts(&task, 3, &opts);
+    assert!(report.results().is_empty(), "got {:?}", report.results());
+    assert!(report.witness().is_none());
+}

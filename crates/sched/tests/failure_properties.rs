@@ -1,0 +1,168 @@
+//! Property coverage for `IisRunner::step_round_with_failures` (ISSUE 4
+//! satellite): for n ≤ 3, over **all** crash subsets × **all** ordered
+//! partitions, the surviving processes' views still satisfy the one-shot
+//! immediate-snapshot axioms of §3.5 (self-inclusion, containment,
+//! immediacy — checked by `iis_memory::checks::validate_immediate_snapshot`)
+//! and a crashed pid never appears in any later round's concurrency class.
+
+use iis_memory::checks::validate_immediate_snapshot;
+use iis_sched::{all_ordered_partitions, IisMachine, IisRunner, MachineStep, OrderedPartition};
+
+/// Writes its pid every round and records every view it receives; never
+/// decides, so the harness controls exactly how many rounds run.
+struct Probe {
+    pid: usize,
+    views: Vec<(usize, Vec<(usize, usize)>)>,
+}
+
+impl IisMachine for Probe {
+    type Value = usize;
+    type Output = ();
+    fn initial_value(&mut self) -> usize {
+        self.pid
+    }
+    fn on_view(&mut self, round: usize, view: &[(usize, usize)]) -> MachineStep<usize, ()> {
+        self.views.push((round, view.to_vec()));
+        MachineStep::Continue(self.pid)
+    }
+}
+
+fn probes(n: usize) -> Vec<Probe> {
+    (0..n)
+        .map(|pid| Probe {
+            pid,
+            views: Vec::new(),
+        })
+        .collect()
+}
+
+/// The view process `p` received from memory `round`, if any.
+fn view_at(r: &IisRunner<Probe>, p: usize, round: usize) -> Option<Vec<(usize, usize)>> {
+    r.machine(p)
+        .views
+        .iter()
+        .find(|(rd, _)| *rd == round)
+        .map(|(_, v)| v.clone())
+}
+
+/// Every subset of `pids` as a vector, by bitmask.
+fn subsets(pids: &[usize]) -> Vec<Vec<usize>> {
+    (0..(1usize << pids.len()))
+        .map(|mask| {
+            pids.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &p)| p)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn mid_writeread_crashes_preserve_is_axioms_and_round_one_views() {
+    for n in 1..=3usize {
+        let pids: Vec<usize> = (0..n).collect();
+        for victims in subsets(&pids) {
+            for p0 in all_ordered_partitions(&pids) {
+                let mut r = IisRunner::new(probes(n));
+                r.step_round_with_failures(&p0, &victims);
+                // the round-0 one-shot IS instance: everyone wrote (a crash
+                // inside WriteRead still leaves the write visible), the
+                // victims never received a view
+                let inputs: Vec<Option<usize>> = (0..n).map(Some).collect();
+                let outputs: Vec<Option<Vec<(usize, usize)>>> =
+                    (0..n).map(|p| view_at(&r, p, 0)).collect();
+                for &v in &victims {
+                    assert!(r.is_crashed(v), "victim {v} must be crashed");
+                    assert!(outputs[v].is_none(), "victim {v} must be viewless");
+                }
+                for &p in &pids {
+                    if !victims.contains(&p) {
+                        assert!(outputs[p].is_some(), "survivor {p} must get a view");
+                    }
+                }
+                validate_immediate_snapshot(&inputs, &outputs)
+                    .unwrap_or_else(|e| panic!("n={n} victims={victims:?} partition={p0:?}: {e}"));
+
+                // drive one more round under every ordered partition of the
+                // survivors: the crashed pids must be gone from every view,
+                // and the surviving views again form a valid IS instance
+                let survivors = r.active();
+                if survivors.is_empty() {
+                    continue;
+                }
+                for p1 in all_ordered_partitions(&survivors) {
+                    let mut r = IisRunner::new(probes(n));
+                    r.step_round_with_failures(&p0, &victims);
+                    r.step_round(&p1);
+                    for p in 0..n {
+                        for (rd, view) in &r.machine(p).views {
+                            if *rd >= 1 {
+                                for (q, _) in view {
+                                    assert!(
+                                        !victims.contains(q),
+                                        "crashed {q} reappeared in round-{rd} \
+                                         view of {p} (victims={victims:?})"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    let inputs: Vec<Option<usize>> = (0..n)
+                        .map(|p| survivors.contains(&p).then_some(p))
+                        .collect();
+                    let outputs: Vec<Option<Vec<(usize, usize)>>> =
+                        (0..n).map(|p| view_at(&r, p, 1)).collect();
+                    validate_immediate_snapshot(&inputs, &outputs).unwrap_or_else(|e| {
+                        panic!("round 1: n={n} victims={victims:?} p1={p1:?}: {e}")
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_crashes_before_the_round_are_never_written() {
+    // `IisRunner::crash` (crash *before* the round) is the other failure
+    // mode: the victim neither writes nor reads, so it is a non-participant
+    // of the IS instance — views must not mention it at all
+    for n in 1..=3usize {
+        let pids: Vec<usize> = (0..n).collect();
+        for victims in subsets(&pids) {
+            for p0 in all_ordered_partitions(&pids) {
+                let mut r = IisRunner::new(probes(n));
+                for &v in &victims {
+                    r.crash(v);
+                }
+                r.step_round(&p0);
+                let inputs: Vec<Option<usize>> = (0..n)
+                    .map(|p| (!victims.contains(&p)).then_some(p))
+                    .collect();
+                let outputs: Vec<Option<Vec<(usize, usize)>>> =
+                    (0..n).map(|p| view_at(&r, p, 0)).collect();
+                for &v in &victims {
+                    assert!(outputs[v].is_none());
+                }
+                validate_immediate_snapshot(&inputs, &outputs).unwrap_or_else(|e| {
+                    panic!("clean: n={n} victims={victims:?} partition={p0:?}: {e}")
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn failure_enumeration_covers_the_expected_space() {
+    // the sweep above really is exhaustive: 13 ordered partitions of 3 pids
+    // (ordered set partitions, Fubini numbers) × 8 crash subsets
+    assert_eq!(all_ordered_partitions(&[0, 1, 2]).len(), 13);
+    assert_eq!(subsets(&[0, 1, 2]).len(), 8);
+    // and a partition with an omitted active process still panics (crashes
+    // are modeled by the crash APIs, not by dropping a pid on the floor)
+    let caught = std::panic::catch_unwind(|| {
+        let mut r = IisRunner::new(probes(2));
+        r.step_round_with_failures(&OrderedPartition::sequential([0]), &[]);
+    });
+    assert!(caught.is_err());
+}

@@ -30,7 +30,7 @@ fn main() {
                         break;
                     }
                     BoundedOutcome::Unsolvable => {}
-                    BoundedOutcome::Exhausted => {
+                    BoundedOutcome::Exhausted | BoundedOutcome::TimedOut => {
                         verdict = format!("no map < {b}; b = {b} deferred to Sperner");
                         break;
                     }

@@ -9,3 +9,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 cargo build --offline --release --workspace
 cargo test --offline --workspace -q
+
+# Fixed-seed adversary smoke sweep: every runtime layer under crash
+# injection, shrinking on. Fails the build on any oracle failure; the
+# seeds are pinned so a failure here is replayable bit-for-bit.
+IIS=target/release/iis-cli
+for layer in iis atomic emulation bg; do
+  "$IIS" fuzz --layer "$layer" --seed 7 --cases 200 --crashes 2 --shrink
+done
+"$IIS" fuzz --layer iis --rounds 2 --exhaustive
+"$IIS" fuzz --layer iis --task oneshot:2 --rounds 1 --seed 7 --cases 200 --crashes 2 --shrink

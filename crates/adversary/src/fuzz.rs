@@ -171,16 +171,19 @@ fn drive<C: Clone + ToJson>(
     shrink: bool,
 ) -> FuzzOutcome {
     let mut outcome = FuzzOutcome::default();
+    iis_obs::progress::fuzz_started(&format!("fuzz {}", layer.name()), total as u64);
     for index in 0..total {
         let case = case_at(index);
         iis_obs::metrics::add("fuzz.cases", 1);
         iis_obs::metrics::add("fuzz.crashes_injected", plan_of(&case).crashes() as u64);
         let failures = run(&case);
         outcome.cases += 1;
+        iis_obs::progress::fuzz_case_done();
         if failures.is_empty() {
             continue;
         }
         iis_obs::metrics::add("fuzz.oracle_failures", failures.len() as u64);
+        iis_obs::progress::fuzz_failures_add(failures.len() as u64);
         let (shrunk, shrink_steps) = if shrink {
             let (min, steps) = shrink_case(case.clone(), &candidates, |c| !run(c).is_empty());
             (Some(min), steps)

@@ -140,6 +140,35 @@ fn recorder_overhead(bench: &mut Bench) {
     });
 }
 
+fn profiling_overhead(bench: &mut Bench) {
+    // ISSUE 6 acceptance: span profiling off vs on over the same budgeted
+    // parallel search. Off must stay within noise of the pre-profiling
+    // baseline (the committed BENCH record; CI's bench_delta gate), since
+    // a disabled profiler is one relaxed bool load per sample site; on
+    // pays for Instant reads plus ring stores at round/subtree granularity
+    let mut g = bench.group("e6_profiling_overhead");
+    g.sample_size(3);
+    let task = k_set_consensus(2, 2);
+    const NODES: u64 = 30_000;
+    let opts = SolveOptions::new().budget(NODES).jobs(2);
+    iis_obs::profile::set_enabled(false);
+    g.bench_function("refute_2set_b2_30k_nodes/profiling_off", || {
+        assert!(matches!(
+            black_box(solve_at_opts(&task, 2, &opts)),
+            BoundedOutcome::Exhausted
+        ));
+    });
+    iis_obs::profile::reset();
+    iis_obs::profile::set_enabled(true);
+    g.bench_function("refute_2set_b2_30k_nodes/profiling_on", || {
+        assert!(matches!(
+            black_box(solve_at_opts(&task, 2, &opts)),
+            BoundedOutcome::Exhausted
+        ));
+    });
+    iis_obs::profile::set_enabled(false);
+}
+
 fn report_budgeted_hard_case() {
     eprintln!("\n[E6 report] budgeted refutation of (3,2)-set consensus at b=2");
     let t = k_set_consensus(2, 2);
@@ -160,5 +189,6 @@ fn main() {
     minimal_bound_search(&mut bench);
     parallel_scaling(&mut bench);
     recorder_overhead(&mut bench);
+    profiling_overhead(&mut bench);
     bench.finish();
 }

@@ -67,7 +67,15 @@ ADVERSARY: lockstep | sequential | rotating | laggard | random (default)
 
 GLOBAL FLAGS (any command):
   --stats            append a table of counters/histograms for this run
-  --trace FILE       write JSON-lines trace events to FILE
+  --trace FILE       write JSON-lines trace events to FILE (stream ends
+                     with a {\"kind\":\"close\"} record, even on panic)
+  --profile FILE     write a collapsed-stack span profile to FILE
+                     (round;subtree;phase NS — speedscope/inferno input)
+  --progress         print a live progress line to stderr once per second
+  --serve ADDR       serve GET /metrics (Prometheus text), /progress and
+                     /snapshot (JSON) on ADDR while the command runs
+                     (e.g. --serve 127.0.0.1:0; the bound address is
+                     printed to stderr)
 ";
 
 /// Parses a task specifier (see [`USAGE`]).
@@ -567,23 +575,42 @@ pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
 struct ObsFlags {
     stats: bool,
     trace: Option<String>,
+    profile: Option<String>,
+    progress: bool,
+    serve: Option<String>,
 }
 
-/// Removes `--stats` and `--trace FILE` / `--trace=FILE` from `args`.
+/// Removes the global observability flags (`--stats`, `--trace FILE`,
+/// `--profile FILE`, `--progress`, `--serve ADDR`; valued flags also in
+/// `--flag=VALUE` form) from `args`.
 fn strip_obs_flags(args: &[String]) -> Result<(ObsFlags, Vec<String>), CliError> {
     let mut flags = ObsFlags::default();
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut valued = |slot: &mut Option<String>, name: &str| -> Result<bool, CliError> {
+            if a == name {
+                match it.next() {
+                    Some(v) => *slot = Some(v.clone()),
+                    None => return Err(err(format!("{name} requires a value"))),
+                }
+                return Ok(true);
+            }
+            if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+                *slot = Some(v.to_string());
+                return Ok(true);
+            }
+            Ok(false)
+        };
         if a == "--stats" {
             flags.stats = true;
-        } else if a == "--trace" {
-            match it.next() {
-                Some(path) => flags.trace = Some(path.clone()),
-                None => return Err(err("--trace requires a value")),
-            }
-        } else if let Some(path) = a.strip_prefix("--trace=") {
-            flags.trace = Some(path.to_string());
+        } else if a == "--progress" {
+            flags.progress = true;
+        } else if valued(&mut flags.trace, "--trace")?
+            || valued(&mut flags.profile, "--profile")?
+            || valued(&mut flags.serve, "--serve")?
+        {
+            // consumed
         } else {
             rest.push(a.clone());
         }
@@ -602,13 +629,38 @@ fn strip_obs_flags(args: &[String]) -> Result<(ObsFlags, Vec<String>), CliError>
 /// Returns a [`CliError`] for unknown commands or any command failure.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let (obs, args) = strip_obs_flags(args)?;
-    if let Some(path) = &obs.trace {
-        iis_obs::trace::set_file(std::path::Path::new(path))
-            .map_err(|e| err(format!("cannot open trace file {path}: {e}")))?;
-    }
-    if obs.stats || obs.trace.is_some() {
+    // Held across the command (and any unwind) so the trace stream always
+    // ends with its close record — see `iis_obs::trace::TraceGuard`.
+    let _trace_guard = match &obs.trace {
+        Some(path) => Some(
+            iis_obs::trace::guard_file(std::path::Path::new(path))
+                .map_err(|e| err(format!("cannot open trace file {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    if obs.stats || obs.trace.is_some() || obs.serve.is_some() {
         iis_obs::set_enabled(true);
     }
+    if obs.profile.is_some() {
+        iis_obs::profile::reset();
+        iis_obs::profile::set_enabled(true);
+    }
+    if obs.progress || obs.serve.is_some() {
+        iis_obs::progress::reset();
+        iis_obs::progress::set_enabled(true);
+    }
+    let _ticker = obs
+        .progress
+        .then(|| iis_obs::progress::Ticker::start(std::time::Duration::from_secs(1)));
+    let server = match &obs.serve {
+        Some(addr) => {
+            let server =
+                iis_obs::http::serve(addr).map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
+            eprintln!("serving on http://{}", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
     let before = iis_obs::snapshot();
     let (cmd, rest) = args.split_first().ok_or_else(|| err(USAGE))?;
     let result = match cmd.as_str() {
@@ -622,8 +674,17 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(err(format!("unknown command: {other}\n\n{USAGE}"))),
     };
-    if obs.trace.is_some() {
-        iis_obs::trace::close();
+    if let Some(path) = &obs.profile {
+        let collapsed = iis_obs::profile::to_collapsed();
+        iis_obs::profile::set_enabled(false);
+        if let Err(e) = std::fs::write(path, collapsed) {
+            if result.is_ok() {
+                return Err(err(format!("cannot write profile {path}: {e}")));
+            }
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
     match result {
         Ok(mut out) => {
@@ -880,6 +941,60 @@ mod tests {
         assert_eq!(f.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(rest, argv("sds 2 1"));
         assert!(strip_obs_flags(&argv("sds --trace")).is_err());
+        let (f, rest) = strip_obs_flags(&argv(
+            "solve eps:1:3 --profile p.txt --progress --serve=127.0.0.1:0",
+        ))
+        .unwrap();
+        assert_eq!(f.profile.as_deref(), Some("p.txt"));
+        assert!(f.progress);
+        assert_eq!(f.serve.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(rest, argv("solve eps:1:3"));
+        assert!(strip_obs_flags(&argv("solve --profile")).is_err());
+        assert!(strip_obs_flags(&argv("solve --serve")).is_err());
+    }
+
+    #[test]
+    fn profile_flag_writes_a_parseable_span_tree() {
+        let path = std::env::temp_dir().join("iis_cli_profile.folded");
+        let out = dispatch(&[
+            "solve".into(),
+            "eps:1:3".into(),
+            "--jobs".into(),
+            "2".into(),
+            format!("--profile={}", path.display()),
+        ])
+        .unwrap();
+        assert!(out.contains("SOLVABLE"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let folded = iis_obs::profile::parse_collapsed(&text).unwrap();
+        assert!(!folded.is_empty(), "profile must contain samples:\n{text}");
+        // the span tree is at least two levels deep: a round frame with a
+        // search/compile/split phase nested under it
+        assert!(
+            folded.iter().any(|(stack, _)| stack.len() >= 2),
+            "expected a nested frame in:\n{text}"
+        );
+        assert!(
+            folded
+                .iter()
+                .any(|(stack, _)| stack[0].starts_with("round:")),
+            "expected a round root frame in:\n{text}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_flag_runs_the_command_with_a_live_endpoint() {
+        // 127.0.0.1:0 picks a free port; the server is torn down before
+        // dispatch returns, so the command output is unaffected
+        let out = dispatch(&argv("solve eps:1:3 --serve 127.0.0.1:0")).unwrap();
+        assert!(out.contains("SOLVABLE"), "{out}");
+    }
+
+    #[test]
+    fn progress_flag_is_accepted() {
+        let out = dispatch(&argv("solve eps:1:3 --progress")).unwrap();
+        assert!(out.contains("SOLVABLE"), "{out}");
     }
 
     #[test]

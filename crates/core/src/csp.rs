@@ -228,8 +228,10 @@ impl ConstraintCache {
     ) -> Arc<CompiledTable> {
         if let Some(hit) = self.tables.get(carrier).and_then(|m| m.get(colors)) {
             iis_obs::metrics::add("solve.constraint_cache_hits", 1);
+            iis_obs::progress::cache_lookup(true);
             return Arc::clone(hit);
         }
+        iis_obs::progress::cache_lookup(false);
         let mut allowed: Vec<Vec<VertexId>> = Vec::new();
         for so in task.delta(carrier) {
             let mut tuple = Vec::with_capacity(colors.len());
@@ -852,11 +854,30 @@ pub(crate) fn search_map(
     deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
     cache: &mut ConstraintCache,
+    round: iis_obs::profile::SpanId,
 ) -> Result<Option<SimplicialMap>, Halt> {
-    let Some((csp, root)) = compile(task, sub, cache) else {
+    let compile_t0 = crate::solvability::profile_now();
+    let compiled = compile(task, sub, cache);
+    if let Some(t0) = compile_t0 {
+        iis_obs::profile::sample_under(round, "compile", 2, 0, t0.elapsed().as_nanos() as u64);
+    }
+    let Some((csp, root)) = compiled else {
         return Ok(None);
     };
     let ctx = SearchCtx::new(budget, deadline, None);
+    // mirrors the reference engine: one sampled `search` leaf under the
+    // round, recorded even when the search halts mid-tree
+    let sample_search = |ctx: &SearchCtx<'_>, t0: Option<std::time::Instant>| {
+        if let Some(t0) = t0 {
+            iis_obs::profile::sample_under(
+                round,
+                "search",
+                2,
+                ctx.spent(),
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+    };
     let assignment = match opts.strategy {
         SearchStrategy::Mac => {
             let mut st = csp.new_state(root);
@@ -864,16 +885,22 @@ pub(crate) fn search_map(
                 return Ok(None);
             }
             if opts.jobs > 1 {
-                search_parallel(&csp, st.dom, budget, deadline, opts)?
+                search_parallel(&csp, st.dom, budget, deadline, opts, round)?
             } else {
-                csp.backtrack(&mut st, &ctx)?
+                let t0 = crate::solvability::profile_now();
+                let found = csp.backtrack(&mut st, &ctx);
+                sample_search(&ctx, t0);
+                found?
             }
         }
         SearchStrategy::PlainBacktracking => {
             if opts.jobs > 1 {
-                search_parallel(&csp, root, budget, deadline, opts)?
+                search_parallel(&csp, root, budget, deadline, opts, round)?
             } else {
-                csp.backtrack_plain(&root, &ctx)?
+                let t0 = crate::solvability::profile_now();
+                let found = csp.backtrack_plain(&root, &ctx);
+                sample_search(&ctx, t0);
+                found?
             }
         }
     };
@@ -896,13 +923,27 @@ fn search_parallel(
     budget: &SharedBudget,
     deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
+    round: iis_obs::profile::SpanId,
 ) -> Result<Option<Vec<VertexId>>, Halt> {
     let splitter = SearchCtx::new(budget, deadline, None);
-    let subtrees = csp.split(root, opts.jobs * 4, opts.strategy, &splitter)?;
+    let split_t0 = crate::solvability::profile_now();
+    let subtrees = csp.split(root, opts.jobs * 4, opts.strategy, &splitter);
+    if let Some(t0) = split_t0 {
+        iis_obs::profile::sample_under(
+            round,
+            "split",
+            2,
+            splitter.spent(),
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+    let subtrees = subtrees?;
     iis_obs::metrics::add("solve.subtrees", subtrees.len() as u64);
+    iis_obs::progress::set_subtrees(subtrees.len() as u64);
     let cell: FirstWins<Vec<VertexId>> = FirstWins::new();
     let verdicts = run_pool(subtrees, opts.jobs, |index, dom| {
         let ctx = SearchCtx::new(budget, deadline, Some((&cell, index)));
+        let t0 = crate::solvability::profile_now();
         let found = match opts.strategy {
             SearchStrategy::Mac => {
                 let mut st = csp.new_state(dom);
@@ -910,6 +951,17 @@ fn search_parallel(
             }
             SearchStrategy::PlainBacktracking => csp.backtrack_plain(&dom, &ctx),
         };
+        if let Some(t0) = t0 {
+            let subtree = iis_obs::profile::register(round, &format!("subtree:{index}"));
+            iis_obs::profile::sample_under(
+                subtree,
+                "search",
+                3,
+                ctx.spent(),
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        iis_obs::progress::subtree_done();
         match found {
             Ok(Some(solution)) => {
                 cell.offer(index, solution);

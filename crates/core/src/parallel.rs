@@ -172,6 +172,7 @@ where
             .collect();
     }
     let workers = threads.min(n_jobs);
+    iis_obs::progress::set_workers(workers as u64);
     let queues: Vec<Mutex<VecDeque<(usize, J)>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.into_iter().enumerate() {
@@ -191,42 +192,46 @@ where
             let steals = &steals;
             let panicked = &panicked;
             let cancel = &cancel;
-            scope.spawn(move || loop {
-                if cancel.load(Ordering::Acquire) {
-                    return;
-                }
-                // own work first, front-to-back (preserves index order)
-                let mine = queues[me].lock().pop_front();
-                let (idx, job) = match mine {
-                    Some(next) => next,
-                    None => {
-                        // steal from the back of the busiest other queue
-                        let mut stolen = None;
-                        for d in 1..workers {
-                            let victim = (me + d) % workers;
-                            if let Some(next) = queues[victim].lock().pop_back() {
-                                stolen = Some(next);
-                                break;
-                            }
-                        }
-                        match stolen {
-                            Some(next) => {
-                                steals.incr();
-                                next
-                            }
-                            None => return,
-                        }
-                    }
-                };
-                match panic::catch_unwind(AssertUnwindSafe(|| run(idx, job))) {
-                    Ok(r) => *results[idx].lock() = Some(r),
-                    Err(payload) => {
-                        cancel.store(true, Ordering::Release);
-                        let mut first = panicked.lock();
-                        if first.is_none() {
-                            *first = Some((idx, payload));
-                        }
+            scope.spawn(move || {
+                // stable worker id for span-profiling sample attribution
+                iis_obs::profile::set_worker(me);
+                loop {
+                    if cancel.load(Ordering::Acquire) {
                         return;
+                    }
+                    // own work first, front-to-back (preserves index order)
+                    let mine = queues[me].lock().pop_front();
+                    let (idx, job) = match mine {
+                        Some(next) => next,
+                        None => {
+                            // steal from the back of the busiest other queue
+                            let mut stolen = None;
+                            for d in 1..workers {
+                                let victim = (me + d) % workers;
+                                if let Some(next) = queues[victim].lock().pop_back() {
+                                    stolen = Some(next);
+                                    break;
+                                }
+                            }
+                            match stolen {
+                                Some(next) => {
+                                    steals.incr();
+                                    next
+                                }
+                                None => return,
+                            }
+                        }
+                    };
+                    match panic::catch_unwind(AssertUnwindSafe(|| run(idx, job))) {
+                        Ok(r) => *results[idx].lock() = Some(r),
+                        Err(payload) => {
+                            cancel.store(true, Ordering::Release);
+                            let mut first = panicked.lock();
+                            if first.is_none() {
+                                *first = Some((idx, payload));
+                            }
+                            return;
+                        }
                     }
                 }
             });

@@ -359,9 +359,24 @@ fn solve_on(
     cache: &mut ConstraintCache,
 ) -> BoundedOutcome {
     let timer = iis_obs::span::span("solve.search_ns");
+    iis_obs::progress::solve_round_started(task.name(), b as u64, opts.max_nodes);
+    // the round span is the top of this round's causal profile tree; its
+    // sample carries the whole round's node count and wall time
+    let round_span =
+        iis_obs::profile::register(iis_obs::profile::SpanId::ROOT, &format!("round:{b}"));
+    let profile_t0 = profile_now();
     let budget = SharedBudget::new(opts.max_nodes);
     let deadline = opts.timeout.map(|t| std::time::Instant::now() + t);
-    let result = search_map(task, sub, &budget, deadline, opts, cache);
+    let result = search_map(task, sub, &budget, deadline, opts, cache, round_span);
+    if let Some(t0) = profile_t0 {
+        iis_obs::profile::sample(
+            round_span,
+            1,
+            opts.max_nodes.saturating_sub(budget.remaining()),
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+    iis_obs::progress::solve_round_finished();
     iis_obs::metrics::gauge_set(
         "solve.budget_remaining",
         i64::try_from(budget.remaining()).unwrap_or(i64::MAX),
@@ -663,6 +678,9 @@ pub(crate) struct SearchCtx<'a> {
     /// Charges since construction, used to poll the clock only every 64th
     /// node (clock reads are much slower than the atomic budget charge).
     ticks: std::cell::Cell<u32>,
+    /// Successful charges through this context — the nodes this worker
+    /// (subtree) spent, attributed to its profile span.
+    spent: std::cell::Cell<u64>,
     pub(crate) cancel: Option<(&'a FirstWins<Vec<VertexId>>, usize)>,
 }
 
@@ -678,8 +696,14 @@ impl<'a> SearchCtx<'a> {
             budget,
             deadline,
             ticks: std::cell::Cell::new(0),
+            spent: std::cell::Cell::new(0),
             cancel,
         }
+    }
+
+    /// Nodes charged successfully through this context.
+    pub(crate) fn spent(&self) -> u64 {
+        self.spent.get()
     }
 
     /// Charges one node, or reports why the search must stop. `solve.nodes`
@@ -702,9 +726,17 @@ impl<'a> SearchCtx<'a> {
         if !self.budget.try_charge() {
             return Err(Halt::Budget);
         }
+        self.spent.set(self.spent.get() + 1);
         nodes.incr();
+        iis_obs::progress::charge_node();
         Ok(())
     }
+}
+
+/// `Some(now)` iff span profiling is on — the pattern every sampled phase
+/// uses so that a disabled profiler never reads the clock.
+pub(crate) fn profile_now() -> Option<std::time::Instant> {
+    iis_obs::profile::enabled().then(std::time::Instant::now)
 }
 
 /// Compiles the CSP for `sub`: per-simplex constraints with allowed-tuple
@@ -781,30 +813,56 @@ fn search_map(
     deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
     cache: &mut ConstraintCache,
+    round: iis_obs::profile::SpanId,
 ) -> Result<Option<SimplicialMap>, Halt> {
     if opts.kernel == Kernel::Compiled {
-        return crate::csp::search_map(task, sub, budget, deadline, opts, cache);
+        return crate::csp::search_map(task, sub, budget, deadline, opts, cache, round);
     }
-    let Some((csp, mut domains)) = compile_csp(task, sub, cache) else {
+    let compile_t0 = profile_now();
+    let compiled = compile_csp(task, sub, cache);
+    if let Some(t0) = compile_t0 {
+        iis_obs::profile::sample_under(round, "compile", 2, 0, t0.elapsed().as_nanos() as u64);
+    }
+    let Some((csp, mut domains)) = compiled else {
         return Ok(None);
     };
     let ctx = SearchCtx::new(budget, deadline, None);
+    // sequential searches sample one `search` leaf under the round; the
+    // sample is recorded even when the search halts (timeout/budget), so
+    // truncated rounds still show up in the flamegraph
+    let sample_search = |ctx: &SearchCtx<'_>, t0: Option<std::time::Instant>| {
+        if let Some(t0) = t0 {
+            iis_obs::profile::sample_under(
+                round,
+                "search",
+                2,
+                ctx.spent(),
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+    };
     let assignment = match opts.strategy {
         SearchStrategy::Mac => {
             if !csp.propagate(&mut domains, None) {
                 return Ok(None);
             }
             if opts.jobs > 1 {
-                search_parallel(&csp, domains, budget, deadline, opts)?
+                search_parallel(&csp, domains, budget, deadline, opts, round)?
             } else {
-                csp.backtrack(domains, &ctx)?
+                let t0 = profile_now();
+                let found = csp.backtrack(domains, &ctx);
+                sample_search(&ctx, t0);
+                found?
             }
         }
         SearchStrategy::PlainBacktracking => {
             if opts.jobs > 1 {
-                search_parallel(&csp, domains, budget, deadline, opts)?
+                search_parallel(&csp, domains, budget, deadline, opts, round)?
             } else {
-                csp.backtrack_plain(&domains, &ctx)?
+                let t0 = profile_now();
+                let found = csp.backtrack_plain(&domains, &ctx);
+                sample_search(&ctx, t0);
+                found?
             }
         }
     };
@@ -828,17 +886,42 @@ fn search_parallel(
     budget: &SharedBudget,
     deadline: Option<std::time::Instant>,
     opts: &SolveOptions,
+    round: iis_obs::profile::SpanId,
 ) -> Result<Option<Vec<VertexId>>, Halt> {
     let splitter = SearchCtx::new(budget, deadline, None);
-    let subtrees = csp.split(root, opts.jobs * 4, opts.strategy, &splitter)?;
+    let split_t0 = profile_now();
+    let subtrees = csp.split(root, opts.jobs * 4, opts.strategy, &splitter);
+    if let Some(t0) = split_t0 {
+        iis_obs::profile::sample_under(
+            round,
+            "split",
+            2,
+            splitter.spent(),
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+    let subtrees = subtrees?;
     iis_obs::metrics::add("solve.subtrees", subtrees.len() as u64);
+    iis_obs::progress::set_subtrees(subtrees.len() as u64);
     let cell: FirstWins<Vec<VertexId>> = FirstWins::new();
     let verdicts = run_pool(subtrees, opts.jobs, |index, domains| {
         let ctx = SearchCtx::new(budget, deadline, Some((&cell, index)));
+        let t0 = profile_now();
         let found = match opts.strategy {
             SearchStrategy::Mac => csp.backtrack(domains, &ctx),
             SearchStrategy::PlainBacktracking => csp.backtrack_plain(&domains, &ctx),
         };
+        if let Some(t0) = t0 {
+            let subtree = iis_obs::profile::register(round, &format!("subtree:{index}"));
+            iis_obs::profile::sample_under(
+                subtree,
+                "search",
+                3,
+                ctx.spent(),
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        iis_obs::progress::subtree_done();
         match found {
             Ok(Some(solution)) => {
                 cell.offer(index, solution);

@@ -143,6 +143,32 @@ fn parallel_exhaustion_is_sound() {
     }
 }
 
+/// Span profiling is a pure observer (ISSUE 6): with profiling enabled the
+/// search returns bit-identical witnesses at jobs 1/2/4/8. (The matching
+/// exact node-count claim lives in `profiling_accounting.rs`, which owns
+/// its process so counter deltas cannot race concurrent tests.)
+#[test]
+fn profiling_does_not_perturb_witnesses() {
+    let task = approximate_agreement(1, 9);
+    for jobs in [1usize, 2, 4, 8] {
+        iis_obs::profile::set_enabled(false);
+        let off = solve_at_opts(&task, 2, &SolveOptions::new().jobs(jobs));
+        iis_obs::profile::set_enabled(true);
+        let on = solve_at_opts(&task, 2, &SolveOptions::new().jobs(jobs));
+        iis_obs::profile::set_enabled(false);
+        match (&off, &on) {
+            (BoundedOutcome::Solvable(a), BoundedOutcome::Solvable(b)) => {
+                assert!(
+                    witnesses_identical(a, b),
+                    "jobs={jobs}: profiling changed the witness"
+                );
+                validate_decision_map(&task, b.subdivision(), b.map()).unwrap();
+            }
+            (a, b) => panic!("jobs={jobs}: profiling off {a:?} vs on {b:?}"),
+        }
+    }
+}
+
 #[test]
 fn parallel_witness_survives_validation_on_deeper_rounds() {
     // a solvable instance whose witness lives at b = 2, found in parallel

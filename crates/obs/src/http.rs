@@ -1,0 +1,347 @@
+//! A tiny blocking HTTP scrape endpoint (the CLI's `--serve ADDR`),
+//! std-only on `std::net::TcpListener`.
+//!
+//! Routes:
+//!
+//! - `GET /metrics` — every counter, gauge and histogram in Prometheus
+//!   text exposition format (counters get a `_total` suffix, histograms
+//!   emit cumulative `_bucket{le="…"}` series from the log2 buckets);
+//! - `GET /progress` — the live [`crate::progress`] snapshot as JSON
+//!   (sorted keys, the committed schema);
+//! - `GET /snapshot` — the raw metric [`crate::metrics::Snapshot`] as
+//!   JSON;
+//! - `GET /` — a plain-text index of the routes.
+//!
+//! The server runs one request at a time on a single background thread —
+//! scrapes are rare and tiny, so there is nothing to pool. Shutdown is
+//! cooperative: [`Server::shutdown`] (or drop) raises a stop flag and
+//! unblocks the `accept` loop with a loopback connection, then joins the
+//! thread, so a completed solve never leaves a dangling listener.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::json::ToJson;
+use crate::metrics::Snapshot;
+use crate::{metrics, progress};
+
+/// A running scrape server; shuts down on [`Server::shutdown`] or drop.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+/// scrapes on a background thread.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(addr: &str) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if stop2.load(Ordering::Acquire) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                handle_connection(stream);
+            }
+        }
+    });
+    Ok(Server {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+impl Server {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the listener, and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // unblock the accept loop; the connection itself is discarded
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Longest request head we bother reading before answering.
+const MAX_REQUEST: usize = 8 * 1024;
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    // read until the end of the request head (we never accept bodies)
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < MAX_REQUEST {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = route(method, path);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&metrics::snapshot()),
+        ),
+        "/progress" => (
+            "200 OK",
+            "application/json",
+            progress::snapshot().to_json().to_string_pretty(),
+        ),
+        "/snapshot" => (
+            "200 OK",
+            "application/json",
+            metrics::snapshot().to_json().to_string_pretty(),
+        ),
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "iis scrape endpoint\nroutes: /metrics /progress /snapshot\n".to_string(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+/// Mangles a dotted metric name into a Prometheus-legal one
+/// (`solve.nodes` → `solve_nodes`).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | '0'..='9' | '_' => c,
+            'A'..='Z' => c.to_ascii_lowercase(),
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Renders `snap` in Prometheus text exposition format (version 0.0.4).
+///
+/// Counters are suffixed `_total`; histograms emit cumulative
+/// `_bucket{le="…"}` series with inclusive upper bounds derived from the
+/// log2 buckets (`[2^{i-1}, 2^i)` ⇒ `le="2^i − 1"`), then `_sum` and
+/// `_count`. Families appear in sorted-name order.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, &v) in &snap.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n}_total counter\n{n}_total {v}\n"));
+    }
+    for (name, &v) in &snap.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(floor, count) in &h.buckets {
+            cumulative += count;
+            match bucket_le(floor) {
+                Some(le) => {
+                    out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                None => break, // the top bucket folds into +Inf below
+            }
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+/// The inclusive upper bound of the log2 bucket whose floor is `floor`
+/// (`None` for the top bucket, which only `+Inf` can bound).
+fn bucket_le(floor: u64) -> Option<u64> {
+    match floor {
+        0 => Some(0),
+        f if f >= 1 << 63 => None,
+        f => Some(2 * f - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::metrics::Histogram;
+    use std::collections::BTreeMap;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a blank line");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("solve.nodes".to_string(), 1234);
+        snap.gauges.insert("solve.budget_remaining".to_string(), -5);
+        snap.histograms.insert(
+            "solve.search_ns".to_string(),
+            Histogram {
+                count: 4,
+                sum: 70,
+                max: 40,
+                buckets: vec![(0, 1), (2, 2), (32, 1)],
+            },
+        );
+        let text = prometheus_text(&snap);
+        assert!(
+            text.contains("# TYPE solve_nodes_total counter\n"),
+            "{text}"
+        );
+        assert!(text.contains("solve_nodes_total 1234\n"), "{text}");
+        assert!(text.contains("solve_budget_remaining -5\n"), "{text}");
+        assert!(
+            text.contains("solve_search_ns_bucket{le=\"0\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("solve_search_ns_bucket{le=\"3\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("solve_search_ns_bucket{le=\"63\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("solve_search_ns_bucket{le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("solve_search_ns_sum 70\n"), "{text}");
+        assert!(text.contains("solve_search_ns_count 4\n"), "{text}");
+        // every non-comment line is `name[{labels}] value`
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').expect("name value");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "bad metric name: {name}"
+            );
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+        }
+        // the top log2 bucket has no finite upper bound
+        assert_eq!(bucket_le(1 << 63), None);
+        assert_eq!(bucket_le(4), Some(7));
+    }
+
+    #[test]
+    fn server_serves_and_shuts_down() {
+        metrics::set_enabled(true);
+        metrics::Counter::handle("solve.nodes").add(3);
+        metrics::set_enabled(false);
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("solve_nodes_total"), "{body}");
+
+        let (head, body) = get(addr, "/progress");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let v = Json::parse(&body).unwrap();
+        assert!(v.get("nodes").is_some(), "{body}");
+        assert!(v.get("task").is_some(), "{body}");
+
+        let (head, body) = get(addr, "/snapshot");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let snap: Snapshot = Json::parse_as(&body).unwrap();
+        assert!(snap.counters.contains_key("solve.nodes"), "{body}");
+
+        let (head, body) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("/metrics"), "{body}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+        // the port stops answering once shutdown returns
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || TcpStream::connect(addr)
+                    .and_then(|mut s| {
+                        let mut b = [0u8; 1];
+                        s.write_all(b"GET / HTTP/1.1\r\n\r\n")?;
+                        let n = s.read(&mut b)?;
+                        Ok(n == 0)
+                    })
+                    .unwrap_or(true),
+            "listener must be gone after shutdown"
+        );
+    }
+
+    #[test]
+    fn mangled_names_are_prometheus_legal() {
+        let mut snap = Snapshot::default();
+        let mut counters = BTreeMap::new();
+        counters.insert("Fuzz.oracle-failures".to_string(), 1);
+        snap.counters = counters;
+        let text = prometheus_text(&snap);
+        assert!(text.contains("fuzz_oracle_failures_total 1"), "{text}");
+    }
+}

@@ -137,6 +137,16 @@ impl Json {
         }
     }
 
+    /// The numeric payload as a signed integer, if exact.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// The element list, if this is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
@@ -517,6 +527,19 @@ macro_rules! impl_json_uint {
 
 impl_json_uint!(u8, u16, u32, u64, usize);
 
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_i64()
+            .ok_or_else(|| JsonError::new("expected signed integer"))
+    }
+}
+
 impl ToJson for f64 {
     fn to_json(&self) -> Json {
         Json::Num(*self)
@@ -669,6 +692,15 @@ mod tests {
     fn depth_limit_enforced() {
         let deep = "[".repeat(200) + &"]".repeat(200);
         assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn signed_integer_conversions() {
+        assert_eq!(Json::Num(-42.0).as_i64(), Some(-42));
+        assert_eq!(Json::Num(1.5).as_i64(), None);
+        assert_eq!(i64::from_json(&Json::Num(-9.0)).unwrap(), -9);
+        assert!(i64::from_json(&Json::Str("x".to_string())).is_err());
+        assert_eq!((-3i64).to_json().to_string(), "-3");
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!   reports (the workspace's stand-in for serde);
 //! - [`rng`] — a small deterministic PRNG (the workspace's stand-in for
 //!   `rand`), used by schedule fuzzers and adversaries;
-//! - [`report`] — human-readable rendering of metric snapshots (`--stats`).
+//! - [`report`] — human-readable rendering of metric snapshots (`--stats`);
+//! - [`profile`] — causal span profiling with collapsed-stack flamegraph
+//!   export (`--profile FILE`);
+//! - [`progress`] — the live progress registry behind `--progress` and
+//!   the `/progress` endpoint;
+//! - [`http`] — the std-only scrape endpoint (`--serve ADDR`) exposing
+//!   `/metrics` (Prometheus text), `/progress` and `/snapshot`.
 //!
 //! # Metric naming
 //!
@@ -58,8 +64,11 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod progress;
 pub mod report;
 pub mod rng;
 pub mod span;

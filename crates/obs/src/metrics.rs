@@ -9,6 +9,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// `true` iff the recorder is currently collecting.
@@ -232,8 +234,32 @@ impl Histogram {
     }
 }
 
+impl ToJson for Histogram {
+    /// Keys in sorted order (`buckets`, `count`, `max`, `sum`) so snapshot
+    /// JSON diffs are stable.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("buckets", self.buckets.to_json()),
+            ("count", self.count.to_json()),
+            ("max", self.max.to_json()),
+            ("sum", self.sum.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Histogram {
+            count: u64::from_json(v.field("count")?)?,
+            sum: u64::from_json(v.field("sum")?)?,
+            max: u64::from_json(v.field("max")?)?,
+            buckets: Vec::from_json(v.field("buckets")?)?,
+        })
+    }
+}
+
 /// A point-in-time copy of every registered metric.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
@@ -269,6 +295,29 @@ impl Snapshot {
             gauges: self.gauges.clone(),
             histograms: self.histograms.clone(),
         }
+    }
+}
+
+impl ToJson for Snapshot {
+    /// Keys in sorted order at both levels (`counters`, `gauges`,
+    /// `histograms`; metric names are BTreeMap-sorted) — the `/snapshot`
+    /// wire format and the basis of the `--stats --json` golden test.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("counters", self.counters.to_json()),
+            ("gauges", self.gauges.to_json()),
+            ("histograms", self.histograms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Snapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Snapshot {
+            counters: BTreeMap::from_json(v.field("counters")?)?,
+            gauges: BTreeMap::from_json(v.field("gauges")?)?,
+            histograms: BTreeMap::from_json(v.field("histograms")?)?,
+        })
     }
 }
 
@@ -400,6 +449,94 @@ mod tests {
         assert_eq!(bucket_floor(0), 0);
         assert_eq!(bucket_floor(1), 1);
         assert_eq!(bucket_floor(4), 8);
+    }
+
+    #[test]
+    fn bucket_edges_cover_the_u64_range() {
+        // every power of two starts a new bucket whose floor is itself
+        for i in 0..64u32 {
+            let p = 1u64 << i;
+            assert_eq!(bucket_of(p), i as usize + 1, "2^{i}");
+            assert_eq!(bucket_floor(i as usize + 1), p, "floor of bucket {}", i + 1);
+            if p > 1 {
+                assert_eq!(bucket_of(p - 1), i as usize, "2^{i} - 1");
+            }
+        }
+        // extremes: 0 and u64::MAX land in the first and last bucket
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_floor(HISTOGRAM_BUCKETS - 1), 1u64 << 63);
+        // bucket_of and bucket_floor are mutually consistent everywhere
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(bucket_floor(b) <= v, "floor({b}) ≤ {v}");
+            if b + 1 < HISTOGRAM_BUCKETS {
+                assert!(v < bucket_floor(b + 1), "{v} < floor({})", b + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_since_treats_absent_counters_as_zero() {
+        let mut earlier = Snapshot::default();
+        earlier.counters.insert("test.old".to_string(), 5);
+        let mut later = Snapshot::default();
+        later.counters.insert("test.old".to_string(), 9);
+        later.counters.insert("test.new".to_string(), 3);
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.counters["test.old"], 4);
+        // the counter absent from `earlier` is attributed in full
+        assert_eq!(d.counters["test.new"], 3);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_with_sorted_keys() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("z.last".to_string(), 2);
+        snap.counters.insert("a.first".to_string(), 1);
+        snap.gauges.insert("g.neg".to_string(), -4);
+        snap.histograms.insert(
+            "h.t".to_string(),
+            Histogram {
+                count: 2,
+                sum: 6,
+                max: 5,
+                buckets: vec![(1, 1), (4, 1)],
+            },
+        );
+        let json = snap.to_json();
+        // top-level and per-section keys are sorted
+        let top: Vec<&str> = json
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(top, ["counters", "gauges", "histograms"]);
+        let counters: Vec<&str> = json
+            .field("counters")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(counters, ["a.first", "z.last"]);
+        let back: Snapshot = Json::parse_as(&json.to_string()).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
     }
 
     #[test]

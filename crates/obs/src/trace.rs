@@ -82,19 +82,70 @@ pub fn flush() {
     }
 }
 
-/// Flushes and removes the sink; subsequent events are dropped.
+/// Terminates the stream with a final `{"kind":"close"}` record, flushes,
+/// and removes the sink; subsequent events are dropped.
+///
+/// The close record marks the stream as complete: a consumer seeing a
+/// trace without it knows the producer was killed mid-run.
 pub fn close() {
     let mut g = sink().lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(mut s) = g.take() {
+        let ts_us = s.start.elapsed().as_micros() as u64;
+        let line = Json::Obj(vec![
+            ("ts_us".to_string(), Json::Num(ts_us as f64)),
+            ("kind".to_string(), Json::Str("close".to_string())),
+            ("name".to_string(), Json::Str("trace".to_string())),
+        ])
+        .to_string();
+        let _ = writeln!(s.writer, "{line}");
         let _ = s.writer.flush();
     }
     ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// An RAII guard that [`close`]s the trace stream on drop — including
+/// during a panic unwind — so a `--trace FILE` stream is always flushed
+/// and terminated with its close record even when a worker panics or a
+/// solve times out.
+#[must_use = "dropping the guard immediately closes the trace"]
+pub struct TraceGuard {
+    _private: (),
+}
+
+/// Installs `path` as the trace sink and returns a guard that closes the
+/// stream when dropped.
+///
+/// # Errors
+///
+/// Propagates the file-creation error.
+pub fn guard_file(path: &Path) -> io::Result<TraceGuard> {
+    set_file(path)?;
+    Ok(TraceGuard { _private: () })
+}
+
+/// Installs an arbitrary writer and returns the closing guard (tests).
+pub fn guard_writer(writer: Box<dyn Write + Send>) -> TraceGuard {
+    set_writer(writer);
+    TraceGuard { _private: () }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        close();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    /// Serializes the tests in this module: the sink is process-global,
+    /// and the harness runs tests concurrently.
+    fn test_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
 
     /// A Write impl that appends into a shared buffer.
     struct SharedBuf(Arc<Mutex<Vec<u8>>>);
@@ -114,6 +165,7 @@ mod tests {
 
     #[test]
     fn events_are_parseable_jsonl() {
+        let _serial = test_lock().lock().unwrap_or_else(PoisonError::into_inner);
         let buf = Arc::new(Mutex::new(Vec::new()));
         set_writer(Box::new(SharedBuf(buf.clone())));
         event("span", "solve.search_ns", &[("dur_ns", Json::Num(1234.0))]);
@@ -122,7 +174,7 @@ mod tests {
         assert!(!active());
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         for line in &lines {
             let v = Json::parse(line).unwrap();
             assert!(v.field("ts_us").unwrap().as_u64().is_some());
@@ -137,8 +189,37 @@ mod tests {
                 .as_u64(),
             Some(10)
         );
+        // close() terminates the stream with the close record
+        assert_eq!(
+            Json::parse(lines[2])
+                .unwrap()
+                .field("kind")
+                .unwrap()
+                .as_str(),
+            Some("close")
+        );
         // After close, events are dropped silently.
         event("span", "ignored", &[]);
         assert_eq!(buf.lock().unwrap().len(), text.len());
+    }
+
+    #[test]
+    fn guard_closes_even_on_panic() {
+        let _serial = test_lock().lock().unwrap_or_else(PoisonError::into_inner);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let buf2 = buf.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = guard_writer(Box::new(SharedBuf(buf2)));
+            event("span", "before_panic", &[]);
+            panic!("worker dies");
+        })
+        .join();
+        assert!(result.is_err(), "the thread must have panicked");
+        assert!(!active());
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text:?}");
+        let last = Json::parse(lines[1]).unwrap();
+        assert_eq!(last.field("kind").unwrap().as_str(), Some("close"));
     }
 }

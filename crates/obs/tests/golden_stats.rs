@@ -1,0 +1,94 @@
+//! Golden-file coverage for `--stats` output and `Snapshot` serialization
+//! (ISSUE 6 satellite): metric names appear in sorted order and the JSON
+//! encoding is byte-stable, so downstream scrapers and diffs can rely on
+//! the layout. The goldens live in `tests/golden/` — a deliberate schema
+//! change must update them in the same commit.
+
+use iis_obs::metrics::{Histogram, Snapshot};
+use iis_obs::{report, Json, ToJson};
+use std::collections::BTreeMap;
+
+/// With `GOLDEN_REGEN=1`, rewrites the golden under `tests/golden/` and
+/// returns `true` (the caller skips its comparison; rerun without the
+/// variable to verify). Normal runs return `false`.
+fn regenerating(name: &str, content: &str) -> bool {
+    if std::env::var_os("GOLDEN_REGEN").is_none() {
+        return false;
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::write(path, content).unwrap();
+    true
+}
+
+/// A fixed snapshot exercising every section: counters, gauges, and a
+/// histogram with sparse buckets.
+fn fixture() -> Snapshot {
+    let mut counters = BTreeMap::new();
+    counters.insert("solve.nodes".to_string(), 42u64);
+    counters.insert("fuzz.cases".to_string(), 7);
+    counters.insert("solve.prunes".to_string(), 5);
+    let mut gauges = BTreeMap::new();
+    gauges.insert("solve.budget_remaining".to_string(), 0i64);
+    gauges.insert("solve.rounds".to_string(), 3);
+    let mut histograms = BTreeMap::new();
+    histograms.insert(
+        "solve.search_ns".to_string(),
+        Histogram {
+            count: 4,
+            sum: 70,
+            max: 64,
+            buckets: vec![(0, 1), (2, 2), (64, 1)],
+        },
+    );
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[test]
+fn snapshot_json_matches_the_golden_file() {
+    let golden = include_str!("golden/snapshot.json");
+    let rendered = fixture().to_json().to_string_pretty();
+    if regenerating("snapshot.json", &rendered) {
+        return;
+    }
+    assert_eq!(
+        rendered.trim(),
+        golden.trim(),
+        "Snapshot JSON drifted from tests/golden/snapshot.json — if the \
+         schema change is deliberate, update the golden in this commit"
+    );
+    // and the golden parses back to the identical snapshot
+    let back: Snapshot = Json::parse_as(golden).unwrap();
+    assert_eq!(back, fixture());
+}
+
+#[test]
+fn stats_table_matches_the_golden_file_in_sorted_order() {
+    let golden = include_str!("golden/stats.txt");
+    let rendered = report::render_table(&fixture());
+    if regenerating("stats.txt", &rendered) {
+        return;
+    }
+    assert_eq!(
+        rendered.trim_end(),
+        golden.trim_end(),
+        "--stats table drifted from tests/golden/stats.txt"
+    );
+    // the table lists metric names in globally sorted order
+    let names: Vec<&str> = rendered
+        .lines()
+        .skip(1) // header rule
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "metric names must be sorted:\n{rendered}");
+    // zero-valued gauges are omitted by design — the fixture's
+    // budget_remaining gauge must not appear
+    assert!(!rendered.contains("budget_remaining"), "{rendered}");
+}

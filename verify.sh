@@ -19,3 +19,39 @@ for layer in iis atomic emulation bg; do
 done
 "$IIS" fuzz --layer iis --rounds 2 --exhaustive
 "$IIS" fuzz --layer iis --task oneshot:2 --rounds 1 --seed 7 --cases 200 --crashes 2 --shrink
+
+# Live-introspection smoke: solve with --serve on an ephemeral port, scrape
+# /metrics and /progress over bash's /dev/tcp while the process runs, then
+# require a clean exit. /metrics must be Prometheus text exposition and
+# contain solve_nodes_total; /progress must carry exactly the committed
+# key schema (crates/obs/tests/golden/progress_keys.txt).
+serve_log=$(mktemp)
+"$IIS" solve kset:2:2 --max-rounds 2 --jobs 2 --serve 127.0.0.1:0 >/dev/null 2>"$serve_log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's#^serving on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$serve_log")
+  [ -n "$port" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { echo "serve smoke: solver died early"; cat "$serve_log"; exit 1; }
+  sleep 0.05
+done
+[ -n "$port" ] && echo "serve smoke: scraping port $port" || { echo "serve smoke: no port announced"; cat "$serve_log"; exit 1; }
+scrape() { # scrape PATH -> body on stdout
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' "$1" >&3
+  sed '1,/^\r*$/d' <&3
+  exec 3>&- 3<&-
+}
+metrics=$(scrape /metrics)
+echo "$metrics" | grep -Eq '^[a-z_]+(\{[^}]*\})? [0-9]' \
+  || { echo "serve smoke: /metrics is not Prometheus text"; echo "$metrics"; exit 1; }
+echo "$metrics" | grep -q '^solve_nodes_total ' \
+  || { echo "serve smoke: /metrics lacks solve_nodes_total"; echo "$metrics"; exit 1; }
+progress=$(scrape /progress)
+while read -r key; do
+  echo "$progress" | grep -q "\"$key\"" \
+    || { echo "serve smoke: /progress lacks key $key"; echo "$progress"; exit 1; }
+done < crates/obs/tests/golden/progress_keys.txt
+wait "$serve_pid" || { echo "serve smoke: solver exited nonzero"; cat "$serve_log"; exit 1; }
+rm -f "$serve_log"
+echo "serve smoke: ok"

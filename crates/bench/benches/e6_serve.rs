@@ -1,0 +1,88 @@
+//! E6b — the solve service's persistent witness cache, cold vs warm.
+//!
+//! Paper-shape claim: Proposition 3.1 makes bounded solvability a pure
+//! function of `(task, max_rounds)`, so a warm content-addressed store
+//! answers in record-replay time — the cold/warm gap is the entire search
+//! cost. The warm path still **re-validates** the stored witness against a
+//! freshly rebuilt `SDS^b(I)` (Lemma 3.3), so "warm" is not free: it is
+//! subdivision construction plus map validation, without the exponential
+//! decision-map search.
+
+use iis_bench::harness::Bench;
+use iis_core::cache::solve_up_to_cached;
+use iis_core::solvability::SolveOptions;
+use iis_store::Store;
+use iis_tasks::library::{approximate_agreement, consensus, k_set_consensus};
+use std::hint::black_box;
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("iis_bench_e6_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cold_vs_warm(bench: &mut Bench) {
+    let mut g = bench.group("e6_serve");
+    g.sample_size(10);
+    let cases: Vec<(&str, iis_tasks::Task, usize)> = vec![
+        ("eps_grid9_solvable", approximate_agreement(1, 9), 2),
+        ("consensus_refuted", consensus(1, &[0, 1]), 2),
+        ("2set_refuted_b1", k_set_consensus(2, 2), 1),
+    ];
+    for (name, task, max_rounds) in &cases {
+        // cold: a fresh store directory every iteration — full search + put
+        g.bench_function(&format!("cold/{name}"), || {
+            let dir = fresh_dir(name);
+            let mut store = Store::open(&dir).expect("open store");
+            let out = solve_up_to_cached(task, *max_rounds, &SolveOptions::new(), &mut store);
+            assert!(!out.hit, "cold run must miss");
+            black_box(out.report.first_solvable());
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+        // warm: one pre-filled store reopened per iteration — disk read,
+        // subdivision rebuild, witness re-validation; no search
+        let dir = fresh_dir(&format!("{name}_warm"));
+        {
+            let mut store = Store::open(&dir).expect("open store");
+            let out = solve_up_to_cached(task, *max_rounds, &SolveOptions::new(), &mut store);
+            assert!(!out.hit);
+        }
+        g.bench_function(&format!("warm/{name}"), || {
+            let mut store = Store::open(&dir).expect("reopen store");
+            let out = solve_up_to_cached(task, *max_rounds, &SolveOptions::new(), &mut store);
+            assert!(out.hit, "warm run must hit");
+            black_box(out.report.first_solvable());
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn report_store_shape() {
+    eprintln!("\n[E6b report] store shape after one decided sweep per case");
+    let dir = fresh_dir("shape");
+    let mut store = Store::open(&dir).expect("open store");
+    for (name, task, b) in [
+        ("eps:1:9", approximate_agreement(1, 9), 2usize),
+        ("consensus:1", consensus(1, &[0, 1]), 2),
+    ] {
+        let out = solve_up_to_cached(&task, b, &SolveOptions::new(), &mut store);
+        eprintln!(
+            "  {name} max_rounds={b}: key {:016x}, verdict {:?}",
+            out.key,
+            out.report.first_solvable()
+        );
+    }
+    eprintln!(
+        "  {} records in {} segment(s)",
+        store.len(),
+        store.num_segments()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    report_store_shape();
+    let mut bench = Bench::from_env("e6_serve");
+    cold_vs_warm(&mut bench);
+    bench.finish();
+}

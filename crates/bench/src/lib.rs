@@ -9,6 +9,9 @@
 //! simplices/sec, …) next to wall-clock, written to `BENCH_<name>.json`
 //! at the workspace root.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 pub mod kshot {

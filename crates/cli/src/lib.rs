@@ -34,9 +34,12 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-fn err(msg: impl Into<String>) -> CliError {
+pub(crate) fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
+
+mod serve;
+pub use serve::cmd_serve;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -47,8 +50,17 @@ USAGE:
   iis homology <n> <b>                    Z2 Betti numbers of SDS^b(s^n)
   iis check-lemmas <n> <b>                verify Lemmas 3.2/3.3 by enumeration
   iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N] [--kernel K]
-            [--timeout-secs T]            decide wait-free solvability
-                                          (timeout ⇒ inconclusive, not unsolvable)
+            [--timeout-secs T] [--store DIR]
+                                          decide wait-free solvability
+                                          (timeout ⇒ inconclusive, not unsolvable;
+                                          --store answers from / fills a
+                                          persistent witness cache)
+  iis serve [--addr A] [--store DIR] [--workers N]
+                                          HTTP solve service: POST /solve,
+                                          GET /jobs[/<id>], POST /shutdown,
+                                          plus /metrics /progress /snapshot
+                                          (default --addr 127.0.0.1:0; the
+                                          bound address goes to stderr)
   iis emulate <n> <k> [--adversary A] [--seed S]
                                           emulate the k-shot protocol on IIS
   iis bg <n_sim> <k> <m> [--crash SIM@STEP]
@@ -128,7 +140,7 @@ fn parse_dims(args: &[String]) -> Result<(usize, usize), CliError> {
 ///
 /// Returns a [`CliError`] if the flag appears as the last argument with no
 /// value following it.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
+pub(crate) fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
     for (i, a) in args.iter().enumerate() {
         if a == flag {
             return match args.get(i + 1) {
@@ -248,8 +260,21 @@ pub fn cmd_check_lemmas(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a `--kernel` / `"kernel"` value (`compiled|reference`).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] naming the accepted engines.
+pub(crate) fn parse_kernel(s: &str) -> Result<Kernel, CliError> {
+    match s {
+        "compiled" => Ok(Kernel::Compiled),
+        "reference" => Ok(Kernel::Reference),
+        other => Err(err(format!("bad --kernel: {other} (compiled|reference)"))),
+    }
+}
+
 /// `iis solve <TASK> [--max-rounds B] [--budget NODES] [--jobs N]
-/// [--kernel K] [--timeout-secs T]`
+/// [--kernel K] [--timeout-secs T] [--store DIR]`
 ///
 /// The round sweep is incremental (`SDS^{b+1}` extends `SDS^b`) and
 /// `--jobs N` spreads each round's search over `N` worker threads without
@@ -278,11 +303,7 @@ pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| err("bad --jobs"))?;
-    let kernel = match flag_value(args, "--kernel")?.unwrap_or("compiled") {
-        "compiled" => Kernel::Compiled,
-        "reference" => Kernel::Reference,
-        other => return Err(err(format!("bad --kernel: {other} (compiled|reference)"))),
-    };
+    let kernel = parse_kernel(flag_value(args, "--kernel")?.unwrap_or("compiled"))?;
     let timeout_secs: Option<u64> = match flag_value(args, "--timeout-secs")? {
         Some(t) => Some(t.parse().map_err(|_| err("bad --timeout-secs"))?),
         None => None,
@@ -292,6 +313,48 @@ pub fn cmd_solve(args: &[String]) -> Result<String, CliError> {
     let mut opts = SolveOptions::new().budget(budget).jobs(jobs).kernel(kernel);
     if let Some(t) = timeout_secs {
         opts = opts.timeout(std::time::Duration::from_secs(t));
+    }
+    if let Some(dir) = flag_value(args, "--store")? {
+        // cache-aware path: answer from the persistent store when the
+        // (task, max_rounds) record exists, persist a decided sweep
+        let mut store = iis_store::Store::open(dir)
+            .map_err(|e| err(format!("cannot open store {dir}: {e}")))?;
+        let cached = iis_core::cache::solve_up_to_cached(&task, max_rounds, &opts, &mut store);
+        for &(b, ok) in cached.report.results() {
+            if ok {
+                let m = cached.report.witness().expect("solvable has a witness");
+                let _ = writeln!(
+                    out,
+                    "b = {b}: SOLVABLE — decision map on {} vertices",
+                    m.map().len()
+                );
+            } else {
+                let _ = writeln!(out, "b = {b}: no decision map (exact)");
+            }
+        }
+        if cached.report.witness().is_none() {
+            if cached.report.results().len() == max_rounds + 1 {
+                let _ = writeln!(out, "no decision map found up to b = {max_rounds}");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "b = {}: undecided within the budget — inconclusive, not stored",
+                    cached.report.results().len()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "store: {} (key {:016x}, {} records in {dir})",
+            if cached.hit {
+                "hit"
+            } else {
+                "miss — computed and saved"
+            },
+            cached.key,
+            store.len()
+        );
+        return Ok(out);
     }
     let mut solver = Solver::new(&task, opts);
     for b in 0..=max_rounds {
@@ -668,6 +731,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "homology" => cmd_homology(rest),
         "check-lemmas" => cmd_check_lemmas(rest),
         "solve" => cmd_solve(rest),
+        "serve" => cmd_serve(rest),
         "emulate" => cmd_emulate(rest),
         "bg" => cmd_bg(rest),
         "fuzz" => cmd_fuzz(rest),
@@ -807,6 +871,34 @@ mod tests {
         assert!(out.contains("inconclusive"), "got: {out}");
         assert!(!out.contains("no decision map found"), "got: {out}");
         assert!(cmd_solve(&argv("consensus:1 --timeout-secs nope")).is_err());
+    }
+
+    #[test]
+    fn solve_store_flag_cold_then_warm() {
+        let dir = std::env::temp_dir().join(format!("iis_cli_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut args = argv("eps:1:3 --max-rounds 2 --store");
+        args.push(dir.to_str().unwrap().to_string());
+        let cold = cmd_solve(&args).unwrap();
+        assert!(cold.contains("b = 1: SOLVABLE"), "{cold}");
+        assert!(cold.contains("store: miss — computed and saved"), "{cold}");
+        let warm = cmd_solve(&args).unwrap();
+        assert!(warm.contains("b = 1: SOLVABLE"), "{warm}");
+        assert!(warm.contains("store: hit"), "{warm}");
+        // verdict lines agree between the computed and replayed runs
+        assert_eq!(
+            cold.lines().take(3).collect::<Vec<_>>(),
+            warm.lines().take(3).collect::<Vec<_>>()
+        );
+        // refutations are cached too
+        let mut args = argv("consensus:1 --max-rounds 2 --store");
+        args.push(dir.to_str().unwrap().to_string());
+        let cold = cmd_solve(&args).unwrap();
+        assert!(cold.contains("no decision map found up to b = 2"), "{cold}");
+        let warm = cmd_solve(&args).unwrap();
+        assert!(warm.contains("store: hit"), "{warm}");
+        assert!(cmd_solve(&argv("eps:1:3 --store /dev/null/nope")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

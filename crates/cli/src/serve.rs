@@ -1,0 +1,698 @@
+//! The `iis serve` solve service: HTTP in front of the solver and the
+//! persistent witness store.
+//!
+//! The transport is `iis_obs::http` (this module only supplies a
+//! [`Handler`]); the cache logic is `iis_core::cache`; the persistence is
+//! `iis_store::Store`. What lives here is the **service glue**: request
+//! parsing, the job registry, request coalescing, and a bounded pool of
+//! solve workers so concurrent requests make progress without unbounded
+//! thread spawns.
+//!
+//! Routes:
+//!
+//! - `POST /solve` — body `{"spec": "consensus:2" | "task": {…},
+//!   "max_rounds": B, "budget": N, "jobs": J, "kernel": "compiled",
+//!   "wait": true}` (everything but the task optional). Answers from the
+//!   store when the record exists (`"cached": true`, counted by
+//!   `serve.cache_hits`); otherwise runs the sweep on the worker pool.
+//!   With `"wait": false` replies `202 Accepted` with a job id instead of
+//!   blocking. A second request for a key already being solved joins the
+//!   in-flight job (`serve.coalesced`) rather than solving twice.
+//! - `GET /jobs/<id>` — job status plus the result record when done.
+//! - `GET /jobs` — every job this process has accepted.
+//! - `POST /shutdown` — stop accepting, drain, exit `iis serve`.
+//! - the built-ins `GET /metrics`, `/progress`, `/snapshot` stay live.
+//!
+//! Identical questions get bit-identical answers: records are canonical
+//! (see `iis_core::cache`), the store is first-write-wins, and cached
+//! replies replay the stored bytes — across restarts too, when `--store`
+//! points at the same directory.
+
+use crate::{err, flag_value, parse_kernel, parse_task, CliError};
+use iis_core::cache::{cache_key, report_from_json, solve_up_to_cached, SolveCache};
+use iis_core::solvability::SolveOptions;
+use iis_obs::http::{serve_with, Handler, Request, Response};
+use iis_obs::json::FromJson as _;
+use iis_obs::{Json, ToJson as _};
+use iis_store::Store;
+use iis_tasks::Task;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// One accepted solve question and its lifecycle.
+struct Job {
+    spec: String,
+    task: Task,
+    max_rounds: usize,
+    opts: SolveOptions,
+    status: Status,
+}
+
+/// Job lifecycle states.
+enum Status {
+    Queued,
+    Running,
+    /// `result` is the canonical record; `cached` is whether the worker
+    /// found it already stored (e.g. written by a coalesced sibling).
+    Done {
+        result: Json,
+        cached: bool,
+    },
+    Failed(String),
+}
+
+impl Status {
+    fn name(&self) -> &'static str {
+        match self {
+            Status::Queued => "queued",
+            Status::Running => "running",
+            Status::Done { .. } => "done",
+            Status::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Registry + queue, under one lock; `changed` signals any transition.
+struct State {
+    jobs: BTreeMap<u64, Job>,
+    queue: VecDeque<u64>,
+    /// cache key → id of the queued/running job answering it.
+    inflight: HashMap<u64, u64>,
+    next_id: u64,
+    active: i64,
+    shutdown: bool,
+}
+
+/// The solve service shared by the HTTP handler and the worker pool.
+pub(crate) struct SolveService {
+    state: Mutex<State>,
+    changed: Condvar,
+    store: Mutex<Box<dyn SolveCache + Send>>,
+    stop_workers: AtomicBool,
+}
+
+/// Locks a `SolveService` store only for the duration of each `get`/`put`,
+/// so two workers can solve *different* keys concurrently (the same key is
+/// never solved twice — coalescing guarantees that).
+struct SharedCache<'a>(&'a Mutex<Box<dyn SolveCache + Send>>);
+
+impl SolveCache for SharedCache<'_> {
+    fn get(&mut self, key: u64) -> Option<String> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+    }
+
+    fn put(&mut self, key: u64, value: &str) {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .put(key, value);
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The parsed body of a `POST /solve`.
+struct SolveRequest {
+    spec: String,
+    task: Task,
+    max_rounds: usize,
+    opts: SolveOptions,
+    wait: bool,
+}
+
+fn parse_solve_request(body: &str) -> Result<SolveRequest, String> {
+    let v = Json::parse(body).map_err(|e| format!("bad JSON body: {e}"))?;
+    let (spec, task) = match (v.get("spec"), v.get("task")) {
+        (Some(s), None) => {
+            let s = s.as_str().ok_or("\"spec\" must be a string")?;
+            let task = parse_task(s).map_err(|e| e.to_string())?;
+            (s.to_string(), task)
+        }
+        (None, Some(t)) => {
+            let task = Task::from_json(t).map_err(|e| format!("bad \"task\": {e}"))?;
+            (format!("@inline:{}", task.name()), task)
+        }
+        (Some(_), Some(_)) => return Err("give \"spec\" or \"task\", not both".to_string()),
+        (None, None) => return Err("body needs a \"spec\" or a \"task\"".to_string()),
+    };
+    let num = |key: &str, default: f64| -> Result<f64, String> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(default),
+            Some(j) => j
+                .as_f64()
+                .ok_or_else(|| format!("\"{key}\" must be a number")),
+        }
+    };
+    let max_rounds = num("max_rounds", 2.0)? as usize;
+    let mut opts = SolveOptions::new()
+        .budget(num("budget", 1_000_000.0)? as u64)
+        .jobs(num("jobs", 1.0)? as usize);
+    if let Some(k) = v.get("kernel") {
+        let k = k.as_str().ok_or("\"kernel\" must be a string")?;
+        opts = opts.kernel(parse_kernel(k).map_err(|e| e.to_string())?);
+    }
+    let wait = match v.get("wait") {
+        None | Some(Json::Null) => true,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("\"wait\" must be a boolean".to_string()),
+    };
+    if max_rounds > 6 {
+        return Err("max_rounds > 6 would build an astronomically large complex".to_string());
+    }
+    Ok(SolveRequest {
+        spec,
+        task,
+        max_rounds,
+        opts,
+        wait,
+    })
+}
+
+fn key_hex(key: u64) -> Json {
+    Json::Str(format!("{key:016x}"))
+}
+
+impl SolveService {
+    fn new(store: Box<dyn SolveCache + Send>) -> SolveService {
+        SolveService {
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                next_id: 1,
+                active: 0,
+                shutdown: false,
+            }),
+            changed: Condvar::new(),
+            store: Mutex::new(store),
+            stop_workers: AtomicBool::new(false),
+        }
+    }
+
+    /// The worker-pool loop: pop a queued job, solve it through the store,
+    /// publish the result. Exits when `stop_workers` is raised and the
+    /// queue is drained.
+    fn worker_loop(&self) {
+        loop {
+            let (id, task, max_rounds, opts) = {
+                let mut st = lock(&self.state);
+                loop {
+                    if let Some(id) = st.queue.pop_front() {
+                        let info = {
+                            let job = st.jobs.get_mut(&id).expect("queued job exists");
+                            job.status = Status::Running;
+                            (id, job.task.clone(), job.max_rounds, job.opts)
+                        };
+                        st.active += 1;
+                        iis_obs::metrics::gauge_set("serve.jobs_active", st.active);
+                        self.changed.notify_all();
+                        break info;
+                    }
+                    if self.stop_workers.load(Ordering::Acquire) {
+                        return;
+                    }
+                    st = self
+                        .changed
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let out = solve_up_to_cached(&task, max_rounds, &opts, &mut SharedCache(&self.store));
+            let status =
+                if out.report.witness().is_some() || out.report.results().len() == max_rounds + 1 {
+                    Status::Done {
+                        result: iis_core::cache::report_to_json(&out.report),
+                        cached: out.hit,
+                    }
+                } else {
+                    // budget/timeout ran out: inconclusive, nothing stored
+                    Status::Failed(format!(
+                        "inconclusive: search exhausted at b = {} (raise \"budget\")",
+                        out.report.results().len()
+                    ))
+                };
+            let mut st = lock(&self.state);
+            let key = cache_key(&task, max_rounds);
+            st.inflight.remove(&key);
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.status = status;
+            }
+            st.active -= 1;
+            iis_obs::metrics::gauge_set("serve.jobs_active", st.active);
+            self.changed.notify_all();
+        }
+    }
+
+    /// Blocks until job `id` is done or failed, then renders its response.
+    fn wait_for(&self, id: u64, key: u64, coalesced: bool) -> Response {
+        let mut st = lock(&self.state);
+        loop {
+            match st.jobs.get(&id).map(|j| &j.status) {
+                Some(Status::Done { result, cached }) => {
+                    let mut fields = vec![
+                        ("cached", Json::Bool(*cached)),
+                        ("job", Json::Num(id as f64)),
+                        ("key", key_hex(key)),
+                        ("result", result.clone()),
+                    ];
+                    if coalesced {
+                        fields.insert(0, ("coalesced", Json::Bool(true)));
+                    }
+                    return Response::json(Json::obj(fields).to_string());
+                }
+                Some(Status::Failed(e)) => {
+                    return Response::json_status(
+                        "500 Internal Server Error",
+                        Json::obj([
+                            ("error", Json::Str(e.clone())),
+                            ("job", Json::Num(id as f64)),
+                            ("key", key_hex(key)),
+                        ])
+                        .to_string(),
+                    );
+                }
+                Some(_) => {
+                    st = self
+                        .changed
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                None => return Response::bad_request("job vanished"),
+            }
+        }
+    }
+
+    /// `POST /solve`.
+    fn handle_solve(&self, body: &str) -> Response {
+        let req = match parse_solve_request(body) {
+            Ok(r) => r,
+            Err(e) => return Response::bad_request(&e),
+        };
+        let key = cache_key(&req.task, req.max_rounds);
+        // fast path: the store already holds a validated record
+        if let Some(text) = SharedCache(&self.store).get(key) {
+            if let Ok(json) = Json::parse(&text) {
+                if report_from_json(&req.task, &json).is_ok() {
+                    iis_obs::metrics::add("serve.cache_hits", 1);
+                    return Response::json(
+                        Json::obj([
+                            ("cached", Json::Bool(true)),
+                            ("key", key_hex(key)),
+                            ("result", json),
+                        ])
+                        .to_string(),
+                    );
+                }
+            }
+        }
+        // coalesce onto an in-flight job for the same key, or enqueue
+        let (id, coalesced) = {
+            let mut st = lock(&self.state);
+            if let Some(&id) = st.inflight.get(&key) {
+                iis_obs::metrics::add("serve.coalesced", 1);
+                (id, true)
+            } else {
+                let id = st.next_id;
+                st.next_id += 1;
+                st.jobs.insert(
+                    id,
+                    Job {
+                        spec: req.spec.clone(),
+                        task: req.task.clone(),
+                        max_rounds: req.max_rounds,
+                        opts: req.opts,
+                        status: Status::Queued,
+                    },
+                );
+                st.inflight.insert(key, id);
+                st.queue.push_back(id);
+                self.changed.notify_all();
+                (id, false)
+            }
+        };
+        if req.wait {
+            return self.wait_for(id, key, coalesced);
+        }
+        let st = lock(&self.state);
+        let status = st.jobs.get(&id).map_or("queued", |j| j.status.name());
+        let mut fields = vec![
+            ("job", Json::Num(id as f64)),
+            ("status", Json::Str(status.to_string())),
+            ("key", key_hex(key)),
+        ];
+        if coalesced {
+            fields.insert(0, ("coalesced", Json::Bool(true)));
+        }
+        Response::json_status("202 Accepted", Json::obj(fields).to_string())
+    }
+
+    fn job_json(id: u64, job: &Job) -> Json {
+        let mut fields = vec![
+            ("job", Json::Num(id as f64)),
+            ("spec", Json::Str(job.spec.clone())),
+            ("max_rounds", job.max_rounds.to_json()),
+            ("status", Json::Str(job.status.name().to_string())),
+        ];
+        match &job.status {
+            Status::Done { result, cached } => {
+                fields.push(("cached", Json::Bool(*cached)));
+                fields.push(("result", result.clone()));
+            }
+            Status::Failed(e) => fields.push(("error", Json::Str(e.clone()))),
+            _ => {}
+        }
+        Json::obj(fields)
+    }
+
+    /// `GET /jobs` and `GET /jobs/<id>`.
+    fn handle_jobs(&self, path: &str) -> Response {
+        let st = lock(&self.state);
+        if path == "/jobs" {
+            let jobs: Vec<Json> = st
+                .jobs
+                .iter()
+                .map(|(&id, job)| Self::job_json(id, job))
+                .collect();
+            return Response::json(Json::obj([("jobs", Json::Arr(jobs))]).to_string());
+        }
+        let id = path.strip_prefix("/jobs/").and_then(|s| s.parse().ok());
+        match id.and_then(|id: u64| st.jobs.get(&id).map(|j| (id, j))) {
+            Some((id, job)) => Response::json(Self::job_json(id, job).to_string()),
+            None => Response::not_found(),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        lock(&self.state).shutdown = true;
+        self.changed.notify_all();
+    }
+
+    fn handle(&self, req: &Request) -> Option<Response> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/solve") => Some(match req.body_utf8() {
+                Some(body) => self.handle_solve(body),
+                None => Response::bad_request("body must be UTF-8"),
+            }),
+            ("POST", "/shutdown") => {
+                self.request_shutdown();
+                Some(Response::json("{\"ok\": true}".to_string()))
+            }
+            ("GET", p) if p == "/jobs" || p.starts_with("/jobs/") => Some(self.handle_jobs(p)),
+            _ => None,
+        }
+    }
+}
+
+/// `iis serve [--addr A] [--store DIR] [--workers N]` — see [`crate::USAGE`].
+///
+/// Binds `--addr` (default `127.0.0.1:0`; the bound address is printed to
+/// stderr as `serving on http://…`), serves until `POST /shutdown`, then
+/// drains and reports a one-line summary.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments, an unbindable address, or an
+/// unopenable store directory.
+pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let addr = flag_value(args, "--addr")?
+        .unwrap_or("127.0.0.1:0")
+        .to_string();
+    let workers: usize = flag_value(args, "--workers")?
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| err("bad --workers"))?;
+    if workers == 0 || workers > 64 {
+        return Err(err("need 1 ≤ --workers ≤ 64"));
+    }
+    let store_dir = flag_value(args, "--store")?.map(String::from);
+    // a service is always observable: /metrics must carry the serve.*
+    // counters without requiring a global --stats/--serve flag
+    iis_obs::set_enabled(true);
+    let store: Box<dyn SolveCache + Send> = match &store_dir {
+        Some(dir) => {
+            let store =
+                Store::open(dir).map_err(|e| err(format!("cannot open store {dir}: {e}")))?;
+            let rec = store.recovery();
+            if rec.torn_bytes > 0 {
+                eprintln!(
+                    "store {dir}: recovered {} records, truncated {} torn bytes",
+                    rec.records, rec.torn_bytes
+                );
+            }
+            Box::new(store)
+        }
+        None => Box::new(HashMap::new()),
+    };
+    let service = Arc::new(SolveService::new(store));
+    let mut pool = Vec::new();
+    for _ in 0..workers {
+        let svc = Arc::clone(&service);
+        pool.push(std::thread::spawn(move || svc.worker_loop()));
+    }
+    let handler: Arc<Handler> = {
+        let svc = Arc::clone(&service);
+        Arc::new(move |req: &Request| svc.handle(req))
+    };
+    let server = serve_with(&addr, handler).map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
+    eprintln!("serving on http://{}", server.addr());
+    // park until POST /shutdown
+    {
+        let mut st = lock(&service.state);
+        while !st.shutdown {
+            st = service
+                .changed
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    // stop the transport first (in-flight waits still have live workers),
+    // then drain and stop the solve pool
+    server.shutdown();
+    service.stop_workers.store(true, Ordering::Release);
+    service.changed.notify_all();
+    for t in pool {
+        let _ = t.join();
+    }
+    let st = lock(&service.state);
+    let done = st
+        .jobs
+        .values()
+        .filter(|j| matches!(j.status, Status::Done { .. }))
+        .count();
+    Ok(format!(
+        "serve: {} jobs accepted, {done} completed, store = {}\n",
+        st.jobs.len(),
+        store_dir.as_deref().unwrap_or("(in-memory)")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    /// Runs `iis serve` on a background thread, returns (addr, join).
+    fn start(
+        extra: &[&str],
+    ) -> (
+        std::net::SocketAddr,
+        std::thread::JoinHandle<Result<String, CliError>>,
+    ) {
+        // capture the bound address via a pre-bound port-0 listener trick:
+        // bind a throwaway listener, free its port, reuse the address.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let mut args: Vec<String> = vec!["--addr".into(), addr.to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let handle = std::thread::spawn(move || cmd_serve(&args));
+        // wait for the listener to come up
+        for _ in 0..200 {
+            if TcpStream::connect(addr).is_ok() {
+                return (addr, handle);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("serve did not come up on {addr}");
+    }
+
+    fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (String, Json) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        let json = Json::parse(body).unwrap_or(Json::Null);
+        (head.to_string(), json)
+    }
+
+    fn shutdown(
+        addr: std::net::SocketAddr,
+        handle: std::thread::JoinHandle<Result<String, CliError>>,
+    ) -> String {
+        let (head, _) = request(addr, "POST", "/shutdown", "");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        handle.join().unwrap().unwrap()
+    }
+
+    #[test]
+    fn solve_twice_second_is_a_cache_hit_with_identical_witness() {
+        let (addr, handle) = start(&[]);
+        let body = r#"{"spec": "eps:1:3", "max_rounds": 2}"#;
+        let (head, first) = request(addr, "POST", "/solve", body);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)), "{first:?}");
+        let (head, second) = request(addr, "POST", "/solve", body);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)), "{second:?}");
+        // the replayed record is bit-identical, witness included
+        assert_eq!(
+            first.get("result").unwrap().to_string(),
+            second.get("result").unwrap().to_string()
+        );
+        assert!(first
+            .get("result")
+            .unwrap()
+            .get("witness")
+            .is_some_and(|w| *w != Json::Null));
+        let summary = shutdown(addr, handle);
+        assert!(summary.contains("1 jobs accepted"), "{summary}");
+    }
+
+    #[test]
+    fn async_jobs_and_coalescing() {
+        let (addr, handle) = start(&["--workers", "1"]);
+        // park the single worker on a slow-ish solve, then coalesce onto it
+        let body = r#"{"spec": "consensus:2", "max_rounds": 1, "wait": false}"#;
+        let (head, first) = request(addr, "POST", "/solve", body);
+        assert!(head.starts_with("HTTP/1.1 202"), "{head}");
+        let id = first.get("job").unwrap().as_f64().unwrap() as u64;
+        let (_, again) = request(addr, "POST", "/solve", body);
+        // either it coalesced onto the in-flight job, or the job already
+        // finished and the store answered
+        let coalesced = again.get("coalesced") == Some(&Json::Bool(true));
+        let cached = again.get("cached") == Some(&Json::Bool(true));
+        assert!(coalesced || cached, "{again:?}");
+        if coalesced {
+            assert_eq!(again.get("job").unwrap().as_f64().unwrap() as u64, id);
+        }
+        // poll the job to completion
+        let mut done = false;
+        for _ in 0..600 {
+            let (_, job) = request(addr, "GET", &format!("/jobs/{id}"), "");
+            match job.get("status").and_then(|s| s.as_str()) {
+                Some("done") => {
+                    // consensus among 3 is unsolvable at every round
+                    let results = job.get("result").unwrap().get("results").unwrap();
+                    assert!(matches!(results, Json::Arr(_)));
+                    assert_eq!(job.get("result").unwrap().get("witness"), Some(&Json::Null));
+                    done = true;
+                    break;
+                }
+                Some("queued") | Some("running") => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                other => panic!("unexpected status {other:?}: {job:?}"),
+            }
+        }
+        assert!(done, "job never finished");
+        let (_, list) = request(addr, "GET", "/jobs", "");
+        assert!(matches!(list.get("jobs"), Some(Json::Arr(v)) if !v.is_empty()));
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn store_survives_a_restart_with_identical_bytes() {
+        let dir = std::env::temp_dir().join(format!("iis_serve_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        let body = r#"{"spec": "eps:1:3", "max_rounds": 2}"#;
+
+        let (addr, handle) = start(&["--store", &dir_s]);
+        let (_, first) = request(addr, "POST", "/solve", body);
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)), "{first:?}");
+        shutdown(addr, handle);
+
+        // a fresh process (same store dir) answers from disk
+        let (addr, handle) = start(&["--store", &dir_s]);
+        let (_, second) = request(addr, "POST", "/solve", body);
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)), "{second:?}");
+        assert_eq!(
+            first.get("result").unwrap().to_string(),
+            second.get("result").unwrap().to_string(),
+            "restart must replay bit-identical bytes"
+        );
+        let summary = shutdown(addr, handle);
+        assert!(summary.contains("0 jobs accepted"), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_requests_are_400s() {
+        let (addr, handle) = start(&[]);
+        for body in [
+            "not json",
+            "{}",
+            r#"{"spec": "nope:9"}"#,
+            r#"{"spec": "eps:1:3", "task": {}}"#,
+            r#"{"spec": "eps:1:3", "wait": "yes"}"#,
+            r#"{"spec": "eps:1:3", "max_rounds": 99}"#,
+        ] {
+            let (head, _) = request(addr, "POST", "/solve", body);
+            assert!(head.starts_with("HTTP/1.1 400"), "{body}: {head}");
+        }
+        // unknown job
+        let (head, _) = request(addr, "GET", "/jobs/999", "");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        // built-ins still answer
+        let (head, _) = request(addr, "GET", "/metrics", "");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn inline_task_bodies_are_accepted() {
+        let (addr, handle) = start(&[]);
+        let task = iis_tasks::library::trivial(1);
+        let body =
+            Json::obj([("task", task.to_json()), ("max_rounds", Json::Num(1.0))]).to_string();
+        let (head, reply) = request(addr, "POST", "/solve", &body);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let results = reply.get("result").unwrap().get("results").unwrap();
+        assert_eq!(results.to_string(), "[[0,true]]");
+        // the same task by spec hits the same record: content addressing
+        let (_, by_spec) = request(
+            addr,
+            "POST",
+            "/solve",
+            r#"{"spec": "trivial:1", "max_rounds": 1}"#,
+        );
+        assert_eq!(
+            by_spec.get("cached"),
+            Some(&Json::Bool(true)),
+            "{by_spec:?}"
+        );
+        assert_eq!(reply.get("key"), by_spec.get("key"));
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn cmd_serve_flag_errors() {
+        assert!(cmd_serve(&["--workers".into(), "0".into()]).is_err());
+        assert!(cmd_serve(&["--workers".into(), "nope".into()]).is_err());
+        assert!(cmd_serve(&["--addr".into(), "256.0.0.1:99999".into()]).is_err());
+    }
+}

@@ -14,7 +14,11 @@
 //!   agreement protocols, and the direct path-bisection convergence
 //!   algorithms;
 //! - [`bg`] — the BG simulation (safe agreement; `k+1` simulators running
-//!   `n+1` processes), the extension this line of work seeded.
+//!   `n+1` processes), the extension this line of work seeded;
+//! - [`cache`] — content-addressed caching of solvability results: because
+//!   Proposition 3.1 makes the answer a pure function of `(task, b)`, a
+//!   decided sweep can be persisted and replayed bit-identically (the
+//!   substrate of `iis serve` and `iis solve --store`).
 //!
 //! # Quickstart
 //!
@@ -38,6 +42,7 @@
 
 pub mod bg;
 pub mod bounded;
+pub mod cache;
 pub mod concurrent;
 pub mod convergence;
 pub mod csp;
@@ -47,6 +52,7 @@ pub mod protocol_complex;
 pub mod protocols;
 pub mod solvability;
 
+pub use cache::{cache_key, solve_up_to_cached, CachedSolve, SolveCache};
 pub use concurrent::run_atomic_concurrent;
 pub use emulation::{run_emulation_concurrent, EmulationStats, EmulatorMachine, Tuple, TupleSet};
 pub use solvability::{

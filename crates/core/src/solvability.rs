@@ -34,6 +34,19 @@ pub struct DecisionMap {
 }
 
 impl DecisionMap {
+    /// Reassembles a witness from its parts (the persistent-cache load
+    /// path). The caller is responsible for semantic validation — see
+    /// [`crate::cache::report_from_json`], which rebuilds the subdivision
+    /// from the task itself and re-validates the map, so a corrupted store
+    /// can never smuggle in an ill-formed witness.
+    pub(crate) fn from_parts(b: usize, subdivision: Subdivision, map: SimplicialMap) -> Self {
+        DecisionMap {
+            b,
+            subdivision,
+            map,
+        }
+    }
+
     /// The number of IIS rounds.
     pub fn rounds(&self) -> usize {
         self.b
@@ -59,6 +72,20 @@ pub struct SolvabilityReport {
 }
 
 impl SolvabilityReport {
+    /// Reassembles a report from its parts (the persistent-cache load path;
+    /// see [`crate::cache`]).
+    pub(crate) fn from_parts(
+        task_name: String,
+        results: Vec<(usize, bool)>,
+        witness: Option<DecisionMap>,
+    ) -> Self {
+        SolvabilityReport {
+            task_name,
+            results,
+            witness,
+        }
+    }
+
     /// The task's name.
     pub fn task_name(&self) -> &str {
         &self.task_name

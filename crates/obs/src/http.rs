@@ -1,7 +1,8 @@
-//! A tiny blocking HTTP scrape endpoint (the CLI's `--serve ADDR`),
-//! std-only on `std::net::TcpListener`.
+//! A tiny blocking HTTP server, std-only on `std::net::TcpListener` —
+//! the scrape endpoint behind the CLI's `--serve ADDR` and the transport
+//! under the `iis serve` solve service.
 //!
-//! Routes:
+//! Built-in routes (always available):
 //!
 //! - `GET /metrics` — every counter, gauge and histogram in Prometheus
 //!   text exposition format (counters get a `_total` suffix, histograms
@@ -12,54 +13,247 @@
 //!   JSON;
 //! - `GET /` — a plain-text index of the routes.
 //!
-//! The server runs one request at a time on a single background thread —
-//! scrapes are rare and tiny, so there is nothing to pool. Shutdown is
-//! cooperative: [`Server::shutdown`] (or drop) raises a stop flag and
-//! unblocks the `accept` loop with a loopback connection, then joins the
-//! thread, so a completed solve never leaves a dangling listener.
+//! Application routes are layered on top through [`serve_with`]: the
+//! handler sees every request (method, path, body) first and returns
+//! `None` to fall through to the built-ins. This crate sits at the bottom
+//! of the workspace dependency graph, so it knows nothing about tasks or
+//! solving — the solve service in `iis-cli` plugs in here.
+//!
+//! Connections are handled by a **bounded worker pool** ([`Options::workers`],
+//! default [`DEFAULT_WORKERS`]): the accept loop only enqueues sockets, so
+//! a scrape still answers while a long `POST /solve` is being served, and a
+//! flood of connections queues instead of spawning unbounded threads.
+//! Shutdown is cooperative: [`Server::shutdown`] (or drop) raises a stop
+//! flag and unblocks the `accept` loop with a loopback connection, then
+//! joins every thread, so a completed solve never leaves a dangling
+//! listener.
+//!
+//! Every request increments the `serve.requests` counter (when metrics are
+//! enabled).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 use crate::json::ToJson;
 use crate::metrics::Snapshot;
 use crate::{metrics, progress};
 
-/// A running scrape server; shuts down on [`Server::shutdown`] or drop.
+/// Default size of the connection-handler pool.
+pub const DEFAULT_WORKERS: usize = 4;
+
+/// Longest request head we bother reading before answering.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// Longest request body accepted (a serialized task is a few KiB; a
+/// megabyte is generous).
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request, as seen by a [`serve_with`] handler.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request method, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path, query string included, undecoded.
+    pub path: String,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, if it is valid UTF-8.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// A response for a [`serve_with`] handler to return.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status line tail, e.g. `"200 OK"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response {
+            status: "200 OK",
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response with an explicit status line (e.g. `"202 Accepted"`).
+    pub fn json_status(status: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with an explicit status line.
+    pub fn text(status: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// The stock `404 Not Found` response.
+    pub fn not_found() -> Response {
+        Response::text("404 Not Found", "not found\n")
+    }
+
+    /// A `400 Bad Request` JSON error body: `{"error": msg}`.
+    pub fn bad_request(msg: &str) -> Response {
+        Response::json_status(
+            "400 Bad Request",
+            crate::json::Json::obj([("error", crate::json::Json::Str(msg.to_string()))])
+                .to_string(),
+        )
+    }
+}
+
+/// An application route handler: inspect the request, return `Some`
+/// response or `None` to fall through to the built-in scrape routes.
+pub type Handler = dyn Fn(&Request) -> Option<Response> + Send + Sync;
+
+/// Server construction options for [`serve_opts`].
+#[derive(Clone)]
+pub struct Options {
+    /// Connection-handler threads (min 1; default [`DEFAULT_WORKERS`]).
+    pub workers: usize,
+    /// Application routes, consulted before the built-ins.
+    pub handler: Option<Arc<Handler>>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            workers: DEFAULT_WORKERS,
+            handler: None,
+        }
+    }
+}
+
+/// A running server; shuts down on [`Server::shutdown`] or drop.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    queue: Arc<ConnQueue>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
-/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
-/// scrapes on a background thread.
+/// The accept-to-worker hand-off: a stop-aware blocking queue.
+struct ConnQueue {
+    conns: Mutex<std::collections::VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(stream);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next connection; `None` once stopped and drained.
+    fn pop(&self, stop: &AtomicBool) -> Option<TcpStream> {
+        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(stream) = conns.pop_front() {
+                return Some(stream);
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            conns = self
+                .ready
+                .wait(conns)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves the
+/// built-in scrape routes on a background worker pool.
 ///
 /// # Errors
 ///
 /// Returns the bind error if the address is unavailable.
 pub fn serve(addr: &str) -> std::io::Result<Server> {
+    serve_opts(addr, Options::default())
+}
+
+/// [`serve`] with an application [`Handler`] layered over the built-ins.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_with(addr: &str, handler: Arc<Handler>) -> std::io::Result<Server> {
+    serve_opts(
+        addr,
+        Options {
+            handler: Some(handler),
+            ..Options::default()
+        },
+    )
+}
+
+/// [`serve`] with full [`Options`] control.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_opts(addr: &str, opts: Options) -> std::io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = Arc::clone(&stop);
-    let handle = std::thread::spawn(move || {
-        for stream in listener.incoming() {
-            if stop2.load(Ordering::Acquire) {
-                break;
-            }
-            if let Ok(stream) = stream {
-                handle_connection(stream);
-            }
-        }
+    let queue = Arc::new(ConnQueue {
+        conns: Mutex::new(std::collections::VecDeque::new()),
+        ready: Condvar::new(),
     });
+    let mut threads = Vec::new();
+    for _ in 0..opts.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        let handler = opts.handler.clone();
+        threads.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop(&stop) {
+                handle_connection(stream, handler.as_deref());
+            }
+        }));
+    }
+    {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    queue.push(stream);
+                }
+            }
+        }));
+    }
     Ok(Server {
         addr,
         stop,
-        handle: Some(handle),
+        queue,
+        threads,
     })
 }
 
@@ -69,19 +263,25 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, unblocks the listener, and joins the thread.
+    /// Stops accepting, unblocks the listener and workers, and joins every
+    /// thread. Queued connections are still answered before the workers
+    /// exit.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        let Some(handle) = self.handle.take() else {
+        if self.threads.is_empty() {
             return;
-        };
+        }
         self.stop.store(true, Ordering::Release);
         // unblock the accept loop; the connection itself is discarded
         let _ = TcpStream::connect(self.addr);
-        let _ = handle.join();
+        // unblock every idle worker
+        self.queue.ready.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -91,67 +291,90 @@ impl Drop for Server {
     }
 }
 
-/// Longest request head we bother reading before answering.
-const MAX_REQUEST: usize = 8 * 1024;
-
-fn handle_connection(mut stream: TcpStream) {
+/// Reads one request (head + `Content-Length` body) off `stream`.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
-    // read until the end of the request head (we never accept bodies)
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < MAX_REQUEST {
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() >= MAX_HEAD {
+            return None;
+        }
         match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
+            Ok(0) | Err(_) => return None,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
         }
-    }
-    let head = String::from_utf8_lossy(&buf);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, content_type, body) = route(method, path);
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())
+                .flatten()
+        })
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return None;
+    }
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    Some(Request { method, path, body })
+}
+
+fn handle_connection(mut stream: TcpStream, handler: Option<&Handler>) {
+    let Some(request) = read_request(&mut stream) else {
+        return;
+    };
+    metrics::add("serve.requests", 1);
+    let response = route(&request, handler);
+    let reply = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.content_type,
+        response.body.len(),
+        response.body
     );
-    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.write_all(reply.as_bytes());
     let _ = stream.flush();
 }
 
-fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
-    if method != "GET" {
-        return (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "only GET is supported\n".to_string(),
-        );
+fn route(request: &Request, handler: Option<&Handler>) -> Response {
+    if let Some(handler) = handler {
+        if let Some(response) = handler(request) {
+            return response;
+        }
     }
-    match path {
-        "/metrics" => (
+    if request.method != "GET" {
+        return Response::text("405 Method Not Allowed", "method not allowed\n");
+    }
+    match request.path.as_str() {
+        "/metrics" => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: prometheus_text(&metrics::snapshot()),
+        },
+        "/progress" => Response::json(progress::snapshot().to_json().to_string_pretty()),
+        "/snapshot" => Response::json(metrics::snapshot().to_json().to_string_pretty()),
+        "/" => Response::text(
             "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            prometheus_text(&metrics::snapshot()),
+            "iis scrape endpoint\nroutes: /metrics /progress /snapshot\n",
         ),
-        "/progress" => (
-            "200 OK",
-            "application/json",
-            progress::snapshot().to_json().to_string_pretty(),
-        ),
-        "/snapshot" => (
-            "200 OK",
-            "application/json",
-            metrics::snapshot().to_json().to_string_pretty(),
-        ),
-        "/" => (
-            "200 OK",
-            "text/plain; charset=utf-8",
-            "iis scrape endpoint\nroutes: /metrics /progress /snapshot\n".to_string(),
-        ),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_string(),
-        ),
+        _ => Response::not_found(),
     }
 }
 
@@ -224,6 +447,23 @@ mod tests {
         write!(
             stream,
             "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a blank line");
+        (head.to_string(), body.to_string())
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
         )
         .unwrap();
         let mut response = String::new();
@@ -319,6 +559,9 @@ mod tests {
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
+        let (head, _) = post(addr, "/metrics", "");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+
         server.shutdown();
         // the port stops answering once shutdown returns
         assert!(
@@ -333,6 +576,74 @@ mod tests {
                     .unwrap_or(true),
             "listener must be gone after shutdown"
         );
+    }
+
+    #[test]
+    fn handler_sees_posts_and_falls_through() {
+        let handler: Arc<Handler> = Arc::new(|req: &Request| match req.path.as_str() {
+            "/echo" => Some(Response::json(format!(
+                "{{\"method\": \"{}\", \"body\": \"{}\"}}",
+                req.method,
+                req.body_utf8().unwrap_or("")
+            ))),
+            "/accepted" => Some(Response::json_status("202 Accepted", "{}")),
+            _ => None,
+        });
+        let server = serve_with("127.0.0.1:0", handler).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = post(addr, "/echo", "payload");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("method").unwrap().as_str(), Some("POST"));
+        assert_eq!(v.get("body").unwrap().as_str(), Some("payload"));
+
+        let (head, _) = post(addr, "/accepted", "");
+        assert!(head.starts_with("HTTP/1.1 202"), "{head}");
+
+        // built-ins still answer under a handler
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("# TYPE") || body.is_empty(), "{body}");
+
+        // and unknown routes still 404
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_are_answered_while_one_blocks() {
+        // one request parks inside the handler; a scrape on a second
+        // connection must still answer — the point of the worker pool
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate2 = Arc::clone(&gate);
+        let handler: Arc<Handler> = Arc::new(move |req: &Request| {
+            if req.path == "/block" {
+                let (lock, cv) = &*gate2;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                return Some(Response::text("200 OK", "unblocked\n"));
+            }
+            None
+        });
+        let server = serve_with("127.0.0.1:0", handler).unwrap();
+        let addr = server.addr();
+        let blocked = std::thread::spawn(move || get(addr, "/block"));
+        // the scrape completes while /block is still parked
+        let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let (head, body) = blocked.join().unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "unblocked\n");
+        server.shutdown();
     }
 
     #[test]

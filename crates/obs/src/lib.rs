@@ -21,8 +21,11 @@
 //!   export (`--profile FILE`);
 //! - [`progress`] — the live progress registry behind `--progress` and
 //!   the `/progress` endpoint;
-//! - [`http`] — the std-only scrape endpoint (`--serve ADDR`) exposing
-//!   `/metrics` (Prometheus text), `/progress` and `/snapshot`.
+//! - [`http`] — the std-only HTTP transport: built-in scrape routes
+//!   (`/metrics` Prometheus text, `/progress`, `/snapshot` — the
+//!   `--serve ADDR` flag) plus a [`http::Handler`] hook through which
+//!   applications mount their own routes, e.g. the CLI's `iis serve`
+//!   solve service (`POST /solve`, `GET /jobs`).
 //!
 //! # Metric naming
 //!

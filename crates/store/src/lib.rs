@@ -1,0 +1,483 @@
+//! `iis-store` — the persistent, content-addressed result store behind
+//! `iis serve` and `iis solve --store`.
+//!
+//! A [`Store`] is a directory of append-only JSONL **segment files**
+//! (`seg-00000.jsonl`, `seg-00001.jsonl`, …) plus an in-memory index from
+//! 64-bit content keys to byte ranges. Each record is one line:
+//!
+//! ```text
+//! {"key": "b5c5fdcbdc1fc4c6", "value": "<record bytes, JSON-escaped>"}
+//! ```
+//!
+//! The design follows three rules, each carrying one acceptance property:
+//!
+//! - **First write wins.** [`Store::put`] on a present key is a no-op, so
+//!   every [`Store::get`] for a key returns the same bytes for the life of
+//!   the store — the bit-identity the solve service advertises (see
+//!   `iis_core::cache` for why the solver's answers are content-addressable
+//!   in the first place).
+//! - **Append-only with torn-tail recovery.** Writes only ever append and
+//!   flush one complete line. On open, each segment is scanned to the last
+//!   byte that parses as a complete record; a torn tail (a crash mid-write,
+//!   a truncated copy) is cut off and the store continues from the last
+//!   good record — never refusing to open, never indexing garbage.
+//! - **Warm across restarts.** The index is rebuilt from the segments on
+//!   [`Store::open`], so a repeated request after a process restart is
+//!   still a hit.
+//!
+//! Segments roll over at [`Store::MAX_SEGMENT_BYTES`] so no single file
+//! grows without bound; the live segment is the highest-numbered one.
+//!
+//! # Examples
+//!
+//! ```
+//! let dir = std::env::temp_dir().join("iis-store-doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut store = iis_store::Store::open(&dir).unwrap();
+//! let key = iis_core::cache::fnv1a64(b"question");
+//! store.put(key, "answer").unwrap();
+//! drop(store);
+//! // a reopened store still knows the answer — and always the same bytes
+//! let store = iis_store::Store::open(&dir).unwrap();
+//! assert_eq!(store.get(key).unwrap().as_deref(), Some("answer"));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use iis_obs::{Json, ToJson};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Where a record's line lives on disk.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    /// Index into [`Store::segments`].
+    segment: usize,
+    /// Byte offset of the record's line start.
+    offset: u64,
+    /// Line length in bytes, including the trailing newline.
+    len: u64,
+}
+
+/// Counters for what [`Store::open`] found and fixed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Complete records indexed across all segments.
+    pub records: u64,
+    /// Bytes of torn tail truncated from the live segment (0 on a clean
+    /// open).
+    pub torn_bytes: u64,
+    /// Records dropped because a lower-numbered (earlier) record already
+    /// held their key — can only happen if two processes appended
+    /// concurrently; first write still wins deterministically.
+    pub duplicate_keys: u64,
+}
+
+/// A persistent content-addressed key-value store. See the crate docs.
+pub struct Store {
+    dir: PathBuf,
+    /// Segment file paths, sorted by segment number; the last is live.
+    segments: Vec<PathBuf>,
+    /// Append handle on the live segment.
+    live: File,
+    /// Size of the live segment in bytes.
+    live_len: u64,
+    index: HashMap<u64, Loc>,
+    recovery: RecoveryStats,
+}
+
+/// Renders a key as the fixed-width hex used in record lines.
+fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+fn parse_key_hex(s: &str) -> Option<u64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok())
+        .flatten()
+}
+
+fn segment_path(dir: &Path, n: usize) -> PathBuf {
+    dir.join(format!("seg-{n:05}.jsonl"))
+}
+
+impl Store {
+    /// Segment rollover threshold: an append that would grow the live
+    /// segment past this many bytes starts a new segment instead.
+    pub const MAX_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+
+    /// Opens (or creates) the store rooted at `dir`, rebuilding the index
+    /// from every segment and truncating any torn tail on the live segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created
+    /// or a segment cannot be read. A *corrupt* segment is not an error —
+    /// scanning stops at the first incomplete record (see
+    /// [`Store::recovery`]).
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".jsonl"))
+            })
+            .collect();
+        segments.sort();
+        if segments.is_empty() {
+            segments.push(segment_path(&dir, 0));
+            File::create(&segments[0])?;
+        }
+        let mut index = HashMap::new();
+        let mut recovery = RecoveryStats::default();
+        let mut live_len = 0;
+        for (si, path) in segments.iter().enumerate() {
+            let good = scan_segment(path, si, &mut index, &mut recovery)?;
+            let disk_len = std::fs::metadata(path)?.len();
+            if disk_len > good {
+                // torn tail: cut the segment back to its last complete
+                // record so the next append starts on a line boundary
+                recovery.torn_bytes += disk_len - good;
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(good)?;
+            }
+            live_len = good;
+        }
+        let live = OpenOptions::new()
+            .append(true)
+            .open(segments.last().expect("at least one segment"))?;
+        iis_obs::metrics::add("store.records_indexed", recovery.records);
+        if recovery.torn_bytes > 0 {
+            iis_obs::metrics::add("store.torn_bytes_recovered", recovery.torn_bytes);
+        }
+        Ok(Store {
+            dir,
+            segments,
+            live,
+            live_len,
+            index,
+            recovery,
+        })
+    }
+
+    /// The directory the store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of records indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` iff no record is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of on-disk segment files.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// What the most recent [`Store::open`] found and fixed.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// `true` iff `key` has a record.
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Reads the record stored under `key` from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the segment cannot be read, or
+    /// `InvalidData` if the line on disk no longer matches the index (an
+    /// externally modified segment).
+    pub fn get(&self, key: u64) -> std::io::Result<Option<String>> {
+        let Some(loc) = self.index.get(&key) else {
+            iis_obs::metrics::add("store.misses", 1);
+            return Ok(None);
+        };
+        let mut f = File::open(&self.segments[loc.segment])?;
+        f.seek(SeekFrom::Start(loc.offset))?;
+        let mut line = vec![0u8; loc.len as usize];
+        f.read_exact(&mut line)?;
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 record"))?;
+        let (k, value) = decode_record(text.trim_end_matches('\n')).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "indexed line is not a record",
+            )
+        })?;
+        if k != key {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "indexed line holds a different key",
+            ));
+        }
+        iis_obs::metrics::add("store.hits", 1);
+        Ok(Some(value))
+    }
+
+    /// Appends a record for `key` unless one exists (**first write wins** —
+    /// a present key is left untouched so earlier readers' bytes stay
+    /// valid). Returns `true` iff a record was written. The line is flushed
+    /// before returning, so a record acknowledged here survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the index is only updated after a
+    /// successful flush.
+    pub fn put(&mut self, key: u64, value: &str) -> std::io::Result<bool> {
+        if self.index.contains_key(&key) {
+            return Ok(false);
+        }
+        let line = format!(
+            "{}\n",
+            Json::obj([("key", Json::Str(key_hex(key))), ("value", value.to_json()),])
+        );
+        if self.live_len + line.len() as u64 > Self::MAX_SEGMENT_BYTES && self.live_len > 0 {
+            let next = segment_path(&self.dir, self.segments.len());
+            File::create(&next)?;
+            self.live = OpenOptions::new().append(true).open(&next)?;
+            self.live_len = 0;
+            self.segments.push(next);
+        }
+        self.live.write_all(line.as_bytes())?;
+        self.live.flush()?;
+        let loc = Loc {
+            segment: self.segments.len() - 1,
+            offset: self.live_len,
+            len: line.len() as u64,
+        };
+        self.live_len += line.len() as u64;
+        self.index.insert(key, loc);
+        iis_obs::metrics::add("store.puts", 1);
+        Ok(true)
+    }
+}
+
+/// The store is a [`iis_core::cache::SolveCache`], so
+/// [`iis_core::cache::solve_up_to_cached`] can run straight against disk.
+/// I/O errors degrade to cache misses / dropped writes — the solver must
+/// keep answering when the disk does not.
+impl iis_core::cache::SolveCache for Store {
+    fn get(&mut self, key: u64) -> Option<String> {
+        Store::get(self, key).ok().flatten()
+    }
+
+    fn put(&mut self, key: u64, value: &str) {
+        let _ = Store::put(self, key, value);
+    }
+}
+
+/// Decodes one record line into `(key, value)`.
+fn decode_record(line: &str) -> Option<(u64, String)> {
+    let v = Json::parse(line).ok()?;
+    let key = parse_key_hex(v.get("key")?.as_str()?)?;
+    let value = v.get("value")?.as_str()?.to_string();
+    Some((key, value))
+}
+
+/// Scans `path`, indexing complete records, and returns the byte offset
+/// just past the last complete record (the segment's "good length").
+fn scan_segment(
+    path: &Path,
+    segment: usize,
+    index: &mut HashMap<u64, Loc>,
+    recovery: &mut RecoveryStats,
+) -> std::io::Result<u64> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut offset = 0u64;
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(offset);
+        }
+        if line.last() != Some(&b'\n') {
+            // no trailing newline: the write was interrupted mid-line
+            return Ok(offset);
+        }
+        let Some((key, _)) = std::str::from_utf8(&line[..n - 1])
+            .ok()
+            .and_then(decode_record)
+        else {
+            // a complete line that is not a record: treat everything from
+            // here on as torn — appends only ever produce record lines
+            return Ok(offset);
+        };
+        // first-write-wins: an earlier segment's record for this key stays
+        // authoritative; later duplicates are counted but not indexed
+        if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(key) {
+            slot.insert(Loc {
+                segment,
+                offset,
+                len: n as u64,
+            });
+            recovery.records += 1;
+        } else {
+            recovery.duplicate_keys += 1;
+        }
+        offset += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("iis-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_first_write_wins() {
+        let dir = tmp("roundtrip");
+        let mut s = Store::open(&dir).unwrap();
+        assert!(s.is_empty());
+        assert!(s.put(7, "alpha").unwrap());
+        assert!(!s.put(7, "beta").unwrap(), "second write must be ignored");
+        assert_eq!(s.get(7).unwrap().as_deref(), Some("alpha"));
+        assert_eq!(s.get(8).unwrap(), None);
+        assert!(s.contains(7) && !s.contains(8));
+        assert_eq!(s.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn values_with_newlines_and_quotes_survive() {
+        let dir = tmp("escaping");
+        let mut s = Store::open(&dir).unwrap();
+        let value = "line one\nline \"two\"\n\tline three \\ end";
+        s.put(1, value).unwrap();
+        assert_eq!(s.get(1).unwrap().as_deref(), Some(value));
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(1).unwrap().as_deref(), Some(value));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_across_reopen() {
+        let dir = tmp("reopen");
+        let mut s = Store::open(&dir).unwrap();
+        for k in 0..50u64 {
+            s.put(k, &format!("value-{k}")).unwrap();
+        }
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.recovery().records, 50);
+        assert_eq!(s.recovery().torn_bytes, 0);
+        for k in 0..50u64 {
+            assert_eq!(s.get(k).unwrap().unwrap(), format!("value-{k}"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_the_store_stays_consistent() {
+        let dir = tmp("torn");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(1, "first").unwrap();
+        s.put(2, "second").unwrap();
+        drop(s);
+        // crash simulation: chop one byte off the live segment, leaving a
+        // complete first record and a torn second one
+        let seg = segment_path(&dir, 0);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 1]).unwrap();
+        let mut s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 1, "torn record must be dropped");
+        assert_eq!(s.get(1).unwrap().as_deref(), Some("first"));
+        assert_eq!(s.get(2).unwrap(), None);
+        assert!(s.recovery().torn_bytes > 0);
+        // the segment is truncated on a line boundary: appending works and
+        // a further reopen sees both records
+        s.put(3, "third").unwrap();
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(3).unwrap().as_deref(), Some("third"));
+        assert_eq!(s.recovery().torn_bytes, 0, "second open is clean");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_garbage_stops_the_scan_conservatively() {
+        let dir = tmp("garbage");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(1, "keep").unwrap();
+        drop(s);
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.extend_from_slice(b"this is not a record\n");
+        std::fs::write(&seg, &bytes).unwrap();
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.recovery().torn_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_over() {
+        let dir = tmp("rollover");
+        let mut s = Store::open(&dir).unwrap();
+        // values sized so a handful of records exceed the threshold is not
+        // practical at 4 MiB; drive rollover through many medium records
+        let value = "x".repeat(128 * 1024);
+        for k in 0..40u64 {
+            s.put(k, &value).unwrap();
+        }
+        assert!(s.num_segments() > 1, "expected a rollover");
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.len(), 40);
+        for k in 0..40u64 {
+            assert_eq!(s.get(k).unwrap().unwrap().len(), value.len());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn solve_cache_impl_serves_the_core_entry_point() {
+        use iis_core::cache::solve_up_to_cached;
+        use iis_core::solvability::SolveOptions;
+        use iis_tasks::library::approximate_agreement;
+        let dir = tmp("solvecache");
+        let task = approximate_agreement(1, 3);
+        let cold_bytes;
+        {
+            let mut store = Store::open(&dir).unwrap();
+            let cold = solve_up_to_cached(&task, 2, &SolveOptions::new(), &mut store);
+            assert!(!cold.hit);
+            cold_bytes = store.get(cold.key).unwrap().expect("record persisted");
+        }
+        // a different process lifetime, a different thread count: same bytes
+        let mut store = Store::open(&dir).unwrap();
+        let warm = solve_up_to_cached(&task, 2, &SolveOptions::new().jobs(4), &mut store);
+        assert!(warm.hit, "reopened store must hit");
+        assert_eq!(
+            iis_core::cache::report_to_json(&warm.report).to_string(),
+            cold_bytes
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

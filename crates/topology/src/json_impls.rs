@@ -14,7 +14,7 @@
 //! invariant survives hand-edited input, and a subdivision must carry
 //! exactly one carrier per subdivided vertex.
 
-use crate::{Color, Complex, Label, Simplex, Subdivision, VertexId};
+use crate::{Color, Complex, Label, Simplex, SimplicialMap, Subdivision, VertexId};
 use iis_obs::json::{FromJson, Json, JsonError, ToJson};
 
 impl ToJson for Color {
@@ -98,6 +98,23 @@ impl FromJson for Complex {
     }
 }
 
+/// JSON form: array of `[source, image]` vertex-id pairs in sorted source
+/// order, so serializing the same map always yields the same bytes (the
+/// persistent witness store relies on this canonical form).
+impl ToJson for SimplicialMap {
+    fn to_json(&self) -> Json {
+        self.pairs().to_json()
+    }
+}
+
+impl FromJson for SimplicialMap {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SimplicialMap::from_pairs(
+            Vec::<(VertexId, VertexId)>::from_json(v)?,
+        ))
+    }
+}
+
 impl ToJson for Subdivision {
     fn to_json(&self) -> Json {
         let carriers: Vec<Simplex> = self
@@ -162,6 +179,21 @@ mod tests {
         let s = Simplex::new([VertexId(3), VertexId(1)]);
         let back: Simplex = Json::parse_as(&s.to_json().to_string()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn simplicial_map_roundtrip_is_canonical() {
+        use crate::SimplicialMap;
+        let c = sds(&Complex::standard_simplex(1)).complex().clone();
+        let m = SimplicialMap::identity(&c);
+        let json = m.to_json().to_string();
+        // serialization is order-canonical: re-serializing a rebuilt map
+        // (whose backing HashMap may iterate differently) is bit-identical
+        let back: SimplicialMap = Json::parse_as(&json).unwrap();
+        assert_eq!(back.to_json().to_string(), json);
+        for v in c.vertex_ids() {
+            assert_eq!(back.image(v), m.image(v));
+        }
     }
 
     #[test]

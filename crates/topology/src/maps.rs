@@ -94,6 +94,16 @@ impl SimplicialMap {
         self.images.get(&v).copied()
     }
 
+    /// All `(source, image)` pairs in **sorted source order** — the
+    /// canonical enumeration used by the JSON form (the backing map is
+    /// unordered, so serialization must not expose its iteration order).
+    pub fn pairs(&self) -> Vec<(VertexId, VertexId)> {
+        let mut pairs: Vec<(VertexId, VertexId)> =
+            self.images.iter().map(|(&v, &w)| (v, w)).collect();
+        pairs.sort();
+        pairs
+    }
+
     /// Number of vertices with an assigned image.
     pub fn len(&self) -> usize {
         self.images.len()

@@ -55,3 +55,47 @@ done < crates/obs/tests/golden/progress_keys.txt
 wait "$serve_pid" || { echo "serve smoke: solver exited nonzero"; cat "$serve_log"; exit 1; }
 rm -f "$serve_log"
 echo "serve smoke: ok"
+
+# Solve-service smoke: start `iis serve` with a persistent store on an
+# ephemeral port, POST the same task twice, and require the second reply
+# to come from the store ("cached": true) with a byte-identical witness
+# and serve_cache_hits_total = 1; then POST /shutdown and require a clean
+# exit.
+serve_log=$(mktemp)
+store_dir=$(mktemp -d)
+"$IIS" serve --addr 127.0.0.1:0 --store "$store_dir" >/dev/null 2>"$serve_log" &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's#^serving on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$serve_log")
+  [ -n "$port" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { echo "solve service smoke: serve died early"; cat "$serve_log"; exit 1; }
+  sleep 0.05
+done
+[ -n "$port" ] || { echo "solve service smoke: no port announced"; cat "$serve_log"; exit 1; }
+echo "solve service smoke: POSTing to port $port"
+post() { # post PATH BODY -> body on stdout
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'POST %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "$1" "${#2}" "$2" >&3
+  sed '1,/^\r*$/d' <&3
+  exec 3>&- 3<&-
+}
+body='{"spec": "eps:1:3", "max_rounds": 2}'
+first=$(post /solve "$body")
+echo "$first" | grep -q '"cached":false' \
+  || { echo "solve service smoke: first reply should be a miss"; echo "$first"; exit 1; }
+second=$(post /solve "$body")
+echo "$second" | grep -q '"cached":true' \
+  || { echo "solve service smoke: second reply should be a store hit"; echo "$second"; exit 1; }
+wit1=$(printf '%s' "$first"  | sed 's/.*"witness"://')
+wit2=$(printf '%s' "$second" | sed 's/.*"witness"://')
+[ -n "$wit1" ] && [ "$wit1" = "$wit2" ] \
+  || { echo "solve service smoke: witnesses differ"; echo "$wit1"; echo "$wit2"; exit 1; }
+hits=$(scrape /metrics | sed -n 's/^serve_cache_hits_total //p')
+[ "$hits" = "1" ] \
+  || { echo "solve service smoke: expected serve_cache_hits_total 1, got '$hits'"; exit 1; }
+post /shutdown '' >/dev/null
+wait "$serve_pid" || { echo "solve service smoke: serve exited nonzero"; cat "$serve_log"; exit 1; }
+rm -rf "$serve_log" "$store_dir"
+echo "solve service smoke: ok"

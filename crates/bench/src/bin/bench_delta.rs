@@ -3,6 +3,12 @@
 //! per-case `solve.nodes` rate (nodes/sec) delta, the speed metric the
 //! perf trajectory tracks (CI runs this against the committed baseline).
 //!
+//! For `warm/` cases (the `e6_serve` record-replay path, which has no
+//! search nodes to rate) the gate is wall-clock instead: a warm case whose
+//! `mean_ns` regresses more than [`WARM_REGRESSION_LIMIT`] over the
+//! baseline fails the run — the revalidation fast path is a load-bearing
+//! latency claim, not just a nice-to-have.
+//!
 //! Exits non-zero if either file is missing or malformed, so CI fails loud
 //! instead of silently skipping the comparison; a missing *case* in either
 //! file is only reported, because case sets legitimately evolve.
@@ -10,51 +16,84 @@
 use iis_obs::Json;
 use std::process::ExitCode;
 
-/// `(case id, nodes/sec)` for every case that attributes `solve.nodes`.
-fn node_rates(path: &str) -> Result<Vec<(String, f64)>, String> {
+/// Maximum tolerated `mean_ns` growth on a `warm/` case before the delta
+/// gate fails (1.15 = +15%, enough headroom for runner noise at the quick
+/// sample sizes CI uses).
+const WARM_REGRESSION_LIMIT: f64 = 1.15;
+
+/// Every case in the file as `(id, solve.nodes rate, mean_ns)`; the rate is
+/// absent for cases that attribute no search nodes (e.g. warm replays).
+fn cases(path: &str) -> Result<Vec<(String, Option<f64>, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: {e:?}"))?;
     let cases = json
         .get("cases")
         .and_then(Json::as_array)
         .ok_or_else(|| format!("{path}: no `cases` array"))?;
-    let mut rates = Vec::new();
+    let mut out = Vec::new();
     for case in cases {
         let id = case
             .get("id")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("{path}: case without `id`"))?;
-        if let Some(rate) = case
+        let mean_ns = case
+            .get("mean_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: case {id} without `mean_ns`"))?;
+        let rate = case
             .get("rates_per_sec")
             .and_then(|r| r.get("solve.nodes"))
-            .and_then(Json::as_f64)
-        {
-            rates.push((id.to_string(), rate));
-        }
+            .and_then(Json::as_f64);
+        out.push((id.to_string(), rate, mean_ns));
     }
-    Ok(rates)
+    Ok(out)
 }
 
 fn run(baseline_path: &str, current_path: &str) -> Result<(), String> {
-    let baseline = node_rates(baseline_path)?;
-    let current = node_rates(current_path)?;
-    println!("solve.nodes rate vs baseline ({baseline_path}):");
-    for (id, now) in &current {
-        match baseline.iter().find(|(b, _)| b == id) {
-            Some((_, before)) if *before > 0.0 => {
+    let baseline = cases(baseline_path)?;
+    let current = cases(current_path)?;
+    let mut regressions = Vec::new();
+    println!("deltas vs baseline ({baseline_path}):");
+    for (id, rate, mean_ns) in &current {
+        let Some((_, base_rate, base_mean)) = baseline.iter().find(|(b, _, _)| b == id) else {
+            println!("  {id}: no baseline");
+            continue;
+        };
+        match (rate, base_rate) {
+            (Some(now), Some(before)) if *before > 0.0 => {
                 println!(
                     "  {id}: {now:.0} nodes/sec vs {before:.0} ({:+.1}%, {:.2}x)",
                     (now / before - 1.0) * 100.0,
                     now / before
                 );
             }
-            _ => println!("  {id}: {now:.0} nodes/sec (no baseline)"),
+            _ => {
+                let ratio = mean_ns / base_mean;
+                println!(
+                    "  {id}: {mean_ns:.0} ns vs {base_mean:.0} ({:+.1}%, {:.2}x)",
+                    (ratio - 1.0) * 100.0,
+                    ratio
+                );
+                if id.contains("/warm/") && ratio > WARM_REGRESSION_LIMIT {
+                    regressions.push(format!(
+                        "{id}: mean_ns {mean_ns:.0} vs {base_mean:.0} \
+                         ({:.2}x > {WARM_REGRESSION_LIMIT}x limit)",
+                        ratio
+                    ));
+                }
+            }
         }
     }
-    for (id, _) in &baseline {
-        if !current.iter().any(|(c, _)| c == id) {
+    for (id, _, _) in &baseline {
+        if !current.iter().any(|(c, _, _)| c == id) {
             println!("  {id}: in baseline only");
         }
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "warm-case regression(s) beyond {WARM_REGRESSION_LIMIT}x:\n  {}",
+            regressions.join("\n  ")
+        ));
     }
     Ok(())
 }

@@ -449,6 +449,10 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         }
         None => Box::new(HashMap::new()),
     };
+    // Pay the one-time subdivision-template construction now, not inside
+    // the first request (library tasks top out at 3 processes; prewarming a
+    // few widths beyond that is microseconds).
+    iis_topology::template::prewarm(5);
     let service = Arc::new(SolveService::new(store));
     let mut pool = Vec::new();
     for _ in 0..workers {

@@ -31,17 +31,20 @@
 //!
 //! Records store only the data that cannot be recomputed cheaply: the
 //! per-round verdict vector and the witness's round count and vertex map.
-//! The subdivision the witness lives on is **rebuilt from the task** on
-//! every load and the map is re-validated against Proposition 3.1's three
-//! conditions, so a corrupted or adversarial store entry is detected and
-//! treated as a miss rather than trusted.
+//! The subdivision the witness lives on is **rebuilt from the task** (as a
+//! flat arena, memoized process-wide — Lemma 3.3 makes `SDS^b(I)` a pure
+//! function of `(I, b)`) and the map is re-validated against Proposition
+//! 3.1's three conditions, so a corrupted or adversarial store entry is
+//! detected and treated as a miss rather than trusted.
 
 use crate::solvability::{
-    solve_up_to_opts, validate_decision_map, DecisionMap, SolvabilityReport, SolveOptions,
+    solve_up_to_opts, validate_decision_map_arena, DecisionMap, SolvabilityReport, SolveOptions,
 };
 use iis_obs::{Json, ToJson};
 use iis_tasks::Task;
-use iis_topology::{sds_iterated, SimplicialMap};
+use iis_topology::arena::{arena_sds_tower, ArenaSds};
+use iis_topology::{SimplicialMap, Subdivision};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Version tag mixed into every [`cache_key`]. Bump it whenever the record
 /// encoding or the canonical task serialization changes shape — old store
@@ -79,10 +82,52 @@ pub fn cache_key(task: &Task, max_rounds: usize) -> u64 {
     let mut preimage = Vec::new();
     preimage.extend_from_slice(CACHE_SCHEMA.as_bytes());
     preimage.push(0);
-    preimage.extend_from_slice(task.to_json().to_string().as_bytes());
+    preimage.extend_from_slice(task.canonical_json().as_bytes());
     preimage.push(0);
     preimage.extend_from_slice(max_rounds.to_string().as_bytes());
     fnv1a64(&preimage)
+}
+
+/// A rebuilt `SDS^b(I)` kept for revalidation: the flat arena form the
+/// validator walks, plus its (bit-identical) reference `Subdivision`
+/// conversion shared by every witness loaded against it.
+struct RebuiltTower {
+    arena: ArenaSds,
+    subdivision: Arc<Subdivision>,
+}
+
+/// Entries the tower memo holds before it is wholesale cleared. Towers for
+/// the handful of tasks a serve process answers repeatedly fit easily;
+/// clearing (rather than LRU bookkeeping) keeps the lock section trivial.
+const TOWER_CACHE_CAP: usize = 64;
+
+/// `SDS^b(I)` for `task`, memoized process-wide.
+///
+/// Lemma 3.3 makes the tower a pure function of `(I, b)`, and the arena
+/// construction is deterministic, so sharing one instance across requests
+/// changes no observable bytes — it only deletes the rebuild from every
+/// warm reply after the first. Keyed by the task's content address (tasks
+/// sharing an input complex but differing in `Δ` rebuild redundantly;
+/// the cap bounds that waste).
+fn rebuilt_tower(task: &Task, b: usize) -> Arc<RebuiltTower> {
+    type TowerMap = std::collections::HashMap<(u64, usize), Arc<RebuiltTower>>;
+    static TOWERS: OnceLock<Mutex<TowerMap>> = OnceLock::new();
+    let towers = TOWERS.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let key = (fnv1a64(task.canonical_json().as_bytes()), b);
+    if let Some(t) = towers.lock().expect("tower cache poisoned").get(&key) {
+        iis_obs::metrics::add("cache.tower_hits", 1);
+        return Arc::clone(t);
+    }
+    let arena = arena_sds_tower(task.input(), b);
+    let subdivision = Arc::new(arena.to_subdivision());
+    let entry = Arc::new(RebuiltTower { arena, subdivision });
+    iis_obs::metrics::add("cache.tower_builds", 1);
+    let mut guard = towers.lock().expect("tower cache poisoned");
+    if guard.len() >= TOWER_CACHE_CAP {
+        guard.clear();
+    }
+    guard.entry(key).or_insert_with(|| Arc::clone(&entry));
+    entry
 }
 
 /// A key-value cache of serialized solvability records.
@@ -139,9 +184,16 @@ pub fn report_to_json(report: &SolvabilityReport) -> Json {
 /// Decodes and **re-validates** a record produced by [`report_to_json`].
 ///
 /// The witness's subdivision is rebuilt from `task` (Lemma 3.3: `SDS^b(I)`
-/// is canonical), and the stored vertex map must pass
-/// [`validate_decision_map`] on it — simpliciality, color preservation, and
-/// `δ(s) ∈ Δ(carrier(s))` for every simplex.
+/// is canonical) in flat arena form — `iis_topology::arena` — and the
+/// stored vertex map must pass
+/// [`validate_decision_map_arena`] on it: the same Proposition 3.1
+/// conditions as the reference validator (simpliciality, color
+/// preservation, `δ(s) ∈ Δ(carrier(s))` for every simplex), checked
+/// against CSR facet slices instead of a materialized `BTreeSet` face
+/// poset. The returned witness's [`crate::solvability::DecisionMap`] holds
+/// the reference `Subdivision`, converted from the arena bit-identically.
+/// The whole rebuild+revalidate is timed into the `cache.revalidate_ns`
+/// histogram — the dominant cost of a warm `iis serve` reply.
 ///
 /// # Errors
 ///
@@ -159,13 +211,18 @@ pub fn report_from_json(task: &Task, v: &Json) -> Result<SolvabilityReport, Stri
                 .map_err(|e| e.to_string())?;
             let map = SimplicialMap::from_json(w.field("map").map_err(|e| e.to_string())?)
                 .map_err(|e| e.to_string())?;
-            let sub = sds_iterated(task.input(), b);
-            validate_decision_map(task, &sub, &map)
+            let _timer = iis_obs::span::span("cache.revalidate_ns");
+            let tower = rebuilt_tower(task, b);
+            validate_decision_map_arena(task, &tower.arena, &map)
                 .map_err(|e| format!("stored witness invalid: {e}"))?;
             if results.last() != Some(&(b, true)) {
                 return Err("witness round disagrees with verdict vector".to_string());
             }
-            Some(DecisionMap::from_parts(b, sub, map))
+            Some(DecisionMap::from_parts(
+                b,
+                Arc::clone(&tower.subdivision),
+                map,
+            ))
         }
     };
     if witness.is_none() && results.iter().any(|(_, ok)| *ok) {

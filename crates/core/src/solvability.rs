@@ -20,7 +20,8 @@ pub use crate::csp::Kernel;
 use crate::csp::{CompiledTable, ConstraintCache};
 use crate::parallel::{run_pool, FirstWins, SharedBudget};
 use iis_tasks::Task;
-use iis_topology::{sds_iterated, sds_next, Color, SimplicialMap, Subdivision, VertexId};
+use iis_topology::arena::ArenaSds;
+use iis_topology::{sds_iterated, sds_next, Color, Simplex, SimplicialMap, Subdivision, VertexId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -29,7 +30,9 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct DecisionMap {
     b: usize,
-    subdivision: Subdivision,
+    // shared, not owned: warm cache replays hand out one memoized
+    // `SDS^b(I)` to every witness loaded against it
+    subdivision: Arc<Subdivision>,
     map: SimplicialMap,
 }
 
@@ -39,7 +42,7 @@ impl DecisionMap {
     /// [`crate::cache::report_from_json`], which rebuilds the subdivision
     /// from the task itself and re-validates the map, so a corrupted store
     /// can never smuggle in an ill-formed witness.
-    pub(crate) fn from_parts(b: usize, subdivision: Subdivision, map: SimplicialMap) -> Self {
+    pub(crate) fn from_parts(b: usize, subdivision: Arc<Subdivision>, map: SimplicialMap) -> Self {
         DecisionMap {
             b,
             subdivision,
@@ -157,6 +160,83 @@ pub fn validate_decision_map(
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// Arena twin of [`validate_decision_map`]: checks the same Proposition 3.1
+/// conditions against the flat `SDS^b(I)` tower without materializing the
+/// `BTreeSet`-based face poset — the fast revalidation path behind
+/// [`crate::cache::report_from_json`].
+///
+/// Accept/reject behavior is identical to the reference validator:
+/// totality, image range, and color preservation are per-vertex checks, and
+/// `δ(s) ∈ Δ(carrier(s))` is checked for every non-empty vertex subset of
+/// every facet (carriers composed by the subset recurrence
+/// `c[m] = c[m∖low] ∪ c[low]`). Simpliciality needs no separate pass: a
+/// task's `Δ` images are simplices of `O`, so `δ(s) ∈ Δ(carrier(s))`
+/// already places every image in the output complex. Shared faces are
+/// checked once per containing facet; the repeats are harmless and cheaper
+/// than deduplication.
+///
+/// # Errors
+///
+/// Returns a description of the first violated condition.
+pub fn validate_decision_map_arena(
+    task: &Task,
+    arena: &ArenaSds,
+    map: &SimplicialMap,
+) -> Result<(), String> {
+    let out = task.output();
+    let c = arena.complex();
+    // Totality, image range, color preservation — and a dense image table
+    // for the facet walk.
+    let mut image: Vec<VertexId> = Vec::with_capacity(c.num_vertices());
+    for v in 0..c.num_vertices() as u32 {
+        let vid = VertexId(v);
+        let w = map
+            .image(vid)
+            .ok_or_else(|| format!("vertex {vid} unmapped"))?;
+        if w.index() >= out.num_vertices() {
+            return Err(format!("not simplicial: image vertex {w} not in target"));
+        }
+        if c.color(v) != out.color(w) {
+            return Err(format!("vertex {vid} changes color"));
+        }
+        image.push(w);
+    }
+    let mut carriers: Vec<Simplex> = Vec::new();
+    let mut img_buf: Vec<VertexId> = Vec::new();
+    for fi in 0..c.num_facets() {
+        let fv = c.facet(fi);
+        let n = fv.len();
+        if carriers.len() < 1 << n {
+            carriers.resize(1 << n, Simplex::empty());
+        }
+        for m in 1usize..(1 << n) {
+            let low = m & m.wrapping_neg();
+            let rest = m & (m - 1);
+            let lowv = fv[low.trailing_zeros() as usize];
+            let low_carrier = Simplex::new(arena.carrier(lowv).iter().map(|&u| VertexId(u)));
+            carriers[m] = if rest == 0 {
+                low_carrier
+            } else {
+                carriers[rest].union(&low_carrier)
+            };
+            img_buf.clear();
+            let mut bits = m;
+            while bits != 0 {
+                img_buf.push(image[fv[bits.trailing_zeros() as usize] as usize]);
+                bits &= bits - 1;
+            }
+            let img = Simplex::new(img_buf.iter().copied());
+            if !task.allows(&carriers[m], &img) {
+                return Err(format!(
+                    "simplex of facet {fi} (carrier {}) decides {img} ∉ Δ(carrier)",
+                    carriers[m]
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Searches for a decision map on `SDS^b(I)`. Returns the witness if the
@@ -439,7 +519,7 @@ fn solve_on(
             debug_assert!(validate_decision_map(task, sub, &map).is_ok());
             BoundedOutcome::Solvable(Box::new(DecisionMap {
                 b,
-                subdivision: sub.clone(),
+                subdivision: Arc::new(sub.clone()),
                 map,
             }))
         }
@@ -580,7 +660,7 @@ pub fn lift_decision_map(task: &Task, dm: &DecisionMap) -> DecisionMap {
     debug_assert!(validate_decision_map(task, &finer, &lifted).is_ok());
     DecisionMap {
         b: dm.rounds() + 1,
-        subdivision: finer,
+        subdivision: Arc::new(finer),
         map: lifted,
     }
 }

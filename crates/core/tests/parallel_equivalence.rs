@@ -169,6 +169,60 @@ fn profiling_does_not_perturb_witnesses() {
     }
 }
 
+/// The arena revalidation path is invisible in the record bytes (ISSUE 8):
+/// replaying a cached sweep — which rebuilds `SDS^b(I)` as a flat arena and
+/// revalidates the stored map against CSR carrier slices — must serialize to
+/// exactly the bytes the cold solve produced, for both kernels and every
+/// thread count. This extends the kernel/jobs bit-identity claims above to
+/// the warm `iis serve` path.
+#[test]
+fn warm_cache_replay_is_bit_identical_across_kernels_and_jobs() {
+    use iis_core::cache::{report_to_json, solve_up_to_cached};
+    use std::collections::HashMap;
+
+    for (task, bs) in [
+        (approximate_agreement(1, 9), 2usize),
+        (consensus(1, &[0, 1]), 2),
+        (k_set_consensus(2, 2), 1),
+    ] {
+        let cold_bytes = {
+            let mut cache = HashMap::new();
+            let cold = solve_up_to_cached(&task, bs, &SolveOptions::new(), &mut cache);
+            assert!(!cold.hit);
+            report_to_json(&cold.report).to_string()
+        };
+        for kernel in [Kernel::Compiled, Kernel::Reference] {
+            for jobs in [1usize, 2, 4, 8] {
+                let opts = SolveOptions::new().kernel(kernel).jobs(jobs);
+                let mut cache = HashMap::new();
+                let fresh = solve_up_to_cached(&task, bs, &opts, &mut cache);
+                assert!(!fresh.hit);
+                assert_eq!(
+                    report_to_json(&fresh.report).to_string(),
+                    cold_bytes,
+                    "{} {kernel:?} jobs={jobs}: cold record differs",
+                    task.name()
+                );
+                let warm = solve_up_to_cached(&task, bs, &opts, &mut cache);
+                assert!(
+                    warm.hit,
+                    "{} {kernel:?} jobs={jobs}: expected a hit",
+                    task.name()
+                );
+                assert_eq!(
+                    report_to_json(&warm.report).to_string(),
+                    cold_bytes,
+                    "{} {kernel:?} jobs={jobs}: warm replay differs",
+                    task.name()
+                );
+                if let Some(w) = warm.report.witness() {
+                    validate_decision_map(&task, w.subdivision(), w.map()).unwrap();
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_witness_survives_validation_on_deeper_rounds() {
     // a solvable instance whose witness lives at b = 2, found in parallel

@@ -63,6 +63,10 @@ pub struct Task {
     input: Complex,
     output: Complex,
     delta: BTreeMap<Simplex, Vec<Simplex>>,
+    /// Memoized canonical JSON encoding — tasks are immutable once built,
+    /// and content-addressed callers (`iis_core::cache::cache_key`) hash
+    /// this string on every request, so serializing once pays off.
+    canonical: std::sync::OnceLock<String>,
 }
 
 impl Task {
@@ -101,6 +105,17 @@ impl Task {
     /// Looks up an output vertex by `(color, label)`.
     pub fn output_vertex(&self, color: Color, label: &Label) -> Option<iis_topology::VertexId> {
         self.output.vertex_id(color, label)
+    }
+
+    /// The canonical JSON encoding of the task, serialized once and
+    /// memoized (tasks are immutable after [`TaskBuilder::build`]).
+    ///
+    /// Structurally equal tasks produce identical strings — `delta` is
+    /// BTreeMap-ordered and the complexes serialize in construction order —
+    /// so this is a valid content-address preimage.
+    pub fn canonical_json(&self) -> &str {
+        use iis_obs::ToJson;
+        self.canonical.get_or_init(|| self.to_json().to_string())
     }
 
     /// `true` iff `Δ` is *monotone*: for every input face `sq ⊆ si`, every
@@ -241,6 +256,7 @@ impl TaskBuilder {
             input: self.input,
             output: self.output,
             delta: self.delta,
+            canonical: std::sync::OnceLock::new(),
         })
     }
 }

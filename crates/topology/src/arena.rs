@@ -1,0 +1,552 @@
+//! Flat integer-id arena form of the `SDS^b` tower.
+//!
+//! [`crate::Complex`] is the reference representation: labels are compared
+//! through a two-level `Color → Label → VertexId` hash index and facets
+//! live in a `BTreeSet<Simplex>`. That is the right shape for the
+//! differential oracle, but the hot paths — rebuilding `SDS^b(I)` to
+//! revalidate a stored witness, and bulk carrier queries — only need
+//! integer ids and contiguous slices. This module provides that form:
+//!
+//! - [`LabelInterner`] hash-conses [`Label`]s to dense `u32` ids, so
+//!   label equality is an integer compare and vertex lookup is a single
+//!   `(color, label id)` hash probe;
+//! - [`ArenaComplex`] stores facets as sorted `u32` slices in one CSR
+//!   (compressed sparse row) arena instead of a facet `BTreeSet`;
+//! - [`ArenaSds`] is the iterated-subdivision tower built level by level
+//!   with carriers composed straight down to the base, stored CSR.
+//!
+//! The arena is **id-compatible** with the reference path: vertex `i` of
+//! [`ArenaSds::complex`] is vertex `i` of [`crate::sds_iterated`]'s
+//! complex, with the same color, label, and base carrier, and
+//! [`ArenaSds::to_subdivision`] reproduces the reference [`Subdivision`]
+//! exactly (enforced by tests here and the differential suite in
+//! `iis-core`). This is what lets `iis_core::cache` validate a stored
+//! witness against the arena and still hand back a witness bit-identical
+//! to one computed fresh.
+
+use crate::template;
+use crate::{Color, Complex, Label, Simplex, Subdivision, VertexId};
+use std::collections::HashMap;
+
+/// Hash-consing table assigning dense `u32` ids to [`Label`]s.
+///
+/// Interning a label clones its `Arc` at most once; subsequent interns of
+/// an equal label return the existing id without allocating.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::arena::LabelInterner;
+/// use iis_topology::Label;
+/// let mut t = LabelInterner::new();
+/// let a = t.intern(&Label::scalar(7));
+/// let b = t.intern(&Label::scalar(7));
+/// assert_eq!(a, b);
+/// assert_eq!(t.get(a), &Label::scalar(7));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    ids: HashMap<Label, u32>,
+    labels: Vec<Label>,
+}
+
+impl LabelInterner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id for `label`, assigning the next dense id if unseen.
+    pub fn intern(&mut self, label: &Label) -> u32 {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.ids.insert(label.clone(), id);
+        self.labels.push(label.clone());
+        id
+    }
+
+    /// The id for `label` if it has been interned.
+    pub fn lookup(&self, label: &Label) -> Option<u32> {
+        self.ids.get(label).copied()
+    }
+
+    /// The label with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`LabelInterner::intern`].
+    pub fn get(&self, id: u32) -> &Label {
+        &self.labels[id as usize]
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A chromatic complex over interned labels with CSR facet storage.
+///
+/// Vertex ids are assigned in insertion order (matching
+/// [`Complex::ensure_vertex`]); facets are sorted `u32` slices appended to
+/// one flat arena. Unlike [`Complex`], facet insertion does **not**
+/// maintain an antichain — the subdivision builders guarantee it
+/// structurally, and [`ArenaComplex::from_complex`] starts from one.
+#[derive(Debug, Default, Clone)]
+pub struct ArenaComplex {
+    interner: LabelInterner,
+    /// Per-vertex `(color, label id)`, indexed by vertex id.
+    vertices: Vec<(Color, u32)>,
+    /// `(color, label id) → vertex id`.
+    index: HashMap<(u32, u32), u32>,
+    /// CSR facet offsets (length `num_facets + 1`).
+    facet_offsets: Vec<u32>,
+    /// Concatenated facet vertex ids, sorted within each facet.
+    facet_verts: Vec<u32>,
+}
+
+impl ArenaComplex {
+    /// An empty complex.
+    pub fn new() -> Self {
+        ArenaComplex {
+            facet_offsets: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// The arena form of `c`: vertices in id order, facets in the
+    /// reference complex's sorted order. Vertex ids coincide with `c`'s.
+    pub fn from_complex(c: &Complex) -> Self {
+        let mut a = ArenaComplex::new();
+        for v in c.vertex_ids() {
+            a.ensure_vertex(c.color(v), c.label(v));
+        }
+        let mut buf = Vec::new();
+        for f in c.facets() {
+            buf.clear();
+            buf.extend(f.iter().map(|v| v.0));
+            a.push_facet_sorted(&buf);
+        }
+        a
+    }
+
+    /// The id for the vertex `(color, label)`, inserting it if new.
+    pub fn ensure_vertex(&mut self, color: Color, label: &Label) -> u32 {
+        let lid = self.interner.intern(label);
+        match self.index.entry((color.0, lid)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.vertices.len() as u32;
+                e.insert(id);
+                self.vertices.push((color, lid));
+                id
+            }
+        }
+    }
+
+    /// Looks up a vertex id by `(color, label)` without inserting.
+    pub fn vertex_id(&self, color: Color, label: &Label) -> Option<u32> {
+        let lid = self.interner.lookup(label)?;
+        self.index.get(&(color.0, lid)).copied()
+    }
+
+    /// Appends a facet given as strictly increasing vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `verts` is empty, unsorted, or out of range.
+    pub fn push_facet_sorted(&mut self, verts: &[u32]) {
+        debug_assert!(!verts.is_empty(), "facets are non-empty");
+        debug_assert!(
+            verts.windows(2).all(|w| w[0] < w[1]),
+            "facet must be strictly increasing"
+        );
+        debug_assert!(verts.iter().all(|&v| (v as usize) < self.vertices.len()));
+        self.facet_verts.extend_from_slice(verts);
+        self.facet_offsets.push(self.facet_verts.len() as u32);
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of facets.
+    pub fn num_facets(&self) -> usize {
+        self.facet_offsets.len() - 1
+    }
+
+    /// The vertices of facet `i`, sorted ascending.
+    pub fn facet(&self, i: usize) -> &[u32] {
+        let (lo, hi) = (self.facet_offsets[i], self.facet_offsets[i + 1]);
+        &self.facet_verts[lo as usize..hi as usize]
+    }
+
+    /// The color of vertex `v`.
+    pub fn color(&self, v: u32) -> Color {
+        self.vertices[v as usize].0
+    }
+
+    /// The label of vertex `v`.
+    pub fn label(&self, v: u32) -> &Label {
+        self.interner.get(self.vertices[v as usize].1)
+    }
+
+    /// The interned label id of vertex `v`.
+    pub fn label_id(&self, v: u32) -> u32 {
+        self.vertices[v as usize].1
+    }
+
+    /// The label table.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+}
+
+/// The `b`-fold iterated standard chromatic subdivision of a base complex
+/// in arena form, with per-vertex carriers (sorted base vertex ids) stored
+/// CSR. Built by [`arena_sds_tower`].
+#[derive(Debug)]
+pub struct ArenaSds {
+    base: Complex,
+    complex: ArenaComplex,
+    /// Permutation of facet indices putting facets in lexicographic
+    /// (= reference `BTreeSet<Simplex>`) order.
+    facet_order: Vec<u32>,
+    /// CSR carrier offsets (length `num_vertices + 1`).
+    carrier_offsets: Vec<u32>,
+    /// Concatenated carriers: sorted base vertex ids per arena vertex.
+    carrier_verts: Vec<u32>,
+    rounds: usize,
+}
+
+impl ArenaSds {
+    /// The base complex `C`.
+    pub fn base(&self) -> &Complex {
+        &self.base
+    }
+
+    /// The subdivided complex `SDS^b(C)` in arena form.
+    pub fn complex(&self) -> &ArenaComplex {
+        &self.complex
+    }
+
+    /// The number of subdivision rounds `b`.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The carrier of vertex `v`: sorted base vertex ids.
+    pub fn carrier(&self, v: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.carrier_offsets[v as usize],
+            self.carrier_offsets[v as usize + 1],
+        );
+        &self.carrier_verts[lo as usize..hi as usize]
+    }
+
+    /// Facet indices in lexicographic order — the order
+    /// [`Complex::facets`] would yield them.
+    pub fn facet_order(&self) -> &[u32] {
+        &self.facet_order
+    }
+
+    /// Materializes the reference [`Subdivision`] — bit-identical to
+    /// `sds_iterated(base, b)`: same vertex ids in the same order, same
+    /// facet set, same carriers.
+    pub fn to_subdivision(&self) -> Subdivision {
+        let c = &self.complex;
+        let mut sub = Complex::new();
+        for v in 0..c.num_vertices() as u32 {
+            let id = sub.ensure_vertex(c.color(v), c.label(v).clone());
+            debug_assert_eq!(id.0, v, "arena vertices are distinct by construction");
+        }
+        for i in 0..c.num_facets() {
+            sub.insert_facet_unchecked(Simplex::from_sorted(
+                c.facet(i).iter().map(|&v| VertexId(v)).collect(),
+            ));
+        }
+        let carriers = (0..c.num_vertices() as u32)
+            .map(|v| Simplex::from_sorted(self.carrier(v).iter().map(|&u| VertexId(u)).collect()))
+            .collect();
+        Subdivision::from_parts(self.base.clone(), sub, carriers)
+    }
+}
+
+/// Builds `SDS^b(base)` in arena form, composing carriers down to `base`
+/// at every level (Lemma 3.3) — the fast twin of [`crate::sds_iterated`],
+/// used by the witness revalidation path in `iis-core::cache`.
+///
+/// # Panics
+///
+/// Panics if `base` is not chromatic.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::arena::arena_sds_tower;
+/// use iis_topology::{sds_iterated, Complex};
+/// let base = Complex::standard_simplex(1);
+/// let arena = arena_sds_tower(&base, 2);
+/// assert_eq!(arena.complex().num_facets(), 9);
+/// assert!(arena
+///     .to_subdivision()
+///     .complex()
+///     .same_labeled(sds_iterated(&base, 2).complex()));
+/// ```
+pub fn arena_sds_tower(base: &Complex, b: usize) -> ArenaSds {
+    assert!(base.is_chromatic(), "SDS requires a chromatic base complex");
+    let _timer = iis_obs::span::span("sds.arena_build_ns");
+    // Level 0: the base itself with identity carriers; from_complex walks
+    // facets in BTreeSet order, so the CSR is already lexicographic.
+    let complex = ArenaComplex::from_complex(base);
+    let nv = complex.num_vertices();
+    let mut tower = ArenaSds {
+        base: base.clone(),
+        facet_order: (0..complex.num_facets() as u32).collect(),
+        carrier_offsets: (0..=nv as u32).collect(),
+        carrier_verts: (0..nv as u32).collect(),
+        complex,
+        rounds: 0,
+    };
+    for _ in 0..b {
+        tower = arena_sds_level(tower);
+    }
+    tower
+}
+
+/// One subdivision level: `SDS^{b+1}(C)` from `SDS^b(C)`, carriers
+/// composed to the base.
+fn arena_sds_level(prev: ArenaSds) -> ArenaSds {
+    let pc = &prev.complex;
+    let mut next = ArenaComplex::new();
+    let mut carrier_offsets: Vec<u32> = vec![0];
+    let mut carrier_verts: Vec<u32> = Vec::new();
+    // Scratch, reused across facets: per view mask the canonical label and
+    // the composed base carrier.
+    let mut labels: Vec<Option<Label>> = Vec::new();
+    let mut carriers: Vec<Vec<u32>> = Vec::new();
+    let mut concrete: Vec<u32> = Vec::new();
+    let mut facet_buf: Vec<u32> = Vec::new();
+    // Subdivide facets in lexicographic order — the order `sds` walks the
+    // reference `BTreeSet`, which pins vertex ids to the reference path's.
+    for &fi in &prev.facet_order {
+        let fv = pc.facet(fi as usize);
+        let n = fv.len();
+        let tpl = template::template_any_width(n);
+        labels.clear();
+        labels.resize(1 << n, None);
+        if carriers.len() < 1 << n {
+            carriers.resize(1 << n, Vec::new());
+        }
+        // Every non-empty mask occurs as some vertex's view; fill labels
+        // and composed carriers for all of them, in increasing mask order
+        // so the carrier recurrence `c[m] = c[m \ low] ∪ c[low]` only reads
+        // already-filled entries.
+        for m in 1usize..(1 << n) {
+            let mask = m as u16;
+            labels[m] = Some(Label::view(set_bits(mask).map(|k| {
+                let u = fv[k];
+                (pc.color(u), pc.label(u))
+            })));
+            let low = m & m.wrapping_neg();
+            let rest = m & (m - 1);
+            let lowv = fv[low.trailing_zeros() as usize];
+            if rest == 0 {
+                carriers[m].clear();
+                carriers[m].extend_from_slice(prev.carrier(lowv));
+            } else {
+                carriers[m] = merge_sorted(&carriers[rest], prev.carrier(lowv));
+            }
+        }
+        concrete.clear();
+        for &(pos, mask) in tpl.vertices() {
+            let m = mask as usize;
+            let before = next.num_vertices();
+            let id = next.ensure_vertex(pc.color(fv[pos as usize]), labels[m].as_ref().unwrap());
+            if next.num_vertices() > before {
+                carrier_verts.extend_from_slice(&carriers[m]);
+                carrier_offsets.push(carrier_verts.len() as u32);
+            }
+            concrete.push(id);
+        }
+        for tuple in tpl.facet_tuples().chunks(n) {
+            facet_buf.clear();
+            facet_buf.extend(tuple.iter().map(|&ti| concrete[ti as usize]));
+            facet_buf.sort_unstable();
+            next.push_facet_sorted(&facet_buf);
+        }
+    }
+    let mut order: Vec<u32> = (0..next.num_facets() as u32).collect();
+    order.sort_unstable_by(|&a, &b| next.facet(a as usize).cmp(next.facet(b as usize)));
+    ArenaSds {
+        base: prev.base,
+        complex: next,
+        facet_order: order,
+        carrier_offsets,
+        carrier_verts,
+        rounds: prev.rounds + 1,
+    }
+}
+
+/// Ascending set-bit indices of `mask`.
+fn set_bits(mask: u16) -> impl Iterator<Item = usize> {
+    std::iter::from_fn({
+        let mut bits = mask;
+        move || {
+            if bits == 0 {
+                return None;
+            }
+            let k = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(k)
+        }
+    })
+}
+
+/// Union of two strictly increasing id slices.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sds_iterated, Color, Label};
+
+    fn butterfly() -> Complex {
+        let mut base = Complex::new();
+        let a = base.ensure_vertex(Color(0), Label::scalar(0));
+        let b = base.ensure_vertex(Color(1), Label::scalar(1));
+        let x = base.ensure_vertex(Color(2), Label::scalar(2));
+        let y = base.ensure_vertex(Color(2), Label::scalar(3));
+        base.add_facet([a, b, x]);
+        base.add_facet([a, b, y]);
+        base
+    }
+
+    #[test]
+    fn interner_dedups() {
+        let mut t = LabelInterner::new();
+        assert!(t.is_empty());
+        let a = t.intern(&Label::scalar(1));
+        let b = t.intern(&Label::scalar(2));
+        assert_ne!(a, b);
+        assert_eq!(t.intern(&Label::scalar(1)), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(&Label::scalar(2)), Some(b));
+        assert_eq!(t.lookup(&Label::scalar(9)), None);
+    }
+
+    #[test]
+    fn from_complex_is_id_compatible() {
+        let c = crate::sds(&Complex::standard_simplex(2));
+        let a = ArenaComplex::from_complex(c.complex());
+        assert_eq!(a.num_vertices(), c.complex().num_vertices());
+        assert_eq!(a.num_facets(), c.complex().num_facets());
+        for v in c.complex().vertex_ids() {
+            assert_eq!(a.color(v.0), c.complex().color(v));
+            assert_eq!(a.label(v.0), c.complex().label(v));
+            assert_eq!(
+                a.vertex_id(c.complex().color(v), c.complex().label(v)),
+                Some(v.0)
+            );
+        }
+        for (i, f) in c.complex().facets().enumerate() {
+            let ids: Vec<u32> = f.iter().map(|v| v.0).collect();
+            assert_eq!(a.facet(i), &ids[..]);
+        }
+    }
+
+    #[test]
+    fn tower_matches_reference_exactly() {
+        for (base, b) in [
+            (Complex::standard_simplex(1), 3usize),
+            (Complex::standard_simplex(2), 2),
+            (butterfly(), 1),
+        ] {
+            let arena = arena_sds_tower(&base, b);
+            let reference = sds_iterated(&base, b);
+            let (ac, rc) = (arena.complex(), reference.complex());
+            assert_eq!(ac.num_vertices(), rc.num_vertices());
+            for v in rc.vertex_ids() {
+                assert_eq!(ac.color(v.0), rc.color(v), "color of {v}");
+                assert_eq!(ac.label(v.0), rc.label(v), "label of {v}");
+                let want: Vec<u32> = reference.carrier_of_vertex(v).iter().map(|u| u.0).collect();
+                assert_eq!(arena.carrier(v.0), &want[..], "carrier of {v}");
+            }
+            // facet sets equal, and facet_order reproduces BTreeSet order
+            let ref_facets: Vec<Vec<u32>> = rc
+                .facets()
+                .map(|f| f.iter().map(|v| v.0).collect())
+                .collect();
+            let arena_facets: Vec<Vec<u32>> = arena
+                .facet_order()
+                .iter()
+                .map(|&i| ac.facet(i as usize).to_vec())
+                .collect();
+            assert_eq!(arena_facets, ref_facets);
+        }
+    }
+
+    #[test]
+    fn to_subdivision_is_bit_identical() {
+        for (base, b) in [
+            (Complex::standard_simplex(1), 2usize),
+            (Complex::standard_simplex(2), 1),
+            (butterfly(), 1),
+        ] {
+            let arena = arena_sds_tower(&base, b).to_subdivision();
+            let reference = sds_iterated(&base, b);
+            assert!(arena.complex().same_labeled(reference.complex()));
+            for v in reference.complex().vertex_ids() {
+                assert_eq!(arena.complex().label(v), reference.complex().label(v));
+                assert_eq!(arena.carrier_of_vertex(v), reference.carrier_of_vertex(v));
+            }
+            let af: Vec<_> = arena.complex().facets().cloned().collect();
+            let rf: Vec<_> = reference.complex().facets().cloned().collect();
+            assert_eq!(af, rf);
+            arena.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_identity() {
+        let base = Complex::standard_simplex(2);
+        let arena = arena_sds_tower(&base, 0);
+        assert_eq!(arena.rounds(), 0);
+        assert_eq!(arena.complex().num_vertices(), 3);
+        for v in 0..3u32 {
+            assert_eq!(arena.carrier(v), &[v]);
+        }
+        assert!(arena.to_subdivision().complex().same_labeled(&base));
+    }
+}

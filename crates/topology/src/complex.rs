@@ -152,6 +152,26 @@ impl Complex {
         s
     }
 
+    /// Inserts `s` directly into the facet set, skipping the antichain
+    /// scan of [`Complex::add_facet`] (which is quadratic in the facet
+    /// count and dominates large subdivision builds).
+    ///
+    /// The caller must guarantee `s` is incomparable to every existing
+    /// facet. The subdivision builders satisfy this structurally: a
+    /// subdivision facet's view labels pin its vertices inside one base
+    /// facet, so nesting between subdivision facets would force nesting
+    /// between base facets — impossible, base facets form an antichain.
+    /// (Exact duplicates are tolerated; the set insert no-ops, matching
+    /// `add_facet`.)
+    pub(crate) fn insert_facet_unchecked(&mut self, s: Simplex) {
+        debug_assert!(
+            s.iter().all(|v| v.index() < self.vertices.len()),
+            "facet vertex out of range"
+        );
+        debug_assert!(!s.is_empty(), "facets are non-empty");
+        self.facets.insert(s);
+    }
+
     /// The facets (inclusion-maximal simplices), in sorted order.
     pub fn facets(&self) -> impl Iterator<Item = &Simplex> + '_ {
         self.facets.iter()

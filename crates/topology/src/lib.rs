@@ -8,7 +8,10 @@
 //!   vertex [`Label`]s,
 //! - [`Simplex`], [`Subdivision`] — carriers and subdivision validation (§2),
 //! - [`sds`], [`sds_iterated`] — the standard chromatic subdivision and its
-//!   iterates (Lemmas 3.2/3.3),
+//!   iterates (Lemmas 3.2/3.3), instantiated from a per-dimension
+//!   [`template`] and differentially checked against [`sds_reference`],
+//! - [`arena`] — the same towers as flat CSR arrays with interned labels,
+//!   for validation-speed consumers,
 //! - [`bsd`] — barycentric subdivision (used by Lemma 5.3),
 //! - [`SimplicialMap`] — simpliciality / color / carrier preservation checks,
 //! - [`homology`] — Z₂ homology, the effective "no holes" test (Lemma 2.2),
@@ -37,6 +40,7 @@ mod simplex;
 mod subdivision;
 mod vertex;
 
+pub mod arena;
 pub mod bsd;
 pub mod embedding;
 pub mod homology;
@@ -45,11 +49,13 @@ pub mod iso;
 mod json_impls;
 pub mod manifold;
 pub mod sperner;
+pub mod template;
 
 pub use complex::Complex;
 pub use maps::{MapError, SimplicialMap};
 pub use sds::{
-    ordered_bell, ordered_partitions, path_subdivision, sds, sds_forget_map, sds_iterated, sds_next,
+    for_each_ordered_partition, ordered_bell, ordered_partitions, path_subdivision, sds,
+    sds_forget_map, sds_iterated, sds_next, sds_reference,
 };
 pub use simplex::Simplex;
 pub use subdivision::{Subdivision, SubdivisionError};

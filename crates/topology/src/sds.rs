@@ -35,29 +35,107 @@ pub fn ordered_partitions<T: Clone>(items: &[T]) -> Vec<Vec<Vec<T>>> {
         "ordered partitions of >16 items are astronomically many"
     );
     let mut out = Vec::new();
-    // Recurse on which non-empty subset forms the first block.
-    fn rec<T: Clone>(remaining: &[T], acc: &mut Vec<Vec<T>>, out: &mut Vec<Vec<Vec<T>>>) {
-        if remaining.is_empty() {
-            out.push(acc.clone());
-            return;
-        }
-        let m = remaining.len();
-        for mask in 1u32..(1u32 << m) {
-            let mut block = Vec::with_capacity(mask.count_ones() as usize);
-            let mut rest = Vec::with_capacity(m);
-            for (k, it) in remaining.iter().enumerate() {
-                if mask & (1 << k) != 0 {
-                    block.push(it.clone());
-                } else {
-                    rest.push(it.clone());
+    for_each_ordered_partition(n as u32, &mut |blocks: &[u32]| {
+        // Items are cloned exactly once per emitted partition, at the leaf;
+        // the walk itself touches only position bitmasks.
+        let partition = blocks
+            .iter()
+            .map(|&b| {
+                let mut block = Vec::with_capacity(b.count_ones() as usize);
+                let mut bits = b;
+                while bits != 0 {
+                    block.push(items[bits.trailing_zeros() as usize].clone());
+                    bits &= bits - 1;
                 }
+                block
+            })
+            .collect();
+        out.push(partition);
+    });
+    out
+}
+
+/// Visits every ordered set partition of the positions `{0, …, n−1}` as a
+/// sequence of non-empty position bitmasks, without allocating per
+/// partition.
+///
+/// The enumeration order is exactly [`ordered_partitions`]'s: the first
+/// block ranges over the non-empty subsets of the remaining positions in
+/// submask-counter order (bit `j` of the counter selecting the `j`-th
+/// smallest remaining position), then recursively for the rest. Both the
+/// reference subdivision builder and the [`crate::template`] builder walk
+/// partitions through this function, which is what makes their vertex
+/// insertion orders — and hence all downstream `VertexId`s, witnesses, and
+/// node counts — coincide.
+///
+/// Within a visited slice, block bitmasks are disjoint, non-empty, and
+/// union to `2^n − 1`. The slice is only valid for the duration of the
+/// callback.
+///
+/// # Panics
+///
+/// Panics if `n > 16`.
+///
+/// # Examples
+///
+/// ```
+/// use iis_topology::{for_each_ordered_partition, ordered_bell};
+/// let mut count = 0u64;
+/// for_each_ordered_partition(4, &mut |_blocks| count += 1);
+/// assert_eq!(count, ordered_bell(4)); // 75
+/// ```
+#[inline]
+pub fn for_each_ordered_partition(n: u32, visit: &mut impl FnMut(&[u32])) {
+    assert!(
+        n <= 16,
+        "ordered partitions of >16 items are astronomically many"
+    );
+    if n == 0 {
+        visit(&[]);
+        return;
+    }
+    let full: u32 = (1u32 << n) - 1;
+    let mut blocks: Vec<u32> = Vec::with_capacity(n as usize);
+    // One frame per open block choice: (remaining positions, next submask
+    // counter over the remaining positions' bits).
+    let mut stack: Vec<(u32, u32)> = Vec::with_capacity(n as usize);
+    stack.push((full, 1));
+    while let Some(frame) = stack.last_mut() {
+        let (rem, k) = *frame;
+        if k >= 1u32 << rem.count_ones() {
+            stack.pop();
+            if !stack.is_empty() {
+                blocks.pop();
             }
-            acc.push(block);
-            rec(&rest, acc, out);
-            acc.pop();
+            continue;
+        }
+        frame.1 = k + 1;
+        let block = deposit(k, rem);
+        let rest = rem & !block;
+        blocks.push(block);
+        if rest == 0 {
+            visit(&blocks);
+            blocks.pop();
+        } else {
+            stack.push((rest, 1));
         }
     }
-    rec(items, &mut Vec::new(), &mut out);
+}
+
+/// Scatters the low bits of `select` onto the set bits of `onto`, lowest
+/// first (a portable PDEP): bit `j` of `select` lands on the `j`-th smallest
+/// set bit of `onto`.
+#[inline]
+fn deposit(mut select: u32, mut onto: u32) -> u32 {
+    let mut out = 0u32;
+    while select != 0 {
+        let low = onto & onto.wrapping_neg();
+        if select & 1 != 0 {
+            out |= low;
+        }
+        select >>= 1;
+        onto &= onto - 1;
+    }
     out
 }
 
@@ -119,42 +197,127 @@ pub fn sds(base: &Complex) -> Subdivision {
     let _timer = iis_obs::span::span("sds.build_ns");
     let mut sub = Complex::new();
     let mut carriers: Vec<Simplex> = Vec::new();
-    let ensure =
-        |sub: &mut Complex, carriers: &mut Vec<Simplex>, color, label: Label, carrier: Simplex| {
-            let before = sub.num_vertices();
-            let id = sub.ensure_vertex(color, label);
-            if sub.num_vertices() > before {
-                carriers.push(carrier);
-            }
-            id
-        };
+    // Scratch buffers reused across facets.
+    let mut concrete: Vec<crate::VertexId> = Vec::new();
+    let mut memo: Vec<Option<(Label, Simplex)>> = Vec::new();
     for f in base.facets() {
-        let verts: Vec<_> = f.iter().collect();
-        for partition in ordered_partitions(&verts) {
-            let mut seen: Vec<crate::VertexId> = Vec::new();
-            let mut facet = Vec::with_capacity(verts.len());
-            for block in &partition {
-                seen.extend(block.iter().copied());
-                let view = Label::view(seen.iter().map(|&u| (base.color(u), base.label(u))));
-                let carrier = Simplex::new(seen.iter().copied());
-                for &v in block {
-                    let id = ensure(
-                        &mut sub,
-                        &mut carriers,
-                        base.color(v),
-                        view.clone(),
-                        carrier.clone(),
-                    );
-                    facet.push(id);
-                }
+        let n = f.len();
+        if n == 0 || n > crate::template::MAX_TEMPLATE_WIDTH {
+            // Out of template range (never reached in practice: SDS of an
+            // 8-vertex facet already has 545 835 facets) — fall back to the
+            // per-facet partition walk, which produces the same vertices in
+            // the same order.
+            subdivide_facet_by_partitions(base, f, &mut sub, &mut carriers);
+            continue;
+        }
+        let tpl = crate::template::template(n);
+        let fv = f.vertices();
+        // Per view mask (a non-empty subset of the facet's positions):
+        // the canonical view label and the carrier simplex. `fv` is sorted,
+        // so ascending mask bits give ascending vertex ids directly.
+        memo.clear();
+        memo.resize(1usize << n, None);
+        concrete.clear();
+        for &(pos, mask) in tpl.vertices() {
+            let m = mask as usize;
+            if memo[m].is_none() {
+                let view = Label::view(SetBits(mask).map(|k| {
+                    let u = fv[k];
+                    (base.color(u), base.label(u))
+                }));
+                let carrier = Simplex::from_sorted(SetBits(mask).map(|k| fv[k]).collect());
+                memo[m] = Some((view, carrier));
             }
-            sub.add_facet(facet);
+            let (view, carrier) = memo[m].as_ref().expect("just filled");
+            let before = sub.num_vertices();
+            let id = sub.ensure_vertex(base.color(fv[pos as usize]), view.clone());
+            if sub.num_vertices() > before {
+                carriers.push(carrier.clone());
+            }
+            concrete.push(id);
+        }
+        // Instantiated facets of distinct base facets can never nest (their
+        // view labels pin their carriers inside the base facet, and base
+        // facets form an antichain), so the antichain scan in `add_facet`
+        // is provably a no-op here — skip it.
+        for tuple in tpl.facet_tuples().chunks(n) {
+            sub.insert_facet_unchecked(Simplex::new(tuple.iter().map(|&ti| concrete[ti as usize])));
         }
     }
     iis_obs::metrics::add("sds.builds", 1);
     iis_obs::metrics::add("sds.facets", sub.num_facets() as u64);
     iis_obs::metrics::add("sds.vertices", sub.num_vertices() as u64);
     Subdivision::from_parts(base.clone(), sub, carriers)
+}
+
+/// Constructs `SDS(C)` by the direct per-facet ordered-partition walk — the
+/// pre-template builder, kept as the differential oracle for [`sds`].
+///
+/// Produces a byte-identical result to [`sds`]: same vertex ids in the same
+/// insertion order, same facet set, same carriers (enforced by this module's
+/// tests and the cross-crate differential suite).
+///
+/// # Panics
+///
+/// Panics if `C` is not chromatic.
+pub fn sds_reference(base: &Complex) -> Subdivision {
+    assert!(base.is_chromatic(), "SDS requires a chromatic base complex");
+    let _timer = iis_obs::span::span("sds.build_ns");
+    let mut sub = Complex::new();
+    let mut carriers: Vec<Simplex> = Vec::new();
+    for f in base.facets() {
+        subdivide_facet_by_partitions(base, f, &mut sub, &mut carriers);
+    }
+    iis_obs::metrics::add("sds.builds", 1);
+    iis_obs::metrics::add("sds.facets", sub.num_facets() as u64);
+    iis_obs::metrics::add("sds.vertices", sub.num_vertices() as u64);
+    Subdivision::from_parts(base.clone(), sub, carriers)
+}
+
+/// Subdivides one base facet by enumerating its ordered partitions directly,
+/// accumulating into `sub`/`carriers`. Shared by [`sds_reference`] and the
+/// over-width fallback in [`sds`].
+fn subdivide_facet_by_partitions(
+    base: &Complex,
+    f: &Simplex,
+    sub: &mut Complex,
+    carriers: &mut Vec<Simplex>,
+) {
+    let verts: Vec<_> = f.iter().collect();
+    for partition in ordered_partitions(&verts) {
+        let mut seen: Vec<crate::VertexId> = Vec::new();
+        let mut facet = Vec::with_capacity(verts.len());
+        for block in &partition {
+            seen.extend(block.iter().copied());
+            let view = Label::view(seen.iter().map(|&u| (base.color(u), base.label(u))));
+            let carrier = Simplex::new(seen.iter().copied());
+            for &v in block {
+                let before = sub.num_vertices();
+                let id = sub.ensure_vertex(base.color(v), view.clone());
+                if sub.num_vertices() > before {
+                    carriers.push(carrier.clone());
+                }
+                facet.push(id);
+            }
+        }
+        sub.add_facet(facet);
+    }
+}
+
+/// Iterator over the set-bit indices of a mask, ascending.
+struct SetBits(u16);
+
+impl Iterator for SetBits {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let k = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(k)
+    }
 }
 
 /// Constructs the `b`-fold iterated standard chromatic subdivision
@@ -333,6 +496,101 @@ mod tests {
             (0..=6).map(ordered_bell).collect::<Vec<_>>(),
             vec![1, 1, 3, 13, 75, 541, 4683]
         );
+    }
+
+    #[test]
+    fn partition_enumeration_order_is_pinned() {
+        // The exact order of the pre-rewrite recursive enumerator (first
+        // block = submask counter over remaining items, then recurse).
+        // Stored witnesses and node counts depend on this order through
+        // vertex insertion — do not change it.
+        let expected: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![0], vec![1], vec![2]],
+            vec![vec![0], vec![2], vec![1]],
+            vec![vec![0], vec![1, 2]],
+            vec![vec![1], vec![0], vec![2]],
+            vec![vec![1], vec![2], vec![0]],
+            vec![vec![1], vec![0, 2]],
+            vec![vec![0, 1], vec![2]],
+            vec![vec![2], vec![0], vec![1]],
+            vec![vec![2], vec![1], vec![0]],
+            vec![vec![2], vec![0, 1]],
+            vec![vec![0, 2], vec![1]],
+            vec![vec![1, 2], vec![0]],
+            vec![vec![0, 1, 2]],
+        ];
+        assert_eq!(ordered_partitions(&[0u32, 1, 2]), expected);
+    }
+
+    #[test]
+    fn walker_blocks_partition_the_positions() {
+        for n in 0..=5u32 {
+            let mut count = 0u64;
+            for_each_ordered_partition(n, &mut |blocks| {
+                count += 1;
+                let mut seen = 0u32;
+                for &b in blocks {
+                    assert!(b != 0, "empty block");
+                    assert_eq!(seen & b, 0, "overlapping blocks");
+                    seen |= b;
+                }
+                assert_eq!(seen, (1u32 << n) - 1, "blocks must cover 0..n");
+            });
+            assert_eq!(count, ordered_bell(n as usize), "n={n}");
+        }
+    }
+
+    #[test]
+    fn template_path_is_identical_to_reference() {
+        // Not just same_labeled: the template-instantiated subdivision must
+        // agree with the reference builder on vertex ids *in insertion
+        // order*, facets, and carriers — that is what keeps witnesses and
+        // node accounting bit-identical across the two paths.
+        let mut butterfly = Complex::new();
+        let a = butterfly.ensure_vertex(Color(0), Label::scalar(0));
+        let b = butterfly.ensure_vertex(Color(1), Label::scalar(1));
+        let x = butterfly.ensure_vertex(Color(2), Label::scalar(2));
+        let y = butterfly.ensure_vertex(Color(2), Label::scalar(3));
+        butterfly.add_facet([a, b, x]);
+        butterfly.add_facet([a, b, y]);
+        let bases = [
+            Complex::standard_simplex(0),
+            Complex::standard_simplex(1),
+            Complex::standard_simplex(2),
+            Complex::standard_simplex(3),
+            butterfly,
+        ];
+        for base in &bases {
+            let fast = sds(base);
+            let slow = sds_reference(base);
+            let (fc, sc) = (fast.complex(), slow.complex());
+            assert_eq!(fc.num_vertices(), sc.num_vertices());
+            for v in fc.vertex_ids() {
+                assert_eq!(fc.color(v), sc.color(v));
+                assert_eq!(fc.label(v), sc.label(v));
+                assert_eq!(fast.carrier_of_vertex(v), slow.carrier_of_vertex(v));
+            }
+            let ff: Vec<_> = fc.facets().cloned().collect();
+            let sf: Vec<_> = sc.facets().cloned().collect();
+            assert_eq!(ff, sf);
+        }
+    }
+
+    #[test]
+    fn iterated_template_path_is_identical_to_reference() {
+        let base = Complex::standard_simplex(2);
+        let mut slow = Subdivision::identity(base.clone());
+        for _ in 0..2 {
+            slow = slow.compose(&sds_reference(slow.complex()));
+        }
+        let fast = sds_iterated(&base, 2);
+        assert_eq!(fast.complex().num_vertices(), slow.complex().num_vertices());
+        for v in fast.complex().vertex_ids() {
+            assert_eq!(fast.complex().label(v), slow.complex().label(v));
+            assert_eq!(fast.carrier_of_vertex(v), slow.carrier_of_vertex(v));
+        }
+        assert!(fast.complex().same_labeled(slow.complex()));
+        fast.validate().unwrap();
     }
 
     #[test]

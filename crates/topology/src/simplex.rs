@@ -35,6 +35,17 @@ impl Simplex {
         Simplex(Vec::new())
     }
 
+    /// Builds a simplex from ids already in strictly increasing order,
+    /// skipping the sort — the hot-path constructor for subdivision
+    /// instantiation and arena conversion, where sortedness is structural.
+    pub(crate) fn from_sorted(vertices: Vec<VertexId>) -> Self {
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly increasing vertex ids"
+        );
+        Simplex(vertices)
+    }
+
     /// Number of vertices.
     pub fn len(&self) -> usize {
         self.0.len()

@@ -243,30 +243,48 @@ impl Subdivision {
     /// Panics if `outer`'s base is not (label-identical to) `self`'s
     /// subdivided complex.
     pub fn compose(&self, outer: &Subdivision) -> Subdivision {
-        assert!(
-            outer.base().same_labeled(&self.subdivided),
-            "outer subdivision must subdivide self.complex()"
-        );
         let _timer = iis_obs::span::span("sds.compose_ns");
-        // outer.base vertex ids may be a permutation of self.subdivided's.
-        let translate: Vec<VertexId> = outer
-            .base()
-            .vertex_ids()
-            .map(|v| {
-                self.subdivided
-                    .vertex_id(outer.base().color(v), outer.base().label(v))
-                    .expect("same_labeled guarantees presence")
-            })
-            .collect();
-        let carriers = outer
-            .complex()
-            .vertex_ids()
-            .map(|w| {
-                let mid = outer.carrier_of_vertex(w);
-                let mid_in_self = Simplex::new(mid.iter().map(|u| translate[u.index()]));
-                self.carrier_of_simplex(&mid_in_self)
-            })
-            .collect();
+        // In the `sds_next` case `outer.base()` is a clone of
+        // `self.subdivided`, so ids line up one-to-one and the per-vertex
+        // hash translation below is a no-op — detect that with a linear
+        // scan and skip both the translation and the `same_labeled` check
+        // (id-equality implies it).
+        let identity = outer.base().num_vertices() == self.subdivided.num_vertices()
+            && outer.base().vertex_ids().all(|v| {
+                outer.base().color(v) == self.subdivided.color(v)
+                    && outer.base().label(v) == self.subdivided.label(v)
+            });
+        let carriers = if identity {
+            outer
+                .complex()
+                .vertex_ids()
+                .map(|w| self.carrier_of_simplex(outer.carrier_of_vertex(w)))
+                .collect()
+        } else {
+            assert!(
+                outer.base().same_labeled(&self.subdivided),
+                "outer subdivision must subdivide self.complex()"
+            );
+            // outer.base vertex ids are a permutation of self.subdivided's.
+            let translate: Vec<VertexId> = outer
+                .base()
+                .vertex_ids()
+                .map(|v| {
+                    self.subdivided
+                        .vertex_id(outer.base().color(v), outer.base().label(v))
+                        .expect("same_labeled guarantees presence")
+                })
+                .collect();
+            outer
+                .complex()
+                .vertex_ids()
+                .map(|w| {
+                    let mid = outer.carrier_of_vertex(w);
+                    let mid_in_self = Simplex::new(mid.iter().map(|u| translate[u.index()]));
+                    self.carrier_of_simplex(&mid_in_self)
+                })
+                .collect()
+        };
         Subdivision {
             base: self.base.clone(),
             subdivided: outer.complex().clone(),

@@ -18,8 +18,8 @@ use crate::bg::{bg_candidates, run_bg_case, BgCase};
 use crate::emulation::{emulation_candidates, run_emulation_case, EmulationCase};
 use crate::iis::{iis_candidates, run_iis_case, IisCase, IisTrace, TaskContext};
 use crate::oracle::OracleFailure;
-use crate::plan::FaultPlan;
 use crate::shrink::shrink_case;
+use crate::store::{run_store_case, store_candidates, store_case_at, StoreCase};
 use iis_core::solvability::solve_up_to;
 use iis_obs::{Json, ToJson};
 use iis_tasks::Task;
@@ -36,6 +36,9 @@ pub enum Layer {
     Emulation,
     /// `iis_core::bg` — the BG simulation with safe agreement.
     Bg,
+    /// `iis_store::Store` over a fault-injecting I/O backend — durability
+    /// and recovery invariants instead of schedule axioms.
+    Store,
 }
 
 impl Layer {
@@ -46,6 +49,7 @@ impl Layer {
             "atomic" => Some(Layer::Atomic),
             "emulation" => Some(Layer::Emulation),
             "bg" => Some(Layer::Bg),
+            "store" => Some(Layer::Store),
             _ => None,
         }
     }
@@ -57,6 +61,7 @@ impl Layer {
             Layer::Atomic => "atomic",
             Layer::Emulation => "emulation",
             Layer::Bg => "bg",
+            Layer::Store => "store",
         }
     }
 }
@@ -165,7 +170,7 @@ fn drive<C: Clone + ToJson>(
     seed: u64,
     total: usize,
     case_at: impl Fn(usize) -> C,
-    plan_of: impl Fn(&C) -> &FaultPlan,
+    crashes_of: impl Fn(&C) -> usize,
     run: impl Fn(&C) -> Vec<OracleFailure>,
     candidates: impl Fn(&C) -> Vec<C>,
     shrink: bool,
@@ -175,7 +180,7 @@ fn drive<C: Clone + ToJson>(
     for index in 0..total {
         let case = case_at(index);
         iis_obs::metrics::add("fuzz.cases", 1);
-        iis_obs::metrics::add("fuzz.crashes_injected", plan_of(&case).crashes() as u64);
+        iis_obs::metrics::add("fuzz.crashes_injected", crashes_of(&case) as u64);
         let failures = run(&case);
         outcome.cases += 1;
         iis_obs::progress::fuzz_case_done();
@@ -236,7 +241,7 @@ pub fn fuzz(cfg: &FuzzConfig<'_>) -> FuzzOutcome {
                     cfg.seed,
                     total,
                     |i| adv.case(i),
-                    |c| &c.plan,
+                    |c| c.plan.crashes(),
                     run,
                     iis_candidates,
                     cfg.shrink,
@@ -253,7 +258,7 @@ pub fn fuzz(cfg: &FuzzConfig<'_>) -> FuzzOutcome {
                     cfg.seed,
                     cfg.cases,
                     |i| adv.case(i),
-                    |c| &c.plan,
+                    |c| c.plan.crashes(),
                     run,
                     iis_candidates,
                     cfg.shrink,
@@ -272,7 +277,7 @@ pub fn fuzz(cfg: &FuzzConfig<'_>) -> FuzzOutcome {
                 cfg.seed,
                 cfg.cases,
                 |i| adv.case(i),
-                |c: &AtomicCase| &c.plan,
+                |c: &AtomicCase| c.plan.crashes(),
                 run_atomic_case,
                 atomic_candidates,
                 cfg.shrink,
@@ -291,7 +296,7 @@ pub fn fuzz(cfg: &FuzzConfig<'_>) -> FuzzOutcome {
                 cfg.seed,
                 cfg.cases,
                 |i| adv.case(i),
-                |c: &EmulationCase| &c.iis.plan,
+                |c: &EmulationCase| c.iis.plan.crashes(),
                 run_emulation_case,
                 emulation_candidates,
                 cfg.shrink,
@@ -310,9 +315,22 @@ pub fn fuzz(cfg: &FuzzConfig<'_>) -> FuzzOutcome {
                 cfg.seed,
                 cfg.cases,
                 |i| adv.case(i),
-                |c: &BgCase| &c.plan,
+                |c: &BgCase| c.plan.crashes(),
                 run_bg_case,
                 bg_candidates,
+                cfg.shrink,
+            )
+        }
+        Layer::Store => {
+            let seed = cfg.seed;
+            drive(
+                cfg.layer,
+                cfg.seed,
+                cfg.cases,
+                |i| store_case_at(seed, i),
+                |c: &StoreCase| usize::from(c.crash_at.is_some()),
+                run_store_case,
+                store_candidates,
                 cfg.shrink,
             )
         }
@@ -325,7 +343,13 @@ mod tests {
 
     #[test]
     fn small_sweeps_pass_on_every_layer() {
-        for layer in [Layer::Iis, Layer::Atomic, Layer::Emulation, Layer::Bg] {
+        for layer in [
+            Layer::Iis,
+            Layer::Atomic,
+            Layer::Emulation,
+            Layer::Bg,
+            Layer::Store,
+        ] {
             let mut cfg = FuzzConfig::new(layer);
             cfg.cases = 25;
             cfg.seed = 7;
@@ -338,7 +362,13 @@ mod tests {
 
     #[test]
     fn layer_names_round_trip() {
-        for layer in [Layer::Iis, Layer::Atomic, Layer::Emulation, Layer::Bg] {
+        for layer in [
+            Layer::Iis,
+            Layer::Atomic,
+            Layer::Emulation,
+            Layer::Bg,
+            Layer::Store,
+        ] {
             assert_eq!(Layer::parse(layer.name()), Some(layer));
         }
         assert_eq!(Layer::parse("nope"), None);

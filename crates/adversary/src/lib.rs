@@ -35,6 +35,7 @@ pub mod iis;
 pub mod oracle;
 pub mod plan;
 pub mod shrink;
+pub mod store;
 
 pub use adversary::{
     derive_seed, Adversary, ExhaustiveIis, RandomAtomic, RandomBg, RandomEmulation, RandomIis,
@@ -47,3 +48,4 @@ pub use iis::{check_iis_trace, execute_iis, run_iis_case, IisCase, IisTrace, Tas
 pub use oracle::OracleFailure;
 pub use plan::{CrashEvent, CrashMode, FaultPlan};
 pub use shrink::shrink_case;
+pub use store::{run_store_case, FaultProbe, FaultyIo, StoreCase};

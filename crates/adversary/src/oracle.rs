@@ -90,6 +90,13 @@ pub enum OracleFailure {
         /// Second simulated process.
         b: usize,
     },
+    /// Storage recovery: a store invariant (no corrupted record served,
+    /// durability of fault-free acknowledged puts, index ≡ rescan) was
+    /// violated under injected I/O faults.
+    StoreRecovery {
+        /// Which invariant broke, and how.
+        detail: String,
+    },
 }
 
 impl OracleFailure {
@@ -106,6 +113,7 @@ impl OracleFailure {
             Self::BgStalled { .. } => "bg_stalled",
             Self::BgBlocked { .. } => "bg_blocked",
             Self::BgIncomparableViews { .. } => "bg_incomparable_views",
+            Self::StoreRecovery { .. } => "store_recovery",
         }
     }
 }
@@ -153,6 +161,7 @@ impl fmt::Display for OracleFailure {
                 f,
                 "simulated processes {a} and {b} decided incomparable views"
             ),
+            Self::StoreRecovery { detail } => write!(f, "{detail}"),
         }
     }
 }

@@ -1,0 +1,580 @@
+//! Storage-layer fault injection: a deterministic [`FaultyIo`] backend for
+//! `iis_store::Store` and the `iis fuzz --layer store` workload that drives
+//! it.
+//!
+//! Every fault is a pure function of `(seed, op_index)` via
+//! [`derive_seed`], so a failing case replays bit-identically from its
+//! `(sweep_seed, case_index)` coordinate — the same discipline PR 4
+//! established for schedule faults, extended to the durability stack:
+//!
+//! - **short write** — a prefix of the bytes persists, the append errors;
+//! - **ENOSPC** — nothing persists, the append errors;
+//! - **bit flip** — the append succeeds *silently* with one corrupted bit
+//!   (the fault the per-record checksum exists to catch);
+//! - **failed flush** — buffered bytes stay buffered, the flush errors;
+//! - **crash at op k** — flushed bytes survive, a seed-determined prefix
+//!   of each unflushed tail survives, every later op fails.
+//!
+//! [`run_store_case`] runs a randomized put/get workload against a store
+//! over `FaultyIo`, crashes it, reopens twice over the surviving bytes,
+//! and asserts the recovery invariants: no value is ever served that was
+//! not written, every fault-free acknowledged put survives the crash, and
+//! a second reopen agrees exactly with the first (index ≡ rescan).
+
+use crate::adversary::derive_seed;
+use crate::oracle::OracleFailure;
+use iis_core::cache::fnv1a64;
+use iis_obs::{Json, Rng, ToJson};
+use iis_store::io::{Io, MemIo};
+use iis_store::Store;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The injectable fault kinds, tagged per op in the [`FaultProbe`] log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Append persisted only a prefix and returned an error.
+    ShortWrite,
+    /// Append persisted nothing and returned an error (ENOSPC).
+    NoSpace,
+    /// Append succeeded but silently corrupted one bit.
+    BitFlip,
+    /// Flush returned an error without flushing.
+    FailedFlush,
+    /// The crash point: unflushed tails partially lost, later ops fail.
+    Crash,
+}
+
+#[derive(Default)]
+struct FaultLog {
+    ops: u64,
+    injected: Vec<(u64, FaultKind)>,
+    crashed: bool,
+}
+
+/// A shared window into a [`FaultyIo`]'s op counter and injection log,
+/// so the workload harness can bracket each store call and ask "did a
+/// fault land in this range?" after the `Box<dyn Io>` has been moved
+/// into the store.
+#[derive(Clone, Default)]
+pub struct FaultProbe {
+    log: Arc<Mutex<FaultLog>>,
+}
+
+impl FaultProbe {
+    fn with<T>(&self, f: impl FnOnce(&mut FaultLog) -> T) -> T {
+        f(&mut self.log.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Ops issued so far (every [`Io`] call counts one).
+    pub fn ops(&self) -> u64 {
+        self.with(|l| l.ops)
+    }
+
+    /// `true` iff any fault (including the crash) landed in `[from, to)`.
+    pub fn injected_between(&self, from: u64, to: u64) -> bool {
+        self.with(|l| l.injected.iter().any(|(op, _)| (from..to).contains(op)))
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> Vec<(u64, FaultKind)> {
+        self.with(|l| l.injected.clone())
+    }
+
+    /// `true` once the crash point has been hit.
+    pub fn crashed(&self) -> bool {
+        self.with(|l| l.crashed)
+    }
+}
+
+/// A deterministic fault-injecting [`Io`] over an in-memory filesystem.
+///
+/// Each op rolls `derive_seed(seed, op_index)`; when the roll lands on
+/// the `1/denom` fault lane, the op misbehaves per [`FaultKind`]. With
+/// `denom == 0` no faults inject and `FaultyIo` behaves exactly like its
+/// inner [`MemIo`] — the control every invariant is calibrated against.
+pub struct FaultyIo {
+    inner: MemIo,
+    seed: u64,
+    denom: u64,
+    crash_at: Option<u64>,
+    probe: FaultProbe,
+}
+
+fn injected_err(what: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault: {what}"))
+}
+
+impl FaultyIo {
+    /// A fresh injector over an empty in-memory filesystem. Faults fire
+    /// on roughly `1/denom` of mutating ops (`0` disables them); the op
+    /// numbered `crash_at` (if any) becomes the crash point.
+    pub fn new(seed: u64, denom: u64, crash_at: Option<u64>) -> FaultyIo {
+        FaultyIo {
+            inner: MemIo::new(),
+            seed,
+            denom,
+            crash_at,
+            probe: FaultProbe::default(),
+        }
+    }
+
+    /// A handle on the underlying in-memory filesystem — what "the disk"
+    /// holds. Clones share state, so reopening a store over this models a
+    /// process restart on the surviving bytes.
+    pub fn mem(&self) -> MemIo {
+        self.inner.clone()
+    }
+
+    /// The op/injection window shared with the harness.
+    pub fn probe(&self) -> FaultProbe {
+        self.probe.clone()
+    }
+
+    /// Counts the op; errors if crashed; fires the crash point.
+    fn tick(&mut self) -> std::io::Result<(u64, u64)> {
+        let (op, crashed) = self.probe.with(|l| {
+            let op = l.ops;
+            l.ops += 1;
+            (op, l.crashed)
+        });
+        if crashed {
+            return Err(injected_err("backend crashed"));
+        }
+        if self.crash_at == Some(op) {
+            self.probe.with(|l| {
+                l.crashed = true;
+                l.injected.push((op, FaultKind::Crash));
+            });
+            let seed = self.seed;
+            self.inner.crash(|path, unflushed| {
+                let r = derive_seed(seed, op ^ fnv1a64(path.to_string_lossy().as_bytes()));
+                (r % (unflushed as u64 + 1)) as usize
+            });
+            return Err(injected_err("crash point"));
+        }
+        Ok((op, derive_seed(self.seed, op)))
+    }
+
+    /// The fault roll for a mutating op: `Some(kind_selector)` when this
+    /// op is faulty.
+    fn roll(&self, r: u64) -> Option<u64> {
+        (self.denom > 0 && r.is_multiple_of(self.denom)).then_some(r >> 8)
+    }
+
+    fn record(&self, op: u64, kind: FaultKind) {
+        self.probe.with(|l| l.injected.push((op, kind)));
+    }
+}
+
+impl Io for FaultyIo {
+    fn create_dir_all(&mut self, dir: &Path) -> std::io::Result<()> {
+        self.tick()?;
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list(&mut self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        self.tick()?;
+        self.inner.list(dir)
+    }
+
+    fn len(&mut self, path: &Path) -> std::io::Result<u64> {
+        self.tick()?;
+        self.inner.len(path)
+    }
+
+    fn read(&mut self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.tick()?;
+        self.inner.read(path)
+    }
+
+    fn read_range(&mut self, path: &Path, offset: u64, len: u64) -> std::io::Result<Vec<u8>> {
+        self.tick()?;
+        self.inner.read_range(path, offset, len)
+    }
+
+    fn create(&mut self, path: &Path) -> std::io::Result<()> {
+        self.tick()?;
+        self.inner.create(path)
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let (op, r) = self.tick()?;
+        let Some(sel) = self.roll(r) else {
+            return self.inner.append(path, bytes);
+        };
+        match sel % 3 {
+            0 => {
+                self.record(op, FaultKind::ShortWrite);
+                let keep = if bytes.is_empty() {
+                    0
+                } else {
+                    ((sel >> 8) as usize) % bytes.len()
+                };
+                self.inner.append(path, &bytes[..keep])?;
+                Err(injected_err("short write"))
+            }
+            1 => {
+                self.record(op, FaultKind::NoSpace);
+                Err(injected_err("no space left on device"))
+            }
+            _ => {
+                self.record(op, FaultKind::BitFlip);
+                let mut corrupted = bytes.to_vec();
+                if !corrupted.is_empty() {
+                    let i = ((sel >> 8) as usize) % corrupted.len();
+                    corrupted[i] ^= 1 << ((sel >> 40) % 8);
+                }
+                // the lying disk: reports success, stored garbage
+                self.inner.append(path, &corrupted)
+            }
+        }
+    }
+
+    fn flush(&mut self, path: &Path) -> std::io::Result<()> {
+        let (op, r) = self.tick()?;
+        if self.roll(r).is_some() {
+            self.record(op, FaultKind::FailedFlush);
+            return Err(injected_err("flush failed"));
+        }
+        self.inner.flush(path)
+    }
+
+    fn truncate(&mut self, path: &Path, len: u64) -> std::io::Result<()> {
+        self.tick()?;
+        self.inner.truncate(path, len)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()> {
+        self.tick()?;
+        self.inner.rename(from, to)
+    }
+}
+
+/// One storage fuzz case: a seeded workload shape. The whole put/get
+/// sequence and every fault derive from these four numbers.
+#[derive(Clone, Debug)]
+pub struct StoreCase {
+    /// The case seed (already mixed from `(sweep_seed, index)`).
+    pub seed: u64,
+    /// Store operations (puts and gets) the workload attempts.
+    pub num_ops: usize,
+    /// Fault density: roughly one injected fault per `fault_denom`
+    /// mutating I/O ops (`0` disables injection).
+    pub fault_denom: u64,
+    /// I/O op index at which the backend crashes, if any.
+    pub crash_at: Option<u64>,
+}
+
+impl ToJson for StoreCase {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", Json::Num(self.seed as f64)),
+            ("num_ops", Json::Num(self.num_ops as f64)),
+            ("fault_denom", Json::Num(self.fault_denom as f64)),
+            (
+                "crash_at",
+                self.crash_at.map_or(Json::Null, |k| Json::Num(k as f64)),
+            ),
+        ])
+    }
+}
+
+/// The case at `index` of the sweep seeded by `sweep_seed`.
+pub fn store_case_at(sweep_seed: u64, index: usize) -> StoreCase {
+    let seed = derive_seed(sweep_seed, index as u64);
+    let mut rng = Rng::seed_from_u64(seed);
+    let num_ops = rng.random_range(6usize..40);
+    let fault_denom = rng.random_range(2u64..9);
+    let crash_at = rng
+        .random_bool(0.6)
+        .then(|| rng.random_range(4u64..uppermost_op(num_ops)));
+    StoreCase {
+        seed,
+        num_ops,
+        fault_denom,
+        crash_at,
+    }
+}
+
+/// An upper bound on interesting crash points: open costs a few ops and
+/// each put costs at most a handful (append + flush + repair truncate).
+fn uppermost_op(num_ops: usize) -> u64 {
+    8 + 4 * num_ops as u64
+}
+
+/// Simpler variants of `case` for the shrinker: shorter workload prefix,
+/// no crash, sparser faults.
+pub fn store_candidates(case: &StoreCase) -> Vec<StoreCase> {
+    let mut out = Vec::new();
+    if case.num_ops > 1 {
+        let mut c = case.clone();
+        c.num_ops /= 2;
+        out.push(c);
+        let mut c = case.clone();
+        c.num_ops -= 1;
+        out.push(c);
+    }
+    if case.crash_at.is_some() {
+        let mut c = case.clone();
+        c.crash_at = None;
+        out.push(c);
+    }
+    if let Some(k) = case.crash_at {
+        if k > 4 {
+            let mut c = case.clone();
+            c.crash_at = Some(k / 2);
+            out.push(c);
+        }
+    }
+    if case.fault_denom > 0 {
+        let mut c = case.clone();
+        c.fault_denom = 0;
+        out.push(c);
+        let mut c = case.clone();
+        c.fault_denom *= 4;
+        out.push(c);
+    }
+    out
+}
+
+fn fail(failures: &mut Vec<OracleFailure>, detail: String) {
+    failures.push(OracleFailure::StoreRecovery { detail });
+}
+
+/// The key universe the workload draws from — small, so first-write-wins
+/// collisions and duplicate-key recovery actually exercise.
+const KEYS: u64 = 6;
+
+/// Runs one storage fuzz case and returns every violated invariant.
+///
+/// Phase 1 drives a store over [`FaultyIo`] with a seeded put/get mix,
+/// tracking every attempted value, and which acknowledged puts were
+/// *fault-free* (no injected fault inside the put's I/O op window — those
+/// are the durability obligations). Phase 2 crashes the backend (at the
+/// case's crash point, or at the end). Phases 3–4 reopen the surviving
+/// bytes twice over a clean backend and assert:
+///
+/// 1. a clean reopen never errors;
+/// 2. **no fabrication/corruption**: every value served was attempted for
+///    exactly that key (a checksum-defeating corruption would surface
+///    here);
+/// 3. **durability**: every fault-free acknowledged put is served after
+///    the crash — quarantine recovery included;
+/// 4. **index ≡ rescan**: the second reopen serves exactly what the first
+///    did, and finds nothing left to repair.
+pub fn run_store_case(case: &StoreCase) -> Vec<OracleFailure> {
+    let mut failures = Vec::new();
+    let dir = PathBuf::from("/store");
+    let io = FaultyIo::new(case.seed, case.fault_denom, case.crash_at);
+    let mem = io.mem();
+    let probe = io.probe();
+    let mut rng = Rng::seed_from_u64(derive_seed(case.seed, 0xF00D));
+    let mut attempted: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut durable: HashMap<u64, String> = HashMap::new();
+    let mut attempts = 0u64;
+
+    // phase 1: the faulty workload
+    match Store::open_with(&dir, Box::new(io)) {
+        Err(e) => {
+            if !probe.crashed() {
+                fail(
+                    &mut failures,
+                    format!("open errored without a crash point: {e}"),
+                );
+            }
+        }
+        Ok(mut store) => {
+            for _ in 0..case.num_ops {
+                if probe.crashed() {
+                    break;
+                }
+                let key = rng.random_range(0u64..KEYS);
+                if rng.random_bool(0.7) {
+                    attempts += 1;
+                    let filler = "x".repeat(rng.random_range(0usize..32));
+                    let value = format!("k{key}-a{attempts}-{filler}");
+                    attempted.entry(key).or_default().push(value.clone());
+                    let before = probe.ops();
+                    if let Ok(true) = store.put(key, &value) {
+                        let after = probe.ops();
+                        if !probe.injected_between(before, after) {
+                            durable.entry(key).or_insert(value);
+                        }
+                    }
+                } else if let Ok(Some(v)) = store.get(key) {
+                    if !attempted.get(&key).is_some_and(|vs| vs.contains(&v)) {
+                        fail(
+                            &mut failures,
+                            format!("live get({key:#x}) served a never-attempted value {v:?}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // phase 2: whatever was going to crash has crashed; lose a
+    // seed-determined prefix of any remaining unflushed tails
+    if !probe.crashed() {
+        let seed = case.seed;
+        mem.crash(|path, unflushed| {
+            let r = derive_seed(seed, 0xDEAD ^ fnv1a64(path.to_string_lossy().as_bytes()));
+            (r % (unflushed as u64 + 1)) as usize
+        });
+    }
+
+    // phase 3: clean reopen — recovery and its invariants
+    let mut first = match Store::open_with(&dir, Box::new(mem.clone())) {
+        Ok(store) => store,
+        Err(e) => {
+            fail(&mut failures, format!("clean reopen errored: {e}"));
+            return failures;
+        }
+    };
+    for key in 0..KEYS {
+        match first.get(key) {
+            Ok(Some(v)) => {
+                if !attempted.get(&key).is_some_and(|vs| vs.contains(&v)) {
+                    fail(
+                        &mut failures,
+                        format!("recovered get({key:#x}) served a never-attempted value {v:?}"),
+                    );
+                }
+            }
+            Ok(None) => {}
+            Err(e) => fail(&mut failures, format!("recovered get({key:#x}): {e}")),
+        }
+    }
+    for (key, value) in &durable {
+        match first.get(*key) {
+            Ok(Some(v)) if v == *value => {}
+            got => fail(
+                &mut failures,
+                format!("durable put({key:#x}) lost after crash: expected {value:?}, got {got:?}"),
+            ),
+        }
+    }
+
+    // phase 4: a second reopen agrees exactly (index ≡ rescan) and finds
+    // nothing further to repair — recovery is idempotent
+    let mut second = match Store::open_with(&dir, Box::new(mem.clone())) {
+        Ok(store) => store,
+        Err(e) => {
+            fail(&mut failures, format!("second clean reopen errored: {e}"));
+            return failures;
+        }
+    };
+    if second.recovery().torn_bytes != 0 {
+        fail(
+            &mut failures,
+            format!(
+                "second reopen still saw {} torn bytes — recovery not idempotent",
+                second.recovery().torn_bytes
+            ),
+        );
+    }
+    if second.len() != first.len() {
+        fail(
+            &mut failures,
+            format!(
+                "reopen disagreement: first indexed {}, second {}",
+                first.len(),
+                second.len()
+            ),
+        );
+    }
+    for key in 0..KEYS {
+        let a = first.get(key).ok().flatten();
+        let b = second.get(key).ok().flatten();
+        if a != b {
+            fail(
+                &mut failures,
+                format!("reopen disagreement on {key:#x}: {a:?} vs {b:?}"),
+            );
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_injector_behaves_like_memio() {
+        let mut io = FaultyIo::new(1, 0, None);
+        let p = Path::new("/s/seg-00000.jsonl");
+        io.create(p).unwrap();
+        io.append(p, b"hello\n").unwrap();
+        io.flush(p).unwrap();
+        assert_eq!(io.read(p).unwrap(), b"hello\n");
+        assert!(io.probe().injected().is_empty());
+        assert!(io.probe().ops() >= 4);
+    }
+
+    #[test]
+    fn crash_point_kills_every_later_op() {
+        let mut io = FaultyIo::new(1, 0, Some(2));
+        let p = Path::new("/f");
+        io.create(p).unwrap(); // op 0
+        io.append(p, b"a").unwrap(); // op 1
+        assert!(io.append(p, b"b").is_err()); // op 2: crash
+        assert!(io.probe().crashed());
+        assert!(io.read(p).is_err()); // post-crash: dead
+        assert_eq!(io.probe().injected(), vec![(2, FaultKind::Crash)]);
+    }
+
+    #[test]
+    fn faults_are_a_pure_function_of_seed_and_op() {
+        let run = || {
+            let mut io = FaultyIo::new(42, 2, None);
+            let p = Path::new("/f");
+            let mut outcomes = Vec::new();
+            for i in 0..40 {
+                outcomes.push(io.append(p, format!("row {i}\n").as_bytes()).is_ok());
+            }
+            (outcomes, io.probe().injected())
+        };
+        let (a, fa) = run();
+        let (b, fb) = run();
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
+        assert!(!fa.is_empty(), "denom 2 must inject something in 40 ops");
+    }
+
+    #[test]
+    fn cases_derive_deterministically() {
+        let a = store_case_at(7, 3);
+        let b = store_case_at(7, 3);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.num_ops, b.num_ops);
+        assert_eq!(a.fault_denom, b.fault_denom);
+        assert_eq!(a.crash_at, b.crash_at);
+        assert_ne!(store_case_at(7, 4).seed, a.seed);
+    }
+
+    #[test]
+    fn small_store_sweep_passes() {
+        for index in 0..60 {
+            let case = store_case_at(11, index);
+            let failures = run_store_case(&case);
+            assert!(failures.is_empty(), "case {index} ({case:?}): {failures:?}");
+        }
+    }
+
+    #[test]
+    fn shrinker_candidates_simplify() {
+        let case = StoreCase {
+            seed: 5,
+            num_ops: 20,
+            fault_denom: 3,
+            crash_at: Some(30),
+        };
+        let cands = store_candidates(&case);
+        assert!(cands.iter().any(|c| c.num_ops == 10));
+        assert!(cands.iter().any(|c| c.crash_at.is_none()));
+        assert!(cands.iter().any(|c| c.fault_denom == 0));
+    }
+}

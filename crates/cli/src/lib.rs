@@ -55,17 +55,23 @@ USAGE:
                                           (timeout ⇒ inconclusive, not unsolvable;
                                           --store answers from / fills a
                                           persistent witness cache)
-  iis serve [--addr A] [--store DIR] [--workers N]
+  iis serve [--addr A] [--store DIR] [--workers N] [--queue N]
+            [--timeout-secs T] [--drain-secs S]
                                           HTTP solve service: POST /solve,
-                                          GET /jobs[/<id>], POST /shutdown,
+                                          GET /jobs[/<id>], GET /healthz,
+                                          GET /readyz, POST /shutdown,
                                           plus /metrics /progress /snapshot
                                           (default --addr 127.0.0.1:0; the
-                                          bound address goes to stderr)
+                                          bound address goes to stderr;
+                                          --queue bounds admission ⇒ 503,
+                                          --timeout-secs bounds a waited
+                                          solve ⇒ 504, --drain-secs bounds
+                                          the graceful drain on shutdown)
   iis emulate <n> <k> [--adversary A] [--seed S]
                                           emulate the k-shot protocol on IIS
   iis bg <n_sim> <k> <m> [--crash SIM@STEP]
                                           run the BG simulation
-  iis fuzz --layer iis|atomic|emulation|bg [--task SPEC] [--seed S]
+  iis fuzz --layer iis|atomic|emulation|bg|store [--task SPEC] [--seed S]
            [--cases N] [--crashes K] [--n N] [--rounds B] [--shrink]
            [--exhaustive]                 adversarial sweep with fault
                                           injection; replay a failure from
@@ -542,8 +548,8 @@ pub fn cmd_bg(args: &[String]) -> Result<String, CliError> {
 pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
     let layer = match flag_value(args, "--layer")? {
         Some(l) => Layer::parse(l)
-            .ok_or_else(|| err(format!("bad --layer: {l} (iis|atomic|emulation|bg)")))?,
-        None => return Err(err("fuzz requires --layer iis|atomic|emulation|bg")),
+            .ok_or_else(|| err(format!("bad --layer: {l} (iis|atomic|emulation|bg|store)")))?,
+        None => return Err(err("fuzz requires --layer iis|atomic|emulation|bg|store")),
     };
     let num = |flag: &str, default: usize| -> Result<usize, CliError> {
         match flag_value(args, flag)? {
@@ -920,7 +926,7 @@ mod tests {
 
     #[test]
     fn fuzz_sweeps_every_layer() {
-        for layer in ["iis", "atomic", "emulation", "bg"] {
+        for layer in ["iis", "atomic", "emulation", "bg", "store"] {
             let out = cmd_fuzz(&argv(&format!(
                 "--layer {layer} --cases 10 --seed 7 --crashes 2 --shrink"
             )))

@@ -20,8 +20,27 @@
 //!   in-flight job (`serve.coalesced`) rather than solving twice.
 //! - `GET /jobs/<id>` — job status plus the result record when done.
 //! - `GET /jobs` — every job this process has accepted.
+//! - `GET /healthz` — liveness: `200` while the process answers at all.
+//! - `GET /readyz` — readiness: `200` only with live workers, a writable
+//!   store, and no shutdown in progress; otherwise `503` with the reasons
+//!   (a quarantine-degraded store reports `"degraded": "read-only"` but
+//!   keeps `/solve` answering — results are recomputed, not stored).
 //! - `POST /shutdown` — stop accepting, drain, exit `iis serve`.
 //! - the built-ins `GET /metrics`, `/progress`, `/snapshot` stay live.
+//!
+//! **Overload and deadlines.** Admission is bounded: at most `--queue N`
+//! jobs wait for a worker; past that, `POST /solve` answers `503` with a
+//! `Retry-After` header (`serve.rejected`). With `--timeout-secs T`, a
+//! waiting `POST /solve` that cannot be answered within `T` seconds gets a
+//! structured `504` (`serve.timeouts`) — the job keeps running and can be
+//! polled at `/jobs/<id>`; a solve the search itself abandons at the
+//! deadline is marked `timed_out`.
+//!
+//! **Drain.** `POST /shutdown` stops admission (new solves get `503`),
+//! lets in-flight and queued jobs finish up to `--drain-secs`, fails
+//! whatever is still queued past the deadline, flushes the store, and only
+//! then tears the transport down — so an accepted `wait: true` request is
+//! answered, not reset.
 //!
 //! Identical questions get bit-identical answers: records are canonical
 //! (see `iis_core::cache`), the store is first-write-wins, and cached
@@ -37,8 +56,9 @@ use iis_obs::{Json, ToJson as _};
 use iis_store::Store;
 use iis_tasks::Task;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// One accepted solve question and its lifecycle.
 struct Job {
@@ -60,6 +80,10 @@ enum Status {
         cached: bool,
     },
     Failed(String),
+    /// The search itself gave up at the per-request deadline
+    /// (`--timeout-secs`) — distinct from `Failed` so waiters can answer
+    /// `504` rather than `500`.
+    TimedOut(String),
 }
 
 impl Status {
@@ -69,6 +93,7 @@ impl Status {
             Status::Running => "running",
             Status::Done { .. } => "done",
             Status::Failed(_) => "failed",
+            Status::TimedOut(_) => "timed_out",
         }
     }
 }
@@ -90,6 +115,34 @@ pub(crate) struct SolveService {
     changed: Condvar,
     store: Mutex<Box<dyn SolveCache + Send>>,
     stop_workers: AtomicBool,
+    /// Most jobs allowed to *wait* for a worker; past this, `POST /solve`
+    /// answers `503` + `Retry-After` instead of queueing unboundedly.
+    max_queue: usize,
+    /// Per-request solve deadline: bounds both the search wall-clock and
+    /// how long a `wait: true` request blocks before a `504`.
+    timeout: Option<Duration>,
+    /// The store's sticky read-only flag (`None` for the in-memory map,
+    /// which cannot degrade) — drives `/readyz`.
+    degraded: Option<Arc<AtomicBool>>,
+    /// Live solve workers; a panicked worker decrements on unwind, so
+    /// `/readyz` notices a dead pool.
+    workers_alive: Arc<AtomicUsize>,
+}
+
+/// Panic-safe worker liveness: decrements on drop, unwind included.
+struct AliveGuard(Arc<AtomicUsize>);
+
+impl AliveGuard {
+    fn enroll(counter: &Arc<AtomicUsize>) -> AliveGuard {
+        counter.fetch_add(1, Ordering::AcqRel);
+        AliveGuard(Arc::clone(counter))
+    }
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// Locks a `SolveService` store only for the duration of each `get`/`put`,
@@ -179,7 +232,16 @@ fn key_hex(key: u64) -> Json {
 }
 
 impl SolveService {
-    fn new(store: Box<dyn SolveCache + Send>) -> SolveService {
+    fn new(
+        store: Box<dyn SolveCache + Send>,
+        max_queue: usize,
+        timeout: Option<Duration>,
+        degraded: Option<Arc<AtomicBool>>,
+    ) -> SolveService {
+        // register at zero so the serve counters scrape before first use
+        for name in ["serve.rejected", "serve.timeouts"] {
+            iis_obs::metrics::Counter::handle(name);
+        }
         SolveService {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
@@ -192,17 +254,27 @@ impl SolveService {
             changed: Condvar::new(),
             store: Mutex::new(store),
             stop_workers: AtomicBool::new(false),
+            max_queue,
+            timeout,
+            degraded,
+            workers_alive: Arc::new(AtomicUsize::new(0)),
         }
     }
 
     /// The worker-pool loop: pop a queued job, solve it through the store,
-    /// publish the result. Exits when `stop_workers` is raised and the
-    /// queue is drained.
+    /// publish the result. Exits once `stop_workers` is raised — the drain
+    /// phase in [`cmd_serve`] empties the queue *before* raising it, so a
+    /// late stop abandons the backlog (which is then failed) rather than
+    /// stretching the drain deadline.
     fn worker_loop(&self) {
+        let _alive = AliveGuard::enroll(&self.workers_alive);
         loop {
             let (id, task, max_rounds, opts) = {
                 let mut st = lock(&self.state);
                 loop {
+                    if self.stop_workers.load(Ordering::Acquire) {
+                        return;
+                    }
                     if let Some(id) = st.queue.pop_front() {
                         let info = {
                             let job = st.jobs.get_mut(&id).expect("queued job exists");
@@ -214,15 +286,13 @@ impl SolveService {
                         self.changed.notify_all();
                         break info;
                     }
-                    if self.stop_workers.load(Ordering::Acquire) {
-                        return;
-                    }
                     st = self
                         .changed
                         .wait(st)
                         .unwrap_or_else(PoisonError::into_inner);
                 }
             };
+            let started = Instant::now();
             let out = solve_up_to_cached(&task, max_rounds, &opts, &mut SharedCache(&self.store));
             let status =
                 if out.report.witness().is_some() || out.report.results().len() == max_rounds + 1 {
@@ -230,8 +300,19 @@ impl SolveService {
                         result: iis_core::cache::report_to_json(&out.report),
                         cached: out.hit,
                     }
+                } else if self
+                    .timeout
+                    .is_some_and(|deadline| started.elapsed() >= deadline)
+                {
+                    // the search abandoned the sweep at the request deadline
+                    iis_obs::metrics::add("serve.timeouts", 1);
+                    Status::TimedOut(format!(
+                        "deadline exceeded: search stopped at b = {} after {:?}",
+                        out.report.results().len(),
+                        self.timeout.unwrap_or_default()
+                    ))
                 } else {
-                    // budget/timeout ran out: inconclusive, nothing stored
+                    // budget ran out: inconclusive, nothing stored
                     Status::Failed(format!(
                         "inconclusive: search exhausted at b = {} (raise \"budget\")",
                         out.report.results().len()
@@ -249,8 +330,12 @@ impl SolveService {
         }
     }
 
-    /// Blocks until job `id` is done or failed, then renders its response.
+    /// Blocks until job `id` settles, then renders its response. With a
+    /// service deadline configured, a job that is still queued or running
+    /// when it expires gets a structured `504` — the job itself keeps its
+    /// worker and stays pollable at `/jobs/<id>`.
     fn wait_for(&self, id: u64, key: u64, coalesced: bool) -> Response {
+        let started = Instant::now();
         let mut st = lock(&self.state);
         loop {
             match st.jobs.get(&id).map(|j| &j.status) {
@@ -277,23 +362,66 @@ impl SolveService {
                         .to_string(),
                     );
                 }
-                Some(_) => {
-                    st = self
-                        .changed
-                        .wait(st)
-                        .unwrap_or_else(PoisonError::into_inner);
+                Some(Status::TimedOut(e)) => {
+                    return Self::gateway_timeout(id, key, e.clone(), "timed_out");
+                }
+                Some(status) => {
+                    let remaining = match self.timeout {
+                        None => None,
+                        Some(deadline) => match deadline.checked_sub(started.elapsed()) {
+                            Some(rem) if !rem.is_zero() => Some(rem),
+                            _ => {
+                                iis_obs::metrics::add("serve.timeouts", 1);
+                                let detail = format!(
+                                    "deadline exceeded after {:?}; poll /jobs/{id}",
+                                    deadline
+                                );
+                                return Self::gateway_timeout(id, key, detail, status.name());
+                            }
+                        },
+                    };
+                    st = match remaining {
+                        None => self
+                            .changed
+                            .wait(st)
+                            .unwrap_or_else(PoisonError::into_inner),
+                        Some(rem) => {
+                            self.changed
+                                .wait_timeout(st, rem)
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .0
+                        }
+                    };
                 }
                 None => return Response::bad_request("job vanished"),
             }
         }
     }
 
+    fn gateway_timeout(id: u64, key: u64, error: String, status: &str) -> Response {
+        Response::json_status(
+            "504 Gateway Timeout",
+            Json::obj([
+                ("error", Json::Str(error)),
+                ("job", Json::Num(id as f64)),
+                ("key", key_hex(key)),
+                ("status", Json::Str(status.to_string())),
+            ])
+            .to_string(),
+        )
+    }
+
     /// `POST /solve`.
     fn handle_solve(&self, body: &str) -> Response {
-        let req = match parse_solve_request(body) {
+        let mut req = match parse_solve_request(body) {
             Ok(r) => r,
             Err(e) => return Response::bad_request(&e),
         };
+        if let Some(deadline) = self.timeout {
+            // the search honors the request deadline too, so a worker is
+            // never pinned long past the 504 its waiter already received
+            req.opts = req.opts.timeout(deadline);
+        }
         let key = cache_key(&req.task, req.max_rounds);
         // fast path: the store already holds a validated record
         if let Some(text) = SharedCache(&self.store).get(key) {
@@ -314,10 +442,30 @@ impl SolveService {
         // coalesce onto an in-flight job for the same key, or enqueue
         let (id, coalesced) = {
             let mut st = lock(&self.state);
+            if st.shutdown {
+                return Response::json_status(
+                    "503 Service Unavailable",
+                    Json::obj([("error", Json::Str("shutting down".to_string()))]).to_string(),
+                );
+            }
             if let Some(&id) = st.inflight.get(&key) {
                 iis_obs::metrics::add("serve.coalesced", 1);
                 (id, true)
             } else {
+                if st.queue.len() >= self.max_queue {
+                    // bounded admission: shed load instead of queueing
+                    // unboundedly; the client is told when to come back
+                    iis_obs::metrics::add("serve.rejected", 1);
+                    return Response::json_status(
+                        "503 Service Unavailable",
+                        Json::obj([
+                            ("error", Json::Str("queue full".to_string())),
+                            ("queue", self.max_queue.to_json()),
+                        ])
+                        .to_string(),
+                    )
+                    .with_header("Retry-After", "1");
+                }
                 let id = st.next_id;
                 st.next_id += 1;
                 st.jobs.insert(
@@ -364,7 +512,9 @@ impl SolveService {
                 fields.push(("cached", Json::Bool(*cached)));
                 fields.push(("result", result.clone()));
             }
-            Status::Failed(e) => fields.push(("error", Json::Str(e.clone()))),
+            Status::Failed(e) | Status::TimedOut(e) => {
+                fields.push(("error", Json::Str(e.clone())));
+            }
             _ => {}
         }
         Json::obj(fields)
@@ -393,6 +543,39 @@ impl SolveService {
         self.changed.notify_all();
     }
 
+    /// `GET /readyz`: `200` only when the service can actually take work —
+    /// live workers, a writable store, no drain in progress. The body says
+    /// why not, so a load balancer's probe log is diagnosable.
+    fn handle_ready(&self) -> Response {
+        let workers = self.workers_alive.load(Ordering::Acquire);
+        let degraded = self
+            .degraded
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Acquire));
+        let (draining, queued) = {
+            let st = lock(&self.state);
+            (st.shutdown, st.queue.len())
+        };
+        let ready = workers > 0 && !degraded && !draining;
+        let mut fields = vec![
+            ("ready", Json::Bool(ready)),
+            ("workers", workers.to_json()),
+            ("queued", queued.to_json()),
+        ];
+        if degraded {
+            fields.push(("degraded", Json::Str("read-only".to_string())));
+        }
+        if draining {
+            fields.push(("draining", Json::Bool(true)));
+        }
+        let body = Json::obj(fields).to_string();
+        if ready {
+            Response::json(body)
+        } else {
+            Response::json_status("503 Service Unavailable", body)
+        }
+    }
+
     fn handle(&self, req: &Request) -> Option<Response> {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/solve") => Some(match req.body_utf8() {
@@ -403,17 +586,28 @@ impl SolveService {
                 self.request_shutdown();
                 Some(Response::json("{\"ok\": true}".to_string()))
             }
+            ("GET", "/healthz") => Some(Response::json("{\"ok\": true}".to_string())),
+            ("GET", "/readyz") => Some(self.handle_ready()),
             ("GET", p) if p == "/jobs" || p.starts_with("/jobs/") => Some(self.handle_jobs(p)),
+            // wrong method on a route this service does own: 405 + Allow
+            (_, "/solve") | (_, "/shutdown") => Some(Response::method_not_allowed("POST")),
+            (_, "/healthz") | (_, "/readyz") => Some(Response::method_not_allowed("GET")),
+            (_, p) if p == "/jobs" || p.starts_with("/jobs/") => {
+                Some(Response::method_not_allowed("GET"))
+            }
             _ => None,
         }
     }
 }
 
-/// `iis serve [--addr A] [--store DIR] [--workers N]` — see [`crate::USAGE`].
+/// `iis serve [--addr A] [--store DIR] [--workers N] [--queue N]
+/// [--timeout-secs T] [--drain-secs S]` — see [`crate::USAGE`].
 ///
 /// Binds `--addr` (default `127.0.0.1:0`; the bound address is printed to
 /// stderr as `serving on http://…`), serves until `POST /shutdown`, then
-/// drains and reports a one-line summary.
+/// drains gracefully (admission stops, in-flight and queued jobs get up to
+/// `--drain-secs` to finish, the store is flushed, the transport goes down
+/// last) and reports a one-line summary.
 ///
 /// # Errors
 ///
@@ -430,10 +624,30 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     if workers == 0 || workers > 64 {
         return Err(err("need 1 ≤ --workers ≤ 64"));
     }
+    let max_queue: usize = flag_value(args, "--queue")?
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| err("bad --queue"))?;
+    if max_queue == 0 || max_queue > 4096 {
+        return Err(err("need 1 ≤ --queue ≤ 4096"));
+    }
+    let timeout: Option<Duration> = match flag_value(args, "--timeout-secs")? {
+        Some(t) => Some(Duration::from_secs(
+            t.parse().map_err(|_| err("bad --timeout-secs"))?,
+        )),
+        None => None,
+    };
+    let drain: Duration = Duration::from_secs(
+        flag_value(args, "--drain-secs")?
+            .unwrap_or("10")
+            .parse()
+            .map_err(|_| err("bad --drain-secs"))?,
+    );
     let store_dir = flag_value(args, "--store")?.map(String::from);
     // a service is always observable: /metrics must carry the serve.*
     // counters without requiring a global --stats/--serve flag
     iis_obs::set_enabled(true);
+    let mut degraded = None;
     let store: Box<dyn SolveCache + Send> = match &store_dir {
         Some(dir) => {
             let store =
@@ -445,6 +659,14 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                     rec.records, rec.torn_bytes
                 );
             }
+            if rec.quarantined_segments > 0 {
+                eprintln!(
+                    "store {dir}: {} corrupt segments quarantined ({} checksum failures, \
+                     {} records recovered) — serving read-only; /readyz reports degraded",
+                    rec.quarantined_segments, rec.checksum_failures, rec.recovered_records
+                );
+            }
+            degraded = Some(store.degraded_flag());
             Box::new(store)
         }
         None => Box::new(HashMap::new()),
@@ -453,7 +675,7 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     // the first request (library tasks top out at 3 processes; prewarming a
     // few widths beyond that is microseconds).
     iis_topology::template::prewarm(5);
-    let service = Arc::new(SolveService::new(store));
+    let service = Arc::new(SolveService::new(store, max_queue, timeout, degraded));
     let mut pool = Vec::new();
     for _ in 0..workers {
         let svc = Arc::clone(&service);
@@ -475,14 +697,46 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
-    // stop the transport first (in-flight waits still have live workers),
-    // then drain and stop the solve pool
-    server.shutdown();
+    // Graceful drain. Admission already answers 503 (handle_solve checks
+    // `shutdown`); give in-flight and queued jobs up to the drain deadline
+    // to settle while the transport stays up, so accepted `wait: true`
+    // requests are answered rather than reset.
+    let drain_started = Instant::now();
+    {
+        let mut st = lock(&service.state);
+        while !st.queue.is_empty() || st.active > 0 {
+            let Some(remaining) = drain.checked_sub(drain_started.elapsed()) else {
+                break;
+            };
+            st = service
+                .changed
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+    // Stop the pool (a worker mid-solve finishes its current job), fail
+    // whatever is still queued past the deadline so its waiters unblock,
+    // flush the store, and only then tear the transport down.
     service.stop_workers.store(true, Ordering::Release);
     service.changed.notify_all();
     for t in pool {
         let _ = t.join();
     }
+    {
+        let mut st = lock(&service.state);
+        let abandoned: Vec<u64> = st.queue.drain(..).collect();
+        for id in abandoned {
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.status =
+                    Status::Failed("server shut down before the job could run".to_string());
+            }
+        }
+        st.inflight.clear();
+        service.changed.notify_all();
+    }
+    lock(&service.store).flush();
+    server.shutdown();
     let st = lock(&service.state);
     let done = st
         .jobs
@@ -698,5 +952,168 @@ mod tests {
         assert!(cmd_serve(&["--workers".into(), "0".into()]).is_err());
         assert!(cmd_serve(&["--workers".into(), "nope".into()]).is_err());
         assert!(cmd_serve(&["--addr".into(), "256.0.0.1:99999".into()]).is_err());
+        assert!(cmd_serve(&["--queue".into(), "0".into()]).is_err());
+        assert!(cmd_serve(&["--queue".into(), "nope".into()]).is_err());
+        assert!(cmd_serve(&["--timeout-secs".into(), "nope".into()]).is_err());
+        assert!(cmd_serve(&["--drain-secs".into(), "nope".into()]).is_err());
+    }
+
+    /// A service with no worker pool: jobs queue forever, which makes
+    /// admission and deadline behavior deterministic to test.
+    fn stalled_service(max_queue: usize, timeout: Option<Duration>) -> SolveService {
+        SolveService::new(Box::new(HashMap::new()), max_queue, timeout, None)
+    }
+
+    #[test]
+    fn full_queue_answers_503_with_retry_after() {
+        let svc = stalled_service(1, None);
+        // first job occupies the whole queue (no worker ever pops it)
+        let r = svc.handle_solve(r#"{"spec": "trivial:1", "wait": false}"#);
+        assert_eq!(r.status, "202 Accepted");
+        // a different key is shed with 503 + Retry-After
+        let r = svc.handle_solve(r#"{"spec": "trivial:2", "wait": false}"#);
+        assert_eq!(r.status, "503 Service Unavailable");
+        assert!(r.headers.iter().any(|(n, _)| *n == "Retry-After"), "{r:?}");
+        assert!(r.body.contains("queue full"), "{}", r.body);
+        // the same key coalesces instead of being rejected
+        let r = svc.handle_solve(r#"{"spec": "trivial:1", "wait": false}"#);
+        assert_eq!(r.status, "202 Accepted");
+        assert!(r.body.contains("coalesced"), "{}", r.body);
+    }
+
+    #[test]
+    fn waited_solve_times_out_with_a_structured_504() {
+        let svc = stalled_service(8, Some(Duration::from_millis(80)));
+        let start = Instant::now();
+        let r = svc.handle_solve(r#"{"spec": "trivial:1", "max_rounds": 1}"#);
+        assert_eq!(r.status, "504 Gateway Timeout");
+        assert!(start.elapsed() >= Duration::from_millis(80));
+        let v = Json::parse(&r.body).unwrap();
+        assert!(matches!(v.get("error"), Some(Json::Str(_))), "{}", r.body);
+        // the job is still pollable after the waiter gave up
+        let id = v.get("job").unwrap().as_f64().unwrap() as u64;
+        let r = svc.handle_jobs(&format!("/jobs/{id}"));
+        assert_eq!(r.status, "200 OK");
+        assert!(r.body.contains("queued"), "{}", r.body);
+    }
+
+    #[test]
+    fn draining_service_rejects_new_solves() {
+        let svc = stalled_service(8, None);
+        svc.request_shutdown();
+        let r = svc.handle_solve(r#"{"spec": "trivial:1"}"#);
+        assert_eq!(r.status, "503 Service Unavailable");
+        assert!(r.body.contains("shutting down"), "{}", r.body);
+        // and /readyz reports the drain
+        let r = svc.handle_ready();
+        assert_eq!(r.status, "503 Service Unavailable");
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("draining"), Some(&Json::Bool(true)), "{}", r.body);
+    }
+
+    #[test]
+    fn service_routes_reject_wrong_methods_with_allow() {
+        let svc = stalled_service(8, None);
+        for (method, path, allow) in [
+            ("GET", "/solve", "POST"),
+            ("GET", "/shutdown", "POST"),
+            ("DELETE", "/jobs/1", "GET"),
+            ("POST", "/healthz", "GET"),
+            ("POST", "/readyz", "GET"),
+        ] {
+            let req = Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                body: Vec::new(),
+            };
+            let r = svc.handle(&req).expect("service owns the route");
+            assert_eq!(r.status, "405 Method Not Allowed", "{method} {path}");
+            assert_eq!(
+                r.headers.iter().find(|(n, _)| *n == "Allow"),
+                Some(&("Allow", allow.to_string())),
+                "{method} {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn health_and_readiness_over_http() {
+        let (addr, handle) = start(&["--workers", "1"]);
+        let (head, body) = request(addr, "GET", "/healthz", "");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+        let (head, body) = request(addr, "GET", "/readyz", "");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body.get("ready"), Some(&Json::Bool(true)), "{body:?}");
+        assert_eq!(body.get("workers"), Some(&Json::Num(1.0)), "{body:?}");
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs_before_exiting() {
+        let (addr, handle) = start(&["--workers", "1"]);
+        // accept a job, then immediately ask for shutdown: the drain phase
+        // must let it finish (and be recorded) before the process exits
+        let (head, _) = request(
+            addr,
+            "POST",
+            "/solve",
+            r#"{"spec": "eps:1:3", "max_rounds": 2, "wait": false}"#,
+        );
+        assert!(head.starts_with("HTTP/1.1 202"), "{head}");
+        let summary = shutdown(addr, handle);
+        assert!(
+            summary.contains("1 jobs accepted, 1 completed"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn degraded_store_reports_on_readyz_but_solves_cold() {
+        let dir = std::env::temp_dir().join(format!("iis_serve_degraded_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+
+        // fill the store, then corrupt the segment in place
+        {
+            let mut store = Store::open(&dir).unwrap();
+            store.put(0x42, "poisoned-record").unwrap();
+            store.flush().unwrap();
+        }
+        let seg = dir.join("seg-00000.jsonl");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (addr, handle) = start(&["--store", &dir_s]);
+        // readiness reports the quarantine-degraded, read-only store
+        let (head, body) = request(addr, "GET", "/readyz", "");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert_eq!(body.get("ready"), Some(&Json::Bool(false)), "{body:?}");
+        assert_eq!(
+            body.get("degraded").and_then(|d| d.as_str()),
+            Some("read-only"),
+            "{body:?}"
+        );
+        // liveness is unaffected
+        let (head, _) = request(addr, "GET", "/healthz", "");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        // and /solve still answers correctly — cold-solved, nothing cached
+        let (head, reply) = request(
+            addr,
+            "POST",
+            "/solve",
+            r#"{"spec": "eps:1:3", "max_rounds": 2}"#,
+        );
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(reply.get("cached"), Some(&Json::Bool(false)), "{reply:?}");
+        assert!(reply
+            .get("result")
+            .unwrap()
+            .get("witness")
+            .is_some_and(|w| *w != Json::Null));
+        shutdown(addr, handle);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -96,37 +96,74 @@ struct RebuiltTower {
     subdivision: Arc<Subdivision>,
 }
 
-/// Entries the tower memo holds before it is wholesale cleared. Towers for
-/// the handful of tasks a serve process answers repeatedly fit easily;
-/// clearing (rather than LRU bookkeeping) keeps the lock section trivial.
+/// Entries the tower memo holds before the least-recently-used one is
+/// evicted. Towers for the handful of tasks a serve process answers
+/// repeatedly fit easily; a workload cycling through more distinct
+/// `(task, b)` towers sheds the coldest entry per insert instead of
+/// cliff-dropping the whole memo.
 const TOWER_CACHE_CAP: usize = 64;
 
-/// `SDS^b(I)` for `task`, memoized process-wide.
+/// The tower memo: entries carry the logical clock tick of their last use.
+/// Eviction is an O(n) min-tick scan at `n ≤ TOWER_CACHE_CAP` — cheap
+/// enough to keep the lock section trivial, no linked-list bookkeeping.
+struct TowerMemo {
+    entries: std::collections::HashMap<(u64, usize), (Arc<RebuiltTower>, u64)>,
+    tick: u64,
+}
+
+fn tower_memo() -> &'static Mutex<TowerMemo> {
+    static TOWERS: OnceLock<Mutex<TowerMemo>> = OnceLock::new();
+    TOWERS.get_or_init(|| {
+        Mutex::new(TowerMemo {
+            entries: std::collections::HashMap::new(),
+            tick: 0,
+        })
+    })
+}
+
+/// `SDS^b(I)` for `task`, memoized process-wide with LRU eviction.
 ///
 /// Lemma 3.3 makes the tower a pure function of `(I, b)`, and the arena
 /// construction is deterministic, so sharing one instance across requests
 /// changes no observable bytes — it only deletes the rebuild from every
 /// warm reply after the first. Keyed by the task's content address (tasks
 /// sharing an input complex but differing in `Δ` rebuild redundantly;
-/// the cap bounds that waste).
+/// the cap bounds that waste). Evictions are counted in
+/// `cache.tower_evictions`.
 fn rebuilt_tower(task: &Task, b: usize) -> Arc<RebuiltTower> {
-    type TowerMap = std::collections::HashMap<(u64, usize), Arc<RebuiltTower>>;
-    static TOWERS: OnceLock<Mutex<TowerMap>> = OnceLock::new();
-    let towers = TOWERS.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    let towers = tower_memo();
     let key = (fnv1a64(task.canonical_json().as_bytes()), b);
-    if let Some(t) = towers.lock().expect("tower cache poisoned").get(&key) {
-        iis_obs::metrics::add("cache.tower_hits", 1);
-        return Arc::clone(t);
+    {
+        let mut memo = towers.lock().expect("tower cache poisoned");
+        memo.tick += 1;
+        let tick = memo.tick;
+        if let Some((t, used)) = memo.entries.get_mut(&key) {
+            *used = tick;
+            iis_obs::metrics::add("cache.tower_hits", 1);
+            return Arc::clone(t);
+        }
     }
     let arena = arena_sds_tower(task.input(), b);
     let subdivision = Arc::new(arena.to_subdivision());
     let entry = Arc::new(RebuiltTower { arena, subdivision });
     iis_obs::metrics::add("cache.tower_builds", 1);
-    let mut guard = towers.lock().expect("tower cache poisoned");
-    if guard.len() >= TOWER_CACHE_CAP {
-        guard.clear();
+    let mut memo = towers.lock().expect("tower cache poisoned");
+    if !memo.entries.contains_key(&key) && memo.entries.len() >= TOWER_CACHE_CAP {
+        if let Some(coldest) = memo
+            .entries
+            .iter()
+            .min_by_key(|(_, (_, used))| *used)
+            .map(|(k, _)| *k)
+        {
+            memo.entries.remove(&coldest);
+            iis_obs::metrics::add("cache.tower_evictions", 1);
+        }
     }
-    guard.entry(key).or_insert_with(|| Arc::clone(&entry));
+    memo.tick += 1;
+    let tick = memo.tick;
+    memo.entries
+        .entry(key)
+        .or_insert_with(|| (Arc::clone(&entry), tick));
     entry
 }
 
@@ -141,6 +178,9 @@ pub trait SolveCache {
     fn get(&mut self, key: u64) -> Option<String>;
     /// Stores `value` under `key` unless the key is already present.
     fn put(&mut self, key: u64, value: &str);
+    /// Syncs any buffered writes to durable storage. Drain paths call this
+    /// before shutdown; the default is a no-op for in-memory caches.
+    fn flush(&mut self) {}
 }
 
 /// A process-local memo — the cache used when no `--store DIR` is given.
@@ -391,6 +431,32 @@ mod tests {
         );
         let out = solve_up_to_cached(&t, 1, &SolveOptions::new(), &mut cache);
         assert!(!out.hit, "invalid witness must be a miss");
+    }
+
+    #[test]
+    fn tower_memo_evicts_lru_instead_of_clearing() {
+        // cycle more distinct (task, b) keys than the cap: the memo must
+        // stay bounded and keep the recently-used entries, evicting only
+        // the coldest. b=0 towers are cheap, so the pressure is realistic.
+        let tasks: Vec<_> = (2..2 + TOWER_CACHE_CAP as u64 + 8)
+            .map(|k| approximate_agreement(1, k))
+            .collect();
+        let hot = trivial(1);
+        for t in &tasks {
+            rebuilt_tower(&hot, 0); // keep one entry hot throughout
+            rebuilt_tower(t, 0);
+        }
+        let memo = tower_memo().lock().unwrap();
+        assert!(
+            memo.entries.len() <= TOWER_CACHE_CAP,
+            "memo exceeded its cap: {}",
+            memo.entries.len()
+        );
+        let hot_key = (fnv1a64(hot.canonical_json().as_bytes()), 0usize);
+        assert!(
+            memo.entries.contains_key(&hot_key),
+            "the constantly-reused entry must survive eviction pressure"
+        );
     }
 
     #[test]

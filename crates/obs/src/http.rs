@@ -28,14 +28,23 @@
 //! joins every thread, so a completed solve never leaves a dangling
 //! listener.
 //!
+//! Request reads are hardened: the whole head+body must arrive within
+//! [`Options::read_deadline`] (anti-slowloris — a stalled client is
+//! disconnected, never pinning a worker), bodies are capped at
+//! [`Options::max_body`], and protocol violations (missing, malformed or
+//! oversized `Content-Length`; a body shorter than declared) are answered
+//! with a structured `400` rather than silently dropped. Wrong methods on
+//! known routes get `405` with an `Allow` header; unknown routes stay
+//! `404`.
+//!
 //! Every request increments the `serve.requests` counter (when metrics are
-//! enabled).
+//! enabled); rejected reads increment `serve.bad_requests`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::json::ToJson;
 use crate::metrics::Snapshot;
@@ -47,9 +56,14 @@ pub const DEFAULT_WORKERS: usize = 4;
 /// Longest request head we bother reading before answering.
 const MAX_HEAD: usize = 8 * 1024;
 
-/// Longest request body accepted (a serialized task is a few KiB; a
-/// megabyte is generous).
-const MAX_BODY: usize = 1024 * 1024;
+/// Default cap on request body size (a serialized task is a few KiB; a
+/// megabyte is generous). Override with [`Options::max_body`].
+pub const DEFAULT_MAX_BODY: usize = 1024 * 1024;
+
+/// Default wall-clock budget for reading one full request (head + body).
+/// A client that trickles bytes slower than this is disconnected, so a
+/// slowloris cannot pin a worker. Override with [`Options::read_deadline`].
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(2);
 
 /// A parsed HTTP request, as seen by a [`serve_with`] handler.
 #[derive(Clone, Debug)]
@@ -76,6 +90,9 @@ pub struct Response {
     pub status: &'static str,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `Retry-After`, `Allow`), emitted after
+    /// the standard ones.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
 }
@@ -83,11 +100,7 @@ pub struct Response {
 impl Response {
     /// A `200 OK` JSON response.
     pub fn json(body: impl Into<String>) -> Response {
-        Response {
-            status: "200 OK",
-            content_type: "application/json",
-            body: body.into(),
-        }
+        Response::json_status("200 OK", body)
     }
 
     /// A JSON response with an explicit status line (e.g. `"202 Accepted"`).
@@ -95,6 +108,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -104,13 +118,27 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Adds a response header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// The stock `404 Not Found` response.
     pub fn not_found() -> Response {
         Response::text("404 Not Found", "not found\n")
+    }
+
+    /// The stock `405 Method Not Allowed` response, advertising the methods
+    /// the route does accept via the `Allow` header.
+    pub fn method_not_allowed(allow: &'static str) -> Response {
+        Response::text("405 Method Not Allowed", "method not allowed\n").with_header("Allow", allow)
     }
 
     /// A `400 Bad Request` JSON error body: `{"error": msg}`.
@@ -134,6 +162,12 @@ pub struct Options {
     pub workers: usize,
     /// Application routes, consulted before the built-ins.
     pub handler: Option<Arc<Handler>>,
+    /// Wall-clock budget for reading one request
+    /// (default [`DEFAULT_READ_DEADLINE`]); slower clients are dropped.
+    pub read_deadline: Duration,
+    /// Largest accepted request body in bytes
+    /// (default [`DEFAULT_MAX_BODY`]); larger `Content-Length` gets a 400.
+    pub max_body: usize,
 }
 
 impl Default for Options {
@@ -141,6 +175,8 @@ impl Default for Options {
         Options {
             workers: DEFAULT_WORKERS,
             handler: None,
+            read_deadline: DEFAULT_READ_DEADLINE,
+            max_body: DEFAULT_MAX_BODY,
         }
     }
 }
@@ -229,9 +265,11 @@ pub fn serve_opts(addr: &str, opts: Options) -> std::io::Result<Server> {
         let queue = Arc::clone(&queue);
         let stop = Arc::clone(&stop);
         let handler = opts.handler.clone();
+        let read_deadline = opts.read_deadline;
+        let max_body = opts.max_body;
         threads.push(std::thread::spawn(move || {
             while let Some(stream) = queue.pop(&stop) {
-                handle_connection(stream, handler.as_deref());
+                handle_connection(stream, handler.as_deref(), read_deadline, max_body);
             }
         }));
     }
@@ -291,9 +329,44 @@ impl Drop for Server {
     }
 }
 
+/// Why [`read_request`] could not produce a [`Request`].
+enum ReadFailure {
+    /// The peer vanished, stalled past the deadline, or never sent a
+    /// parseable head — close without answering.
+    Disconnect,
+    /// A protocol violation worth answering (a 400) before closing.
+    Reject(Response),
+}
+
+/// Reads a chunk within the overall `deadline` measured from `start`;
+/// `Ok(0)` means EOF, `Err` means the deadline passed or the socket died.
+fn read_chunk(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    start: Instant,
+    deadline: Duration,
+) -> std::io::Result<usize> {
+    let remaining = deadline
+        .checked_sub(start.elapsed())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| std::io::Error::from(std::io::ErrorKind::TimedOut))?;
+    let _ = stream.set_read_timeout(Some(remaining));
+    stream.read(chunk)
+}
+
 /// Reads one request (head + `Content-Length` body) off `stream`.
-fn read_request(stream: &mut TcpStream) -> Option<Request> {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+///
+/// The whole read — however slowly the peer trickles bytes — must fit in
+/// `deadline`. Requests that violate the protocol (unparseable or missing
+/// `Content-Length` on a method that carries a body, declared length over
+/// `max_body`, body shorter than declared) are rejected with a structured
+/// `400` instead of being silently dropped.
+fn read_request(
+    stream: &mut TcpStream,
+    deadline: Duration,
+    max_body: usize,
+) -> Result<Request, ReadFailure> {
+    let start = Instant::now();
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
     let head_end = loop {
@@ -301,10 +374,12 @@ fn read_request(stream: &mut TcpStream) -> Option<Request> {
             break pos + 4;
         }
         if buf.len() >= MAX_HEAD {
-            return None;
+            return Err(ReadFailure::Reject(Response::bad_request(
+                "request head too large",
+            )));
         }
-        match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return None,
+        match read_chunk(stream, &mut chunk, start, deadline) {
+            Ok(0) | Err(_) => return Err(ReadFailure::Disconnect),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
         }
     };
@@ -312,46 +387,89 @@ fn read_request(stream: &mut TcpStream) -> Option<Request> {
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
     let path = parts.next().unwrap_or("").to_string();
-    let content_length: usize = head
-        .lines()
-        .find_map(|l| {
-            let (name, value) = l.split_once(':')?;
-            name.eq_ignore_ascii_case("content-length")
-                .then(|| value.trim().parse().ok())
-                .flatten()
-        })
-        .unwrap_or(0);
-    if content_length > MAX_BODY {
-        return None;
+    let declared = head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().to_string())
+    });
+    let content_length = match declared {
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Err(ReadFailure::Reject(Response::bad_request(
+                    "malformed Content-Length",
+                )))
+            }
+        },
+        None if matches!(method.as_str(), "POST" | "PUT" | "PATCH") => {
+            return Err(ReadFailure::Reject(Response::bad_request(
+                "missing Content-Length",
+            )))
+        }
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(ReadFailure::Reject(Response::bad_request(
+            "body exceeds maximum size",
+        )));
     }
     let mut body = buf[head_end..].to_vec();
     while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => break,
+        match read_chunk(stream, &mut chunk, start, deadline) {
+            Ok(0) | Err(_) => {
+                return Err(ReadFailure::Reject(Response::bad_request(
+                    "body shorter than Content-Length",
+                )))
+            }
             Ok(n) => body.extend_from_slice(&chunk[..n]),
         }
     }
     body.truncate(content_length);
-    Some(Request { method, path, body })
+    Ok(Request { method, path, body })
 }
 
-fn handle_connection(mut stream: TcpStream, handler: Option<&Handler>) {
-    let Some(request) = read_request(&mut stream) else {
-        return;
-    };
-    metrics::add("serve.requests", 1);
-    let response = route(&request, handler);
-    let reply = format!(
+fn write_response(stream: &mut TcpStream, response: &Response) {
+    let mut reply = format!(
         "HTTP/1.1 {}\r\nContent-Type: {}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+         Content-Length: {}\r\nConnection: close\r\n",
         response.status,
         response.content_type,
         response.body.len(),
-        response.body
     );
+    for (name, value) in &response.headers {
+        reply.push_str(name);
+        reply.push_str(": ");
+        reply.push_str(value);
+        reply.push_str("\r\n");
+    }
+    reply.push_str("\r\n");
+    reply.push_str(&response.body);
     let _ = stream.write_all(reply.as_bytes());
     let _ = stream.flush();
 }
+
+fn handle_connection(
+    mut stream: TcpStream,
+    handler: Option<&Handler>,
+    read_deadline: Duration,
+    max_body: usize,
+) {
+    let request = match read_request(&mut stream, read_deadline, max_body) {
+        Ok(request) => request,
+        Err(ReadFailure::Reject(response)) => {
+            metrics::add("serve.bad_requests", 1);
+            write_response(&mut stream, &response);
+            return;
+        }
+        Err(ReadFailure::Disconnect) => return,
+    };
+    metrics::add("serve.requests", 1);
+    let response = route(&request, handler);
+    write_response(&mut stream, &response);
+}
+
+/// The built-in routes, all GET-only.
+const BUILTIN_ROUTES: [&str; 4] = ["/metrics", "/progress", "/snapshot", "/"];
 
 fn route(request: &Request, handler: Option<&Handler>) -> Response {
     if let Some(handler) = handler {
@@ -360,12 +478,18 @@ fn route(request: &Request, handler: Option<&Handler>) -> Response {
         }
     }
     if request.method != "GET" {
-        return Response::text("405 Method Not Allowed", "method not allowed\n");
+        // known route, wrong method → 405 with Allow; unknown route → 404
+        return if BUILTIN_ROUTES.contains(&request.path.as_str()) {
+            Response::method_not_allowed("GET")
+        } else {
+            Response::not_found()
+        };
     }
     match request.path.as_str() {
         "/metrics" => Response {
             status: "200 OK",
             content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
             body: prometheus_text(&metrics::snapshot()),
         },
         "/progress" => Response::json(progress::snapshot().to_json().to_string_pretty()),
@@ -561,6 +685,11 @@ mod tests {
 
         let (head, _) = post(addr, "/metrics", "");
         assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        assert!(head.contains("Allow: GET"), "{head}");
+
+        // wrong method on an unknown route is a 404, not a 405
+        let (head, _) = post(addr, "/nope", "");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
         server.shutdown();
         // the port stops answering once shutdown returns
@@ -643,6 +772,116 @@ mod tests {
         let (head, body) = blocked.join().unwrap();
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert_eq!(body, "unblocked\n");
+        server.shutdown();
+    }
+
+    /// Sends `raw` bytes verbatim and returns the full response text.
+    fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        response
+    }
+
+    #[test]
+    fn protocol_violations_get_structured_400s() {
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        // POST without Content-Length
+        let resp = raw_roundtrip(
+            addr,
+            b"POST /solve HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("missing Content-Length"), "{resp}");
+
+        // unparseable Content-Length
+        let resp = raw_roundtrip(
+            addr,
+            b"POST /solve HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("malformed Content-Length"), "{resp}");
+
+        // body shorter than declared (peer closes early)
+        let resp = raw_roundtrip(
+            addr,
+            b"POST /solve HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("shorter than Content-Length"), "{resp}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_up_front() {
+        let server = serve_opts(
+            "127.0.0.1:0",
+            Options {
+                max_body: 64,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // the declared length alone triggers the reject — no body sent
+        let resp = raw_roundtrip(
+            addr,
+            b"POST /solve HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("exceeds maximum size"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_clients_are_dropped_at_the_read_deadline() {
+        let server = serve_opts(
+            "127.0.0.1:0",
+            Options {
+                read_deadline: Duration::from_millis(150),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // a slowloris: opens the connection, sends half a head, stalls
+        let start = Instant::now();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metrics HTT").unwrap();
+        let mut buf = [0u8; 64];
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let n = stream.read(&mut buf).unwrap_or(0);
+        // the server hangs up (EOF, no response) within the deadline
+        assert_eq!(n, 0, "stalled request must not be answered");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "worker must not stay pinned: {:?}",
+            start.elapsed()
+        );
+        // and the worker is free again for a real request
+        let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn extra_response_headers_are_emitted() {
+        let handler: Arc<Handler> = Arc::new(|req: &Request| {
+            (req.path == "/busy").then(|| {
+                Response::json_status("503 Service Unavailable", "{}")
+                    .with_header("Retry-After", "1")
+            })
+        });
+        let server = serve_with("127.0.0.1:0", handler).unwrap();
+        let addr = server.addr();
+        let (head, _) = get(addr, "/busy");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(head.contains("Retry-After: 1"), "{head}");
         server.shutdown();
     }
 

@@ -6,24 +6,42 @@
 //! 64-bit content keys to byte ranges. Each record is one line:
 //!
 //! ```text
-//! {"key": "b5c5fdcbdc1fc4c6", "value": "<record bytes, JSON-escaped>"}
+//! {"key": "b5c5fdcbdc1fc4c6", "sum": "91ab…", "value": "<record bytes, JSON-escaped>"}
 //! ```
 //!
-//! The design follows three rules, each carrying one acceptance property:
+//! `sum` is an FNV-1a checksum over the key and value, so a record
+//! corrupted on disk (a flipped bit, a torn rewrite) is detected rather
+//! than served. First-generation segments without the field are still
+//! readable — they simply skip the checksum check (their witnesses are
+//! still re-validated at the cache layer; see `iis_core::cache`).
+//!
+//! The design follows four rules, each carrying one acceptance property:
 //!
 //! - **First write wins.** [`Store::put`] on a present key is a no-op, so
 //!   every [`Store::get`] for a key returns the same bytes for the life of
-//!   the store — the bit-identity the solve service advertises (see
-//!   `iis_core::cache` for why the solver's answers are content-addressable
-//!   in the first place).
+//!   the store — the bit-identity the solve service advertises.
 //! - **Append-only with torn-tail recovery.** Writes only ever append and
-//!   flush one complete line. On open, each segment is scanned to the last
-//!   byte that parses as a complete record; a torn tail (a crash mid-write,
-//!   a truncated copy) is cut off and the store continues from the last
-//!   good record — never refusing to open, never indexing garbage.
+//!   flush one complete line. On open, a trailing incomplete record (a
+//!   crash mid-write) is cut off and the store continues from the last
+//!   good record.
+//! - **Corruption quarantines, never truncates good data.** A segment
+//!   whose *middle* fails integrity (an invalid line or a checksum
+//!   mismatch with more records after it) is moved whole to `quarantine/`
+//!   for forensics; its surviving good records stay indexed and served
+//!   from the quarantined file, and the store enters **degraded
+//!   read-only** mode ([`Store::degraded`]) — reads keep answering,
+//!   writes stop, and callers (the solve service) degrade to cold solves.
+//!   This posture is sound because every record is recomputable: the
+//!   answers are pure functions of the question (Proposition 3.1).
 //! - **Warm across restarts.** The index is rebuilt from the segments on
 //!   [`Store::open`], so a repeated request after a process restart is
 //!   still a hit.
+//!
+//! All I/O goes through the [`io::Io`] trait ([`io::FsIo`] in
+//! production), so the `iis fuzz --layer store` harness can drive the
+//! whole stack with deterministic injected faults — short writes, failed
+//! flushes, ENOSPC, bit flips, crash-at-op-k — and assert the recovery
+//! invariants above.
 //!
 //! Segments roll over at [`Store::MAX_SEGMENT_BYTES`] so no single file
 //! grows without bound; the live segment is the highest-numbered one.
@@ -38,7 +56,7 @@
 //! store.put(key, "answer").unwrap();
 //! drop(store);
 //! // a reopened store still knows the answer — and always the same bytes
-//! let store = iis_store::Store::open(&dir).unwrap();
+//! let mut store = iis_store::Store::open(&dir).unwrap();
 //! assert_eq!(store.get(key).unwrap().as_deref(), Some("answer"));
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
@@ -46,17 +64,20 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod io;
+
+use crate::io::{FsIo, Io};
 use iis_obs::{Json, ToJson};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Where a record's line lives on disk.
 #[derive(Clone, Copy, Debug)]
 struct Loc {
-    /// Index into [`Store::segments`].
-    segment: usize,
+    /// Index into [`Store::files`] (live segments and quarantined ones).
+    file: usize,
     /// Byte offset of the record's line start.
     offset: u64,
     /// Line length in bytes, including the trailing newline.
@@ -66,28 +87,45 @@ struct Loc {
 /// Counters for what [`Store::open`] found and fixed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
-    /// Complete records indexed across all segments.
+    /// Complete, integrity-checked records indexed across all segments
+    /// (including records recovered out of quarantined segments).
     pub records: u64,
-    /// Bytes of torn tail truncated from the live segment (0 on a clean
-    /// open).
+    /// Bytes of torn tail truncated from a segment (0 on a clean open).
     pub torn_bytes: u64,
     /// Records dropped because a lower-numbered (earlier) record already
-    /// held their key — can only happen if two processes appended
-    /// concurrently; first write still wins deterministically.
+    /// held their key — first write still wins deterministically.
     pub duplicate_keys: u64,
+    /// Complete lines that failed integrity: unparseable, or a checksum
+    /// mismatch. Each one is a corrupted record that was *not* served.
+    pub checksum_failures: u64,
+    /// Segments moved to `quarantine/` because their middle failed
+    /// integrity. Any quarantine puts the store in degraded read-only
+    /// mode.
+    pub quarantined_segments: u64,
+    /// Good records indexed out of quarantined segments — data that the
+    /// old truncate-at-first-error recovery would have silently dropped.
+    pub recovered_records: u64,
 }
 
 /// A persistent content-addressed key-value store. See the crate docs.
 pub struct Store {
     dir: PathBuf,
-    /// Segment file paths, sorted by segment number; the last is live.
-    segments: Vec<PathBuf>,
-    /// Append handle on the live segment.
-    live: File,
+    io: Box<dyn Io>,
+    /// Every file holding indexed records: live segments in segment order,
+    /// then any quarantined segments.
+    files: Vec<PathBuf>,
+    /// Index into [`Store::files`] of the live (append) segment, if the
+    /// store is writable.
+    live: Option<usize>,
     /// Size of the live segment in bytes.
     live_len: u64,
+    /// Segment number the next rollover file gets.
+    next_segment: usize,
     index: HashMap<u64, Loc>,
     recovery: RecoveryStats,
+    /// Raised on any integrity failure or unrepairable write error; a
+    /// degraded store refuses writes and keeps serving reads.
+    degraded: Arc<AtomicBool>,
 }
 
 /// Renders a key as the fixed-width hex used in record lines.
@@ -105,65 +143,312 @@ fn segment_path(dir: &Path, n: usize) -> PathBuf {
     dir.join(format!("seg-{n:05}.jsonl"))
 }
 
+fn segment_number(path: &Path) -> Option<usize> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("seg-")?
+        .strip_suffix(".jsonl")?
+        .parse()
+        .ok()
+}
+
+/// A free name for `path` inside the quarantine directory: the segment's
+/// own name, or `name.N` if an earlier quarantine already claimed it.
+fn quarantine_target(io: &mut dyn Io, qdir: &Path, path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .expect("segment has a name")
+        .to_string_lossy()
+        .into_owned();
+    let plain = qdir.join(&name);
+    if io.len(&plain).is_err() {
+        return plain;
+    }
+    for n in 1..1000 {
+        let candidate = qdir.join(format!("{name}.{n}"));
+        if io.len(&candidate).is_err() {
+            return candidate;
+        }
+    }
+    plain
+}
+
+/// The per-record checksum: FNV-1a over `key_hex ++ \0 ++ value`.
+fn record_sum(key: u64, value: &str) -> u64 {
+    let mut preimage = Vec::with_capacity(17 + value.len());
+    preimage.extend_from_slice(key_hex(key).as_bytes());
+    preimage.push(0);
+    preimage.extend_from_slice(value.as_bytes());
+    iis_core::cache::fnv1a64(&preimage)
+}
+
+/// Encodes one record line (v2 format, checksummed), newline included.
+fn encode_record(key: u64, value: &str) -> String {
+    format!(
+        "{}\n",
+        Json::obj([
+            ("key", Json::Str(key_hex(key))),
+            ("sum", Json::Str(key_hex(record_sum(key, value)))),
+            ("value", value.to_json()),
+        ])
+    )
+}
+
+/// Decodes one record line into `(key, value, integrity_ok)`.
+///
+/// `None` means the line is not a record at all. `integrity_ok` is `false`
+/// when a `sum` field is present and does not match — a v1 line without
+/// the field passes (its content is still re-validated at the cache
+/// layer).
+fn decode_record(line: &str) -> Option<(u64, String, bool)> {
+    let v = Json::parse(line).ok()?;
+    let key = parse_key_hex(v.get("key")?.as_str()?)?;
+    let value = v.get("value")?.as_str()?.to_string();
+    let ok = match v.get("sum") {
+        None => true,
+        Some(s) => parse_key_hex(s.as_str()?) == Some(record_sum(key, &value)),
+    };
+    Some((key, value, ok))
+}
+
+/// What scanning one segment found.
+struct SegScan {
+    /// Good records, in file order: `(key, offset, line_len)`.
+    good: Vec<(u64, u64, u64)>,
+    /// Complete lines that failed integrity.
+    bad_lines: u64,
+    /// Trailing bytes that do not form a complete line.
+    torn_bytes: u64,
+    /// Offset just past the last good record (valid when `bad_lines == 0`,
+    /// where good records are a prefix of the file).
+    good_len: u64,
+}
+
+/// The byte prefix every record line starts with — the resync marker
+/// [`salvage_line`] splits corrupt lines on. Pinned by a unit test to the
+/// exact [`encode_record`] output.
+const RECORD_MARKER: &[u8] = b"{\"key\":";
+
+/// Salvages intact records embedded in a corrupt line.
+///
+/// A single corrupted byte can destroy more than its own record: flipping
+/// a line's `\n` terminator merges it with the *next* record into one
+/// unparseable line. The neighbor's bytes are untouched, so recovery
+/// resynchronizes on the record-start marker inside the bad line and keeps
+/// every piece that independently passes its checksum — a flipped
+/// delimiter then costs exactly the record that was corrupted, never the
+/// flushed ones around it. False positives are ruled out by the checksum
+/// (and by JSON string escaping: a value can never contain the raw
+/// marker).
+fn salvage_line(line: &[u8], line_offset: u64, scan: &mut SegScan) {
+    let mut starts = Vec::new();
+    let mut i = 0;
+    while i + RECORD_MARKER.len() <= line.len() {
+        if &line[i..i + RECORD_MARKER.len()] == RECORD_MARKER {
+            starts.push(i);
+            i += RECORD_MARKER.len();
+        } else {
+            i += 1;
+        }
+    }
+    for (n, &start) in starts.iter().enumerate() {
+        let end = starts.get(n + 1).copied().unwrap_or(line.len());
+        if start == 0 && end == line.len() {
+            continue; // the whole line — already failed as a unit
+        }
+        let piece = &line[start..end];
+        if let Some((key, _, true)) = std::str::from_utf8(piece).ok().and_then(decode_record) {
+            scan.good
+                .push((key, line_offset + start as u64, piece.len() as u64));
+        }
+    }
+}
+
+/// Scans segment `bytes` line by line, classifying every record.
+fn scan_segment(bytes: &[u8]) -> SegScan {
+    let mut scan = SegScan {
+        good: Vec::new(),
+        bad_lines: 0,
+        torn_bytes: 0,
+        good_len: 0,
+    };
+    let mut offset = 0u64;
+    while (offset as usize) < bytes.len() {
+        let rest = &bytes[offset as usize..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            scan.torn_bytes = rest.len() as u64;
+            break;
+        };
+        let len = (nl + 1) as u64;
+        match std::str::from_utf8(&rest[..nl])
+            .ok()
+            .and_then(decode_record)
+        {
+            Some((key, _, true)) => {
+                scan.good.push((key, offset, len));
+                if scan.bad_lines == 0 {
+                    scan.good_len = offset + len;
+                }
+            }
+            _ => {
+                scan.bad_lines += 1;
+                salvage_line(&rest[..nl], offset, &mut scan);
+            }
+        }
+        offset += len;
+    }
+    scan
+}
+
 impl Store {
     /// Segment rollover threshold: an append that would grow the live
     /// segment past this many bytes starts a new segment instead.
     pub const MAX_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
 
-    /// Opens (or creates) the store rooted at `dir`, rebuilding the index
-    /// from every segment and truncating any torn tail on the live segment.
+    /// Opens (or creates) the store rooted at `dir` on the real
+    /// filesystem. See [`Store::open_with`].
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the directory cannot be created
-    /// or a segment cannot be read. A *corrupt* segment is not an error —
-    /// scanning stops at the first incomplete record (see
-    /// [`Store::recovery`]).
+    /// or a segment cannot be read.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Store> {
+        Store::open_with(dir, Box::new(FsIo::new()))
+    }
+
+    /// Opens (or creates) the store rooted at `dir` over an arbitrary
+    /// [`Io`] backend, rebuilding the index from every segment.
+    ///
+    /// Recovery policy, per segment:
+    ///
+    /// - a **torn tail** (trailing incomplete line, nothing bad before it)
+    ///   is truncated away and the segment stays live;
+    /// - **mid-segment corruption** (an invalid line or checksum mismatch)
+    ///   moves the whole segment to `quarantine/`; its good records are
+    ///   still indexed and served from there, and the store enters
+    ///   degraded read-only mode.
+    ///
+    /// A *corrupt* segment is therefore never an error — the store always
+    /// opens, and never serves a record that failed its checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created
+    /// or a segment cannot be read at all.
+    pub fn open_with(dir: impl AsRef<Path>, mut io: Box<dyn Io>) -> std::io::Result<Store> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".jsonl"))
-            })
+        // materialize the integrity counters so `/metrics` always carries
+        // them, even on a store that never sees a fault
+        iis_obs::metrics::Counter::handle("store.checksum_failures");
+        iis_obs::metrics::Counter::handle("store.quarantined_segments");
+        iis_obs::metrics::Counter::handle("store.recovered_records");
+        io.create_dir_all(&dir)?;
+        let qdir = dir.join("quarantine");
+        // every file holding records, in write order: live segments and
+        // previously-quarantined ones interleave by segment name, so
+        // first-write-wins resolves identically across restarts
+        let mut scan_list: Vec<(PathBuf, bool)> = io
+            .list(&dir)?
+            .into_iter()
+            .filter(|p| segment_number(p).is_some())
+            .map(|p| (p, false))
             .collect();
-        segments.sort();
-        if segments.is_empty() {
-            segments.push(segment_path(&dir, 0));
-            File::create(&segments[0])?;
+        if let Ok(quarantined) = io.list(&qdir) {
+            scan_list.extend(quarantined.into_iter().map(|p| (p, true)));
         }
+        scan_list.sort_by(|(a, _), (b, _)| a.file_name().cmp(&b.file_name()));
+        let degraded = Arc::new(AtomicBool::new(false));
+        let mut files: Vec<PathBuf> = Vec::new();
         let mut index = HashMap::new();
         let mut recovery = RecoveryStats::default();
-        let mut live_len = 0;
-        for (si, path) in segments.iter().enumerate() {
-            let good = scan_segment(path, si, &mut index, &mut recovery)?;
-            let disk_len = std::fs::metadata(path)?.len();
-            if disk_len > good {
-                // torn tail: cut the segment back to its last complete
-                // record so the next append starts on a line boundary
-                recovery.torn_bytes += disk_len - good;
-                let f = OpenOptions::new().write(true).open(path)?;
-                f.set_len(good)?;
+        let mut live: Option<usize> = None;
+        let mut live_len = 0u64;
+        let mut next_segment = scan_list
+            .iter()
+            .filter_map(|(p, _)| segment_number(p))
+            .max()
+            .map_or(0, |n| n + 1);
+        for (path, was_quarantined) in &scan_list {
+            let bytes = io.read(path)?;
+            let scan = scan_segment(&bytes);
+            recovery.checksum_failures += scan.bad_lines;
+            let corrupt = scan.bad_lines > 0;
+            let file_path = if *was_quarantined {
+                // damage found by an earlier open: keep serving its good
+                // records, and stay read-only until an operator clears
+                // quarantine/ — degradation must survive a restart
+                recovery.quarantined_segments += 1;
+                recovery.recovered_records += scan.good.len() as u64;
+                degraded.store(true, Ordering::Release);
+                path.clone()
+            } else if corrupt {
+                // quarantine the whole segment; its good records stay
+                // indexed below, served from the quarantined path
+                recovery.quarantined_segments += 1;
+                recovery.recovered_records += scan.good.len() as u64;
+                degraded.store(true, Ordering::Release);
+                let target = quarantine_target(&mut *io, &qdir, path);
+                if io.create_dir_all(&qdir).is_ok() && io.rename(path, &target).is_ok() {
+                    target
+                } else {
+                    // the move itself failed: serve from where it lies;
+                    // the store is read-only either way
+                    path.clone()
+                }
+            } else {
+                if scan.torn_bytes > 0 {
+                    recovery.torn_bytes += scan.torn_bytes;
+                    if io.truncate(path, scan.good_len).is_err() {
+                        // cannot make the tail safe to append after:
+                        // keep serving the good prefix, stop writing
+                        degraded.store(true, Ordering::Release);
+                    }
+                }
+                path.clone()
+            };
+            let file = files.len();
+            files.push(file_path);
+            for (key, offset, len) in scan.good {
+                if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(key) {
+                    slot.insert(Loc { file, offset, len });
+                    recovery.records += 1;
+                } else {
+                    recovery.duplicate_keys += 1;
+                }
             }
-            live_len = good;
+            if !corrupt && !*was_quarantined {
+                live = Some(file);
+                live_len = bytes.len() as u64 - scan.torn_bytes;
+            }
         }
-        let live = OpenOptions::new()
-            .append(true)
-            .open(segments.last().expect("at least one segment"))?;
+        if degraded.load(Ordering::Acquire) {
+            live = None;
+        } else if live.is_none() {
+            // no appendable segment exists (fresh dir): start a new one
+            let path = segment_path(&dir, next_segment);
+            io.create(&path)?;
+            next_segment += 1;
+            live = Some(files.len());
+            files.push(path);
+            live_len = 0;
+        }
         iis_obs::metrics::add("store.records_indexed", recovery.records);
         if recovery.torn_bytes > 0 {
             iis_obs::metrics::add("store.torn_bytes_recovered", recovery.torn_bytes);
         }
+        iis_obs::metrics::add("store.checksum_failures", recovery.checksum_failures);
+        iis_obs::metrics::add("store.quarantined_segments", recovery.quarantined_segments);
+        iis_obs::metrics::add("store.recovered_records", recovery.recovered_records);
         Ok(Store {
             dir,
-            segments,
+            io,
+            files,
             live,
             live_len,
+            next_segment,
             index,
             recovery,
+            degraded,
         })
     }
 
@@ -182,9 +467,10 @@ impl Store {
         self.index.is_empty()
     }
 
-    /// Number of on-disk segment files.
+    /// Number of files holding indexed records (live segments plus any
+    /// quarantined ones).
     pub fn num_segments(&self) -> usize {
-        self.segments.len()
+        self.files.len()
     }
 
     /// What the most recent [`Store::open`] found and fixed.
@@ -192,43 +478,59 @@ impl Store {
         self.recovery
     }
 
+    /// `true` iff the store has entered degraded read-only mode: an
+    /// integrity failure was detected (at open or during a read) or a
+    /// failed write could not be repaired. Reads keep answering; writes
+    /// are refused so a suspect disk is never appended to.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// A shared handle on the degraded flag, for health endpoints that
+    /// outlive the borrow on the store itself.
+    pub fn degraded_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.degraded)
+    }
+
     /// `true` iff `key` has a record.
     pub fn contains(&self, key: u64) -> bool {
         self.index.contains_key(&key)
     }
 
-    /// Reads the record stored under `key` from disk.
+    /// Reads the record stored under `key` from disk, re-checking its
+    /// checksum. A record whose bytes no longer verify is dropped from the
+    /// index, counted in `store.checksum_failures`, and reported as
+    /// absent — corrupted bytes are never returned to a caller — and the
+    /// store degrades to read-only.
     ///
     /// # Errors
     ///
-    /// Returns an I/O error if the segment cannot be read, or
-    /// `InvalidData` if the line on disk no longer matches the index (an
-    /// externally modified segment).
-    pub fn get(&self, key: u64) -> std::io::Result<Option<String>> {
-        let Some(loc) = self.index.get(&key) else {
+    /// Returns an I/O error if the segment cannot be read.
+    pub fn get(&mut self, key: u64) -> std::io::Result<Option<String>> {
+        let Some(loc) = self.index.get(&key).copied() else {
             iis_obs::metrics::add("store.misses", 1);
             return Ok(None);
         };
-        let mut f = File::open(&self.segments[loc.segment])?;
-        f.seek(SeekFrom::Start(loc.offset))?;
-        let mut line = vec![0u8; loc.len as usize];
-        f.read_exact(&mut line)?;
-        let text = std::str::from_utf8(&line)
-            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 record"))?;
-        let (k, value) = decode_record(text.trim_end_matches('\n')).ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "indexed line is not a record",
-            )
-        })?;
-        if k != key {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "indexed line holds a different key",
-            ));
+        let bytes = self
+            .io
+            .read_range(&self.files[loc.file], loc.offset, loc.len)?;
+        let record = std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|text| decode_record(text.trim_end_matches('\n')));
+        match record {
+            Some((k, value, true)) if k == key => {
+                iis_obs::metrics::add("store.hits", 1);
+                Ok(Some(value))
+            }
+            _ => {
+                // the bytes under an indexed record changed: treat the
+                // medium as suspect — drop the record, stop writing
+                self.index.remove(&key);
+                self.degraded.store(true, Ordering::Release);
+                iis_obs::metrics::add("store.checksum_failures", 1);
+                Ok(None)
+            }
         }
-        iis_obs::metrics::add("store.hits", 1);
-        Ok(Some(value))
     }
 
     /// Appends a record for `key` unless one exists (**first write wins** —
@@ -236,29 +538,55 @@ impl Store {
     /// valid). Returns `true` iff a record was written. The line is flushed
     /// before returning, so a record acknowledged here survives a crash.
     ///
+    /// On a degraded store this is a silent no-op (`Ok(false)`, counted in
+    /// `store.puts_skipped_degraded`): callers keep their cold-solved
+    /// answer and nothing touches the suspect disk.
+    ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error; the index is only updated after a
-    /// successful flush.
+    /// Returns the underlying I/O error. A failed append may have left a
+    /// partial line on disk; the store truncates back to the last good
+    /// length, and if even that repair fails it degrades to read-only —
+    /// either way the index never points at bytes that were not fully
+    /// flushed.
     pub fn put(&mut self, key: u64, value: &str) -> std::io::Result<bool> {
         if self.index.contains_key(&key) {
             return Ok(false);
         }
-        let line = format!(
-            "{}\n",
-            Json::obj([("key", Json::Str(key_hex(key))), ("value", value.to_json()),])
-        );
+        let live = match self.live {
+            Some(live) if !self.degraded.load(Ordering::Acquire) => live,
+            _ => {
+                iis_obs::metrics::add("store.puts_skipped_degraded", 1);
+                return Ok(false);
+            }
+        };
+        let line = encode_record(key, value);
+        let mut file = live;
         if self.live_len + line.len() as u64 > Self::MAX_SEGMENT_BYTES && self.live_len > 0 {
-            let next = segment_path(&self.dir, self.segments.len());
-            File::create(&next)?;
-            self.live = OpenOptions::new().append(true).open(&next)?;
+            let next = segment_path(&self.dir, self.next_segment);
+            self.io.create(&next)?;
+            self.next_segment += 1;
+            file = self.files.len();
+            self.files.push(next);
+            self.live = Some(file);
             self.live_len = 0;
-            self.segments.push(next);
         }
-        self.live.write_all(line.as_bytes())?;
-        self.live.flush()?;
+        let path = self.files[file].clone();
+        let wrote = self
+            .io
+            .append(&path, line.as_bytes())
+            .and_then(|()| self.io.flush(&path));
+        if let Err(e) = wrote {
+            // the tail may hold a partial line; cut back to the last known
+            // good length so later appends start on a line boundary
+            if self.io.truncate(&path, self.live_len).is_err() {
+                self.degraded.store(true, Ordering::Release);
+                self.live = None;
+            }
+            return Err(e);
+        }
         let loc = Loc {
-            segment: self.segments.len() - 1,
+            file,
             offset: self.live_len,
             len: line.len() as u64,
         };
@@ -266,6 +594,23 @@ impl Store {
         self.index.insert(key, loc);
         iis_obs::metrics::add("store.puts", 1);
         Ok(true)
+    }
+
+    /// Flushes the live segment (a no-op on a degraded store). Every
+    /// [`Store::put`] already flushes before acknowledging; this exists
+    /// for drain paths that want an explicit final sync.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match self.live {
+            Some(live) => {
+                let path = self.files[live].clone();
+                self.io.flush(&path)
+            }
+            None => Ok(()),
+        }
     }
 }
 
@@ -281,70 +626,26 @@ impl iis_core::cache::SolveCache for Store {
     fn put(&mut self, key: u64, value: &str) {
         let _ = Store::put(self, key, value);
     }
-}
 
-/// Decodes one record line into `(key, value)`.
-fn decode_record(line: &str) -> Option<(u64, String)> {
-    let v = Json::parse(line).ok()?;
-    let key = parse_key_hex(v.get("key")?.as_str()?)?;
-    let value = v.get("value")?.as_str()?.to_string();
-    Some((key, value))
-}
-
-/// Scans `path`, indexing complete records, and returns the byte offset
-/// just past the last complete record (the segment's "good length").
-fn scan_segment(
-    path: &Path,
-    segment: usize,
-    index: &mut HashMap<u64, Loc>,
-    recovery: &mut RecoveryStats,
-) -> std::io::Result<u64> {
-    let mut reader = BufReader::new(File::open(path)?);
-    let mut offset = 0u64;
-    let mut line = Vec::new();
-    loop {
-        line.clear();
-        let n = reader.read_until(b'\n', &mut line)?;
-        if n == 0 {
-            return Ok(offset);
-        }
-        if line.last() != Some(&b'\n') {
-            // no trailing newline: the write was interrupted mid-line
-            return Ok(offset);
-        }
-        let Some((key, _)) = std::str::from_utf8(&line[..n - 1])
-            .ok()
-            .and_then(decode_record)
-        else {
-            // a complete line that is not a record: treat everything from
-            // here on as torn — appends only ever produce record lines
-            return Ok(offset);
-        };
-        // first-write-wins: an earlier segment's record for this key stays
-        // authoritative; later duplicates are counted but not indexed
-        if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(key) {
-            slot.insert(Loc {
-                segment,
-                offset,
-                len: n as u64,
-            });
-            recovery.records += 1;
-        } else {
-            recovery.duplicate_keys += 1;
-        }
-        offset += n as u64;
+    fn flush(&mut self) {
+        let _ = Store::flush(self);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::MemIo;
 
     fn tmp(name: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("iis-store-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn mem_store(io: &MemIo) -> Store {
+        Store::open_with("/store", Box::new(io.clone())).unwrap()
     }
 
     #[test]
@@ -358,6 +659,7 @@ mod tests {
         assert_eq!(s.get(8).unwrap(), None);
         assert!(s.contains(7) && !s.contains(8));
         assert_eq!(s.len(), 1);
+        assert!(!s.degraded());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -369,7 +671,7 @@ mod tests {
         s.put(1, value).unwrap();
         assert_eq!(s.get(1).unwrap().as_deref(), Some(value));
         drop(s);
-        let s = Store::open(&dir).unwrap();
+        let mut s = Store::open(&dir).unwrap();
         assert_eq!(s.get(1).unwrap().as_deref(), Some(value));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -382,7 +684,7 @@ mod tests {
             s.put(k, &format!("value-{k}")).unwrap();
         }
         drop(s);
-        let s = Store::open(&dir).unwrap();
+        let mut s = Store::open(&dir).unwrap();
         assert_eq!(s.len(), 50);
         assert_eq!(s.recovery().records, 50);
         assert_eq!(s.recovery().torn_bytes, 0);
@@ -409,11 +711,12 @@ mod tests {
         assert_eq!(s.get(1).unwrap().as_deref(), Some("first"));
         assert_eq!(s.get(2).unwrap(), None);
         assert!(s.recovery().torn_bytes > 0);
+        assert!(!s.degraded(), "a torn tail alone must not degrade");
         // the segment is truncated on a line boundary: appending works and
         // a further reopen sees both records
         s.put(3, "third").unwrap();
         drop(s);
-        let s = Store::open(&dir).unwrap();
+        let mut s = Store::open(&dir).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(3).unwrap().as_deref(), Some("third"));
         assert_eq!(s.recovery().torn_bytes, 0, "second open is clean");
@@ -421,18 +724,128 @@ mod tests {
     }
 
     #[test]
-    fn mid_file_garbage_stops_the_scan_conservatively() {
+    fn mid_file_garbage_quarantines_but_recovers_good_records() {
         let dir = tmp("garbage");
         let mut s = Store::open(&dir).unwrap();
-        s.put(1, "keep").unwrap();
+        s.put(1, "keep-before").unwrap();
         drop(s);
+        // corruption in the middle: garbage line between two good records
         let seg = segment_path(&dir, 0);
         let mut bytes = std::fs::read(&seg).unwrap();
         bytes.extend_from_slice(b"this is not a record\n");
+        bytes.extend_from_slice(encode_record(2, "keep-after").as_bytes());
         std::fs::write(&seg, &bytes).unwrap();
-        let s = Store::open(&dir).unwrap();
-        assert_eq!(s.len(), 1);
-        assert!(s.recovery().torn_bytes > 0);
+        let mut s = Store::open(&dir).unwrap();
+        // both good records survive — the old recovery would have dropped
+        // everything after the garbage line
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1).unwrap().as_deref(), Some("keep-before"));
+        assert_eq!(s.get(2).unwrap().as_deref(), Some("keep-after"));
+        let rec = s.recovery();
+        assert_eq!(rec.checksum_failures, 1);
+        assert_eq!(rec.quarantined_segments, 1);
+        assert_eq!(rec.recovered_records, 2);
+        // the segment was moved whole into quarantine/
+        assert!(!seg.exists());
+        assert!(dir.join("quarantine").join("seg-00000.jsonl").exists());
+        // and the store is read-only now
+        assert!(s.degraded());
+        assert!(!s.put(3, "refused").unwrap());
+        assert_eq!(s.get(3).unwrap(), None);
+        // a restart reads quarantine/: still degraded, records still served
+        drop(s);
+        let mut s = Store::open(&dir).unwrap();
+        assert!(s.degraded(), "degradation must survive a restart");
+        assert_eq!(s.get(1).unwrap().as_deref(), Some("keep-before"));
+        assert_eq!(s.get(2).unwrap().as_deref(), Some("keep-after"));
+        assert!(!s.put(3, "still refused").unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_the_checksum() {
+        let dir = tmp("bitflip");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(1, "pristine-value").unwrap();
+        s.put(2, "other").unwrap();
+        drop(s);
+        // flip one bit inside the first record's value
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let pos = bytes
+            .windows(8)
+            .position(|w| w == b"pristine")
+            .expect("value is on disk");
+        bytes[pos] ^= 0x20;
+        std::fs::write(&seg, &bytes).unwrap();
+        let mut s = Store::open(&dir).unwrap();
+        // the flipped record is quarantined with the segment; the intact
+        // one is recovered and served
+        assert_eq!(s.get(1).unwrap(), None, "corrupt record must not serve");
+        assert_eq!(s.get(2).unwrap().as_deref(), Some("other"));
+        assert!(s.recovery().checksum_failures >= 1);
+        assert!(s.degraded());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_lines_start_with_the_resync_marker() {
+        assert!(
+            encode_record(7, "anything")
+                .as_bytes()
+                .starts_with(RECORD_MARKER),
+            "salvage resync marker out of sync with the record encoding"
+        );
+    }
+
+    #[test]
+    fn corrupted_newline_only_loses_the_flipped_record() {
+        let dir = tmp("mergedline");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(1, "first-record").unwrap();
+        s.put(2, "second-record").unwrap();
+        s.put(3, "third-record").unwrap();
+        drop(s);
+        // flip the newline between record 1 and record 2: lines merge
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[nl] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let mut s = Store::open(&dir).unwrap();
+        // record 1's framing is corrupt (trailing garbage byte) — gone;
+        // records 2 and 3 are byte-intact and must both survive, record 2
+        // salvaged from inside the merged bad line
+        assert_eq!(s.get(1).unwrap(), None);
+        assert_eq!(s.get(2).unwrap().as_deref(), Some("second-record"));
+        assert_eq!(s.get(3).unwrap().as_deref(), Some("third-record"));
+        assert!(s.degraded());
+        assert_eq!(s.recovery().quarantined_segments, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_records_without_checksums_still_read() {
+        let dir = tmp("v1compat");
+        std::fs::create_dir_all(&dir).unwrap();
+        // a first-generation line: key + value, no "sum"
+        let line = format!(
+            "{}\n",
+            Json::obj([
+                ("key", Json::Str(key_hex(9))),
+                ("value", Json::Str("legacy".to_string())),
+            ])
+        );
+        std::fs::write(segment_path(&dir, 0), line).unwrap();
+        let mut s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(9).unwrap().as_deref(), Some("legacy"));
+        assert!(!s.degraded());
+        // new writes use the checksummed format alongside old records
+        s.put(10, "modern").unwrap();
+        drop(s);
+        let mut s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(9).unwrap().as_deref(), Some("legacy"));
+        assert_eq!(s.get(10).unwrap().as_deref(), Some("modern"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -448,12 +861,62 @@ mod tests {
         }
         assert!(s.num_segments() > 1, "expected a rollover");
         drop(s);
-        let s = Store::open(&dir).unwrap();
+        let mut s = Store::open(&dir).unwrap();
         assert_eq!(s.len(), 40);
         for k in 0..40u64 {
             assert_eq!(s.get(k).unwrap().unwrap().len(), value.len());
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memio_backend_matches_disk_semantics() {
+        let io = MemIo::new();
+        let mut s = mem_store(&io);
+        s.put(1, "one").unwrap();
+        s.put(2, "two").unwrap();
+        drop(s);
+        let mut s = mem_store(&io);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1).unwrap().as_deref(), Some("one"));
+        assert_eq!(s.get(2).unwrap().as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn unflushed_tail_lost_in_a_crash_is_recovered_as_torn() {
+        let mut io = MemIo::new();
+        let mut s = mem_store(&io);
+        s.put(1, "durable").unwrap();
+        drop(s);
+        // simulate an unflushed partial append (a crash mid-put would
+        // leave exactly this)
+        use crate::io::Io as _;
+        io.append(Path::new("/store/seg-00000.jsonl"), b"{\"key\": \"00")
+            .unwrap();
+        io.crash(|_, unflushed| unflushed / 2);
+        let mut s = mem_store(&io);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(1).unwrap().as_deref(), Some("durable"));
+        assert!(s.recovery().torn_bytes > 0);
+        assert!(!s.degraded());
+    }
+
+    #[test]
+    fn external_mutation_under_an_indexed_record_degrades_on_read() {
+        let mut io = MemIo::new();
+        let mut s = mem_store(&io);
+        s.put(1, "value-one").unwrap();
+        // corrupt the live bytes *after* open, under the running index
+        use crate::io::Io as _;
+        let path = Path::new("/store/seg-00000.jsonl");
+        let mut bytes = io.read(path).unwrap();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0x01;
+        io.truncate(path, 0).unwrap();
+        io.append(path, &bytes).unwrap();
+        assert_eq!(s.get(1).unwrap(), None, "corrupt bytes must not serve");
+        assert!(s.degraded());
+        assert!(!s.put(2, "refused").unwrap());
     }
 
     #[test]

@@ -19,6 +19,9 @@ for layer in iis atomic emulation bg; do
 done
 "$IIS" fuzz --layer iis --rounds 2 --exhaustive
 "$IIS" fuzz --layer iis --task oneshot:2 --rounds 1 --seed 7 --cases 200 --crashes 2 --shrink
+# Storage-fault sweep: the witness store's recovery invariants under
+# injected short writes, ENOSPC, bit flips, failed flushes and crashes.
+"$IIS" fuzz --layer store --seed 7 --cases 500 --shrink
 
 # Live-introspection smoke: solve with --serve on an ephemeral port, scrape
 # /metrics and /progress over bash's /dev/tcp while the process runs, then
@@ -59,11 +62,13 @@ echo "serve smoke: ok"
 # Solve-service smoke: start `iis serve` with a persistent store on an
 # ephemeral port, POST the same task twice, and require the second reply
 # to come from the store ("cached": true) with a byte-identical witness
-# and serve_cache_hits_total = 1; then POST /shutdown and require a clean
-# exit.
+# and serve_cache_hits_total = 1; probe /healthz and /readyz; accept an
+# async job and POST /shutdown while it may still be running — the drain
+# must finish it (summary says so) and the exit must be clean.
 serve_log=$(mktemp)
+serve_out=$(mktemp)
 store_dir=$(mktemp -d)
-"$IIS" serve --addr 127.0.0.1:0 --store "$store_dir" >/dev/null 2>"$serve_log" &
+"$IIS" serve --addr 127.0.0.1:0 --store "$store_dir" >"$serve_out" 2>"$serve_log" &
 serve_pid=$!
 port=""
 for _ in $(seq 1 100); do
@@ -92,10 +97,25 @@ wit1=$(printf '%s' "$first"  | sed 's/.*"witness"://')
 wit2=$(printf '%s' "$second" | sed 's/.*"witness"://')
 [ -n "$wit1" ] && [ "$wit1" = "$wit2" ] \
   || { echo "solve service smoke: witnesses differ"; echo "$wit1"; echo "$wit2"; exit 1; }
-hits=$(scrape /metrics | sed -n 's/^serve_cache_hits_total //p')
+metrics=$(scrape /metrics)
+hits=$(echo "$metrics" | sed -n 's/^serve_cache_hits_total //p')
 [ "$hits" = "1" ] \
   || { echo "solve service smoke: expected serve_cache_hits_total 1, got '$hits'"; exit 1; }
+# the store's corruption counters are registered (at zero) from the start
+echo "$metrics" | grep -q '^store_checksum_failures_total ' \
+  || { echo "solve service smoke: /metrics lacks store_checksum_failures_total"; echo "$metrics"; exit 1; }
+# liveness and readiness answer while serving
+scrape /healthz | grep -q '"ok": true' \
+  || { echo "solve service smoke: /healthz not ok"; exit 1; }
+scrape /readyz | grep -q '"ready":true' \
+  || { echo "solve service smoke: /readyz not ready"; exit 1; }
+# drain path: accept an async job, then shut down while it may be running
+accepted=$(post /solve '{"spec": "trivial:2", "max_rounds": 1, "wait": false}')
+echo "$accepted" | grep -q '"job":' \
+  || { echo "solve service smoke: async solve not accepted"; echo "$accepted"; exit 1; }
 post /shutdown '' >/dev/null
 wait "$serve_pid" || { echo "solve service smoke: serve exited nonzero"; cat "$serve_log"; exit 1; }
-rm -rf "$serve_log" "$store_dir"
+grep -q '2 jobs accepted, 2 completed' "$serve_out" \
+  || { echo "solve service smoke: drain did not finish the accepted job"; cat "$serve_out"; exit 1; }
+rm -rf "$serve_log" "$serve_out" "$store_dir"
 echo "solve service smoke: ok"

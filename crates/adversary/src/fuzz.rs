@@ -16,6 +16,7 @@ use crate::adversary::{
 use crate::atomic::{atomic_candidates, run_atomic_case, AtomicCase};
 use crate::bg::{bg_candidates, run_bg_case, BgCase};
 use crate::emulation::{emulation_candidates, run_emulation_case, EmulationCase};
+use crate::gateway::{gateway_candidates, gateway_case_at, run_gateway_case, GatewayCase};
 use crate::iis::{iis_candidates, run_iis_case, IisCase, IisTrace, TaskContext};
 use crate::oracle::OracleFailure;
 use crate::shrink::shrink_case;
@@ -39,6 +40,10 @@ pub enum Layer {
     /// `iis_store::Store` over a fault-injecting I/O backend — durability
     /// and recovery invariants instead of schedule axioms.
     Store,
+    /// `iis_cluster::Gateway` over a fault-injecting transport — routing
+    /// soundness (never a wrong answer, only late or `503`) instead of
+    /// schedule axioms.
+    Gateway,
 }
 
 impl Layer {
@@ -50,6 +55,7 @@ impl Layer {
             "emulation" => Some(Layer::Emulation),
             "bg" => Some(Layer::Bg),
             "store" => Some(Layer::Store),
+            "gateway" => Some(Layer::Gateway),
             _ => None,
         }
     }
@@ -62,6 +68,7 @@ impl Layer {
             Layer::Emulation => "emulation",
             Layer::Bg => "bg",
             Layer::Store => "store",
+            Layer::Gateway => "gateway",
         }
     }
 }
@@ -334,6 +341,19 @@ pub fn fuzz(cfg: &FuzzConfig<'_>) -> FuzzOutcome {
                 cfg.shrink,
             )
         }
+        Layer::Gateway => {
+            let seed = cfg.seed;
+            drive(
+                cfg.layer,
+                cfg.seed,
+                cfg.cases,
+                |i| gateway_case_at(seed, i),
+                |c: &GatewayCase| usize::from(c.fault_denom > 0),
+                run_gateway_case,
+                gateway_candidates,
+                cfg.shrink,
+            )
+        }
     }
 }
 
@@ -349,6 +369,7 @@ mod tests {
             Layer::Emulation,
             Layer::Bg,
             Layer::Store,
+            Layer::Gateway,
         ] {
             let mut cfg = FuzzConfig::new(layer);
             cfg.cases = 25;
@@ -368,6 +389,7 @@ mod tests {
             Layer::Emulation,
             Layer::Bg,
             Layer::Store,
+            Layer::Gateway,
         ] {
             assert_eq!(Layer::parse(layer.name()), Some(layer));
         }

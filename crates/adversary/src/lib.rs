@@ -16,7 +16,11 @@
 //!   non-blocking progress under mid-WriteRead crashes;
 //! - **bg** — the BG simulation ([`iis_core::bg::BgSimulation`]): `f`
 //!   simulator crashes stall at most `f` simulated processes, and decided
-//!   views nest.
+//!   views nest;
+//! - **gateway** — the cluster gateway ([`iis_cluster::Gateway`]) over a
+//!   fault-injecting transport: under drops, delays, short reads, and
+//!   dead shards, no question is ever answered wrongly, misaligned, or
+//!   twice — only late or `503` (purity makes failover sound).
 //!
 //! Everything is replayable: a case is a pure function of
 //! `(seed, case_index)` ([`adversary::derive_seed`]), the driver is
@@ -31,6 +35,7 @@ pub mod atomic;
 pub mod bg;
 pub mod emulation;
 pub mod fuzz;
+pub mod gateway;
 pub mod iis;
 pub mod oracle;
 pub mod plan;
@@ -44,6 +49,7 @@ pub use atomic::{run_atomic_case, AtomicCase};
 pub use bg::{run_bg_case, BgCase};
 pub use emulation::{run_emulation_case, EmulationCase};
 pub use fuzz::{fuzz, CaseFailure, FuzzConfig, FuzzOutcome, Layer};
+pub use gateway::{run_gateway_case, FaultyTransport, GatewayCase, MockCluster, TransportFault};
 pub use iis::{check_iis_trace, execute_iis, run_iis_case, IisCase, IisTrace, TaskContext};
 pub use oracle::OracleFailure;
 pub use plan::{CrashEvent, CrashMode, FaultPlan};

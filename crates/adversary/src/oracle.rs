@@ -97,6 +97,13 @@ pub enum OracleFailure {
         /// Which invariant broke, and how.
         detail: String,
     },
+    /// Gateway routing: a question was answered wrongly, misaligned,
+    /// dropped, or duplicated under injected transport faults — purity
+    /// allows an answer to be late or `503`, never different.
+    GatewayRouting {
+        /// Which invariant broke, and how.
+        detail: String,
+    },
 }
 
 impl OracleFailure {
@@ -114,6 +121,7 @@ impl OracleFailure {
             Self::BgBlocked { .. } => "bg_blocked",
             Self::BgIncomparableViews { .. } => "bg_incomparable_views",
             Self::StoreRecovery { .. } => "store_recovery",
+            Self::GatewayRouting { .. } => "gateway_routing",
         }
     }
 }
@@ -162,6 +170,7 @@ impl fmt::Display for OracleFailure {
                 "simulated processes {a} and {b} decided incomparable views"
             ),
             Self::StoreRecovery { detail } => write!(f, "{detail}"),
+            Self::GatewayRouting { detail } => write!(f, "{detail}"),
         }
     }
 }

@@ -250,6 +250,11 @@ impl Io for FaultyIo {
         self.tick()?;
         self.inner.rename(from, to)
     }
+
+    fn remove(&mut self, path: &Path) -> std::io::Result<()> {
+        self.tick()?;
+        self.inner.remove(path)
+    }
 }
 
 /// One storage fuzz case: a seeded workload shape. The whole put/get

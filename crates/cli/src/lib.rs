@@ -41,6 +41,9 @@ pub(crate) fn err(msg: impl Into<String>) -> CliError {
 mod serve;
 pub use serve::cmd_serve;
 
+mod gateway;
+pub use gateway::cmd_gateway;
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 iis — wait-free computability toolbox (Borowsky–Gafni PODC'97)
@@ -67,11 +70,23 @@ USAGE:
                                           --timeout-secs bounds a waited
                                           solve ⇒ 504, --drain-secs bounds
                                           the graceful drain on shutdown)
+  iis gateway --backends A,B[,…] [--replicas R] [--addr A] [--workers N]
+              [--probe-ms MS] [--timeout-secs T]
+                                          front a fleet of iis serve shards:
+                                          rendezvous-routed POST /solve
+                                          (single or {\"questions\": […]}
+                                          batch), failover to replicas,
+                                          GET /cluster, aggregated
+                                          GET /metrics, POST /shutdown
+  iis store repair <DIR>                  re-encode surviving records from
+                                          a store's quarantined segments
+                                          into a fresh segment and lift the
+                                          read-only degradation
   iis emulate <n> <k> [--adversary A] [--seed S]
                                           emulate the k-shot protocol on IIS
   iis bg <n_sim> <k> <m> [--crash SIM@STEP]
                                           run the BG simulation
-  iis fuzz --layer iis|atomic|emulation|bg|store [--task SPEC] [--seed S]
+  iis fuzz --layer iis|atomic|emulation|bg|store|gateway [--task SPEC] [--seed S]
            [--cases N] [--crashes K] [--n N] [--rounds B] [--shrink]
            [--exhaustive]                 adversarial sweep with fault
                                           injection; replay a failure from
@@ -108,19 +123,7 @@ pub fn parse_task(spec: &str) -> Result<Task, CliError> {
         return iis_obs::Json::parse_as::<Task>(&text)
             .map_err(|e| err(format!("bad task file: {e}")));
     }
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<usize, CliError> {
-        s.parse().map_err(|_| err(format!("bad number: {s}")))
-    };
-    match parts.as_slice() {
-        ["trivial", n] => Ok(library::trivial(num(n)?)),
-        ["consensus", n] => Ok(library::consensus(num(n)?, &[0, 1])),
-        ["kset", n, k] => Ok(library::k_set_consensus(num(n)?, num(k)?)),
-        ["renaming", n, m] => Ok(library::renaming(num(n)?, num(m)?)),
-        ["eps", n, grid] => Ok(library::approximate_agreement(num(n)?, num(grid)? as u64)),
-        ["oneshot", n] => Ok(library::one_shot_immediate_snapshot_task(num(n)?)),
-        _ => Err(err(format!("unknown task spec: {spec}"))),
-    }
+    library::parse_spec(spec).map_err(err)
 }
 
 fn parse_dims(args: &[String]) -> Result<(usize, usize), CliError> {
@@ -547,9 +550,16 @@ pub fn cmd_bg(args: &[String]) -> Result<String, CliError> {
 /// JSON report(s) in the message.
 pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
     let layer = match flag_value(args, "--layer")? {
-        Some(l) => Layer::parse(l)
-            .ok_or_else(|| err(format!("bad --layer: {l} (iis|atomic|emulation|bg|store)")))?,
-        None => return Err(err("fuzz requires --layer iis|atomic|emulation|bg|store")),
+        Some(l) => Layer::parse(l).ok_or_else(|| {
+            err(format!(
+                "bad --layer: {l} (iis|atomic|emulation|bg|store|gateway)"
+            ))
+        })?,
+        None => {
+            return Err(err(
+                "fuzz requires --layer iis|atomic|emulation|bg|store|gateway",
+            ))
+        }
     };
     let num = |flag: &str, default: usize| -> Result<usize, CliError> {
         match flag_value(args, flag)? {
@@ -637,6 +647,51 @@ pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(msg, "… and {} more failing cases", out.failures.len() - 3);
     }
     Err(err(msg))
+}
+
+/// `iis store repair <DIR>` — see [`USAGE`].
+///
+/// Opens the store at `DIR` (running normal recovery, which may quarantine
+/// further corruption it finds), re-encodes every surviving quarantined
+/// record into a fresh checksummed segment, deletes the quarantined files,
+/// and lifts the sticky read-only degradation — so the next `iis serve
+/// --store DIR` comes up writable with zero record loss.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on bad arguments or if the store cannot be
+/// opened or rewritten.
+pub fn cmd_store(args: &[String]) -> Result<String, CliError> {
+    match args.split_first() {
+        Some((op, rest)) if op == "repair" => {
+            let [dir] = rest else {
+                return Err(err("usage: iis store repair <DIR>"));
+            };
+            let mut store = iis_store::Store::open(dir)
+                .map_err(|e| err(format!("cannot open store {dir}: {e}")))?;
+            let was_degraded = store.degraded();
+            let rec = store.recovery();
+            let stats = store
+                .repair()
+                .map_err(|e| err(format!("repair failed: {e}")))?;
+            if !was_degraded && stats == iis_store::RepairStats::default() {
+                return Ok(format!(
+                    "store {dir}: healthy ({} records), nothing to repair\n",
+                    store.len()
+                ));
+            }
+            Ok(format!(
+                "store {dir}: re-encoded {} records out of {} quarantined files \
+                 ({} checksum failures dropped), {} records total, writable again\n",
+                stats.repaired_records,
+                stats.removed_files,
+                rec.checksum_failures,
+                store.len()
+            ))
+        }
+        Some((op, _)) => Err(err(format!("unknown store operation: {op} (try: repair)"))),
+        None => Err(err("usage: iis store repair <DIR>")),
+    }
 }
 
 /// Global observability flags, accepted anywhere on the command line.
@@ -738,6 +793,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "check-lemmas" => cmd_check_lemmas(rest),
         "solve" => cmd_solve(rest),
         "serve" => cmd_serve(rest),
+        "gateway" => cmd_gateway(rest),
+        "store" => cmd_store(rest),
         "emulate" => cmd_emulate(rest),
         "bg" => cmd_bg(rest),
         "fuzz" => cmd_fuzz(rest),
@@ -918,6 +975,39 @@ mod tests {
     }
 
     #[test]
+    fn store_repair_round_trip() {
+        let dir = std::env::temp_dir().join(format!("iis_cli_repair_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        // healthy store: nothing to repair
+        {
+            let mut store = iis_store::Store::open(&dir).unwrap();
+            store.put(1, "alpha").unwrap();
+            store.put(2, "beta").unwrap();
+        }
+        let out = cmd_store(&["repair".into(), dir_s.clone()]).unwrap();
+        assert!(out.contains("nothing to repair"), "{out}");
+        // corrupt the segment mid-file → quarantine on open → repair
+        let seg = dir.join("seg-00000.jsonl");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&seg, &bytes).unwrap();
+        let out = dispatch(&["store".into(), "repair".into(), dir_s.clone()]).unwrap();
+        assert!(out.contains("writable again"), "{out}");
+        // the repaired store reopens healthy and writable
+        let mut store = iis_store::Store::open(&dir).unwrap();
+        assert!(!store.degraded());
+        assert_eq!(store.recovery().quarantined_segments, 0);
+        assert!(store.put(3, "gamma").unwrap());
+        // flag errors
+        assert!(cmd_store(&[]).is_err());
+        assert!(cmd_store(&["defrag".into()]).is_err());
+        assert!(cmd_store(&["repair".into()]).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn parse_task_errors() {
         assert!(parse_task("nope").is_err());
         assert!(parse_task("kset:x:1").is_err());
@@ -926,7 +1016,7 @@ mod tests {
 
     #[test]
     fn fuzz_sweeps_every_layer() {
-        for layer in ["iis", "atomic", "emulation", "bg", "store"] {
+        for layer in ["iis", "atomic", "emulation", "bg", "store", "gateway"] {
             let out = cmd_fuzz(&argv(&format!(
                 "--layer {layer} --cases 10 --seed 7 --crashes 2 --shrink"
             )))

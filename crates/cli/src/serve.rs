@@ -18,6 +18,15 @@
 //!   With `"wait": false` replies `202 Accepted` with a job id instead of
 //!   blocking. A second request for a key already being solved joins the
 //!   in-flight job (`serve.coalesced`) rather than solving twice.
+//! - `POST /solve` with `{"questions": [q, …]}` — the **batch** form
+//!   (`serve.batch_requests`): every element is a single-question body as
+//!   above. All questions are admitted up front (so the worker pool runs
+//!   them in parallel and duplicate keys coalesce), then answered in
+//!   order as `{"answers": [{"status": N, "body": {…}}, …]}` where each
+//!   `body` is exactly the single-question response. The envelope is
+//!   `200` even when individual questions fail — per-question statuses
+//!   live inside, so one bad question cannot mask five good answers.
+//!   This is the route the gateway coalesces same-shard questions onto.
 //! - `GET /jobs/<id>` — job status plus the result record when done.
 //! - `GET /jobs` — every job this process has accepted.
 //! - `GET /healthz` — liveness: `200` while the process answers at all.
@@ -181,6 +190,12 @@ struct SolveRequest {
 
 fn parse_solve_request(body: &str) -> Result<SolveRequest, String> {
     let v = Json::parse(body).map_err(|e| format!("bad JSON body: {e}"))?;
+    solve_request_from_json(&v)
+}
+
+/// [`parse_solve_request`] on an already-parsed value — the batch route
+/// hands each array element here directly instead of re-serializing it.
+fn solve_request_from_json(v: &Json) -> Result<SolveRequest, String> {
     let (spec, task) = match (v.get("spec"), v.get("task")) {
         (Some(s), None) => {
             let s = s.as_str().ok_or("\"spec\" must be a string")?;
@@ -231,6 +246,31 @@ fn key_hex(key: u64) -> Json {
     Json::Str(format!("{key:016x}"))
 }
 
+/// Most questions accepted in one batch body. Past this the request is
+/// malformed rather than shed: a well-behaved client splits its sweep.
+const MAX_BATCH: usize = 256;
+
+/// The outcome of admitting one question (without blocking on it).
+enum Admission {
+    /// Answered on the spot: cache hit, shed load, or a drain 503.
+    Ready(Response),
+    /// Queued or coalesced; settle it with [`SolveService::respond`].
+    Pending { id: u64, key: u64, coalesced: bool },
+}
+
+/// One batch-envelope element: the response a question would have gotten
+/// standalone, as `{"status": N, "body": {…}}`.
+fn answer_json(resp: &Response) -> Json {
+    let status: u16 = resp
+        .status
+        .split(' ')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let body = Json::parse(&resp.body).unwrap_or_else(|_| Json::Str(resp.body.clone()));
+    Json::obj([("status", Json::Num(f64::from(status))), ("body", body)])
+}
+
 impl SolveService {
     fn new(
         store: Box<dyn SolveCache + Send>,
@@ -239,7 +279,7 @@ impl SolveService {
         degraded: Option<Arc<AtomicBool>>,
     ) -> SolveService {
         // register at zero so the serve counters scrape before first use
-        for name in ["serve.rejected", "serve.timeouts"] {
+        for name in ["serve.rejected", "serve.timeouts", "serve.batch_requests"] {
             iis_obs::metrics::Counter::handle(name);
         }
         SolveService {
@@ -411,80 +451,101 @@ impl SolveService {
         )
     }
 
-    /// `POST /solve`.
-    fn handle_solve(&self, body: &str) -> Response {
-        let mut req = match parse_solve_request(body) {
-            Ok(r) => r,
-            Err(e) => return Response::bad_request(&e),
-        };
+    /// Parses one question body, applying the service-wide deadline.
+    fn prepare(&self, body: &str) -> Result<SolveRequest, Response> {
+        let req = parse_solve_request(body).map_err(|e| Response::bad_request(&e))?;
+        Ok(self.apply_deadline(req))
+    }
+
+    fn apply_deadline(&self, mut req: SolveRequest) -> SolveRequest {
         if let Some(deadline) = self.timeout {
             // the search honors the request deadline too, so a worker is
             // never pinned long past the 504 its waiter already received
             req.opts = req.opts.timeout(deadline);
         }
+        req
+    }
+
+    /// Admits one parsed question: answers immediately from the store,
+    /// joins an in-flight job, or enqueues a new one. Never blocks — the
+    /// batch route admits *everything* before waiting on *anything*, so a
+    /// batch keeps the whole worker pool busy.
+    fn admit(&self, req: &SolveRequest) -> Admission {
         let key = cache_key(&req.task, req.max_rounds);
         // fast path: the store already holds a validated record
         if let Some(text) = SharedCache(&self.store).get(key) {
             if let Ok(json) = Json::parse(&text) {
                 if report_from_json(&req.task, &json).is_ok() {
                     iis_obs::metrics::add("serve.cache_hits", 1);
-                    return Response::json(
+                    return Admission::Ready(Response::json(
                         Json::obj([
                             ("cached", Json::Bool(true)),
                             ("key", key_hex(key)),
                             ("result", json),
                         ])
                         .to_string(),
-                    );
+                    ));
                 }
             }
         }
         // coalesce onto an in-flight job for the same key, or enqueue
-        let (id, coalesced) = {
-            let mut st = lock(&self.state);
-            if st.shutdown {
-                return Response::json_status(
+        let mut st = lock(&self.state);
+        if st.shutdown {
+            return Admission::Ready(Response::json_status(
+                "503 Service Unavailable",
+                Json::obj([("error", Json::Str("shutting down".to_string()))]).to_string(),
+            ));
+        }
+        if let Some(&id) = st.inflight.get(&key) {
+            iis_obs::metrics::add("serve.coalesced", 1);
+            return Admission::Pending {
+                id,
+                key,
+                coalesced: true,
+            };
+        }
+        if st.queue.len() >= self.max_queue {
+            // bounded admission: shed load instead of queueing
+            // unboundedly; the client is told when to come back
+            iis_obs::metrics::add("serve.rejected", 1);
+            return Admission::Ready(
+                Response::json_status(
                     "503 Service Unavailable",
-                    Json::obj([("error", Json::Str("shutting down".to_string()))]).to_string(),
-                );
-            }
-            if let Some(&id) = st.inflight.get(&key) {
-                iis_obs::metrics::add("serve.coalesced", 1);
-                (id, true)
-            } else {
-                if st.queue.len() >= self.max_queue {
-                    // bounded admission: shed load instead of queueing
-                    // unboundedly; the client is told when to come back
-                    iis_obs::metrics::add("serve.rejected", 1);
-                    return Response::json_status(
-                        "503 Service Unavailable",
-                        Json::obj([
-                            ("error", Json::Str("queue full".to_string())),
-                            ("queue", self.max_queue.to_json()),
-                        ])
-                        .to_string(),
-                    )
-                    .with_header("Retry-After", "1");
-                }
-                let id = st.next_id;
-                st.next_id += 1;
-                st.jobs.insert(
-                    id,
-                    Job {
-                        spec: req.spec.clone(),
-                        task: req.task.clone(),
-                        max_rounds: req.max_rounds,
-                        opts: req.opts,
-                        status: Status::Queued,
-                    },
-                );
-                st.inflight.insert(key, id);
-                st.queue.push_back(id);
-                self.changed.notify_all();
-                (id, false)
-            }
-        };
-        if req.wait {
+                    Json::obj([
+                        ("error", Json::Str("queue full".to_string())),
+                        ("queue", self.max_queue.to_json()),
+                    ])
+                    .to_string(),
+                )
+                .with_header("Retry-After", "1"),
+            );
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                spec: req.spec.clone(),
+                task: req.task.clone(),
+                max_rounds: req.max_rounds,
+                opts: req.opts,
+                status: Status::Queued,
+            },
+        );
+        st.inflight.insert(key, id);
+        st.queue.push_back(id);
+        self.changed.notify_all();
+        Admission::Pending {
+            id,
+            key,
+            coalesced: false,
+        }
+    }
+
+    /// Settles an admitted question into its response: block on the job
+    /// (`wait: true`, the default) or acknowledge with a `202`.
+    fn respond(&self, wait: bool, id: u64, key: u64, coalesced: bool) -> Response {
+        if wait {
             return self.wait_for(id, key, coalesced);
         }
         let st = lock(&self.state);
@@ -498,6 +559,69 @@ impl SolveService {
             fields.insert(0, ("coalesced", Json::Bool(true)));
         }
         Response::json_status("202 Accepted", Json::obj(fields).to_string())
+    }
+
+    /// `POST /solve`: the batch form when the body carries `"questions"`,
+    /// the single-question form otherwise.
+    fn handle_solve(&self, body: &str) -> Response {
+        if let Ok(v) = Json::parse(body) {
+            match v.get("questions") {
+                Some(Json::Arr(questions)) => return self.handle_batch(questions),
+                Some(_) => return Response::bad_request("\"questions\" must be an array"),
+                None => {}
+            }
+        }
+        match self.prepare(body) {
+            Err(resp) => resp,
+            Ok(req) => match self.admit(&req) {
+                Admission::Ready(resp) => resp,
+                Admission::Pending { id, key, coalesced } => {
+                    self.respond(req.wait, id, key, coalesced)
+                }
+            },
+        }
+    }
+
+    /// The batch form: admit every question first (pass 1), so the worker
+    /// pool solves them in parallel and duplicate keys coalesce, then
+    /// settle them in order (pass 2). One answer per question, in the
+    /// question's position; the envelope itself is always `200`.
+    fn handle_batch(&self, questions: &[Json]) -> Response {
+        if questions.len() > MAX_BATCH {
+            return Response::bad_request(&format!(
+                "batch of {} questions exceeds the {MAX_BATCH}-question cap",
+                questions.len()
+            ));
+        }
+        iis_obs::metrics::add("serve.batch_requests", 1);
+        let admitted: Vec<(bool, Admission)> = questions
+            .iter()
+            .map(|q| {
+                let prepared = solve_request_from_json(q)
+                    .map_err(|e| Response::bad_request(&e))
+                    .map(|req| self.apply_deadline(req));
+                match prepared {
+                    Ok(req) => {
+                        let wait = req.wait;
+                        (wait, self.admit(&req))
+                    }
+                    Err(resp) => (true, Admission::Ready(resp)),
+                }
+            })
+            .collect();
+        let answers: Vec<Json> = admitted
+            .into_iter()
+            .map(|(wait, adm)| {
+                let resp = match adm {
+                    Admission::Ready(resp) => resp,
+                    Admission::Pending { id, key, coalesced } => {
+                        self.respond(wait, id, key, coalesced)
+                    }
+                };
+                answer_json(&resp)
+            })
+            .collect();
+        Response::json(Json::obj([("answers", Json::Arr(answers))]).to_string())
     }
 
     fn job_json(id: u64, job: &Job) -> Json {
@@ -945,6 +1069,154 @@ mod tests {
         );
         assert_eq!(reply.get("key"), by_spec.get("key"));
         shutdown(addr, handle);
+    }
+
+    #[test]
+    fn batch_solve_answers_in_order_with_per_question_statuses() {
+        let (addr, handle) = start(&["--workers", "2"]);
+        let body = r#"{"questions": [
+            {"spec": "eps:1:3", "max_rounds": 2},
+            {"spec": "trivial:1", "max_rounds": 1},
+            {"spec": "nope:9"},
+            {"spec": "eps:1:3", "max_rounds": 2}
+        ]}"#;
+        let (head, reply) = request(addr, "POST", "/solve", body);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let Some(Json::Arr(answers)) = reply.get("answers") else {
+            panic!("{reply:?}");
+        };
+        assert_eq!(answers.len(), 4);
+        let status = |i: usize| answers[i].get("status").unwrap().as_f64().unwrap() as u16;
+        assert_eq!(
+            (status(0), status(1), status(2), status(3)),
+            (200, 200, 400, 200)
+        );
+        assert!(
+            answers[2]
+                .get("body")
+                .unwrap()
+                .to_string()
+                .contains("error"),
+            "{:?}",
+            answers[2]
+        );
+        // questions 0 and 3 share a key: one solved, the other coalesced
+        // onto it (or answered from the store) — byte-identical either way
+        let result = |i: usize| {
+            answers[i]
+                .get("body")
+                .unwrap()
+                .get("result")
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(result(0), result(3));
+        // a second batch replays everything from the store
+        let (_, again) = request(addr, "POST", "/solve", body);
+        let Some(Json::Arr(again)) = again.get("answers") else {
+            panic!();
+        };
+        assert_eq!(
+            again[0].get("body").unwrap().get("cached"),
+            Some(&Json::Bool(true)),
+            "{:?}",
+            again[0]
+        );
+        assert_eq!(
+            result(0),
+            again[0]
+                .get("body")
+                .unwrap()
+                .get("result")
+                .unwrap()
+                .to_string()
+        );
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn batch_response_schema_matches_golden() {
+        let (addr, handle) = start(&[]);
+        let (_, reply) = request(
+            addr,
+            "POST",
+            "/solve",
+            r#"{"questions": [{"spec": "trivial:1", "max_rounds": 1}]}"#,
+        );
+        // the batch schema is a wire contract (the gateway re-parses it):
+        // envelope keys, then element keys, then a fresh-solve body's keys,
+        // in writing order, against the committed golden file
+        let keys_of = |j: &Json| -> Vec<String> {
+            match j {
+                Json::Obj(members) => members.iter().map(|(k, _)| k.clone()).collect(),
+                other => panic!("expected an object, got {other:?}"),
+            }
+        };
+        let Some(Json::Arr(answers)) = reply.get("answers") else {
+            panic!("{reply:?}");
+        };
+        let mut observed = keys_of(&reply);
+        observed.extend(keys_of(&answers[0]));
+        observed.extend(keys_of(answers[0].get("body").unwrap()));
+        let golden: Vec<&str> = include_str!("../tests/golden/batch_keys.txt")
+            .lines()
+            .filter(|l| !l.is_empty())
+            .collect();
+        assert_eq!(observed, golden, "committed batch schema drifted");
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn oversized_batch_body_is_rejected_from_its_declared_length() {
+        let (addr, handle) = start(&[]);
+        // declare a body over the 1 MiB default max_body but send none:
+        // the server must answer from the header alone
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /solve HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            2 * 1024 * 1024
+        )
+        .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        assert!(text.contains("body exceeds maximum size"), "{text}");
+        shutdown(addr, handle);
+    }
+
+    #[test]
+    fn batch_cap_and_empty_batch() {
+        let svc = stalled_service(4096, None);
+        let r = svc.handle_solve(r#"{"questions": []}"#);
+        assert_eq!(r.status, "200 OK");
+        assert_eq!(r.body, "{\"answers\":[]}");
+        let r = svc.handle_solve(r#"{"questions": 3}"#);
+        assert_eq!(r.status, "400 Bad Request");
+        let many: Vec<String> = (0..=MAX_BATCH)
+            .map(|_| r#"{"spec": "trivial:1", "wait": false}"#.to_string())
+            .collect();
+        let r = svc.handle_solve(&format!("{{\"questions\": [{}]}}", many.join(",")));
+        assert_eq!(r.status, "400 Bad Request");
+        assert!(r.body.contains("cap"), "{}", r.body);
+        // non-waiting questions come back as 202 elements in the envelope
+        let r = svc.handle_solve(
+            r#"{"questions": [{"spec": "trivial:1", "wait": false},
+                              {"spec": "trivial:1", "wait": false}]}"#,
+        );
+        assert_eq!(r.status, "200 OK");
+        let v = Json::parse(&r.body).unwrap();
+        let Some(Json::Arr(answers)) = v.get("answers") else {
+            panic!("{}", r.body);
+        };
+        assert_eq!(answers[0].get("status"), Some(&Json::Num(202.0)));
+        // the duplicate key coalesced at admission, not a second job
+        assert_eq!(
+            answers[1].get("body").unwrap().get("coalesced"),
+            Some(&Json::Bool(true)),
+            "{:?}",
+            answers[1]
+        );
     }
 
     #[test]

@@ -37,8 +37,24 @@
 //! known routes get `405` with an `Allow` header; unknown routes stay
 //! `404`.
 //!
+//! Connections are **keep-alive** by HTTP/1.1 default: a worker keeps
+//! serving requests off one socket until the client sends
+//! `Connection: close`, goes idle past the read deadline, or the server
+//! starts shutting down. Protocol-violation `400`s always close.
+//!
+//! The client half lives here too: [`Client`] is a blocking HTTP/1.1
+//! client with a per-host idle-connection pool, `Content-Length` framed
+//! bodies, and a per-request wall-clock deadline — the transport under
+//! `iis gateway`. A request on a pooled connection that turns out to be
+//! stale (the server closed it between requests) is retried once on a
+//! fresh socket; this is sound here because every service this client
+//! talks to is idempotent (the solvability oracle is a pure function of
+//! its question).
+//!
 //! Every request increments the `serve.requests` counter (when metrics are
-//! enabled); rejected reads increment `serve.bad_requests`.
+//! enabled); rejected reads increment `serve.bad_requests`. Client-side
+//! traffic is counted by `http.client_requests`, `http.client_reused` and
+//! `http.client_retries`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -269,7 +285,7 @@ pub fn serve_opts(addr: &str, opts: Options) -> std::io::Result<Server> {
         let max_body = opts.max_body;
         threads.push(std::thread::spawn(move || {
             while let Some(stream) = queue.pop(&stop) {
-                handle_connection(stream, handler.as_deref(), read_deadline, max_body);
+                handle_connection(stream, handler.as_deref(), read_deadline, max_body, &stop);
             }
         }));
     }
@@ -365,7 +381,7 @@ fn read_request(
     stream: &mut TcpStream,
     deadline: Duration,
     max_body: usize,
-) -> Result<Request, ReadFailure> {
+) -> Result<(Request, bool), ReadFailure> {
     let start = Instant::now();
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
@@ -387,11 +403,22 @@ fn read_request(
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
     let path = parts.next().unwrap_or("").to_string();
-    let declared = head.lines().find_map(|l| {
-        let (name, value) = l.split_once(':')?;
-        name.eq_ignore_ascii_case("content-length")
-            .then(|| value.trim().to_string())
-    });
+    let version = parts.next().unwrap_or("").to_ascii_uppercase();
+    let header = |name: &str| {
+        head.lines().skip(1).find_map(|l| {
+            let (n, value) = l.split_once(':')?;
+            n.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| value.trim().to_string())
+        })
+    };
+    // HTTP/1.1 defaults to keep-alive; an explicit Connection header wins
+    let keep_alive = match header("connection").map(|v| v.to_ascii_lowercase()) {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+    let declared = header("content-length");
     let content_length = match declared {
         Some(value) => match value.parse::<usize>() {
             Ok(n) => n,
@@ -425,16 +452,17 @@ fn read_request(
         }
     }
     body.truncate(content_length);
-    Ok(Request { method, path, body })
+    Ok((Request { method, path, body }, keep_alive))
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) {
+fn write_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) {
     let mut reply = format!(
         "HTTP/1.1 {}\r\nContent-Type: {}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n",
         response.status,
         response.content_type,
         response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in &response.headers {
         reply.push_str(name);
@@ -453,19 +481,29 @@ fn handle_connection(
     handler: Option<&Handler>,
     read_deadline: Duration,
     max_body: usize,
+    stop: &AtomicBool,
 ) {
-    let request = match read_request(&mut stream, read_deadline, max_body) {
-        Ok(request) => request,
-        Err(ReadFailure::Reject(response)) => {
-            metrics::add("serve.bad_requests", 1);
-            write_response(&mut stream, &response);
+    loop {
+        let (request, client_keep_alive) = match read_request(&mut stream, read_deadline, max_body)
+        {
+            Ok(pair) => pair,
+            Err(ReadFailure::Reject(response)) => {
+                metrics::add("serve.bad_requests", 1);
+                write_response(&mut stream, &response, false);
+                return;
+            }
+            Err(ReadFailure::Disconnect) => return,
+        };
+        metrics::add("serve.requests", 1);
+        // a shutting-down server finishes the in-flight request but
+        // declines to hold the connection open past it
+        let keep_alive = client_keep_alive && !stop.load(Ordering::Acquire);
+        let response = route(&request, handler);
+        write_response(&mut stream, &response, keep_alive);
+        if !keep_alive {
             return;
         }
-        Err(ReadFailure::Disconnect) => return,
-    };
-    metrics::add("serve.requests", 1);
-    let response = route(&request, handler);
-    write_response(&mut stream, &response);
+    }
 }
 
 /// The built-in routes, all GET-only.
@@ -556,6 +594,290 @@ fn bucket_le(floor: u64) -> Option<u64> {
         0 => Some(0),
         f if f >= 1 << 63 => None,
         f => Some(2 * f - 1),
+    }
+}
+
+/// Default TCP connect timeout for [`Client`].
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Default per-request wall-clock deadline for [`Client`] (send the
+/// request, receive the full response).
+pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Idle connections kept pooled per backend address.
+const MAX_IDLE_PER_HOST: usize = 4;
+
+/// A response as seen by [`Client`]: the numeric status plus the body
+/// bytes, exactly as framed by `Content-Length` (or read to EOF when the
+/// server did not declare one).
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// The numeric status code (`200`, `503`, …).
+    pub status: u16,
+    /// The response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8, if it is valid UTF-8.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// Whether the status is in the 2xx range.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A blocking HTTP/1.1 client with a per-host keep-alive connection pool
+/// and per-request deadlines — the client half of this module, shaped for
+/// many small JSON round-trips to a fixed set of backends.
+///
+/// Bodies are always `Content-Length` framed (no chunked encoding, which
+/// the server half never emits). A request on a pooled connection that
+/// fails — the server closed it while it sat idle — is retried once on a
+/// fresh socket; errors on the fresh socket propagate to the caller.
+pub struct Client {
+    idle: Mutex<std::collections::HashMap<String, Vec<TcpStream>>>,
+    connect_timeout: Duration,
+    deadline: Duration,
+}
+
+impl Default for Client {
+    fn default() -> Self {
+        Client::new()
+    }
+}
+
+impl Client {
+    /// A client with the default connect timeout and request deadline.
+    pub fn new() -> Client {
+        Client {
+            idle: Mutex::new(std::collections::HashMap::new()),
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            deadline: DEFAULT_REQUEST_DEADLINE,
+        }
+    }
+
+    /// Sets the per-request wall-clock deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Client {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the TCP connect timeout (builder style).
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Client {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// `GET {path}` against `addr` (a `host:port` string).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures and deadline expiry.
+    pub fn get(&self, addr: &str, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", addr, path, None)
+    }
+
+    /// `POST {path}` with a JSON body against `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures and deadline expiry.
+    pub fn post_json(&self, addr: &str, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", addr, path, Some(body.as_bytes()))
+    }
+
+    /// One request/response round trip, reusing a pooled connection to
+    /// `addr` when one is available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/read/write failures and deadline expiry (a stale
+    /// pooled connection is retried once on a fresh socket first).
+    pub fn request(
+        &self,
+        method: &str,
+        addr: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        metrics::add("http.client_requests", 1);
+        if let Some(mut stream) = self.checkout(addr) {
+            match self.round_trip(&mut stream, method, addr, path, body) {
+                Ok((response, reusable)) => {
+                    metrics::add("http.client_reused", 1);
+                    if reusable {
+                        self.checkin(addr, stream);
+                    }
+                    return Ok(response);
+                }
+                // the pooled socket was stale; fall through to a fresh one
+                Err(_) => metrics::add("http.client_retries", 1),
+            }
+        }
+        let mut stream = self.connect(addr)?;
+        let (response, reusable) = self.round_trip(&mut stream, method, addr, path, body)?;
+        if reusable {
+            self.checkin(addr, stream);
+        }
+        Ok(response)
+    }
+
+    /// How many idle connections are pooled for `addr` right now.
+    pub fn pooled(&self, addr: &str) -> usize {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(addr)
+            .map_or(0, Vec::len)
+    }
+
+    fn connect(&self, addr: &str) -> std::io::Result<TcpStream> {
+        use std::net::ToSocketAddrs as _;
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("cannot resolve {addr}"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, self.connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn checkout(&self, addr: &str) -> Option<TcpStream> {
+        self.idle
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_mut(addr)?
+            .pop()
+    }
+
+    fn checkin(&self, addr: &str, stream: TcpStream) {
+        let mut idle = self.idle.lock().unwrap_or_else(PoisonError::into_inner);
+        let conns = idle.entry(addr.to_string()).or_default();
+        if conns.len() < MAX_IDLE_PER_HOST {
+            conns.push(stream);
+        }
+    }
+
+    fn round_trip(
+        &self,
+        stream: &mut TcpStream,
+        method: &str,
+        addr: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<(ClientResponse, bool)> {
+        let start = Instant::now();
+        let mut head =
+            format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: keep-alive\r\n");
+        if let Some(body) = body {
+            head.push_str("Content-Type: application/json\r\n");
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        } else if matches!(method, "POST" | "PUT" | "PATCH") {
+            head.push_str("Content-Length: 0\r\n");
+        }
+        head.push_str("\r\n");
+        let _ = stream.set_write_timeout(Some(self.deadline));
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+        read_client_response(stream, start, self.deadline)
+    }
+}
+
+/// Reads one response off `stream` within `deadline` (measured from
+/// `start`, which covers the request write too). Returns the response and
+/// whether the connection may be reused for another request.
+fn read_client_response(
+    stream: &mut TcpStream,
+    start: Instant,
+    deadline: Duration,
+) -> std::io::Result<(ClientResponse, bool)> {
+    use std::io::{Error, ErrorKind};
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() >= MAX_HEAD {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "response head too large",
+            ));
+        }
+        match read_chunk(stream, &mut chunk, start, deadline)? {
+            0 => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed before the response head",
+                ))
+            }
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            Error::new(
+                ErrorKind::InvalidData,
+                format!("bad status line: {status_line}"),
+            )
+        })?;
+    let header = |name: &str| {
+        head.lines().skip(1).find_map(|l| {
+            let (n, value) = l.split_once(':')?;
+            n.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| value.trim().to_string())
+        })
+    };
+    let keep_alive = !header("connection")
+        .map(|v| v.to_ascii_lowercase())
+        .is_some_and(|v| v.contains("close"));
+    let mut body = buf[head_end..].to_vec();
+    match header("content-length") {
+        Some(declared) => {
+            let len: usize = declared
+                .parse()
+                .map_err(|_| Error::new(ErrorKind::InvalidData, "malformed Content-Length"))?;
+            while body.len() < len {
+                match read_chunk(stream, &mut chunk, start, deadline)? {
+                    0 => {
+                        return Err(Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "connection closed mid-body",
+                        ))
+                    }
+                    n => body.extend_from_slice(&chunk[..n]),
+                }
+            }
+            body.truncate(len);
+            Ok((ClientResponse { status, body }, keep_alive))
+        }
+        None => {
+            // no declared length: the body runs to EOF; not reusable
+            loop {
+                match read_chunk(stream, &mut chunk, start, deadline)? {
+                    0 => break,
+                    n => body.extend_from_slice(&chunk[..n]),
+                }
+            }
+            Ok((ClientResponse { status, body }, false))
+        }
     }
 }
 
@@ -882,6 +1204,143 @@ mod tests {
         let (head, _) = get(addr, "/busy");
         assert!(head.starts_with("HTTP/1.1 503"), "{head}");
         assert!(head.contains("Retry-After: 1"), "{head}");
+        server.shutdown();
+    }
+
+    /// Reads exactly one `Content-Length`-framed response off a raw socket
+    /// (leaving the connection open for the next one).
+    fn read_one_response(stream: &mut TcpStream) -> (String, String) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 512];
+        let head_end = loop {
+            if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p + 4;
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed before the response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                let (n, v) = l.split_once(':')?;
+                n.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().ok())
+                    .flatten()
+            })
+            .expect("response declares Content-Length");
+        let mut body = buf[head_end..].to_vec();
+        while body.len() < len {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(len);
+        (head, String::from_utf8_lossy(&body).to_string())
+    }
+
+    #[test]
+    fn server_keeps_http11_connections_alive_across_requests() {
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // three requests down one socket — a 404 in the middle must not
+        // poison the connection
+        for (path, want) in [("/", "200"), ("/nope", "404"), ("/metrics", "200")] {
+            write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let (head, _) = read_one_response(&mut stream);
+            assert!(head.starts_with(&format!("HTTP/1.1 {want}")), "{head}");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+        }
+        // Connection: close is honored
+        write!(
+            stream,
+            "GET / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let (head, _) = read_one_response(&mut stream);
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after Connection: close");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_reuses_pooled_connections_even_after_a_4xx() {
+        let server = serve("127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        let client = Client::new();
+        assert_eq!(client.pooled(&addr), 0);
+        let ok = client.get(&addr, "/metrics").unwrap();
+        assert_eq!(ok.status, 200);
+        assert_eq!(client.pooled(&addr), 1, "keep-alive socket is pooled");
+        // a 404 goes back to the pool too: the connection is still healthy
+        let missing = client.get(&addr, "/nope").unwrap();
+        assert_eq!(missing.status, 404);
+        assert_eq!(client.pooled(&addr), 1);
+        let again = client.get(&addr, "/").unwrap();
+        assert_eq!(again.status, 200);
+        assert!(again.body_utf8().unwrap().contains("/metrics"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_surfaces_a_backend_closing_mid_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            // declare 100 bytes, send 5, slam the connection shut
+            let _ = s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nhello");
+        });
+        let client = Client::new().with_deadline(Duration::from_secs(2));
+        let err = client.get(&addr, "/").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+        assert_eq!(client.pooled(&addr), 0, "a dead socket must not pool");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_retried_on_a_fresh_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 1024];
+                let _ = s.read(&mut buf);
+                // advertise keep-alive but close anyway: the client's
+                // pooled socket goes stale between requests
+                let _ = s.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok",
+                );
+            }
+        });
+        let client = Client::new().with_deadline(Duration::from_secs(2));
+        assert_eq!(client.get(&addr, "/").unwrap().status, 200);
+        assert_eq!(client.pooled(&addr), 1);
+        let second = client.get(&addr, "/").unwrap();
+        assert_eq!(second.status, 200);
+        assert_eq!(second.body, b"ok");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn client_post_round_trips_a_body() {
+        let handler: Arc<Handler> = Arc::new(|req: &Request| {
+            (req.path == "/echo")
+                .then(|| Response::json(format!("{{\"len\": {}}}", req.body.len())))
+        });
+        let server = serve_with("127.0.0.1:0", handler).unwrap();
+        let addr = server.addr().to_string();
+        let client = Client::new();
+        let resp = client.post_json(&addr, "/echo", "{\"x\": 1}").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_utf8(), Some("{\"len\": 8}"));
         server.shutdown();
     }
 

@@ -50,6 +50,8 @@ pub trait Io: Send {
     fn truncate(&mut self, path: &Path, len: u64) -> std::io::Result<()>;
     /// Renames `from` to `to` (the quarantine move).
     fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Deletes `path` (clearing a quarantined segment after repair).
+    fn remove(&mut self, path: &Path) -> std::io::Result<()>;
 }
 
 /// The real filesystem. Keeps one cached append handle (the live segment)
@@ -137,6 +139,11 @@ impl Io for FsIo {
     fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()> {
         self.drop_handle(from);
         std::fs::rename(from, to)
+    }
+
+    fn remove(&mut self, path: &Path) -> std::io::Result<()> {
+        self.drop_handle(path);
+        std::fs::remove_file(path)
     }
 }
 
@@ -292,6 +299,13 @@ impl Io for MemIo {
         self.with(|st| {
             let file = st.files.remove(from).ok_or_else(|| not_found(from))?;
             st.files.insert(to.to_path_buf(), file);
+            Ok(())
+        })
+    }
+
+    fn remove(&mut self, path: &Path) -> std::io::Result<()> {
+        self.with(|st| {
+            st.files.remove(path).ok_or_else(|| not_found(path))?;
             Ok(())
         })
     }

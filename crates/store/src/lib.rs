@@ -107,6 +107,16 @@ pub struct RecoveryStats {
     pub recovered_records: u64,
 }
 
+/// What a [`Store::repair`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Surviving records re-encoded out of quarantined files into the
+    /// fresh segment.
+    pub repaired_records: u64,
+    /// Quarantined files deleted.
+    pub removed_files: u64,
+}
+
 /// A persistent content-addressed key-value store. See the crate docs.
 pub struct Store {
     dir: PathBuf,
@@ -596,6 +606,123 @@ impl Store {
         Ok(true)
     }
 
+    /// Repairs a quarantine-degraded store in place: every surviving
+    /// record that lives in a quarantined file is **re-encoded** into a
+    /// fresh v2 (checksummed) segment — in sorted key order, so the
+    /// repaired bytes are a deterministic function of the content — the
+    /// quarantined files are deleted, and the sticky read-only degradation
+    /// is lifted. Records already in healthy segments are left untouched.
+    ///
+    /// This is sound for the same reason quarantine itself is: a record is
+    /// only carried over if its bytes still pass their checksum *at repair
+    /// time*, so the fresh segment contains nothing the store would not
+    /// have served anyway — and (first write wins) the served bytes for
+    /// every key are unchanged by the move.
+    ///
+    /// Counted in `store.repaired_records`. Calling it on a healthy store
+    /// with no quarantine is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error; the store stays degraded (and
+    /// consistent — the index only moves to the fresh segment once its
+    /// records are flushed) if the rewrite cannot complete.
+    pub fn repair(&mut self) -> std::io::Result<RepairStats> {
+        let qdir = self.dir.join("quarantine");
+        let quarantined: Vec<bool> = self.files.iter().map(|p| p.starts_with(&qdir)).collect();
+        if !quarantined.contains(&true) && !self.degraded() {
+            return Ok(RepairStats::default());
+        }
+        // collect the surviving records out of quarantine, re-verifying
+        // each one's checksum from its current on-disk bytes
+        let mut rescued: Vec<(u64, String)> = Vec::new();
+        for (&key, loc) in &self.index {
+            if !quarantined[loc.file] {
+                continue;
+            }
+            let bytes = self
+                .io
+                .read_range(&self.files[loc.file], loc.offset, loc.len)?;
+            if let Some((k, value, true)) = std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|text| decode_record(text.trim_end_matches('\n')))
+            {
+                if k == key {
+                    rescued.push((key, value));
+                }
+            }
+        }
+        rescued.sort_by_key(|&(key, _)| key);
+        // write them to a fresh segment (rolling over like put does), and
+        // only repoint the index at offsets that are flushed
+        let mut path = segment_path(&self.dir, self.next_segment);
+        self.io.create(&path)?;
+        self.next_segment += 1;
+        let mut file = self.files.len();
+        self.files.push(path.clone());
+        let mut fresh: Vec<usize> = vec![file];
+        let mut offset = 0u64;
+        let mut moves: Vec<(u64, Loc)> = Vec::with_capacity(rescued.len());
+        for (key, value) in &rescued {
+            let line = encode_record(*key, value);
+            if offset + line.len() as u64 > Self::MAX_SEGMENT_BYTES && offset > 0 {
+                self.io.flush(&path)?;
+                path = segment_path(&self.dir, self.next_segment);
+                self.io.create(&path)?;
+                self.next_segment += 1;
+                file = self.files.len();
+                self.files.push(path.clone());
+                fresh.push(file);
+                offset = 0;
+            }
+            self.io.append(&path, line.as_bytes())?;
+            moves.push((
+                *key,
+                Loc {
+                    file,
+                    offset,
+                    len: line.len() as u64,
+                },
+            ));
+            offset += line.len() as u64;
+        }
+        self.io.flush(&path)?;
+        for (key, loc) in moves {
+            self.index.insert(key, loc);
+        }
+        // clear quarantine/ — everything worth keeping is re-encoded; the
+        // rest is exactly the corrupt bytes quarantine existed to hold
+        let mut removed = 0u64;
+        for p in self.io.list(&qdir).unwrap_or_default() {
+            self.io.remove(&p)?;
+            removed += 1;
+        }
+        // drop the dangling quarantined entries from the file table
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(self.files.len());
+        let mut kept: Vec<PathBuf> = Vec::new();
+        for (i, p) in self.files.iter().enumerate() {
+            if quarantined.get(i) == Some(&true) {
+                remap.push(None);
+            } else {
+                remap.push(Some(kept.len()));
+                kept.push(p.clone());
+            }
+        }
+        for loc in self.index.values_mut() {
+            loc.file = remap[loc.file].expect("no indexed record points into quarantine");
+        }
+        self.files = kept;
+        // the store is writable again, appending to the repair segment
+        self.live = Some(remap[*fresh.last().expect("at least one")].expect("fresh is kept"));
+        self.live_len = offset;
+        self.degraded.store(false, Ordering::Release);
+        iis_obs::metrics::add("store.repaired_records", rescued.len() as u64);
+        Ok(RepairStats {
+            repaired_records: rescued.len() as u64,
+            removed_files: removed,
+        })
+    }
+
     /// Flushes the live segment (a no-op on a degraded store). Every
     /// [`Store::put`] already flushes before acknowledging; this exists
     /// for drain paths that want an explicit final sync.
@@ -821,6 +948,67 @@ mod tests {
         assert_eq!(s.get(3).unwrap().as_deref(), Some("third-record"));
         assert!(s.degraded());
         assert_eq!(s.recovery().quarantined_segments, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_rescues_quarantined_records_and_lifts_degradation() {
+        let dir = tmp("repair");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(1, "keep-before").unwrap();
+        drop(s);
+        // corrupt the middle of the segment: a garbage line between two
+        // good records, so the whole segment is quarantined on open
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.extend_from_slice(b"this is not a record\n");
+        bytes.extend_from_slice(encode_record(2, "keep-after").as_bytes());
+        std::fs::write(&seg, &bytes).unwrap();
+        let mut s = Store::open(&dir).unwrap();
+        assert!(s.degraded());
+        assert_eq!(s.recovery().quarantined_segments, 1);
+        let before: Vec<Option<String>> = (1..=2).map(|k| s.get(k).unwrap()).collect();
+
+        let stats = s.repair().unwrap();
+        assert_eq!(stats.repaired_records, 2, "{stats:?}");
+        assert_eq!(stats.removed_files, 1, "{stats:?}");
+        // zero record loss: the same keys answer with the same bytes
+        assert!(!s.degraded(), "repair must lift the degradation");
+        for (k, old) in (1..=2).zip(before) {
+            assert_eq!(s.get(k).unwrap(), old, "record {k} changed in repair");
+        }
+        // the store is writable again
+        assert!(s.put(3, "fresh-write").unwrap());
+        assert_eq!(s.get(3).unwrap().as_deref(), Some("fresh-write"));
+        // quarantine/ is empty and stays cleared across a restart: the
+        // degradation was sticky, the repair must be too
+        assert_eq!(
+            std::fs::read_dir(dir.join("quarantine"))
+                .map(|d| d.count())
+                .unwrap_or(0),
+            0
+        );
+        drop(s);
+        let mut s = Store::open(&dir).unwrap();
+        assert!(!s.degraded(), "repair must survive a restart");
+        assert_eq!(s.recovery().quarantined_segments, 0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(1).unwrap().as_deref(), Some("keep-before"));
+        assert_eq!(s.get(2).unwrap().as_deref(), Some("keep-after"));
+        assert_eq!(s.get(3).unwrap().as_deref(), Some("fresh-write"));
+        assert!(s.put(4, "still writable").unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_on_a_healthy_store_is_a_no_op() {
+        let dir = tmp("repair-noop");
+        let mut s = Store::open(&dir).unwrap();
+        s.put(1, "value").unwrap();
+        let stats = s.repair().unwrap();
+        assert_eq!(stats, RepairStats::default());
+        assert_eq!(s.num_segments(), 1, "no fresh segment on a no-op");
+        assert_eq!(s.get(1).unwrap().as_deref(), Some("value"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -332,6 +332,32 @@ pub fn one_shot_immediate_snapshot_task(n: usize) -> Task {
     chromatic_simplex_agreement(&sub)
 }
 
+/// Parses a library task specifier — `trivial:N`, `consensus:N`,
+/// `kset:N:K`, `renaming:N:M`, `eps:N:GRID`, `oneshot:N` (`N` is the
+/// dimension, i.e. `N+1` processes) — into its [`Task`].
+///
+/// This is the one spec grammar shared by every front end (the `iis`
+/// CLI, the solve service, the gateway's routing layer), so a spec hashes
+/// to the same `cache_key` wherever it is parsed.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed specifier.
+pub fn parse_spec(spec: &str) -> Result<Task, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num =
+        |s: &str| -> Result<usize, String> { s.parse().map_err(|_| format!("bad number: {s}")) };
+    match parts.as_slice() {
+        ["trivial", n] => Ok(trivial(num(n)?)),
+        ["consensus", n] => Ok(consensus(num(n)?, &[0, 1])),
+        ["kset", n, k] => Ok(k_set_consensus(num(n)?, num(k)?)),
+        ["renaming", n, m] => Ok(renaming(num(n)?, num(m)?)),
+        ["eps", n, grid] => Ok(approximate_agreement(num(n)?, num(grid)? as u64)),
+        ["oneshot", n] => Ok(one_shot_immediate_snapshot_task(num(n)?)),
+        _ => Err(format!("unknown task spec: {spec}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -193,6 +193,20 @@ pub fn ordered_bell(n: usize) -> u64 {
 /// sub.validate().unwrap();
 /// ```
 pub fn sds(base: &Complex) -> Subdivision {
+    sds_with_cap(base, crate::template::MAX_TEMPLATE_WIDTH)
+}
+
+/// The cap-parametrized core of [`sds`]: facets up to `cap` vertices wide
+/// instantiate from cached templates, wider facets fall back to the
+/// per-facet partition walk (counted in `sds.template_fallbacks`).
+///
+/// Exposed at crate level so the mixed-width differential tests can lower
+/// the cap and actually cross it — the real [`MAX_TEMPLATE_WIDTH`] is
+/// unreachable in a test (a 9-vertex facet's subdivision already has
+/// `ordered_bell(9)` ≈ 1.3 × 10⁹ facets).
+///
+/// [`MAX_TEMPLATE_WIDTH`]: crate::template::MAX_TEMPLATE_WIDTH
+pub(crate) fn sds_with_cap(base: &Complex, cap: usize) -> Subdivision {
     assert!(base.is_chromatic(), "SDS requires a chromatic base complex");
     let _timer = iis_obs::span::span("sds.build_ns");
     let mut sub = Complex::new();
@@ -202,11 +216,16 @@ pub fn sds(base: &Complex) -> Subdivision {
     let mut memo: Vec<Option<(Label, Simplex)>> = Vec::new();
     for f in base.facets() {
         let n = f.len();
-        if n == 0 || n > crate::template::MAX_TEMPLATE_WIDTH {
-            // Out of template range (never reached in practice: SDS of an
-            // 8-vertex facet already has 545 835 facets) — fall back to the
-            // per-facet partition walk, which produces the same vertices in
-            // the same order.
+        if n == 0 || n > cap {
+            // Out of template range — fall back to the per-facet partition
+            // walk, which produces the same vertices in the same order. The
+            // mix is sound facet-by-facet: both builders emit identical
+            // vertex/facet sequences for a given facet, so a complex can
+            // take the template path for narrow facets and the walk for
+            // wide ones and still equal `sds_reference` byte-for-byte.
+            if n > cap {
+                iis_obs::metrics::add("sds.template_fallbacks", 1);
+            }
             subdivide_facet_by_partitions(base, f, &mut sub, &mut carriers);
             continue;
         }
@@ -573,6 +592,49 @@ mod tests {
             let ff: Vec<_> = fc.facets().cloned().collect();
             let sf: Vec<_> = sc.facets().cloned().collect();
             assert_eq!(ff, sf);
+        }
+    }
+
+    #[test]
+    fn mixed_width_fallback_is_identical_to_reference() {
+        // A base whose facets straddle a lowered template cap: the width-2
+        // facet instantiates from the cached template, the width-4 facet
+        // crosses the cap and takes the per-facet partition walk. The mix
+        // must still be byte-identical to the reference builder — ids in
+        // insertion order, facets, carriers — and the fallback counted.
+        let mut base = Complex::new();
+        let wide: Vec<_> = (0..4)
+            .map(|i| base.ensure_vertex(Color(i), Label::scalar(i as u64)))
+            .collect();
+        let p = base.ensure_vertex(Color(0), Label::scalar(10));
+        let q = base.ensure_vertex(Color(1), Label::scalar(11));
+        base.add_facet(wide);
+        base.add_facet([p, q]);
+        iis_obs::metrics::set_enabled(true);
+        let fallbacks = iis_obs::metrics::Counter::handle("sds.template_fallbacks");
+        let before = fallbacks.get();
+        let mixed = sds_with_cap(&base, 3);
+        assert_eq!(
+            fallbacks.get(),
+            before + 1,
+            "exactly the width-4 facet falls back"
+        );
+        let slow = sds_reference(&base);
+        // sanity: the lowered cap changed which path ran, not the result —
+        // and the full-width builder agrees too
+        let full = sds(&base);
+        for fast in [&mixed, &full] {
+            let (fc, sc) = (fast.complex(), slow.complex());
+            assert_eq!(fc.num_vertices(), sc.num_vertices());
+            for v in fc.vertex_ids() {
+                assert_eq!(fc.color(v), sc.color(v));
+                assert_eq!(fc.label(v), sc.label(v));
+                assert_eq!(fast.carrier_of_vertex(v), slow.carrier_of_vertex(v));
+            }
+            let ff: Vec<_> = fc.facets().cloned().collect();
+            let sf: Vec<_> = sc.facets().cloned().collect();
+            assert_eq!(ff, sf);
+            fast.validate().unwrap();
         }
     }
 

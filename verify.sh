@@ -119,3 +119,86 @@ grep -q '2 jobs accepted, 2 completed' "$serve_out" \
   || { echo "solve service smoke: drain did not finish the accepted job"; cat "$serve_out"; exit 1; }
 rm -rf "$serve_log" "$serve_out" "$store_dir"
 echo "solve service smoke: ok"
+
+# Gateway fuzz sweep: routing soundness under injected transport faults —
+# no question answered wrongly or misaligned, only late or 503.
+"$IIS" fuzz --layer gateway --seed 7 --cases 300 --shrink
+
+# Gateway smoke: two shards behind `iis gateway`; a 12-question batch is
+# scattered, coalesced, and gathered; then one shard is killed and the
+# same batch must come back with every answer byte-identical (purity makes
+# any replica's answer THE answer) and gateway_failovers_total >= 1. The
+# prober interval is set far out so the dead shard is discovered on the
+# request path — the failover being tested, not the health prober.
+sA_log=$(mktemp); sB_log=$(mktemp); gw_log=$(mktemp); gw_out=$(mktemp)
+"$IIS" serve --addr 127.0.0.1:0 >/dev/null 2>"$sA_log" &
+pidA=$!
+"$IIS" serve --addr 127.0.0.1:0 >/dev/null 2>"$sB_log" &
+pidB=$!
+port_of() { # port_of LOGFILE PATTERN
+  local p=""
+  for _ in $(seq 1 100); do
+    p=$(sed -n "s#^$2 on http://127\.0\.0\.1:\([0-9]*\)\$#\1#p" "$1")
+    [ -n "$p" ] && { echo "$p"; return 0; }
+    sleep 0.05
+  done
+  return 1
+}
+portA=$(port_of "$sA_log" serving) || { echo "gateway smoke: shard A never came up"; cat "$sA_log"; exit 1; }
+portB=$(port_of "$sB_log" serving) || { echo "gateway smoke: shard B never came up"; cat "$sB_log"; exit 1; }
+"$IIS" gateway --backends "127.0.0.1:$portA,127.0.0.1:$portB" --replicas 2 \
+  --probe-ms 60000 --addr 127.0.0.1:0 >"$gw_out" 2>"$gw_log" &
+pidG=$!
+portG=$(port_of "$gw_log" gateway) || { echo "gateway smoke: gateway never came up"; cat "$gw_log"; exit 1; }
+echo "gateway smoke: shards $portA,$portB behind gateway $portG"
+req() { # req PORT METHOD PATH BODY -> body on stdout
+  exec 3<>"/dev/tcp/127.0.0.1/$1"
+  printf '%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %s\r\nConnection: close\r\n\r\n%s' \
+    "$2" "$3" "${#4}" "$4" >&3
+  sed '1,/^\r*$/d' <&3
+  exec 3>&- 3<&-
+}
+qs=""
+for s in trivial:1 trivial:2 eps:1:3 eps:1:5 eps:1:9 oneshot:1; do
+  for b in 1 2; do qs="$qs{\"spec\": \"$s\", \"max_rounds\": $b},"; done
+done
+batch="{\"questions\": [${qs%,}]}"
+# warm both shards, then take the all-cached envelope as the baseline
+req "$portG" POST /solve "$batch" >/dev/null
+baseline=$(req "$portG" POST /solve "$batch")
+echo "$baseline" | grep -q '"cached":false' \
+  && { echo "gateway smoke: baseline batch not fully cached"; echo "$baseline"; exit 1; }
+echo "$baseline" | grep -q '"answers":' \
+  || { echo "gateway smoke: baseline is not a batch envelope"; echo "$baseline"; exit 1; }
+# kill shard B mid-run; the gateway has not probed, so the next batch
+# discovers the death on the request path and fails over
+req "$portB" POST /shutdown '' >/dev/null
+wait "$pidB" || { echo "gateway smoke: shard B exited nonzero"; cat "$sB_log"; exit 1; }
+failover=$(req "$portG" POST /solve "$batch")
+echo "$failover" | grep -q '"status":503' \
+  && { echo "gateway smoke: failover batch refused a question"; echo "$failover"; exit 1; }
+# normalize away cache flags and job ids: re-solved questions are fresh on
+# the survivor, but their result bytes must not change
+norm() { sed -E 's/"cached":(true|false)/"cached":_/g; s/"job":[0-9]+,//g'; }
+[ "$(echo "$failover" | norm)" = "$(echo "$baseline" | norm)" ] \
+  || { echo "gateway smoke: failed-over answers differ from baseline"; exit 1; }
+# once the survivor has cached everything, the envelope is byte-identical
+settled=$(req "$portG" POST /solve "$batch")
+[ "$settled" = "$baseline" ] \
+  || { echo "gateway smoke: settled envelope not byte-identical to baseline"; exit 1; }
+metrics=$(req "$portG" GET /metrics '')
+failovers=$(echo "$metrics" | sed -n 's/^gateway_failovers_total //p')
+[ -n "$failovers" ] && [ "$failovers" -ge 1 ] \
+  || { echo "gateway smoke: expected gateway_failovers_total >= 1, got '$failovers'"; echo "$metrics" | head -40; exit 1; }
+echo "$metrics" | grep -q '^serve_requests_total ' \
+  || { echo "gateway smoke: /metrics does not aggregate shard serve_* counters"; exit 1; }
+req "$portG" GET /cluster '' | grep -q '"shards":' \
+  || { echo "gateway smoke: /cluster has no shard report"; exit 1; }
+req "$portG" POST /shutdown '' >/dev/null
+wait "$pidG" || { echo "gateway smoke: gateway exited nonzero"; cat "$gw_log"; exit 1; }
+grep -q 'failover' "$gw_out" \
+  || { echo "gateway smoke: summary does not report failovers"; cat "$gw_out"; exit 1; }
+req "$portA" POST /shutdown '' >/dev/null
+wait "$pidA" || { echo "gateway smoke: shard A exited nonzero"; cat "$sA_log"; exit 1; }
+rm -f "$sA_log" "$sB_log" "$gw_log" "$gw_out"
+echo "gateway smoke: ok"
